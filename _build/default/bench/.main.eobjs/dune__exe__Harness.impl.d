@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Bechamel Benchmark Float Format Hashtbl Instance Measure Staged Test Time Toolkit

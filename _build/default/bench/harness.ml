@@ -1,0 +1,38 @@
+(* Thin wrapper over Bechamel: measure one thunk, return its estimated
+   wall-clock cost in nanoseconds per run. *)
+
+open Bechamel
+open Toolkit
+
+let time_ns ?(quota = 0.25) name fn =
+  let test = Test.make ~name (Staged.stage fn) in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
+  | [ result ] -> (
+    match Analyze.OLS.estimates result with
+    | Some (est :: _) -> est
+    | Some [] | None -> Float.nan)
+  | _ -> Float.nan
+
+(* Human-readable duration. *)
+let pp_ns ppf ns =
+  if Float.is_nan ns then Format.pp_print_string ppf "n/a"
+  else if ns < 1e3 then Format.fprintf ppf "%.0f ns" ns
+  else if ns < 1e6 then Format.fprintf ppf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Format.fprintf ppf "%.2f ms" (ns /. 1e6)
+  else Format.fprintf ppf "%.2f s" (ns /. 1e9)
+
+let ns_to_string ns = Format.asprintf "%a" pp_ns ns
+
+let section id title =
+  Format.printf "@\n=== %s: %s ===@\n%!" id title
+
+let row fmt = Format.printf fmt

@@ -1,0 +1,1 @@
+bin/cli_common.ml: In_channel Llvm_ir Out_channel Printf String

@@ -1,0 +1,1 @@
+bin/qasm2qir.ml: Arg Cli_common Cmd Cmdliner Llvm_ir Qcircuit Qir Term

@@ -1,0 +1,1 @@
+bin/qasm2qir.mli:

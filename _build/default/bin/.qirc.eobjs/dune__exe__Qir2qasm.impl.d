@@ -1,0 +1,1 @@
+bin/qir2qasm.ml: Arg Cli_common Cmd Cmdliner Format Printf Qcircuit Qir Term

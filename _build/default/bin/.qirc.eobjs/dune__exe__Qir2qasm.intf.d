@@ -1,0 +1,1 @@
+bin/qir2qasm.mli:

@@ -1,0 +1,1 @@
+bin/qir_run.ml: Arg Cli_common Cmd Cmdliner Format List Llvm_ir Printf Qruntime String Term

@@ -1,0 +1,1 @@
+bin/qir_run.mli:

@@ -1,0 +1,1 @@
+bin/qirc.ml: Arg Cli_common Cmd Cmdliner Format List Llvm_ir Passes Printf Qcircuit Qir String Term

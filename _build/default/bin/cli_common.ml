@@ -1,0 +1,25 @@
+(* Shared bits for the command-line tools. *)
+
+let read_file path =
+  if String.equal path "-" then In_channel.input_all In_channel.stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+let write_output out text =
+  match out with
+  | None -> print_string text
+  | Some path -> Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc text)
+
+let parse_qir_file path =
+  let src = read_file path in
+  match Llvm_ir.Parser.parse_module_result ~source_name:path src with
+  | Ok m -> m
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline msg;
+    exit 1

@@ -1,0 +1,53 @@
+(* qir2qasm — transpile QIR to OpenQASM 2 or 3, lowering (inlining and
+   unrolling classical control flow) first when necessary.
+
+   Example: qir2qasm program.ll --qasm3 *)
+
+open Cmdliner
+
+let run input qasm3 lower output =
+  let m = Cli_common.parse_qir_file input in
+  let circuit =
+    if lower then
+      match Qir.Lowering.lower_to_circuit m with
+      | Ok c -> c
+      | Error e ->
+        Format.eprintf "%a@." Qir.Lowering.pp_error e;
+        exit 1
+    else
+      match Qir.Qir_parser.parse_result m with
+      | Ok c -> c
+      | Error msg ->
+        Printf.eprintf "%s\n(hint: try --lower)\n" msg;
+        exit 1
+  in
+  let text =
+    if qasm3 then Qcircuit.Qasm3.to_string circuit
+    else Qcircuit.Qasm2.to_string circuit
+  in
+  Cli_common.write_output output text
+
+let input =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT.ll"
+         ~doc:"QIR input file ('-' for stdin).")
+
+let qasm3 =
+  Arg.(value & flag & info [ "qasm3"; "3" ]
+         ~doc:"Emit OpenQASM 3 (default: OpenQASM 2).")
+
+let lower =
+  Arg.(value & flag & info [ "lower" ]
+         ~doc:"Run the lowering pipeline before extracting the circuit \
+               (needed for programs with loops or helper functions).")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write output to FILE instead of stdout.")
+
+let cmd =
+  let doc = "transpile QIR to OpenQASM 2/3" in
+  Cmd.v
+    (Cmd.info "qir2qasm" ~doc)
+    Term.(const run $ input $ qasm3 $ lower $ output)
+
+let () = exit (Cmd.eval cmd)

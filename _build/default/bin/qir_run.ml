@@ -1,0 +1,62 @@
+(* qir-run — execute a QIR program on the simulator-backed runtime (the
+   lli-plus-quantum-runtime architecture of the paper's Sec. III-C).
+
+   Example: qir-run program.ll --shots 1000 --backend statevector *)
+
+open Cmdliner
+
+let run input shots seed backend stats =
+  let m = Cli_common.parse_qir_file input in
+  if shots = 1 then begin
+    let r = Qruntime.Executor.run ~seed ~backend m in
+    if String.length r.Qruntime.Executor.output > 0 then
+      Printf.printf "output: %s\n" r.Qruntime.Executor.output;
+    List.iter
+      (fun (addr, b) ->
+        Printf.printf "result 0x%Lx = %s\n" addr (if b then "1" else "0"))
+      r.Qruntime.Executor.results;
+    if stats then begin
+      let i = r.Qruntime.Executor.interp_stats in
+      let q = r.Qruntime.Executor.runtime_stats in
+      Printf.printf
+        "instructions=%d external-calls=%d gates=%d measurements=%d resets=%d\n"
+        i.Llvm_ir.Interp.instructions i.Llvm_ir.Interp.external_calls
+        q.Qruntime.Runtime.gate_calls q.Qruntime.Runtime.measurements
+        q.Qruntime.Runtime.resets
+    end
+  end
+  else begin
+    let hist = Qruntime.Executor.run_shots ~seed ~backend ~shots m in
+    Format.printf "%a" Qruntime.Executor.pp_histogram hist
+  end
+
+let input =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT.ll"
+         ~doc:"QIR input file ('-' for stdin).")
+
+let shots =
+  Arg.(value & opt int 1 & info [ "shots"; "n" ] ~docv:"N"
+         ~doc:"Number of shots (1 = single run with detailed results).")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let backend =
+  let enum_conv =
+    Arg.enum [ ("statevector", `Statevector); ("stabilizer", `Stabilizer) ]
+  in
+  Arg.(value & opt enum_conv `Statevector & info [ "backend" ] ~docv:"BACKEND"
+         ~doc:"Simulator backend: statevector (default) or stabilizer \
+               (Clifford-only, scales to many qubits).")
+
+let stats =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print interpreter and runtime statistics.")
+
+let cmd =
+  let doc = "execute QIR programs on a simulator-backed runtime" in
+  Cmd.v
+    (Cmd.info "qir-run" ~doc)
+    Term.(const run $ input $ shots $ seed $ backend $ stats)
+
+let () = exit (Cmd.eval cmd)

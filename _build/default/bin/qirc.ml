@@ -1,0 +1,130 @@
+(* qirc — transform, optimize and check QIR programs.
+
+   Examples:
+     qirc input.ll --lower                      # flatten towards base profile
+     qirc input.ll --pass mem2reg --pass dce    # run individual passes
+     qirc input.ll --check base                 # profile conformance report
+     qirc input.ll --to-static                  # rewrite qubit addressing
+     qirc input.ll --emit qasm2                 # transpile to OpenQASM 2 *)
+
+open Cmdliner
+
+let run input passes lower optimize check addressing emit verify output =
+  let m = Cli_common.parse_qir_file input in
+  (* 1. individual passes, in order *)
+  let m =
+    List.fold_left
+      (fun m name ->
+        match Passes.Pipeline.find_pass name with
+        | Some _ -> Passes.Pipeline.run_pass name m
+        | None ->
+          Printf.eprintf "unknown pass %s (available: %s)\n" name
+            (String.concat ", "
+               (List.map
+                  (fun (p : Passes.Pass.func_pass) -> p.Passes.Pass.name)
+                  Passes.Pipeline.all_passes));
+          exit 1)
+      m passes
+  in
+  (* 2. preset pipelines *)
+  let m = if optimize then Passes.Pipeline.optimize m else m in
+  let m = if lower then Qir.Lowering.lower_module m else m in
+  (* 3. addressing conversion *)
+  let m =
+    match addressing with
+    | None -> m
+    | Some `Static -> Qir.Addressing.to_static m
+    | Some `Dynamic -> Qir.Addressing.to_dynamic m
+  in
+  (* 4. verification *)
+  if verify then begin
+    match Llvm_ir.Verifier.check_module m with
+    | [] -> ()
+    | vs ->
+      List.iter
+        (fun v -> Format.eprintf "%a@\n" Llvm_ir.Verifier.pp_violation v)
+        vs;
+      exit 1
+  end;
+  (* 5. profile check *)
+  (match check with
+  | None -> ()
+  | Some profile -> (
+    match Qir.Profile_check.check profile m with
+    | [] ->
+      Format.eprintf "conforms to %s@." (Qir.Profile.name profile)
+    | vs ->
+      List.iter
+        (fun v -> Format.eprintf "%a@\n" Qir.Profile_check.pp_violation v)
+        vs;
+      exit 1));
+  (* 6. output *)
+  let text =
+    match emit with
+    | `Qir -> Llvm_ir.Printer.module_to_string m
+    | `Qasm2 -> Qcircuit.Qasm2.to_string (Qir.Qir_parser.parse m)
+    | `Qasm3 -> Qcircuit.Qasm3.to_string (Qir.Qir_parser.parse m)
+    | `Circuit -> Qcircuit.Circuit.to_string (Qir.Qir_parser.parse m)
+    | `Mlir -> Qir.Mlir_emit.emit_module m
+    | `None -> ""
+  in
+  Cli_common.write_output output text
+
+let input =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT.ll"
+         ~doc:"QIR input file ('-' for stdin).")
+
+let passes =
+  Arg.(value & opt_all string [] & info [ "pass"; "p" ] ~docv:"NAME"
+         ~doc:"Run an individual pass (repeatable): mem2reg, const-fold, \
+               sccp, dce, simplify-cfg, loop-unroll, inline.")
+
+let lower =
+  Arg.(value & flag & info [ "lower" ]
+         ~doc:"Run the lowering pipeline (inline, mem2reg, constant \
+               propagation, loop unrolling, cleanup).")
+
+let optimize =
+  Arg.(value & flag & info [ "O"; "optimize" ]
+         ~doc:"Run the standard optimization pipeline.")
+
+let profile_conv =
+  Arg.enum
+    [ ("base", Qir.Profile.Base); ("adaptive", Qir.Profile.Adaptive);
+      ("full", Qir.Profile.Full) ]
+
+let check =
+  Arg.(value & opt (some profile_conv) None & info [ "check" ] ~docv:"PROFILE"
+         ~doc:"Check conformance against a QIR profile (base, adaptive, full).")
+
+let addressing =
+  let enum_conv = Arg.enum [ ("static", `Static); ("dynamic", `Dynamic) ] in
+  Arg.(value & opt (some enum_conv) None & info [ "addressing" ] ~docv:"STYLE"
+         ~doc:"Convert qubit addressing (static or dynamic).")
+
+let emit =
+  let enum_conv =
+    Arg.enum
+      [ ("qir", `Qir); ("qasm2", `Qasm2); ("qasm3", `Qasm3);
+        ("circuit", `Circuit); ("mlir", `Mlir); ("none", `None) ]
+  in
+  Arg.(value & opt enum_conv `Qir & info [ "emit" ] ~docv:"FORMAT"
+         ~doc:"Output format: qir (default), qasm2, qasm3, circuit, mlir, none.")
+
+let verify =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Run the IR verifier and fail \
+                                              on violations.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write output to FILE instead of stdout.")
+
+let cmd =
+  let doc = "transform, optimize and check QIR programs" in
+  Cmd.v
+    (Cmd.info "qirc" ~doc)
+    Term.(
+      const run $ input $ passes $ lower $ optimize $ check $ addressing
+      $ emit $ verify $ output)
+
+let () = exit (Cmd.eval cmd)

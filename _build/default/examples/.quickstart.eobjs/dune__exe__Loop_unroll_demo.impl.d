@@ -1,0 +1,1 @@
+examples/loop_unroll_demo.ml: Format Func Ir_module List Llvm_ir Parser Passes Printer Qcircuit Qir Qruntime String

@@ -1,0 +1,1 @@
+examples/loop_unroll_demo.mli:

@@ -1,0 +1,1 @@
+examples/mapping_demo.ml: Circuit Format Generate List Printf Qcircuit Qir Qmapping Qruntime String

@@ -1,0 +1,1 @@
+examples/mapping_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Llvm_ir Qcircuit Qir Qruntime

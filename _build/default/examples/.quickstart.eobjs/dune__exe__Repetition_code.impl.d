@@ -1,0 +1,1 @@
+examples/repetition_code.ml: Circuit Format Gate List Qcircuit Qhybrid Qir Qruntime String

@@ -1,0 +1,1 @@
+examples/repetition_code.mli:

@@ -1,0 +1,1 @@
+examples/teleport_feedback.ml: Circuit Float Format Gate List Qcircuit Qhybrid Qir Qruntime String

@@ -1,0 +1,1 @@
+examples/teleport_feedback.mli:

@@ -1,0 +1,1 @@
+examples/vqe_loop.ml: Array Circuit Float Format Gate List Qcircuit Qir Qruntime Qsim String

@@ -1,0 +1,1 @@
+examples/vqe_loop.mli:

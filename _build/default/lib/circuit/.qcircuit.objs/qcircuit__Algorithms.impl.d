@@ -1,0 +1,1 @@
+lib/circuit/algorithms.ml: Circuit Float Gate List

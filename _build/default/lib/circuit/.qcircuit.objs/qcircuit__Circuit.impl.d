@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Format Gate List String

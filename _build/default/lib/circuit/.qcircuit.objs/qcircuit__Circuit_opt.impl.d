@@ -1,0 +1,1 @@
+lib/circuit/circuit_opt.ml: Array Circuit Gate List Option

@@ -1,0 +1,1 @@
+lib/circuit/circuit_opt.mli: Circuit

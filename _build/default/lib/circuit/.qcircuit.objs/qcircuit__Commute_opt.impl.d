@@ -1,0 +1,1 @@
+lib/circuit/commute_opt.ml: Array Circuit Gate List

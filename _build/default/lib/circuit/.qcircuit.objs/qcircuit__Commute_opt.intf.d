@@ -1,0 +1,1 @@
+lib/circuit/commute_opt.mli: Circuit Gate

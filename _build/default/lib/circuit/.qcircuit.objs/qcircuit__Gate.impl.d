@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Array Complex Float Format Printf

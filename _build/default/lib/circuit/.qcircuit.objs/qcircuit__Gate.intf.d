@@ -1,0 +1,1 @@
+lib/circuit/gate.mli: Complex Format

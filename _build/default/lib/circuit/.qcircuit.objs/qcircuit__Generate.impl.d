@@ -1,0 +1,1 @@
+lib/circuit/generate.ml: Array Circuit Float Gate Rng

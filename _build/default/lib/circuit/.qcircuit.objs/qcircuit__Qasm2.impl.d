@@ -1,0 +1,1 @@
+lib/circuit/qasm2.ml: Buffer Circuit Float Format Gate Hashtbl List Printf Qasm_expr Qasm_lexer String

@@ -1,0 +1,1 @@
+lib/circuit/qasm2.mli: Circuit Format Gate

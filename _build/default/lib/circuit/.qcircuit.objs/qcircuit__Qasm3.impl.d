@@ -1,0 +1,1 @@
+lib/circuit/qasm3.ml: Buffer Circuit Format Fun Gate List Printf Qasm2 Qasm_expr Qasm_lexer String

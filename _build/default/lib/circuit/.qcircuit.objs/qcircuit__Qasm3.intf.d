@@ -1,0 +1,1 @@
+lib/circuit/qasm3.mli: Circuit

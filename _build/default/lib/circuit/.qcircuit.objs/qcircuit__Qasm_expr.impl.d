@@ -1,0 +1,1 @@
+lib/circuit/qasm_expr.ml: Float Format List Printf Qasm_lexer

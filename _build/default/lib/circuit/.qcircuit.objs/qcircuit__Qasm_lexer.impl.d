@@ -1,0 +1,1 @@
+lib/circuit/qasm_lexer.ml: Format Printf String

@@ -1,0 +1,120 @@
+(* Textbook algorithms with known exact outcomes — used as end-to-end
+   integration workloads: each produces a deterministic (or sharply
+   peaked) measurement distribution that the full QIR path must
+   reproduce. *)
+
+let pi = Float.pi
+
+(* Bernstein-Vazirani: recovers the [secret] bitstring with one oracle
+   query. Qubits 0..n-1 are the register, n is the phase ancilla; the
+   register measures exactly [secret]. *)
+let bernstein_vazirani (secret : bool list) =
+  let n = List.length secret in
+  if n = 0 then invalid_arg "Algorithms.bernstein_vazirani: empty secret";
+  let b = Circuit.Build.create ~num_qubits:(n + 1) ~num_clbits:n () in
+  (* ancilla in |-> *)
+  Circuit.Build.gate b Gate.X [ n ];
+  Circuit.Build.gate b Gate.H [ n ];
+  for i = 0 to n - 1 do
+    Circuit.Build.gate b Gate.H [ i ]
+  done;
+  (* oracle: f(x) = s . x *)
+  List.iteri
+    (fun i bit -> if bit then Circuit.Build.gate b Gate.Cx [ i; n ])
+    secret;
+  for i = 0 to n - 1 do
+    Circuit.Build.gate b Gate.H [ i ];
+    Circuit.Build.measure b i i
+  done;
+  Circuit.Build.finish b
+
+(* Deutsch-Jozsa on [n] input qubits: measures all zeros iff the oracle
+   is constant. [oracle] is `Constant true/false or `Balanced mask (f(x)
+   = mask . x, balanced when mask <> 0). *)
+let deutsch_jozsa ~n oracle =
+  if n <= 0 then invalid_arg "Algorithms.deutsch_jozsa: need inputs";
+  let b = Circuit.Build.create ~num_qubits:(n + 1) ~num_clbits:n () in
+  Circuit.Build.gate b Gate.X [ n ];
+  Circuit.Build.gate b Gate.H [ n ];
+  for i = 0 to n - 1 do
+    Circuit.Build.gate b Gate.H [ i ]
+  done;
+  (match oracle with
+  | `Constant false -> ()
+  | `Constant true -> Circuit.Build.gate b Gate.X [ n ]
+  | `Balanced mask ->
+    if mask = 0 then invalid_arg "Algorithms.deutsch_jozsa: zero mask";
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then Circuit.Build.gate b Gate.Cx [ i; n ]
+    done);
+  for i = 0 to n - 1 do
+    Circuit.Build.gate b Gate.H [ i ];
+    Circuit.Build.measure b i i
+  done;
+  Circuit.Build.finish b
+
+(* Grover search on 2 qubits: one iteration finds [marked] (0..3) with
+   certainty. *)
+let grover_2q ~marked =
+  if marked < 0 || marked > 3 then
+    invalid_arg "Algorithms.grover_2q: marked state must be 0..3";
+  let b = Circuit.Build.create ~num_qubits:2 ~num_clbits:2 () in
+  Circuit.Build.gate b Gate.H [ 0 ];
+  Circuit.Build.gate b Gate.H [ 1 ];
+  (* oracle: phase-flip |marked> using CZ conjugated by X on 0-bits *)
+  let flip_zeros () =
+    if marked land 1 = 0 then Circuit.Build.gate b Gate.X [ 0 ];
+    if marked land 2 = 0 then Circuit.Build.gate b Gate.X [ 1 ]
+  in
+  flip_zeros ();
+  Circuit.Build.gate b Gate.Cz [ 0; 1 ];
+  flip_zeros ();
+  (* diffusion *)
+  Circuit.Build.gate b Gate.H [ 0 ];
+  Circuit.Build.gate b Gate.H [ 1 ];
+  Circuit.Build.gate b Gate.X [ 0 ];
+  Circuit.Build.gate b Gate.X [ 1 ];
+  Circuit.Build.gate b Gate.Cz [ 0; 1 ];
+  Circuit.Build.gate b Gate.X [ 0 ];
+  Circuit.Build.gate b Gate.X [ 1 ];
+  Circuit.Build.gate b Gate.H [ 0 ];
+  Circuit.Build.gate b Gate.H [ 1 ];
+  Circuit.Build.measure b 0 0;
+  Circuit.Build.measure b 1 1;
+  Circuit.Build.finish b
+
+(* Quantum phase estimation of the eigenphase of P(2*pi*k/2^bits) on its
+   |1> eigenstate, with [bits] counting qubits: measures exactly [k]
+   (LSB-first in the classical register). Qubits 0..bits-1 count; qubit
+   [bits] holds the eigenstate. *)
+let phase_estimation ~bits ~k =
+  if bits <= 0 then invalid_arg "Algorithms.phase_estimation: need bits";
+  let denom = 1 lsl bits in
+  if k < 0 || k >= denom then
+    invalid_arg "Algorithms.phase_estimation: k out of range";
+  let b = Circuit.Build.create ~num_qubits:(bits + 1) ~num_clbits:bits () in
+  let eigen = bits in
+  Circuit.Build.gate b Gate.X [ eigen ];
+  for i = 0 to bits - 1 do
+    Circuit.Build.gate b Gate.H [ i ]
+  done;
+  (* controlled powers: counting qubit i applies U^(2^i) *)
+  let theta = 2.0 *. pi *. float_of_int k /. float_of_int denom in
+  for i = 0 to bits - 1 do
+    let angle = theta *. float_of_int (1 lsl i) in
+    Circuit.Build.gate b (Gate.Cp angle) [ i; eigen ]
+  done;
+  (* inverse QFT on the counting register; this ordering leaves the
+     estimate bit-reversed across the counting qubits, so the
+     measurement map below reverses it back (clbit i = bit i of k) *)
+  for i = bits - 1 downto 0 do
+    for j = bits - 1 downto i + 1 do
+      let angle = -.pi /. Float.pow 2.0 (float_of_int (j - i)) in
+      Circuit.Build.gate b (Gate.Cp angle) [ j; i ]
+    done;
+    Circuit.Build.gate b Gate.H [ i ]
+  done;
+  for i = 0 to bits - 1 do
+    Circuit.Build.measure b i (bits - 1 - i)
+  done;
+  Circuit.Build.finish b

@@ -1,0 +1,20 @@
+(** Textbook algorithms with known exact outcomes, used as end-to-end
+    integration workloads across the QIR path. *)
+
+val bernstein_vazirani : bool list -> Circuit.t
+(** One-query recovery of the secret bitstring; the register (clbits
+    0..n-1, LSB first) measures exactly the secret. Uses qubit [n] as the
+    phase ancilla. *)
+
+val deutsch_jozsa :
+  n:int -> [ `Balanced of int | `Constant of bool ] -> Circuit.t
+(** Measures all-zeros iff the oracle is constant. [`Balanced mask] is
+    f(x) = mask.x (mask <> 0). *)
+
+val grover_2q : marked:int -> Circuit.t
+(** One Grover iteration on 2 qubits finds [marked] (0..3) with
+    certainty. *)
+
+val phase_estimation : bits:int -> k:int -> Circuit.t
+(** QPE of the eigenphase 2*pi*k/2^bits of a phase gate on its |1>
+    eigenstate: the counting register measures exactly [k]. *)

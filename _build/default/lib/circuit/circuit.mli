@@ -1,0 +1,116 @@
+(** The circuit IR: a sequence of operations over flat qubit and
+    classical-bit index spaces — the "custom / tool-specific IR" of the
+    paper's Sec. III-A.
+
+    Classical control is limited to OpenQASM-2-style conditions (a set of
+    classical bits compared against a constant); richer classical control
+    flow lives at the QIR level. *)
+
+type cond = { cbits : int list; value : int }
+(** Execute iff the register formed by [cbits] (least-significant bit
+    first) currently equals [value]. *)
+
+type kind =
+  | Gate of Gate.t * int list
+  | Measure of int * int  (** qubit, clbit *)
+  | Reset of int
+  | Barrier of int list
+
+type op = { kind : kind; cond : cond option }
+
+type register = { rname : string; roffset : int; rsize : int }
+(** A named register mapping onto the flat index space (for OpenQASM
+    printing). *)
+
+type t = {
+  num_qubits : int;
+  num_clbits : int;
+  ops : op list;
+  qregs : register list;
+  cregs : register list;
+}
+
+val create :
+  ?qregs:register list ->
+  ?cregs:register list ->
+  num_qubits:int ->
+  num_clbits:int ->
+  op list ->
+  t
+(** [create ~num_qubits ~num_clbits ops] builds a circuit; single default
+    registers [q]/[c] are synthesized when none are given. The circuit is
+    not validated — see {!validate} or use {!Build}. *)
+
+val empty : int -> int -> t
+
+(** {1 Operation constructors} *)
+
+val gate : ?cond:cond -> Gate.t -> int list -> op
+val measure : ?cond:cond -> int -> int -> op
+val reset : ?cond:cond -> int -> op
+val barrier : int list -> op
+
+val op_qubits : op -> int list
+val op_clbits : op -> int list
+
+exception Invalid of string
+
+val validate : t -> t
+(** Checks arities, operand ranges and duplicate qubit operands; returns
+    the circuit or raises {!Invalid}. *)
+
+(** {1 Imperative construction} *)
+
+module Build : sig
+  type circuit := t
+  type t
+
+  val create : ?num_qubits:int -> ?num_clbits:int -> unit -> t
+  (** Sizes grow automatically as operations touch new indices. *)
+
+  val gate : ?cond:cond -> t -> Gate.t -> int list -> unit
+  val measure : ?cond:cond -> t -> int -> int -> unit
+  val reset : ?cond:cond -> t -> int -> unit
+  val barrier : t -> int list -> unit
+  val touch_qubit : t -> int -> unit
+  val touch_clbit : t -> int -> unit
+
+  val finish : ?qregs:register list -> ?cregs:register list -> t -> circuit
+  (** Validates and returns the accumulated circuit. *)
+end
+
+(** {1 Metrics} *)
+
+val size : t -> int
+(** Number of operations. *)
+
+val gate_count : ?name:string -> t -> int
+(** Number of gate operations, optionally only those with the given
+    OpenQASM name. *)
+
+val two_qubit_gate_count : t -> int
+val measure_count : t -> int
+val has_conditions : t -> bool
+
+val depth : t -> int
+(** Longest dependency chain over shared qubits/clbits. *)
+
+(** {1 Transformations} *)
+
+val map_qubits : (int -> int) -> t -> t
+val append : t -> t -> t
+
+val inverse : t -> t
+(** The adjoint circuit; raises {!Invalid} on measurements or resets. *)
+
+val is_clifford : t -> bool
+
+(** {1 Printing and equality} *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Structural equality of sizes and operation lists (registers are
+    ignored). *)

@@ -1,0 +1,19 @@
+(** Peephole optimization on the circuit IR: cancellation of adjacent
+    inverse gates, merging of rotations about the same axis, and removal
+    of identity rotations.
+
+    This is the circuit-level counterpart of the classical optimizations
+    QIR inherits from LLVM; benchmark E8 contrasts the two. Conditioned
+    operations, measurements, resets and barriers act as optimization
+    barriers. *)
+
+type stats = { cancelled : int; merged : int; removed_identities : int }
+
+val no_stats : stats
+
+val optimize : ?eps:float -> Circuit.t -> Circuit.t * stats
+(** One linear scan. [eps] is the tolerance for identity rotations. *)
+
+val optimize_fixpoint :
+  ?eps:float -> ?max_rounds:int -> Circuit.t -> Circuit.t * stats
+(** Iterates {!optimize} until no further reduction (or [max_rounds]). *)

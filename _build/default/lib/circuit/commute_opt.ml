@@ -1,0 +1,165 @@
+(* Commutation-aware gate cancellation: two inverse (or mergeable) gates
+   separated by operations they commute with are still combined, e.g.
+
+     x q1; cx q0, q1; x q1      ->  cx q0, q1
+     rz q0; cx q0, q1; rz q0    ->  cx q0, q1; rz(sum) q0
+
+   This extends {!Circuit_opt} (which only combines directly adjacent
+   gates) using a conservative commutation table: diagonal gates commute
+   through control roles and with each other; X-axis gates commute
+   through CX targets. Conditioned operations, measurements, resets and
+   barriers never commute with anything. *)
+
+(* Diagonal in the computational basis. *)
+let is_diagonal (g : Gate.t) =
+  match g with
+  | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg | Gate.Rz _ | Gate.P _
+  | Gate.Cz | Gate.Cp _ | Gate.Crz _ | Gate.I ->
+    true
+  | _ -> false
+
+(* X-axis single-qubit gates. *)
+let is_x_axis (g : Gate.t) =
+  match g with
+  | Gate.X | Gate.Rx _ | Gate.Sx | Gate.Sxdg | Gate.I -> true
+  | _ -> false
+
+(* Does the single-qubit gate [g] on [q] commute with operation [op]
+   (which touches [q])? *)
+let commutes_1q (g : Gate.t) q (op : Circuit.op) =
+  match op.Circuit.cond, op.Circuit.kind with
+  | Some _, _ -> false
+  | None, Circuit.Gate (g2, qs2) -> (
+    if is_diagonal g && is_diagonal g2 then true
+    else
+      match g2, qs2 with
+      | Gate.Cx, [ ctrl; tgt ] ->
+        (is_diagonal g && q = ctrl) || (is_x_axis g && q = tgt)
+      | Gate.Ccx, [ c1; c2; tgt ] ->
+        (is_diagonal g && (q = c1 || q = c2)) || (is_x_axis g && q = tgt)
+      | Gate.Crx _, [ ctrl; _ ] -> is_diagonal g && q = ctrl
+      | Gate.Cry _, [ ctrl; _ ] -> is_diagonal g && q = ctrl
+      | Gate.Cu _, [ ctrl; _ ] -> is_diagonal g && q = ctrl
+      | _ -> false)
+  | None, (Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _) -> false
+
+(* Does CX (or CZ) on [qs] commute with [op]? Conservative. *)
+let commutes_2q (g : Gate.t) qs (op : Circuit.op) =
+  match g, qs with
+  | Gate.Cx, [ ctrl; tgt ] -> (
+    match op.Circuit.cond, op.Circuit.kind with
+    | Some _, _ -> false
+    | None, Circuit.Gate (g2, qs2) -> (
+      match g2, qs2 with
+      | Gate.Cx, [ ctrl2; tgt2 ] ->
+        (* share only controls or only targets *)
+        (ctrl = ctrl2 && tgt <> tgt2 && ctrl <> tgt2 && tgt <> ctrl2)
+        || (tgt = tgt2 && ctrl <> ctrl2 && ctrl <> tgt2 && tgt <> ctrl2)
+      | _, _ ->
+        let shared = List.filter (fun q -> List.mem q qs2) qs in
+        List.for_all
+          (fun q ->
+            match Gate.num_qubits g2, qs2 with
+            | 1, [ _ ] ->
+              (is_diagonal g2 && q = ctrl) || (is_x_axis g2 && q = tgt)
+            | _ -> false)
+          shared
+        && shared <> [])
+    | None, (Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _) -> false)
+  | (Gate.Cz | Gate.Cp _), [ _; _ ] -> (
+    match op.Circuit.cond, op.Circuit.kind with
+    | Some _, _ -> false
+    | None, Circuit.Gate (g2, qs2) -> (
+      match g2, qs2 with
+      | _, [ _ ] ->
+        (* CZ/CP are diagonal: commute with diagonal 1q gates anywhere *)
+        is_diagonal g2
+      | (Gate.Cz | Gate.Cp _ | Gate.Crz _), _ -> true
+      | _ -> false)
+    | None, (Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _) -> false)
+  | _ -> false
+
+let commutes (g : Gate.t) qs (op : Circuit.op) =
+  match qs with
+  | [ q ] -> commutes_1q g q op
+  | [ _; _ ] -> commutes_2q g qs op
+  | _ -> false
+
+type stats = { cancelled : int; merged : int }
+
+let optimize (c : Circuit.t) : Circuit.t * stats =
+  let ops = Array.of_list c.Circuit.ops in
+  let n = Array.length ops in
+  let alive = Array.make n true in
+  let current = Array.map (fun op -> op) ops in
+  (* per-qubit list of op indices, in order *)
+  let by_qubit = Array.make (max c.Circuit.num_qubits 1) [] in
+  Array.iteri
+    (fun i op ->
+      List.iter (fun q -> by_qubit.(q) <- i :: by_qubit.(q)) (Circuit.op_qubits op))
+    ops;
+  Array.iteri (fun q l -> by_qubit.(q) <- List.rev l) by_qubit;
+  let cancelled = ref 0 and merged = ref 0 in
+  (* indices after [i] of live ops touching any qubit of [qs], in order *)
+  let later_touching i qs =
+    let lists = List.map (fun q -> by_qubit.(q)) qs in
+    let merged_list = List.sort_uniq compare (List.concat lists) in
+    List.filter (fun j -> j > i && alive.(j)) merged_list
+  in
+  let try_combine i =
+    match current.(i) with
+    | { Circuit.kind = Circuit.Gate (g, qs); cond = None } ->
+      let rec scan = function
+        | [] -> ()
+        | j :: rest -> (
+          match current.(j) with
+          | { Circuit.kind = Circuit.Gate (g2, qs2); cond = None }
+            when qs2 = qs -> (
+            if Gate.equal g2 (Gate.inverse g) then begin
+              alive.(i) <- false;
+              alive.(j) <- false;
+              incr cancelled
+            end
+            else
+              match Gate.merge g g2 with
+              | Some m ->
+                alive.(i) <- false;
+                incr merged;
+                if Gate.is_identity m then begin
+                  alive.(j) <- false;
+                  incr cancelled
+                end
+                else
+                  current.(j) <-
+                    { Circuit.kind = Circuit.Gate (m, qs); cond = None }
+              | None -> if commutes g qs current.(j) then scan rest)
+          | op when commutes g qs op -> scan rest
+          | _ -> ())
+      in
+      scan (later_touching i qs)
+    | _ -> ()
+  in
+  for i = 0 to n - 1 do
+    if alive.(i) then try_combine i
+  done;
+  let remaining = ref [] in
+  for i = n - 1 downto 0 do
+    if alive.(i) then remaining := current.(i) :: !remaining
+  done;
+  ( { c with Circuit.ops = !remaining },
+    { cancelled = !cancelled; merged = !merged } )
+
+let optimize_fixpoint ?(max_rounds = 8) c =
+  let rec go c acc round =
+    if round >= max_rounds then (c, acc)
+    else begin
+      let c', s = optimize c in
+      if s.cancelled = 0 && s.merged = 0 then (c, acc)
+      else
+        go c'
+          { cancelled = acc.cancelled + s.cancelled;
+            merged = acc.merged + s.merged }
+          (round + 1)
+    end
+  in
+  go c { cancelled = 0; merged = 0 } 0

@@ -1,0 +1,22 @@
+(** Commutation-aware gate cancellation: inverse (or mergeable) gate
+    pairs separated by operations they provably commute with are still
+    combined — e.g. [x q1; cx q0,q1; x q1] reduces to the CX alone.
+    Extends {!Circuit_opt}, which only combines directly adjacent gates.
+
+    The commutation table is conservative: diagonal gates commute with
+    each other and through control roles; X-axis gates commute through CX
+    targets; nothing commutes across conditions, measurements, resets or
+    barriers. *)
+
+val is_diagonal : Gate.t -> bool
+val is_x_axis : Gate.t -> bool
+
+val commutes : Gate.t -> int list -> Circuit.op -> bool
+(** [commutes g qs op]: does the gate application [g qs] commute with
+    [op]? Only meaningful when [op] touches at least one qubit of
+    [qs]. *)
+
+type stats = { cancelled : int; merged : int }
+
+val optimize : Circuit.t -> Circuit.t * stats
+val optimize_fixpoint : ?max_rounds:int -> Circuit.t -> Circuit.t * stats

@@ -1,0 +1,164 @@
+(* Workload generators: the named circuits used across examples, tests
+   and benchmarks (GHZ, QFT, random circuits, feedback workloads). *)
+
+let pi = Float.pi
+
+(* Bell pair: the paper's Fig. 1 "Hello World". *)
+let bell () =
+  let b = Circuit.Build.create ~num_qubits:2 ~num_clbits:2 () in
+  Circuit.Build.gate b Gate.H [ 0 ];
+  Circuit.Build.gate b Gate.Cx [ 0; 1 ];
+  Circuit.Build.measure b 0 0;
+  Circuit.Build.measure b 1 1;
+  Circuit.Build.finish b
+
+(* GHZ state over n qubits, measured. *)
+let ghz n =
+  if n < 1 then invalid_arg "Generate.ghz: need at least 1 qubit";
+  let b = Circuit.Build.create ~num_qubits:n ~num_clbits:n () in
+  Circuit.Build.gate b Gate.H [ 0 ];
+  for i = 0 to n - 2 do
+    Circuit.Build.gate b Gate.Cx [ i; i + 1 ]
+  done;
+  for i = 0 to n - 1 do
+    Circuit.Build.measure b i i
+  done;
+  Circuit.Build.finish b
+
+(* The paper's Ex. 4 workload: one H on each of the first n qubits. *)
+let h_layer n =
+  let b = Circuit.Build.create ~num_qubits:n ~num_clbits:0 () in
+  for i = 0 to n - 1 do
+    Circuit.Build.gate b Gate.H [ i ]
+  done;
+  Circuit.Build.finish b
+
+(* Quantum Fourier transform on n qubits (no measurement, no swap
+   reversal by default). *)
+let qft ?(swaps = true) n =
+  let b = Circuit.Build.create ~num_qubits:n ~num_clbits:0 () in
+  for i = 0 to n - 1 do
+    Circuit.Build.gate b Gate.H [ i ];
+    for j = i + 1 to n - 1 do
+      let angle = pi /. Float.pow 2.0 (float_of_int (j - i)) in
+      Circuit.Build.gate b (Gate.Cp angle) [ j; i ]
+    done
+  done;
+  if swaps then
+    for i = 0 to (n / 2) - 1 do
+      Circuit.Build.gate b Gate.Swap [ i; n - 1 - i ]
+    done;
+  Circuit.Build.finish b
+
+(* W-like cascade used as a linear-depth example workload. *)
+let w_cascade n =
+  let b = Circuit.Build.create ~num_qubits:n ~num_clbits:0 () in
+  Circuit.Build.gate b (Gate.Ry (2.0 *. acos (sqrt (1.0 /. float_of_int n)))) [ 0 ];
+  for i = 1 to n - 1 do
+    let remaining = n - i in
+    let theta = 2.0 *. acos (sqrt (1.0 /. float_of_int (remaining + 1))) in
+    Circuit.Build.gate b (Gate.Cry theta) [ i - 1; i ];
+    Circuit.Build.gate b Gate.Cx [ i; i - 1 ]
+  done;
+  Circuit.Build.finish b
+
+let gate_pool_1q =
+  [|
+    Gate.H; Gate.X; Gate.Y; Gate.Z; Gate.S; Gate.Sdg; Gate.T; Gate.Tdg;
+  |]
+
+let clifford_pool_1q = [| Gate.H; Gate.X; Gate.Y; Gate.Z; Gate.S; Gate.Sdg |]
+
+(* Random circuit: [gates] operations over [n] qubits with the given
+   two-qubit gate fraction; deterministic in [seed]. *)
+let random ?(seed = 42) ?(two_qubit_fraction = 0.3) ?(parametric = true)
+    ~gates n =
+  if n < 2 then invalid_arg "Generate.random: need at least 2 qubits";
+  let rng = Rng.create seed in
+  let b = Circuit.Build.create ~num_qubits:n ~num_clbits:0 () in
+  for _ = 1 to gates do
+    if Rng.float rng < two_qubit_fraction then begin
+      let q1 = Rng.int rng n in
+      let q2 = (q1 + 1 + Rng.int rng (n - 1)) mod n in
+      let g =
+        match Rng.int rng 3 with
+        | 0 -> Gate.Cx
+        | 1 -> Gate.Cz
+        | _ -> if parametric then Gate.Cp (Rng.float rng *. pi) else Gate.Swap
+      in
+      Circuit.Build.gate b g [ q1; q2 ]
+    end
+    else begin
+      let q = Rng.int rng n in
+      let g =
+        if parametric && Rng.bool rng then
+          match Rng.int rng 3 with
+          | 0 -> Gate.Rx (Rng.float rng *. 2.0 *. pi)
+          | 1 -> Gate.Ry (Rng.float rng *. 2.0 *. pi)
+          | _ -> Gate.Rz (Rng.float rng *. 2.0 *. pi)
+        else gate_pool_1q.(Rng.int rng (Array.length gate_pool_1q))
+      in
+      Circuit.Build.gate b g [ q ]
+    end
+  done;
+  Circuit.Build.finish b
+
+(* Random Clifford circuit (exactly simulable by the stabilizer backend). *)
+let random_clifford ?(seed = 42) ?(two_qubit_fraction = 0.3) ~gates n =
+  if n < 2 then invalid_arg "Generate.random_clifford: need at least 2 qubits";
+  let rng = Rng.create seed in
+  let b = Circuit.Build.create ~num_qubits:n ~num_clbits:0 () in
+  for _ = 1 to gates do
+    if Rng.float rng < two_qubit_fraction then begin
+      let q1 = Rng.int rng n in
+      let q2 = (q1 + 1 + Rng.int rng (n - 1)) mod n in
+      let g =
+        match Rng.int rng 3 with
+        | 0 -> Gate.Cx
+        | 1 -> Gate.Cz
+        | _ -> Gate.Swap
+      in
+      Circuit.Build.gate b g [ q1; q2 ]
+    end
+    else
+      Circuit.Build.gate b
+        clifford_pool_1q.(Rng.int rng (Array.length clifford_pool_1q))
+        [ Rng.int rng n ]
+  done;
+  Circuit.Build.finish b
+
+(* Measurement-feedback workload: teleportation-style rounds where each
+   measurement conditions a correction — the Sec. IV-B regime. *)
+let feedback_rounds ~rounds n =
+  if n < 2 then invalid_arg "Generate.feedback_rounds: need at least 2 qubits";
+  let b = Circuit.Build.create ~num_qubits:n ~num_clbits:rounds () in
+  for r = 0 to rounds - 1 do
+    let q = r mod (n - 1) in
+    Circuit.Build.gate b Gate.H [ q ];
+    Circuit.Build.gate b Gate.Cx [ q; q + 1 ];
+    Circuit.Build.measure b q r;
+    Circuit.Build.gate b ~cond:{ Circuit.cbits = [ r ]; value = 1 } Gate.X
+      [ q + 1 ];
+    Circuit.Build.reset b q
+  done;
+  Circuit.Build.finish b
+
+(* Reset-heavy workload for the qubit-allocation experiment (E6): a long
+   program that uses each logical qubit only briefly, so live-range
+   allocation can pack it onto few hardware qubits. *)
+let sequential_workers ~workers ~span n_per_worker =
+  let nq = workers * n_per_worker in
+  let b = Circuit.Build.create ~num_qubits:nq ~num_clbits:workers () in
+  for w = 0 to workers - 1 do
+    let base = w * n_per_worker in
+    Circuit.Build.gate b Gate.H [ base ];
+    for s = 1 to span - 1 do
+      let q = base + (s mod n_per_worker) in
+      if q <> base then Circuit.Build.gate b Gate.Cx [ base; q ]
+    done;
+    Circuit.Build.measure b base w;
+    for s = 0 to n_per_worker - 1 do
+      Circuit.Build.reset b (base + s)
+    done
+  done;
+  Circuit.Build.finish b

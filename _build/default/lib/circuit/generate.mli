@@ -1,0 +1,43 @@
+(** Workload generators used across examples, tests and benchmarks. All
+    randomness is seeded and reproducible. *)
+
+val bell : unit -> Circuit.t
+(** The paper's Fig. 1 "Hello World": Bell pair, both qubits measured. *)
+
+val ghz : int -> Circuit.t
+(** GHZ state over [n] qubits, all measured. *)
+
+val h_layer : int -> Circuit.t
+(** One Hadamard on each of the first [n] qubits — the paper's Ex. 4
+    workload. *)
+
+val qft : ?swaps:bool -> int -> Circuit.t
+(** Quantum Fourier transform (no measurement). *)
+
+val w_cascade : int -> Circuit.t
+(** W-state preparation cascade (linear depth, controlled rotations). *)
+
+val random :
+  ?seed:int ->
+  ?two_qubit_fraction:float ->
+  ?parametric:bool ->
+  gates:int ->
+  int ->
+  Circuit.t
+(** [random ~gates n]: a random circuit of [gates] operations over [n]
+    qubits. *)
+
+val random_clifford :
+  ?seed:int -> ?two_qubit_fraction:float -> gates:int -> int -> Circuit.t
+(** Random Clifford-only circuit (exactly simulable by the stabilizer
+    backend). *)
+
+val feedback_rounds : rounds:int -> int -> Circuit.t
+(** Measurement-feedback workload: repeated entangle / measure /
+    conditionally-correct / reset rounds — the Sec. IV-B regime. *)
+
+val sequential_workers : workers:int -> span:int -> int -> Circuit.t
+(** Reset-heavy workload whose logical qubits have short disjoint live
+    ranges, so live-range allocation (E6) can pack them onto few hardware
+    qubits: [workers] groups of [n_per_worker] qubits used one group at a
+    time. *)

@@ -1,0 +1,16 @@
+(** OpenQASM 3 subset (the paper's Sec. II-B): classical declarations
+    ([qubit]/[bit]), stdgates applications, measurement assignment
+    ([c = measure q]), [for] loops over integer ranges (unrolled while
+    parsing — the circuit IR cannot represent loops) and [if] conditions
+    over measurement bits. *)
+
+exception Error of int * string
+
+val parse : string -> Circuit.t
+(** Parses the OpenQASM 3 subset. Raises {!Error}. *)
+
+val parse_result : string -> (Circuit.t, string) result
+
+val to_string : Circuit.t -> string
+(** Prints a circuit in (linear) OpenQASM 3 form. Single-bit conditions
+    are expressible here, unlike in OpenQASM 2. *)

@@ -1,0 +1,1 @@
+lib/core/addressing.ml: Constant Format Func Instr Ir_module List Llvm_ir Names Operand Qir_builder Qir_parser Signatures String

@@ -1,0 +1,1 @@
+lib/core/addressing.mli: Format Llvm_ir

@@ -1,0 +1,1 @@
+lib/core/lowering.ml: Format Ir_module Llvm_ir Passes Profile Profile_check Qcircuit Qir_builder Qir_parser

@@ -1,0 +1,1 @@
+lib/core/lowering.mli: Format Llvm_ir Profile Profile_check Qcircuit

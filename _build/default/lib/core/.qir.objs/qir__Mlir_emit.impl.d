@@ -1,0 +1,1 @@
+lib/core/mlir_emit.ml: Array Buffer Circuit Gate List Llvm_ir Printf Qcircuit Qir_parser String

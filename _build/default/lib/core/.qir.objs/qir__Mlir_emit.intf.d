@@ -1,0 +1,1 @@
+lib/core/mlir_emit.mli: Llvm_ir Qcircuit

@@ -1,0 +1,1 @@
+lib/core/names.ml: Filename Gate Qcircuit String

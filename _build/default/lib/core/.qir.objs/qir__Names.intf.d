@@ -1,0 +1,1 @@
+lib/core/names.mli: Qcircuit

@@ -1,0 +1,1 @@
+lib/core/profile_check.ml: Block Constant Format Func Instr Ir_module List Llvm_ir Names Operand Passes Printer Profile Signatures String Ty

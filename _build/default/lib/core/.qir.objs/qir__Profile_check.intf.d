@@ -1,0 +1,1 @@
+lib/core/profile_check.mli: Format Llvm_ir Profile

@@ -1,0 +1,1 @@
+lib/core/qir_builder.ml: Builder Circuit Gate Hashtbl Instr Int64 Ir_module List Llvm_ir Names Operand Option Printer Printf Qcircuit Qir_gateset Signatures Ty

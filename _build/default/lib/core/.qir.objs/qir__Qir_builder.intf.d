@@ -1,0 +1,1 @@
+lib/core/qir_builder.mli: Llvm_ir Qcircuit

@@ -1,0 +1,1 @@
+lib/core/qir_gateset.ml: Circuit Float Gate List Names Printf Qcircuit

@@ -1,0 +1,1 @@
+lib/core/qir_gateset.mli: Qcircuit

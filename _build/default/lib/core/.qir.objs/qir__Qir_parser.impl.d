@@ -1,0 +1,1 @@
+lib/core/qir_parser.ml: Block Circuit Constant Format Func Hashtbl Instr Int64 Ir_module List Llvm_ir Names Operand Parser Qcircuit Signatures String Ty

@@ -1,0 +1,1 @@
+lib/core/qir_parser.mli: Llvm_ir Qcircuit

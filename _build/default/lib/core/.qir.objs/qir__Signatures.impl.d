@@ -1,0 +1,1 @@
+lib/core/signatures.ml: Func Hashtbl Instr Ir_module List Llvm_ir Names String Ty

@@ -1,0 +1,1 @@
+lib/core/signatures.mli: Llvm_ir

@@ -1,0 +1,57 @@
+(* Static vs. dynamic qubit addressing (Sec. IV-A). Detection scans the
+   module; conversion goes through the circuit IR: parse with the Ex. 3
+   machinery, then re-emit in the requested style. The conversion to
+   static addresses is the "register allocation" step the paper draws the
+   analogy to — the identity assignment here; {!Qmapping.Allocator}
+   implements the live-range-packing version. *)
+
+open Llvm_ir
+
+type style = Static | Dynamic | Mixed | No_qubits
+
+let pp_style ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Static -> "static"
+    | Dynamic -> "dynamic"
+    | Mixed -> "mixed"
+    | No_qubits -> "no-qubits")
+
+let detect (m : Ir_module.t) : style =
+  let has_static = ref false and has_dynamic = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      Func.iter_instrs f (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Call (_, callee, args) when Names.is_quantum callee -> (
+            if
+              String.equal callee Names.rt_qubit_allocate
+              || String.equal callee Names.rt_qubit_allocate_array
+            then has_dynamic := true;
+            match Signatures.find callee with
+            | Some s when List.length s.Signatures.args = List.length args ->
+              List.iter2
+                (fun kind (a : Operand.typed) ->
+                  match kind, a.Operand.v with
+                  | Signatures.Qubit, Operand.Const (Constant.Inttoptr _)
+                  | Signatures.Qubit, Operand.Const Constant.Null ->
+                    has_static := true
+                  | _ -> ())
+                s.Signatures.args args
+            | _ -> ())
+          | _ -> ()))
+    m.Ir_module.funcs;
+  match !has_static, !has_dynamic with
+  | true, true -> Mixed
+  | true, false -> Static
+  | false, true -> Dynamic
+  | false, false -> No_qubits
+
+(* Conversions (semantic route: QIR -> circuit -> QIR). *)
+let to_static ?record_output (m : Ir_module.t) =
+  let circuit = Qir_parser.parse m in
+  Qir_builder.build ~addressing:`Static ?record_output circuit
+
+let to_dynamic ?record_output (m : Ir_module.t) =
+  let circuit = Qir_parser.parse m in
+  Qir_builder.build ~addressing:`Dynamic ?record_output circuit

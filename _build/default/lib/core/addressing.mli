@@ -1,0 +1,18 @@
+(** Static vs. dynamic qubit addressing (Sec. IV-A).
+
+    Conversion goes through the circuit IR (parse, then re-emit), so it
+    accepts exactly what {!Qir_parser} accepts; the static result of
+    {!to_static} is the "register allocation" outcome the paper draws the
+    analogy to (identity assignment — see {!Qmapping.Allocator} for the
+    live-range-packing version). *)
+
+type style = Static | Dynamic | Mixed | No_qubits
+
+val pp_style : Format.formatter -> style -> unit
+
+val detect : Llvm_ir.Ir_module.t -> style
+(** Scans for allocation calls (dynamic) and constant qubit addresses
+    (static). *)
+
+val to_static : ?record_output:bool -> Llvm_ir.Ir_module.t -> Llvm_ir.Ir_module.t
+val to_dynamic : ?record_output:bool -> Llvm_ir.Ir_module.t -> Llvm_ir.Ir_module.t

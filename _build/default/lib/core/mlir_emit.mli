@@ -1,0 +1,15 @@
+(** MLIR emission — the outlook of the paper's conclusion ("MLIR ... is a
+    natural choice for the next step in the evolution of QIR").
+
+    Renders circuits in a Catalyst-style quantum dialect with
+    value-semantics qubits: each operation consumes and produces qubit
+    SSA values, making the dataflow explicit that the LLVM form hides
+    behind opaque pointers. Measurement feedback appears as [scf.if]
+    regions. Output is textual MLIR; no MLIR toolchain is required or
+    used. *)
+
+val emit : ?func_name:string -> Qcircuit.Circuit.t -> string
+
+val emit_module : ?func_name:string -> Llvm_ir.Ir_module.t -> string
+(** QIR module -> circuit (Ex. 3 parser) -> MLIR text. Raises
+    {!Qir_parser.Unsupported} on programs the parser rejects. *)

@@ -1,0 +1,60 @@
+(** The QIR symbol vocabulary: quantum instruction set (QIS) and runtime
+    (RT) function names, as defined by the QIR specification, plus the
+    mapping between gates and QIS symbols. *)
+
+val qis_prefix : string
+(** ["__quantum__qis__"] *)
+
+val rt_prefix : string
+(** ["__quantum__rt__"] *)
+
+val qis : string -> string
+(** [qis "h"] is ["__quantum__qis__h__body"]. *)
+
+val qis_adj : string -> string
+(** [qis_adj "s"] is ["__quantum__qis__s__adj"]. *)
+
+(** {1 Runtime function names} *)
+
+val rt_qubit_allocate : string
+val rt_qubit_allocate_array : string
+val rt_qubit_release : string
+val rt_qubit_release_array : string
+val rt_array_create_1d : string
+val rt_array_get_element_ptr_1d : string
+val rt_array_get_size_1d : string
+val rt_array_update_reference_count : string
+val rt_result_get_one : string
+val rt_result_get_zero : string
+val rt_result_equal : string
+val rt_result_update_reference_count : string
+
+val rt_read_result : string
+(** The adaptive profile's result read, spelled as a QIS function
+    ([__quantum__qis__read_result__body]). *)
+
+val rt_result_record_output : string
+val rt_array_record_output : string
+val rt_initialize : string
+val rt_message : string
+val rt_fail : string
+val qis_mz : string
+val qis_m : string
+val qis_reset : string
+
+(** {1 Classification} *)
+
+val is_qis : string -> bool
+val is_rt : string -> bool
+val is_quantum : string -> bool
+
+(** {1 Gate mapping} *)
+
+val qis_of_gate : Qcircuit.Gate.t -> (string * float list) option
+(** The QIS symbol and leading double parameters for a gate in the QIR
+    base gate set; [None] for gates that {!Qir_gateset.legalize} must
+    decompose first (and for [I], which emits nothing). *)
+
+val gate_of_qis : string -> float list -> Qcircuit.Gate.t option
+(** Inverse mapping for the parser; accepts common alternate spellings
+    (cnot/cx, ccx/ccnot/toffoli) and [__adj] suffixes. *)

@@ -1,0 +1,29 @@
+(* QIR profiles (Sec. II-C): restrictions on the full generality of QIR
+   that ease adoption. [Base] is essentially OpenQASM-2-like straight-line
+   code with static addresses; [Adaptive] adds measurement feedback and
+   bounded classical computation; [Full] is unrestricted LLVM IR plus the
+   quantum vocabulary. *)
+
+type t = Base | Adaptive | Full
+
+let name = function
+  | Base -> "base_profile"
+  | Adaptive -> "adaptive_profile"
+  | Full -> "full"
+
+let of_name = function
+  | "base_profile" | "base" -> Some Base
+  | "adaptive_profile" | "adaptive" -> Some Adaptive
+  | "full" -> Some Full
+  | _ -> None
+
+(* A profile [a] admits all programs of profile [b] iff [b <= a]. *)
+let compare_permissiveness a b =
+  let rank = function
+    | Base -> 0
+    | Adaptive -> 1
+    | Full -> 2
+  in
+  compare (rank a) (rank b)
+
+let pp ppf p = Format.pp_print_string ppf (name p)

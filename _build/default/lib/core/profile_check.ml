@@ -1,0 +1,165 @@
+(* Conformance checking of a module against a QIR profile. Returns the
+   list of violations (empty = conformant), each naming the rule it
+   breaks, so tools can report actionable diagnostics. *)
+
+open Llvm_ir
+
+type violation = { rule : string; where : string; what : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s: %s" v.rule v.where v.what
+
+type acc = { mutable violations : violation list }
+
+let violate acc rule where fmt =
+  Format.kasprintf
+    (fun what -> acc.violations <- { rule; where; what } :: acc.violations)
+    fmt
+
+(* Is an operand a static qubit/result address (constant pointer)? *)
+let is_static_address (o : Operand.t) =
+  match o with
+  | Operand.Const (Constant.Null | Constant.Inttoptr _) -> true
+  | Operand.Const _ | Operand.Local _ -> false
+
+let check_entry_point acc (m : Ir_module.t) =
+  match Ir_module.entry_point m with
+  | None ->
+    violate acc "entry-point" "module" "no function carries the entry_point attribute";
+    None
+  | Some f ->
+    if Func.is_declaration f then begin
+      violate acc "entry-point" ("@" ^ f.Func.name) "entry point is a declaration";
+      None
+    end
+    else begin
+      if not (Ty.equal f.Func.ret_ty Ty.Void) then
+        violate acc "entry-point" ("@" ^ f.Func.name)
+          "entry point must return void";
+      if f.Func.params <> [] then
+        violate acc "entry-point" ("@" ^ f.Func.name)
+          "entry point must take no parameters";
+      Some f
+    end
+
+(* Rules for the base profile, applied to the entry function. *)
+let check_base acc (f : Func.t) =
+  let where = "@" ^ f.Func.name in
+  (match f.Func.blocks with
+  | [ _ ] -> ()
+  | blocks ->
+    violate acc "base:straight-line" where
+      "base profile requires a single basic block, found %d"
+      (List.length blocks));
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Call (_, callee, args) ->
+            if not (Names.is_quantum callee) then
+              violate acc "base:calls" where
+                "call to non-quantum function @%s" callee
+            else begin
+              (match Signatures.find callee with
+              | None ->
+                violate acc "base:vocabulary" where
+                  "unknown quantum function @%s" callee
+              | Some s ->
+                (* qubit and result operands must be static addresses *)
+                let kinds = s.Signatures.args in
+                if List.length kinds = List.length args then
+                  List.iter2
+                    (fun kind (a : Operand.typed) ->
+                      match kind with
+                      | Signatures.Qubit | Signatures.Result ->
+                        if not (is_static_address a.Operand.v) then
+                          violate acc "base:static-addresses" where
+                            "@%s receives a dynamic qubit/result address"
+                            callee
+                      | Signatures.Double_arg | Signatures.Int_arg _
+                      | Signatures.Ptr_arg ->
+                        ())
+                    kinds args);
+              if String.equal callee Names.rt_qubit_allocate
+                 || String.equal callee Names.rt_qubit_allocate_array
+              then
+                violate acc "base:no-allocation" where
+                  "dynamic qubit allocation (@%s) is not allowed" callee;
+              if String.equal callee Names.rt_read_result then
+                violate acc "base:no-feedback" where
+                  "reading measurement results (@%s) is not allowed" callee
+            end
+          | Instr.Alloca _ | Instr.Load _ | Instr.Store _ | Instr.Gep _ ->
+            violate acc "base:no-memory" where
+              "memory instruction '%s' is not allowed"
+              (Printer.instr_to_string i)
+          | Instr.Phi _ ->
+            violate acc "base:straight-line" where "phi node is not allowed"
+          | Instr.Binop _ | Instr.Fbinop _ | Instr.Icmp _ | Instr.Fcmp _
+          | Instr.Select _ | Instr.Cast _ | Instr.Freeze _ ->
+            violate acc "base:no-classical" where
+              "classical computation '%s' is not allowed"
+              (Printer.instr_to_string i))
+        b.Block.instrs;
+      match b.Block.term with
+      | Instr.Ret None -> ()
+      | Instr.Ret (Some _) ->
+        violate acc "base:straight-line" where "entry point returns a value"
+      | Instr.Br _ | Instr.Cond_br _ | Instr.Switch _ ->
+        violate acc "base:straight-line" where "branching is not allowed"
+      | Instr.Unreachable ->
+        violate acc "base:straight-line" where "unreachable terminator")
+    f.Func.blocks
+
+(* Rules for the adaptive profile: forward control flow and integer
+   computation are allowed; memory, floats beyond rotation constants and
+   unknown calls are not. Loops are rejected. *)
+let check_adaptive acc (f : Func.t) =
+  let where = "@" ^ f.Func.name in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Call (_, callee, _) ->
+            if not (Names.is_quantum callee) then
+              violate acc "adaptive:calls" where
+                "call to non-quantum function @%s" callee
+            else if Signatures.find callee = None then
+              violate acc "adaptive:vocabulary" where
+                "unknown quantum function @%s" callee
+          | Instr.Alloca _ | Instr.Load _ | Instr.Store _ | Instr.Gep _ ->
+            violate acc "adaptive:no-memory" where
+              "memory instruction '%s' is not allowed"
+              (Printer.instr_to_string i)
+          | Instr.Fbinop _ | Instr.Fcmp _ ->
+            violate acc "adaptive:no-float" where
+              "floating-point computation is not allowed"
+          | Instr.Binop _ | Instr.Icmp _ | Instr.Select _ | Instr.Cast _
+          | Instr.Phi _ | Instr.Freeze _ ->
+            ())
+        b.Block.instrs)
+    f.Func.blocks;
+  (* no loops *)
+  if Passes.Loop.find f <> [] then
+    violate acc "adaptive:no-loops" where "the entry point contains loops"
+
+let check (profile : Profile.t) (m : Ir_module.t) : violation list =
+  let acc = { violations = [] } in
+  (match check_entry_point acc m with
+  | Some f -> (
+    match profile with
+    | Profile.Base -> check_base acc f
+    | Profile.Adaptive -> check_adaptive acc f
+    | Profile.Full -> ())
+  | None -> ());
+  List.rev acc.violations
+
+let conforms profile m = check profile m = []
+
+(* The most restrictive profile the module satisfies. *)
+let classify m =
+  if conforms Profile.Base m then Profile.Base
+  else if conforms Profile.Adaptive m then Profile.Adaptive
+  else Profile.Full

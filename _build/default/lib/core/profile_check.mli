@@ -1,0 +1,20 @@
+(** Conformance checking against QIR profiles (Sec. II-C). Violations
+    name the rule broken so tools can emit actionable diagnostics.
+
+    Base-profile rules: one void, parameterless entry point; a single
+    straight-line basic block; only calls to the known QIS/RT vocabulary;
+    static qubit/result addresses; no allocation, no result reads, no
+    classical computation. Adaptive adds forward control flow, integer
+    computation and result reads; loops and memory stay forbidden. *)
+
+type violation = { rule : string; where : string; what : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Profile.t -> Llvm_ir.Ir_module.t -> violation list
+(** Empty list = conformant. *)
+
+val conforms : Profile.t -> Llvm_ir.Ir_module.t -> bool
+
+val classify : Llvm_ir.Ir_module.t -> Profile.t
+(** The most restrictive profile the module satisfies. *)

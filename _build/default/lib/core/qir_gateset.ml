@@ -1,0 +1,85 @@
+(* Legalization of the full gate vocabulary into the QIR base gate set
+   (h, x, y, z, s, sdg, t, tdg, rx, ry, rz, cnot, cz, swap, ccx). All
+   identities hold up to global phase, which is unobservable for whole
+   circuits. *)
+
+open Qcircuit
+
+let half_pi = Float.pi /. 2.0
+
+(* One gate on concrete qubits -> a sequence over the base set. *)
+let rec legalize_gate (g : Gate.t) (qs : int list) : (Gate.t * int list) list =
+  match g, qs with
+  | Gate.I, _ -> []
+  | ( ( Gate.H | Gate.X | Gate.Y | Gate.Z | Gate.S | Gate.Sdg | Gate.T
+      | Gate.Tdg | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Cx | Gate.Cz
+      | Gate.Swap | Gate.Ccx ),
+      _ ) ->
+    [ (g, qs) ]
+  | Gate.Sx, [ q ] -> [ (Gate.Sdg, [ q ]); (Gate.H, [ q ]); (Gate.Sdg, [ q ]) ]
+  | Gate.Sxdg, [ q ] -> [ (Gate.S, [ q ]); (Gate.H, [ q ]); (Gate.S, [ q ]) ]
+  | Gate.P t, [ q ] -> [ (Gate.Rz t, [ q ]) ]
+  | Gate.U (theta, phi, lambda), [ q ] ->
+    (* u3 = rz(phi) . ry(theta) . rz(lambda), applied right-to-left *)
+    [ (Gate.Rz lambda, [ q ]); (Gate.Ry theta, [ q ]); (Gate.Rz phi, [ q ]) ]
+  | Gate.Cy, [ a; b ] ->
+    [ (Gate.Sdg, [ b ]); (Gate.Cx, [ a; b ]); (Gate.S, [ b ]) ]
+  | Gate.Ch, [ a; b ] ->
+    (* standard decomposition (qelib1) *)
+    [
+      (Gate.S, [ b ]); (Gate.H, [ b ]); (Gate.T, [ b ]); (Gate.Cx, [ a; b ]);
+      (Gate.Tdg, [ b ]); (Gate.H, [ b ]); (Gate.Sdg, [ b ]);
+    ]
+  | Gate.Crz t, [ a; b ] ->
+    [
+      (Gate.Rz (t /. 2.0), [ b ]); (Gate.Cx, [ a; b ]);
+      (Gate.Rz (-.t /. 2.0), [ b ]); (Gate.Cx, [ a; b ]);
+    ]
+  | Gate.Cry t, [ a; b ] ->
+    [
+      (Gate.Ry (t /. 2.0), [ b ]); (Gate.Cx, [ a; b ]);
+      (Gate.Ry (-.t /. 2.0), [ b ]); (Gate.Cx, [ a; b ]);
+    ]
+  | Gate.Crx t, [ a; b ] ->
+    (Gate.H, [ b ]) :: legalize_gate (Gate.Crz t) [ a; b ] @ [ (Gate.H, [ b ]) ]
+  | Gate.Cp t, [ a; b ] ->
+    [
+      (Gate.Rz (t /. 2.0), [ a ]); (Gate.Cx, [ a; b ]);
+      (Gate.Rz (-.t /. 2.0), [ b ]); (Gate.Cx, [ a; b ]);
+      (Gate.Rz (t /. 2.0), [ b ]);
+    ]
+  | Gate.Cu (theta, phi, lambda), [ a; b ] ->
+    (* cu3 decomposition (qelib1), with u1 -> rz *)
+    [ (Gate.Rz ((lambda +. phi) /. 2.0), [ a ]);
+      (Gate.Rz ((lambda -. phi) /. 2.0), [ b ]);
+      (Gate.Cx, [ a; b ]) ]
+    @ legalize_gate (Gate.U (-.theta /. 2.0, 0.0, -.((phi +. lambda) /. 2.0))) [ b ]
+    @ [ (Gate.Cx, [ a; b ]) ]
+    @ legalize_gate (Gate.U (theta /. 2.0, phi, 0.0)) [ b ]
+  | Gate.Cswap, [ c; a; b ] ->
+    [ (Gate.Cx, [ b; a ]); (Gate.Ccx, [ c; a; b ]); (Gate.Cx, [ b; a ]) ]
+  | g, qs ->
+    invalid_arg
+      (Printf.sprintf "Qir_gateset.legalize_gate: %s on %d qubits"
+         (Gate.name g) (List.length qs))
+
+let is_base_gate g = Names.qis_of_gate g <> None || g = Gate.I
+
+(* Rewrites a circuit so that every gate is in the base set. *)
+let legalize (c : Circuit.t) : Circuit.t =
+  let ops =
+    List.concat_map
+      (fun (op : Circuit.op) ->
+        match op.Circuit.kind with
+        | Circuit.Gate (g, qs) when not (is_base_gate g) ->
+          List.map
+            (fun (g', qs') ->
+              { Circuit.kind = Circuit.Gate (g', qs'); cond = op.Circuit.cond })
+            (legalize_gate g qs)
+        | Circuit.Gate (Gate.I, _) -> []
+        | _ -> [ op ])
+      c.Circuit.ops
+  in
+  { c with Circuit.ops }
+
+let _ = half_pi

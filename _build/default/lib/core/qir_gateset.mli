@@ -1,0 +1,14 @@
+(** Legalization into the QIR base gate set (h, x, y, z, s, sdg, t, tdg,
+    rx, ry, rz, cnot, cz, swap, ccx). All rewrites hold up to global
+    phase. *)
+
+val is_base_gate : Qcircuit.Gate.t -> bool
+
+val legalize_gate :
+  Qcircuit.Gate.t -> int list -> (Qcircuit.Gate.t * int list) list
+(** Decomposes one gate application into base-set applications. Raises
+    [Invalid_argument] on arity mismatch. *)
+
+val legalize : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+(** Rewrites every gate of the circuit into the base set (conditions are
+    propagated onto each emitted gate). *)

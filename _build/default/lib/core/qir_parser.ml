@@ -1,0 +1,414 @@
+(* QIR -> circuit parsing by abstract interpretation of the entry
+   function — exactly the algorithm the paper sketches in Ex. 3: "track
+   the assignment of variables to their values to infer the respective
+   qubit that is passed to a quantum instruction", with instructions
+   matched by pattern.
+
+   Supported input shapes:
+   - base profile, static addressing (Ex. 6): qubit/result operands are
+     [inttoptr] constants;
+   - base profile, dynamic addressing (Fig. 1): runtime arrays in stack
+     slots, accessed via load / get_element_ptr;
+   - the adaptive pattern emitted by {!Qir_builder}: measurements read
+     back with [read_result], combined into an integer, compared and
+     branched on (forward branches only).
+
+   Anything else — loops, unknown calls, classical memory traffic beyond
+   pointer slots — is rejected with a diagnostic telling the user to
+   lower the program first (Sec. III-B): run {!Lowering.lower} and retry.
+
+   Clbit convention: the parsed circuit has one classical bit per QIR
+   result id, in allocation order. *)
+
+open Llvm_ir
+open Qcircuit
+
+exception Unsupported of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+type avalue =
+  | AQubit of int
+  | AResult of int
+  | AQubitArray of { base : int; size : int }
+  | AResultArray of { base : int; size : int }
+  | ASlot of int
+  | AInt of int64
+  | AFloat of float
+  | AOne (* the canonical one Result *)
+  | AZero
+  | ABit of int * bool (* result id, negated? *)
+  | ALin of (int * int) list * int64 (* sum of result-bits * weight + const *)
+  | ACmp of (int * int) list * int64 (* linear combo == value *)
+
+type t = {
+  m : Ir_module.t;
+  env : (string, avalue) Hashtbl.t;
+  mem : (int, avalue) Hashtbl.t;
+  build : Circuit.Build.t;
+  mutable next_qubit : int;
+  mutable next_result : int;
+  mutable next_slot : int;
+  mutable max_qubit : int; (* highest qubit index seen (static or dynamic) *)
+  mutable visited : string list;
+}
+
+let define st id v =
+  match id with
+  | Some id -> Hashtbl.replace st.env id v
+  | None -> ()
+
+let lookup st name =
+  match Hashtbl.find_opt st.env name with
+  | Some v -> v
+  | None -> fail "use of untracked value %%%s" name
+
+let avalue_of_operand st (o : Operand.t) =
+  match o with
+  | Operand.Local name -> lookup st name
+  | Operand.Const c -> (
+    match c with
+    | Constant.Int n -> AInt n
+    | Constant.Bool b -> AInt (if b then 1L else 0L)
+    | Constant.Float f -> AFloat f
+    | Constant.Null -> AInt 0L (* resolves to qubit/result 0 contextually *)
+    | Constant.Inttoptr n -> AInt n
+    | Constant.Undef -> fail "undef operand"
+    | Constant.Global g -> fail "global @%s used as an operand" g
+    | Constant.Str _ | Constant.Arr _ | Constant.Zeroinit ->
+      fail "aggregate constant operand")
+
+let as_qubit _st (v : avalue) =
+  match v with
+  | AQubit q -> q
+  | AInt n ->
+    let q = Int64.to_int n in
+    if q < 0 then fail "negative qubit address %Ld" n;
+    q
+  | _ -> fail "operand is not a qubit"
+
+let as_result st (v : avalue) =
+  ignore st;
+  match v with
+  | AResult r -> r
+  | AInt n ->
+    let r = Int64.to_int n in
+    if r < 0 then fail "negative result address %Ld" n;
+    r
+  | _ -> fail "operand is not a result"
+
+let as_float (v : avalue) =
+  match v with
+  | AFloat f -> f
+  | AInt n -> Int64.to_float n
+  | _ -> fail "operand is not a rotation angle"
+
+let as_int (v : avalue) =
+  match v with
+  | AInt n -> n
+  | _ -> fail "operand is not a constant integer"
+
+let note_qubit st q = if q > st.max_qubit then st.max_qubit <- q
+
+let lin_of v =
+  match v with
+  | ABit (r, false) -> ([ (r, 1) ], 0L)
+  | ABit (_, true) -> fail "negated result bit in arithmetic"
+  | ALin (terms, c) -> (terms, c)
+  | AInt n -> ([], n)
+  | _ -> fail "operand is not a classical value derived from results"
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                                *)
+
+let resolve_call_args st callee (args : Operand.typed list) =
+  let signature =
+    match Signatures.find callee with
+    | Some s -> s
+    | None -> fail "call to unknown quantum function @%s" callee
+  in
+  (try
+     List.combine signature.Signatures.args args
+   with Invalid_argument _ ->
+     fail "@%s called with %d arguments" callee (List.length args))
+  |> List.map (fun (kind, (a : Operand.typed)) ->
+         (kind, avalue_of_operand st a.Operand.v))
+
+let exec_call st ~cond id callee args =
+  let open Names in
+  if String.equal callee rt_qubit_allocate_array then begin
+    let n =
+      match args with
+      | [ (_, v) ] -> Int64.to_int (as_int v)
+      | _ -> fail "qubit_allocate_array: bad arguments"
+    in
+    let base = st.next_qubit in
+    st.next_qubit <- base + n;
+    note_qubit st (base + n - 1);
+    define st id (AQubitArray { base; size = n })
+  end
+  else if String.equal callee rt_qubit_allocate then begin
+    let q = st.next_qubit in
+    st.next_qubit <- q + 1;
+    note_qubit st q;
+    define st id (AQubit q)
+  end
+  else if String.equal callee rt_array_create_1d then begin
+    let n =
+      match args with
+      | [ _; (_, v) ] -> Int64.to_int (as_int v)
+      | _ -> fail "array_create_1d: bad arguments"
+    in
+    let base = st.next_result in
+    st.next_result <- base + n;
+    define st id (AResultArray { base; size = n })
+  end
+  else if String.equal callee rt_array_get_element_ptr_1d then begin
+    match args with
+    | [ (_, arr); (_, idx) ] -> (
+      let i = Int64.to_int (as_int idx) in
+      match arr with
+      | AQubitArray { base; size } ->
+        if i < 0 || i >= size then fail "qubit array index %d out of range" i;
+        define st id (AQubit (base + i))
+      | AResultArray { base; size } ->
+        if i < 0 || i >= size then fail "result array index %d out of range" i;
+        define st id (AResult (base + i))
+      | _ -> fail "array_get_element_ptr_1d on a non-array value")
+    | _ -> fail "array_get_element_ptr_1d: bad arguments"
+  end
+  else if String.equal callee rt_result_get_one then define st id AOne
+  else if String.equal callee rt_result_get_zero then define st id AZero
+  else if String.equal callee rt_result_equal then begin
+    match args with
+    | [ (_, a); (_, b) ] -> (
+      match a, b with
+      | AResult r, AOne | AOne, AResult r -> define st id (ABit (r, false))
+      | AResult r, AZero | AZero, AResult r -> define st id (ABit (r, true))
+      | _ -> fail "result_equal: unsupported operand shape")
+    | _ -> fail "result_equal: bad arguments"
+  end
+  else if String.equal callee rt_read_result then begin
+    match args with
+    | [ (_, r) ] -> define st id (ABit (as_result st r, false))
+    | _ -> fail "read_result: bad arguments"
+  end
+  else if String.equal callee qis_mz then begin
+    match args with
+    | [ (_, q); (_, r) ] ->
+      let q = as_qubit st q and r = as_result st r in
+      note_qubit st q;
+      if r >= st.next_result then st.next_result <- r + 1;
+      Circuit.Build.measure ?cond st.build q r
+    | _ -> fail "mz: bad arguments"
+  end
+  else if String.equal callee qis_m then begin
+    match args with
+    | [ (_, q) ] ->
+      let q = as_qubit st q in
+      note_qubit st q;
+      let r = st.next_result in
+      st.next_result <- r + 1;
+      Circuit.Build.measure ?cond st.build q r;
+      define st id (AResult r)
+    | _ -> fail "m: bad arguments"
+  end
+  else if String.equal callee (qis "reset") then begin
+    match args with
+    | [ (_, q) ] ->
+      let q = as_qubit st q in
+      note_qubit st q;
+      Circuit.Build.reset ?cond st.build q
+    | _ -> fail "reset: bad arguments"
+  end
+  else if
+    String.equal callee rt_array_update_reference_count
+    || String.equal callee rt_result_update_reference_count
+    || String.equal callee rt_qubit_release
+    || String.equal callee rt_qubit_release_array
+    || String.equal callee rt_result_record_output
+    || String.equal callee rt_array_record_output
+    || String.equal callee rt_initialize
+    || String.equal callee rt_message
+  then () (* bookkeeping calls carry no circuit semantics *)
+  else begin
+    (* a gate *)
+    let doubles =
+      List.filter_map
+        (fun (kind, v) ->
+          match kind with
+          | Signatures.Double_arg -> Some (as_float v)
+          | _ -> None)
+        args
+    in
+    let qubits =
+      List.filter_map
+        (fun (kind, v) ->
+          match kind with
+          | Signatures.Qubit -> Some (as_qubit st v)
+          | _ -> None)
+        args
+    in
+    match Names.gate_of_qis callee doubles with
+    | Some g ->
+      List.iter (note_qubit st) qubits;
+      Circuit.Build.gate ?cond st.build g qubits
+    | None -> fail "unsupported quantum function @%s" callee
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                         *)
+
+let exec_instr st ~cond (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Call (_, callee, args) ->
+    if Names.is_quantum callee then
+      exec_call st ~cond i.Instr.id callee (resolve_call_args st callee args)
+    else fail "call to non-quantum function @%s (inline/lower first)" callee
+  | Instr.Alloca Ty.Ptr | Instr.Alloca (Ty.I1 | Ty.I8 | Ty.I32 | Ty.I64) ->
+    let s = st.next_slot in
+    st.next_slot <- s + 1;
+    define st i.Instr.id (ASlot s)
+  | Instr.Alloca ty -> fail "alloca of %s" (Ty.to_string ty)
+  | Instr.Store (v, p) -> (
+    match avalue_of_operand st p with
+    | ASlot s -> Hashtbl.replace st.mem s (avalue_of_operand st v.Operand.v)
+    | _ -> fail "store through a non-slot pointer")
+  | Instr.Load (_, p) -> (
+    match avalue_of_operand st p with
+    | ASlot s -> (
+      match Hashtbl.find_opt st.mem s with
+      | Some v -> define st i.Instr.id v
+      | None -> fail "load from an uninitialized slot")
+    | _ -> fail "load through a non-slot pointer")
+  | Instr.Cast (Instr.Zext, src, _) | Instr.Cast (Instr.Sext, src, _) ->
+    define st i.Instr.id (avalue_of_operand st src.Operand.v)
+  | Instr.Cast (Instr.Inttoptr, src, _) ->
+    define st i.Instr.id (avalue_of_operand st src.Operand.v)
+  | Instr.Cast (Instr.Ptrtoint, src, _) ->
+    define st i.Instr.id (avalue_of_operand st src.Operand.v)
+  | Instr.Cast (c, _, _) -> fail "unsupported cast %s" (Instr.string_of_cast c)
+  | Instr.Binop (op, _, x, y) -> (
+    let xv = avalue_of_operand st x and yv = avalue_of_operand st y in
+    match op, xv, yv with
+    | Instr.Add, AInt a, AInt b -> define st i.Instr.id (AInt (Int64.add a b))
+    | Instr.Sub, AInt a, AInt b -> define st i.Instr.id (AInt (Int64.sub a b))
+    | Instr.Mul, AInt a, AInt b -> define st i.Instr.id (AInt (Int64.mul a b))
+    | Instr.Shl, v, AInt k ->
+      let terms, c = lin_of v in
+      let f = Int64.shift_left 1L (Int64.to_int k) in
+      define st i.Instr.id
+        (ALin
+           ( List.map (fun (r, w) -> (r, w * Int64.to_int f)) terms,
+             Int64.mul c f ))
+    | (Instr.Or | Instr.Add), a, b ->
+      let ta, ca = lin_of a and tb, cb = lin_of b in
+      define st i.Instr.id (ALin (ta @ tb, Int64.add ca cb))
+    | _ -> fail "unsupported classical operation %s (lower first)" (Instr.string_of_binop op))
+  | Instr.Icmp (Instr.Ieq, _, x, y) -> (
+    let xv = avalue_of_operand st x and yv = avalue_of_operand st y in
+    match xv, yv with
+    | (ABit _ | ALin _), AInt v | AInt v, (ABit _ | ALin _) ->
+      let terms, c =
+        lin_of (match xv with AInt _ -> yv | _ -> xv)
+      in
+      define st i.Instr.id (ACmp (terms, Int64.sub v c))
+    | AInt a, AInt b ->
+      define st i.Instr.id (AInt (if Int64.equal a b then 1L else 0L))
+    | _ -> fail "unsupported comparison operands (lower first)")
+  | Instr.Icmp (p, _, _, _) ->
+    fail "unsupported comparison predicate %s (lower first)" (Instr.string_of_icmp p)
+  | Instr.Fbinop _ | Instr.Fcmp _ ->
+    fail "floating-point computation (lower first)"
+  | Instr.Gep _ -> fail "getelementptr on classical memory"
+  | Instr.Select _ -> fail "select instruction"
+  | Instr.Phi _ -> fail "phi node (the program has non-trivial control flow; lower first)"
+  | Instr.Freeze v -> define st i.Instr.id (avalue_of_operand st v.Operand.v)
+
+(* ------------------------------------------------------------------ *)
+(* Control flow: a forward chain with optional if-then shapes           *)
+
+let cond_of_avalue v : Circuit.cond =
+  match v with
+  | ABit (r, false) -> { Circuit.cbits = [ r ]; value = 1 }
+  | ABit (r, true) -> { Circuit.cbits = [ r ]; value = 0 }
+  | ACmp (terms, value) ->
+    (* terms must be distinct bits with power-of-two weights forming a
+       contiguous register, LSB first *)
+    let sorted = List.sort (fun (_, w1) (_, w2) -> compare w1 w2) terms in
+    let bits =
+      List.mapi
+        (fun k (r, w) ->
+          if w <> 1 lsl k then
+            fail "condition is not a plain register comparison";
+          r)
+        sorted
+    in
+    { Circuit.cbits = bits; value = Int64.to_int value }
+  | _ -> fail "branch condition does not derive from measurement results"
+
+let rec exec_block st (f : Func.t) label =
+  if List.mem label st.visited then
+    fail "the program contains a loop; lower (unroll) first";
+  st.visited <- label :: st.visited;
+  let b = Func.find_block_exn f label in
+  List.iter (exec_instr st ~cond:None) b.Block.instrs;
+  match b.Block.term with
+  | Instr.Ret None -> ()
+  | Instr.Ret (Some _) -> fail "entry point returns a value"
+  | Instr.Br next -> exec_block st f next
+  | Instr.Cond_br (c, then_label, else_label) ->
+    let cond = cond_of_avalue (avalue_of_operand st c) in
+    (* shape: then-block is straight-line and rejoins at else_label *)
+    let then_block = Func.find_block_exn f then_label in
+    (match then_block.Block.term with
+    | Instr.Br join when String.equal join else_label ->
+      List.iter (exec_instr st ~cond:(Some cond)) then_block.Block.instrs;
+      st.visited <- then_label :: st.visited;
+      exec_block st f else_label
+    | _ ->
+      fail
+        "unsupported control-flow shape (only if-then over measurement \
+         results is recognized; lower first)")
+  | Instr.Switch _ -> fail "switch instruction (lower first)"
+  | Instr.Unreachable -> fail "unreachable terminator"
+
+let parse (m : Ir_module.t) : Circuit.t =
+  let entry =
+    match Ir_module.entry_point m with
+    | Some f when not (Func.is_declaration f) -> f
+    | Some f -> fail "entry point @%s is a declaration" f.Func.name
+    | None -> fail "module has no entry point"
+  in
+  let st =
+    {
+      m;
+      env = Hashtbl.create 64;
+      mem = Hashtbl.create 16;
+      build = Circuit.Build.create ();
+      next_qubit = 0;
+      next_result = 0;
+      next_slot = 0;
+      max_qubit = -1;
+      visited = [];
+    }
+  in
+  exec_block st entry (Func.entry entry).Block.label;
+  (* honor the declared qubit count when present *)
+  (match Func.attr entry "required_num_qubits" with
+  | Some n -> (
+    match int_of_string_opt n with
+    | Some n when n > st.max_qubit -> note_qubit st (n - 1)
+    | _ -> ())
+  | None -> ());
+  if st.max_qubit >= 0 then Circuit.Build.touch_qubit st.build st.max_qubit;
+  if st.next_result > 0 then Circuit.Build.touch_clbit st.build (st.next_result - 1);
+  Circuit.Build.finish st.build
+
+let parse_result m =
+  match parse m with
+  | c -> Ok c
+  | exception Unsupported msg -> Error msg
+
+(* Parses textual QIR end to end. *)
+let parse_string src = parse (Parser.parse_module src)

@@ -1,0 +1,23 @@
+(** QIR -> circuit parsing by abstract interpretation of the entry
+    function — the algorithm of the paper's Ex. 3: track variable
+    assignments to infer the qubit passed to each quantum instruction,
+    matching instructions by pattern.
+
+    Supported shapes: base profile with static (Ex. 6) or dynamic
+    (Fig. 1) addressing, and the adaptive read_result / compare / branch
+    pattern emitted by {!Qir_builder} (forward branches only). Anything
+    else — loops, unknown calls, general classical memory traffic — is
+    rejected with a diagnostic suggesting {!Lowering} first.
+
+    Clbit convention: the parsed circuit has one classical bit per QIR
+    result id, in allocation order. *)
+
+exception Unsupported of string
+
+val parse : Llvm_ir.Ir_module.t -> Qcircuit.Circuit.t
+(** Raises {!Unsupported}. *)
+
+val parse_result : Llvm_ir.Ir_module.t -> (Qcircuit.Circuit.t, string) result
+
+val parse_string : string -> Qcircuit.Circuit.t
+(** Parses textual QIR end to end (LLVM text -> module -> circuit). *)

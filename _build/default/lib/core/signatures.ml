@@ -1,0 +1,102 @@
+(* Type signatures of the QIS/RT functions, used to emit declarations and
+   to know which call operands are qubits, results or classical values. *)
+
+open Llvm_ir
+
+type arg_kind = Qubit | Result | Double_arg | Int_arg of Ty.t | Ptr_arg
+
+type signature = { ret : Ty.t; args : arg_kind list }
+
+let ty_of_kind = function
+  | Qubit | Result | Ptr_arg -> Ty.Ptr
+  | Double_arg -> Ty.Double
+  | Int_arg ty -> ty
+
+(* Gate functions: doubles first, then qubits. *)
+let gate_sig ~doubles ~qubits =
+  {
+    ret = Ty.Void;
+    args =
+      List.init doubles (fun _ -> Double_arg)
+      @ List.init qubits (fun _ -> Qubit);
+  }
+
+let find name : signature option =
+  let open Names in
+  if String.equal name (qis "h") || String.equal name (qis "x")
+     || String.equal name (qis "y") || String.equal name (qis "z")
+     || String.equal name (qis "s") || String.equal name (qis "t")
+     || String.equal name (qis_adj "s") || String.equal name (qis_adj "t")
+     || String.equal name (qis "sx") || String.equal name (qis "reset")
+  then Some (gate_sig ~doubles:0 ~qubits:1)
+  else if String.equal name (qis "rx") || String.equal name (qis "ry")
+          || String.equal name (qis "rz")
+  then Some (gate_sig ~doubles:1 ~qubits:1)
+  else if String.equal name (qis "cnot") || String.equal name (qis "cz")
+          || String.equal name (qis "cy") || String.equal name (qis "swap")
+  then Some (gate_sig ~doubles:0 ~qubits:2)
+  else if String.equal name (qis "ccx") then Some (gate_sig ~doubles:0 ~qubits:3)
+  else if String.equal name qis_mz then
+    Some { ret = Ty.Void; args = [ Qubit; Result ] }
+  else if String.equal name qis_m then Some { ret = Ty.Ptr; args = [ Qubit ] }
+  else if String.equal name rt_read_result then
+    Some { ret = Ty.I1; args = [ Result ] }
+  else if String.equal name rt_qubit_allocate then
+    Some { ret = Ty.Ptr; args = [] }
+  else if String.equal name rt_qubit_allocate_array then
+    Some { ret = Ty.Ptr; args = [ Int_arg Ty.I64 ] }
+  else if String.equal name rt_qubit_release then
+    Some { ret = Ty.Void; args = [ Qubit ] }
+  else if String.equal name rt_qubit_release_array then
+    Some { ret = Ty.Void; args = [ Ptr_arg ] }
+  else if String.equal name rt_array_create_1d then
+    Some { ret = Ty.Ptr; args = [ Int_arg Ty.I32; Int_arg Ty.I64 ] }
+  else if String.equal name rt_array_get_element_ptr_1d then
+    Some { ret = Ty.Ptr; args = [ Ptr_arg; Int_arg Ty.I64 ] }
+  else if String.equal name rt_array_get_size_1d then
+    Some { ret = Ty.I64; args = [ Ptr_arg ] }
+  else if String.equal name rt_array_update_reference_count
+          || String.equal name rt_result_update_reference_count
+  then Some { ret = Ty.Void; args = [ Ptr_arg; Int_arg Ty.I32 ] }
+  else if String.equal name rt_result_get_one || String.equal name rt_result_get_zero
+  then Some { ret = Ty.Ptr; args = [] }
+  else if String.equal name rt_result_equal then
+    Some { ret = Ty.I1; args = [ Result; Result ] }
+  else if String.equal name rt_result_record_output then
+    Some { ret = Ty.Void; args = [ Result; Ptr_arg ] }
+  else if String.equal name rt_array_record_output then
+    Some { ret = Ty.Void; args = [ Int_arg Ty.I64; Ptr_arg ] }
+  else if String.equal name rt_initialize then
+    Some { ret = Ty.Void; args = [ Ptr_arg ] }
+  else if String.equal name rt_message then
+    Some { ret = Ty.Void; args = [ Ptr_arg ] }
+  else if String.equal name rt_fail then
+    Some { ret = Ty.Void; args = [ Ptr_arg ] }
+  else None
+
+let declaration name =
+  match find name with
+  | Some s -> Func.declare name s.ret (List.map ty_of_kind s.args)
+  | None -> invalid_arg ("Signatures.declaration: unknown QIR function " ^ name)
+
+(* Declarations for every QIR function called in [m] but not yet present. *)
+let add_missing_declarations (m : Ir_module.t) =
+  let called = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      Func.iter_instrs f (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Call (_, callee, _) when Names.is_quantum callee ->
+            Hashtbl.replace called callee ()
+          | _ -> ()))
+    m.Ir_module.funcs;
+  Hashtbl.fold
+    (fun name () m ->
+      match Ir_module.find_func m name with
+      | Some _ -> m
+      | None -> (
+        match find name with
+        | Some _ ->
+          { m with Ir_module.funcs = declaration name :: m.Ir_module.funcs }
+        | None -> m))
+    called m

@@ -1,0 +1,24 @@
+(** Type signatures of the QIS/RT functions: used to emit declarations and
+    to know which call operands are qubits, results or classical values. *)
+
+type arg_kind =
+  | Qubit  (** an opaque [%Qubit*] pointer *)
+  | Result  (** an opaque [%Result*] pointer *)
+  | Double_arg
+  | Int_arg of Llvm_ir.Ty.t
+  | Ptr_arg  (** any other pointer (arrays, labels) *)
+
+type signature = { ret : Llvm_ir.Ty.t; args : arg_kind list }
+
+val ty_of_kind : arg_kind -> Llvm_ir.Ty.t
+
+val find : string -> signature option
+(** The signature of a known QIS/RT function name. *)
+
+val declaration : string -> Llvm_ir.Func.t
+(** A declaration for a known function; raises [Invalid_argument] on
+    unknown names. *)
+
+val add_missing_declarations : Llvm_ir.Ir_module.t -> Llvm_ir.Ir_module.t
+(** Adds declarations for every known QIS/RT function the module calls
+    but does not declare. *)

@@ -1,0 +1,1 @@
+lib/hybrid/classify.ml: Block Func Instr List Llvm_ir Operand Qir String

@@ -1,0 +1,1 @@
+lib/hybrid/classify.mli: Llvm_ir

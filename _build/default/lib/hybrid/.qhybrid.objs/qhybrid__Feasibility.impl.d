@@ -1,0 +1,1 @@
+lib/hybrid/feasibility.ml: Array Circuit Format Latency List Qcircuit

@@ -1,0 +1,1 @@
+lib/hybrid/feasibility.mli: Format Latency Qcircuit

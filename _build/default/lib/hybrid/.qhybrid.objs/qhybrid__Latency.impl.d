@@ -1,0 +1,1 @@
+lib/hybrid/latency.ml: Circuit Gate Qcircuit

@@ -1,0 +1,1 @@
+lib/hybrid/latency.mli: Qcircuit

@@ -1,0 +1,1 @@
+lib/hybrid/partition.ml: Classify Format Func Instr Ir_module Latency List Llvm_ir Qir String Ty

@@ -1,0 +1,1 @@
+lib/hybrid/partition.mli: Classify Format Latency Llvm_ir

@@ -1,0 +1,38 @@
+(** Instruction classification for hybrid programs (Sec. IV-B): which
+    parts of a QIR program are quantum, which are classical, and which
+    classical parts feed back into quantum control. *)
+
+type instr_class =
+  | Quantum  (** QIS gate / measure / reset *)
+  | Result_read  (** read_result / result_equal: the feedback boundary *)
+  | Runtime_bookkeeping  (** allocation, refcounts, output recording *)
+  | Classical  (** arithmetic, comparisons, casts, selects, phis *)
+  | Memory  (** alloca / load / store / gep *)
+  | Call_classical  (** call to a non-quantum function *)
+
+val classify_instr : Llvm_ir.Instr.t -> instr_class
+val class_name : instr_class -> string
+
+type counts = {
+  quantum : int;
+  result_reads : int;
+  runtime : int;
+  classical : int;
+  memory : int;
+  classical_calls : int;
+}
+
+val count_function : Llvm_ir.Func.t -> counts
+
+type segment = {
+  seg_class : [ `Classical | `Quantum ];
+  instrs : Llvm_ir.Instr.t list;
+  feeds_quantum : bool;
+      (** the segment's values reach later quantum instructions, directly
+          or through branch conditions guarding them *)
+  reads_results : bool;
+}
+
+val segments_of_func : Llvm_ir.Func.t -> segment list
+(** Maximal alternating quantum/classical runs over the entry function's
+    instruction stream (in block order). *)

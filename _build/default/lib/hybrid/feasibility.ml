@@ -1,0 +1,87 @@
+(* Coherence feasibility (Sec. IV-B): "it must be ensured that the
+   classical code offloaded to the quantum hardware can be executed in
+   the required time frame to uphold the coherence of the qubits. Hence,
+   as long as quantum computers cannot achieve arbitrary coherence ...
+   there will always be programs that describe an infeasible execution
+   and must be rejected."
+
+   The check walks a circuit with feedback conditions under a timing
+   model and a placement for the classical decision logic, accumulating
+   the waiting time of every live qubit. A program is rejected when any
+   qubit waits longer than the coherence budget. *)
+
+open Qcircuit
+
+type violation = {
+  qubit : int;
+  wait_ns : float;
+  at_op : int; (* index of the operation whose delay overflowed *)
+}
+
+type verdict = {
+  feasible : bool;
+  max_wait_ns : float;
+  total_ns : float;
+  violations : violation list;
+}
+
+(* Wall-clock walk. All operations are serialized except that waiting
+   time is tracked per qubit: a qubit's wait is the time between two
+   consecutive operations touching it while it holds live state. The
+   classical decision time of a conditioned operation (the feedback
+   latency) is charged to the global clock before the operation. *)
+let check ?(params = Latency.default) ~(placement : Latency.placement)
+    (c : Circuit.t) : verdict =
+  let n = max c.Circuit.num_qubits 1 in
+  let clock = ref 0.0 in
+  let last_touch = Array.make n 0.0 in
+  let live = Array.make n false in
+  let max_wait = ref 0.0 in
+  let violations = ref [] in
+  let touch i q =
+    if live.(q) then begin
+      let wait = !clock -. last_touch.(q) in
+      if wait > !max_wait then max_wait := wait;
+      if wait > params.Latency.coherence_budget_ns then
+        violations := { qubit = q; wait_ns = wait; at_op = i } :: !violations
+    end;
+    live.(q) <- true;
+    last_touch.(q) <- !clock
+  in
+  List.iteri
+    (fun i (op : Circuit.op) ->
+      (match op.Circuit.cond with
+      | Some { Circuit.cbits; _ } ->
+        (* the feedback decision: read the bits and compare *)
+        let instrs = List.length cbits + 1 in
+        clock := !clock +. Latency.segment_cost params ~instrs placement
+      | None -> ());
+      let duration = Latency.op_duration params op in
+      (match op.Circuit.kind with
+      | Circuit.Barrier _ -> ()
+      | _ -> List.iter (touch i) (Circuit.op_qubits op));
+      clock := !clock +. duration;
+      (* a reset or measurement ends the qubit's live state *)
+      (match op.Circuit.kind with
+      | Circuit.Reset q | Circuit.Measure (q, _) ->
+        live.(q) <- false
+      | Circuit.Gate _ | Circuit.Barrier _ -> ());
+      (* advance last_touch for the touched qubits to after the op *)
+      match op.Circuit.kind with
+      | Circuit.Barrier _ -> ()
+      | _ -> List.iter (fun q -> last_touch.(q) <- !clock) (Circuit.op_qubits op))
+    c.Circuit.ops;
+  {
+    feasible = !violations = [];
+    max_wait_ns = !max_wait;
+    total_ns = !clock;
+    violations = List.rev !violations;
+  }
+
+let pp_verdict ppf v =
+  if v.feasible then
+    Format.fprintf ppf "feasible (max wait %.0f ns, total %.0f ns)"
+      v.max_wait_ns v.total_ns
+  else
+    Format.fprintf ppf "REJECTED: %d coherence violations (max wait %.0f ns)"
+      (List.length v.violations) v.max_wait_ns

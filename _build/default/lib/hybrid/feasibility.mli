@@ -1,0 +1,29 @@
+(** Coherence feasibility (Sec. IV-B): "as long as quantum computers
+    cannot achieve arbitrary coherence ... there will always be programs
+    that describe an infeasible execution and must be rejected."
+
+    The check walks a circuit with feedback conditions under the timing
+    model and a placement for the decision logic, accumulating every live
+    qubit's waiting time; a program is rejected when any qubit waits
+    longer than the coherence budget. *)
+
+type violation = {
+  qubit : int;
+  wait_ns : float;
+  at_op : int;  (** index of the operation whose delay overflowed *)
+}
+
+type verdict = {
+  feasible : bool;
+  max_wait_ns : float;
+  total_ns : float;  (** modeled wall-clock of the whole program *)
+  violations : violation list;
+}
+
+val check :
+  ?params:Latency.params ->
+  placement:Latency.placement ->
+  Qcircuit.Circuit.t ->
+  verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,51 @@
+(* Timing model for hybrid execution (Sec. IV-B): quantum operations run
+   on the QPU; classical code runs either on the fast-but-restricted
+   controller (FPGA/ASIC) or on the host, with a round-trip penalty.
+   Times are in nanoseconds, with defaults in the range reported for
+   superconducting control stacks. *)
+
+type params = {
+  gate_1q_ns : float;
+  gate_2q_ns : float;
+  measure_ns : float;
+  reset_ns : float;
+  controller_op_ns : float; (* one classical instruction on the controller *)
+  host_op_ns : float; (* one classical instruction on the host *)
+  host_roundtrip_ns : float; (* QPU -> host -> QPU communication *)
+  controller_max_instrs : int; (* program-store limit of the controller *)
+  coherence_budget_ns : float; (* tolerable idle time for a live qubit *)
+}
+
+let default =
+  {
+    gate_1q_ns = 25.0;
+    gate_2q_ns = 70.0;
+    measure_ns = 300.0;
+    reset_ns = 250.0;
+    controller_op_ns = 4.0;
+    host_op_ns = 1.0;
+    host_roundtrip_ns = 10_000.0;
+    controller_max_instrs = 1024;
+    coherence_budget_ns = 100_000.0;
+  }
+
+open Qcircuit
+
+let op_duration p (op : Circuit.op) =
+  match op.Circuit.kind with
+  | Circuit.Gate (g, _) ->
+    if Gate.num_qubits g >= 2 then p.gate_2q_ns else p.gate_1q_ns
+  | Circuit.Measure _ -> p.measure_ns
+  | Circuit.Reset _ -> p.reset_ns
+  | Circuit.Barrier _ -> 0.0
+
+(* Classical segment cost under each placement. *)
+type placement = Controller | Host
+
+let placement_name = function
+  | Controller -> "controller"
+  | Host -> "host"
+
+let segment_cost p ~instrs = function
+  | Controller -> float_of_int instrs *. p.controller_op_ns
+  | Host -> p.host_roundtrip_ns +. (float_of_int instrs *. p.host_op_ns)

@@ -1,0 +1,30 @@
+(** Timing model for hybrid execution (Sec. IV-B): quantum operations on
+    the QPU; classical code on the fast-but-restricted controller
+    (FPGA/ASIC) or on the host, with a round-trip penalty. Nanoseconds
+    throughout; defaults are in the range reported for superconducting
+    control stacks. *)
+
+type params = {
+  gate_1q_ns : float;
+  gate_2q_ns : float;
+  measure_ns : float;
+  reset_ns : float;
+  controller_op_ns : float;
+  host_op_ns : float;
+  host_roundtrip_ns : float;
+  controller_max_instrs : int;  (** controller program-store limit *)
+  coherence_budget_ns : float;  (** tolerable idle time for a live qubit *)
+}
+
+val default : params
+
+val op_duration : params -> Qcircuit.Circuit.op -> float
+
+type placement = Controller | Host
+
+val placement_name : placement -> string
+
+val segment_cost : params -> instrs:int -> placement -> float
+(** Latency contribution of executing a classical segment of [instrs]
+    instructions at the given placement (host placement pays the
+    round-trip). *)

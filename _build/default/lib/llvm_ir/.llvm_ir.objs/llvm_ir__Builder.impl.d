@@ -1,0 +1,1 @@
+lib/llvm_ir/builder.ml: Block Func Instr List Operand Printf Ty

@@ -1,0 +1,1 @@
+lib/llvm_ir/builder.mli: Func Instr Operand Ty

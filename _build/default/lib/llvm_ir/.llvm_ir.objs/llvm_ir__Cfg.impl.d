@@ -1,0 +1,1 @@
+lib/llvm_ir/cfg.ml: Block Func Hashtbl List Map Set String

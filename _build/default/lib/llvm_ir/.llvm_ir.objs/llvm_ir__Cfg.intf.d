@@ -1,0 +1,1 @@
+lib/llvm_ir/cfg.mli: Block Func Map Set

@@ -1,0 +1,1 @@
+lib/llvm_ir/constant.ml: Bool Buffer Char Float Format Int64 List Printf String Ty

@@ -1,0 +1,1 @@
+lib/llvm_ir/constant.mli: Format Ty

@@ -1,0 +1,1 @@
+lib/llvm_ir/dom.ml: Array Cfg Hashtbl List Map Option String

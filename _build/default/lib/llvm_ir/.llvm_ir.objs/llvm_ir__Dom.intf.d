@@ -1,0 +1,1 @@
+lib/llvm_ir/dom.mli: Cfg

@@ -1,0 +1,1 @@
+lib/llvm_ir/func.ml: Block Hashtbl Instr List Printf String Ty

@@ -1,0 +1,1 @@
+lib/llvm_ir/func.mli: Block Instr Ty

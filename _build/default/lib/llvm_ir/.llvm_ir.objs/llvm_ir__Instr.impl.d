@@ -1,0 +1,1 @@
+lib/llvm_ir/instr.ml: Constant List Operand String Ty

@@ -1,0 +1,1 @@
+lib/llvm_ir/instr.mli: Constant Operand Ty

@@ -1,0 +1,1 @@
+lib/llvm_ir/interp.ml: Block Char Constant Float Format Func Hashtbl Instr Int64 Ir_error Ir_module List Operand Option String Ty

@@ -1,0 +1,1 @@
+lib/llvm_ir/interp.mli: Format Ir_module Ty

@@ -1,0 +1,1 @@
+lib/llvm_ir/ir_error.ml: Format Printexc

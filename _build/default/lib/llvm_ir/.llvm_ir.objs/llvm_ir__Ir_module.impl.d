@@ -1,0 +1,1 @@
+lib/llvm_ir/ir_module.ml: Constant Func List Printf String Ty

@@ -1,0 +1,1 @@
+lib/llvm_ir/ir_module.mli: Constant Func Ty

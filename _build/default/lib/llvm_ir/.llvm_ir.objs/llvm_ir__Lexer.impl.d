@@ -1,0 +1,1 @@
+lib/llvm_ir/lexer.ml: Buffer Char Int64 Ir_error Printf String

@@ -1,0 +1,1 @@
+lib/llvm_ir/operand.ml: Constant Format String Ty

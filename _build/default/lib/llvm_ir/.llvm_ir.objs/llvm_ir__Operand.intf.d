@@ -1,0 +1,1 @@
+lib/llvm_ir/operand.mli: Constant Format Ty

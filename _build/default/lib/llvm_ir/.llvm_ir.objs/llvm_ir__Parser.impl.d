@@ -1,0 +1,1 @@
+lib/llvm_ir/parser.ml: Block Constant Format Func Hashtbl Instr Int64 Ir_error Ir_module Lexer List Operand Option Printf String Ty

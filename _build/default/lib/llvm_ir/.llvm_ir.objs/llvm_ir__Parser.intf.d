@@ -1,0 +1,1 @@
+lib/llvm_ir/parser.mli: Ir_module

@@ -1,0 +1,1 @@
+lib/llvm_ir/printer.ml: Block Constant Format Func Instr Ir_module List Operand Printf String Ty

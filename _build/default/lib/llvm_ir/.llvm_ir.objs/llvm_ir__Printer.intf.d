@@ -1,0 +1,1 @@
+lib/llvm_ir/printer.mli: Block Format Func Instr Ir_module

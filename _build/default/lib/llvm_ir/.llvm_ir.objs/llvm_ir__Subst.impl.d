@@ -1,0 +1,1 @@
+lib/llvm_ir/subst.ml: Block Func Instr List Map Operand String

@@ -1,0 +1,1 @@
+lib/llvm_ir/subst.mli: Block Func Instr Map Operand

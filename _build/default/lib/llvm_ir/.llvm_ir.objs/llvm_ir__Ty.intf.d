@@ -1,0 +1,1 @@
+lib/llvm_ir/ty.mli: Format

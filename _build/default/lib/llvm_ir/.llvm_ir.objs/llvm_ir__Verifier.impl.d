@@ -1,0 +1,1 @@
+lib/llvm_ir/verifier.ml: Block Cfg Constant Format Func Hashtbl Instr Ir_error Ir_module List Map Operand Printf Set String

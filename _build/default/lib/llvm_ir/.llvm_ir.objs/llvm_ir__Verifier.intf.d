@@ -1,0 +1,1 @@
+lib/llvm_ir/verifier.mli: Format Func Ir_module

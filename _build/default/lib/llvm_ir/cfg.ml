@@ -1,0 +1,65 @@
+(* Control-flow graph view of a function: successor/predecessor maps and a
+   reverse-postorder traversal, the substrate for dominators and loop
+   analysis. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  entry : string;
+  blocks : Block.t SMap.t;
+  succs : string list SMap.t;
+  preds : string list SMap.t;
+  rpo : string list; (* reverse postorder over reachable blocks *)
+}
+
+let of_func (f : Func.t) =
+  let blocks =
+    List.fold_left
+      (fun acc (b : Block.t) -> SMap.add b.label b acc)
+      SMap.empty f.blocks
+  in
+  let entry = (Func.entry f).Block.label in
+  let succs =
+    SMap.map (fun (b : Block.t) -> Block.successors b) blocks
+  in
+  let preds =
+    SMap.fold
+      (fun label ss acc ->
+        List.fold_left
+          (fun acc s ->
+            SMap.update s
+              (function
+                | Some ps -> Some (label :: ps)
+                | None -> Some [ label ])
+              acc)
+          acc ss)
+      succs
+      (SMap.map (fun _ -> []) blocks)
+  in
+  (* depth-first postorder from the entry *)
+  let visited = Hashtbl.create 16 in
+  let post = ref [] in
+  let rec dfs label =
+    if not (Hashtbl.mem visited label) then begin
+      Hashtbl.replace visited label ();
+      List.iter dfs (try SMap.find label succs with Not_found -> []);
+      post := label :: !post
+    end
+  in
+  dfs entry;
+  { entry; blocks; succs; preds; rpo = !post }
+
+let block cfg label = SMap.find label cfg.blocks
+let successors cfg label = try SMap.find label cfg.succs with Not_found -> []
+let predecessors cfg label = try SMap.find label cfg.preds with Not_found -> []
+let is_reachable cfg label = List.mem label cfg.rpo
+let reachable cfg = cfg.rpo
+
+(* Blocks of [f] unreachable from the entry. *)
+let unreachable_blocks (f : Func.t) =
+  let cfg = of_func f in
+  List.filter_map
+    (fun (b : Block.t) ->
+      if is_reachable cfg b.label then None else Some b.label)
+    f.blocks

@@ -1,0 +1,25 @@
+(** Control-flow-graph view of a function: successor/predecessor maps and
+    a reverse-postorder traversal — the substrate for dominators and loop
+    analysis. *)
+
+module SMap : Map.S with type key = string
+module SSet : Set.S with type elt = string
+
+type t = {
+  entry : string;
+  blocks : Block.t SMap.t;
+  succs : string list SMap.t;
+  preds : string list SMap.t;
+  rpo : string list;  (** reverse postorder over reachable blocks *)
+}
+
+val of_func : Func.t -> t
+
+val block : t -> string -> Block.t
+(** Raises [Not_found]. *)
+
+val successors : t -> string -> string list
+val predecessors : t -> string -> string list
+val is_reachable : t -> string -> bool
+val reachable : t -> string list
+val unreachable_blocks : Func.t -> string list

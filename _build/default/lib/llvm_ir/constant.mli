@@ -1,0 +1,24 @@
+(** Constant values. The type of a constant is supplied by the context in
+    which it occurs (every LLVM operand use is typed), so constants carry
+    only the payload that cannot be recovered from the context type. *)
+
+type t =
+  | Int of int64
+  | Float of float
+  | Bool of bool  (** i1 true/false *)
+  | Null  (** ptr null *)
+  | Undef
+  | Inttoptr of int64
+      (** [inttoptr (i64 n to ptr)] — a static qubit/result address *)
+  | Global of string  (** [@name] used as a value *)
+  | Str of string  (** [c"..."] initializer *)
+  | Arr of Ty.t * t list  (** array initializer *)
+  | Zeroinit
+
+val equal : t -> t -> bool
+
+val escape_c_string : string -> string
+(** LLVM [c"..."] escaping (two-hex-digit escapes). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,120 @@
+(* Dominator tree and dominance frontiers, using the Cooper-Harvey-Kennedy
+   iterative algorithm ("A Simple, Fast Dominance Algorithm"). Used by
+   mem2reg (phi placement) and natural-loop detection. *)
+
+module SMap = Map.Make (String)
+
+type t = {
+  cfg : Cfg.t;
+  idom : string SMap.t; (* immediate dominator; entry maps to itself *)
+  children : string list SMap.t; (* dominator-tree children *)
+  frontier : string list SMap.t; (* dominance frontier *)
+}
+
+let compute cfg =
+  let rpo = Array.of_list cfg.Cfg.rpo in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) rpo;
+  let n = Array.length rpo in
+  (* idom as array over rpo indices; -1 = undefined *)
+  let idom = Array.make n (-1) in
+  let entry_idx = 0 in
+  idom.(entry_idx) <- entry_idx;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while !f1 > !f2 do
+        f1 := idom.(!f1)
+      done;
+      while !f2 > !f1 do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let preds =
+        List.filter_map
+          (fun p -> Hashtbl.find_opt index p)
+          (Cfg.predecessors cfg rpo.(i))
+      in
+      let processed = List.filter (fun p -> idom.(p) >= 0) preds in
+      match processed with
+      | [] -> ()
+      | first :: rest ->
+        let new_idom = List.fold_left (fun acc p -> intersect acc p) first rest in
+        if idom.(i) <> new_idom then begin
+          idom.(i) <- new_idom;
+          changed := true
+        end
+    done
+  done;
+  let idom_map =
+    Array.to_list rpo
+    |> List.mapi (fun i l -> (l, rpo.(idom.(i))))
+    |> List.fold_left (fun acc (l, d) -> SMap.add l d acc) SMap.empty
+  in
+  let children =
+    SMap.fold
+      (fun l d acc ->
+        if String.equal l cfg.Cfg.entry then acc
+        else
+          SMap.update d
+            (function
+              | Some cs -> Some (l :: cs)
+              | None -> Some [ l ])
+            acc)
+      idom_map
+      (SMap.map (fun _ -> []) idom_map)
+  in
+  (* dominance frontiers *)
+  let frontier = ref (SMap.map (fun _ -> []) idom_map) in
+  Array.iter
+    (fun l ->
+      let preds =
+        List.filter (fun p -> Hashtbl.mem index p) (Cfg.predecessors cfg l)
+      in
+      if List.length preds >= 2 then
+        List.iter
+          (fun p ->
+            let rec walk runner =
+              if not (String.equal runner (SMap.find l idom_map)) then begin
+                frontier :=
+                  SMap.update runner
+                    (function
+                      | Some fs ->
+                        if List.mem l fs then Some fs else Some (l :: fs)
+                      | None -> Some [ l ])
+                    !frontier;
+                walk (SMap.find runner idom_map)
+              end
+            in
+            walk p)
+          preds)
+    rpo;
+  { cfg; idom = idom_map; children; frontier = !frontier }
+
+let idom t label =
+  if String.equal label t.cfg.Cfg.entry then None
+  else SMap.find_opt label t.idom
+
+let children t label =
+  Option.value ~default:[] (SMap.find_opt label t.children)
+
+let frontier t label =
+  Option.value ~default:[] (SMap.find_opt label t.frontier)
+
+(* [dominates t a b] — does block [a] dominate block [b]? *)
+let dominates t a b =
+  let rec walk l =
+    if String.equal l a then true
+    else if String.equal l t.cfg.Cfg.entry then false
+    else
+      match SMap.find_opt l t.idom with
+      | Some d -> walk d
+      | None -> false
+  in
+  walk b

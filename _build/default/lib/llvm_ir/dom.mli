@@ -1,0 +1,19 @@
+(** Dominator tree and dominance frontiers (Cooper-Harvey-Kennedy
+    iterative algorithm) over reachable blocks. Used by mem2reg for phi
+    placement and by natural-loop detection. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> string -> string option
+(** Immediate dominator; [None] for the entry block. *)
+
+val children : t -> string -> string list
+(** Dominator-tree children. *)
+
+val frontier : t -> string -> string list
+(** Dominance frontier. *)
+
+val dominates : t -> string -> string -> bool
+(** [dominates t a b]: does block [a] dominate block [b]? (Reflexive.) *)

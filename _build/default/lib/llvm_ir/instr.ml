@@ -1,0 +1,220 @@
+(* Instructions and terminators of the LLVM IR subset. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | Udiv
+  | Srem
+  | Urem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv | Frem
+
+type icmp =
+  | Ieq
+  | Ine
+  | Islt
+  | Isle
+  | Isgt
+  | Isge
+  | Iult
+  | Iule
+  | Iugt
+  | Iuge
+
+type fcmp = Foeq | Fone | Folt | Fole | Fogt | Foge | Ford | Funo
+type cast = Zext | Sext | Trunc | Bitcast | Inttoptr | Ptrtoint | Sitofp | Fptosi
+
+type op =
+  | Binop of binop * Ty.t * Operand.t * Operand.t
+  | Fbinop of fbinop * Ty.t * Operand.t * Operand.t
+  | Icmp of icmp * Ty.t * Operand.t * Operand.t
+  | Fcmp of fcmp * Ty.t * Operand.t * Operand.t
+  | Alloca of Ty.t (* allocated type; result has type ptr *)
+  | Load of Ty.t * Operand.t (* loaded type, pointer *)
+  | Store of Operand.typed * Operand.t (* stored value, pointer *)
+  | Gep of Ty.t * Operand.t * Operand.typed list
+      (* source element type, base pointer, indices *)
+  | Call of Ty.t * string * Operand.typed list
+      (* return type, callee (@name), arguments *)
+  | Select of Operand.t * Operand.typed * Operand.typed (* i1 cond, t, f *)
+  | Cast of cast * Operand.typed * Ty.t (* op, source value, target type *)
+  | Phi of Ty.t * (Operand.t * string) list (* incoming (value, pred label) *)
+  | Freeze of Operand.typed
+
+type t = { id : string option; op : op }
+(** An instruction, optionally naming its result ([%id = ...]). *)
+
+type term =
+  | Ret of Operand.typed option
+  | Br of string
+  | Cond_br of Operand.t * string * string (* i1 cond, then, else *)
+  | Switch of Operand.typed * string * (Constant.t * string) list
+  | Unreachable
+
+let mk ?id op = { id; op }
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+
+let binop_is_division = function
+  | Sdiv | Udiv | Srem | Urem -> true
+  | Add | Sub | Mul | And | Or | Xor | Shl | Lshr | Ashr -> false
+
+(* An instruction with no side effect may be removed if its result is
+   unused. Calls are conservatively effectful (the interpreter's external
+   table may bind them to quantum operations). *)
+let has_side_effect = function
+  | Store _ | Call _ -> true
+  | Binop (b, _, _, _) -> binop_is_division b (* may trap on zero *)
+  | Fbinop _ | Icmp _ | Fcmp _ | Alloca _ | Load _ | Gep _ | Select _ | Cast _
+  | Phi _ | Freeze _ ->
+    false
+
+(* ------------------------------------------------------------------ *)
+(* Result types                                                        *)
+
+let result_ty = function
+  | Binop (_, ty, _, _) | Fbinop (_, ty, _, _) -> Some ty
+  | Icmp _ | Fcmp _ -> Some Ty.I1
+  | Alloca _ | Gep _ -> Some Ty.Ptr
+  | Load (ty, _) -> Some ty
+  | Store _ -> None
+  | Call (Ty.Void, _, _) -> None
+  | Call (ty, _, _) -> Some ty
+  | Select (_, a, _) -> Some a.Operand.ty
+  | Cast (_, _, ty) -> Some ty
+  | Phi (ty, _) -> Some ty
+  | Freeze v -> Some v.Operand.ty
+
+(* ------------------------------------------------------------------ *)
+(* Operand traversal                                                   *)
+
+let operands op =
+  match op with
+  | Binop (_, ty, a, b) | Fbinop (_, ty, a, b) | Icmp (_, ty, a, b)
+  | Fcmp (_, ty, a, b) ->
+    [ Operand.typed ty a; Operand.typed ty b ]
+  | Alloca _ -> []
+  | Load (_, p) -> [ Operand.typed Ty.Ptr p ]
+  | Store (v, p) -> [ v; Operand.typed Ty.Ptr p ]
+  | Gep (_, base, idxs) -> Operand.typed Ty.Ptr base :: idxs
+  | Call (_, _, args) -> args
+  | Select (c, a, b) -> [ Operand.typed Ty.I1 c; a; b ]
+  | Cast (_, v, _) -> [ v ]
+  | Phi (ty, incoming) ->
+    List.map (fun (v, _) -> Operand.typed ty v) incoming
+  | Freeze v -> [ v ]
+
+let term_operands = function
+  | Ret (Some v) -> [ v ]
+  | Ret None | Br _ | Unreachable -> []
+  | Cond_br (c, _, _) -> [ Operand.typed Ty.I1 c ]
+  | Switch (v, _, _) -> [ v ]
+
+(* [map_operands f op] rebuilds [op] with every operand [v] replaced by
+   [f v]; used by substitution and renaming utilities. *)
+let map_operands f op =
+  match op with
+  | Binop (b, ty, x, y) -> Binop (b, ty, f x, f y)
+  | Fbinop (b, ty, x, y) -> Fbinop (b, ty, f x, f y)
+  | Icmp (p, ty, x, y) -> Icmp (p, ty, f x, f y)
+  | Fcmp (p, ty, x, y) -> Fcmp (p, ty, f x, f y)
+  | Alloca ty -> Alloca ty
+  | Load (ty, p) -> Load (ty, f p)
+  | Store (v, p) -> Store ({ v with Operand.v = f v.Operand.v }, f p)
+  | Gep (ty, base, idxs) ->
+    Gep
+      ( ty,
+        f base,
+        List.map (fun i -> { i with Operand.v = f i.Operand.v }) idxs )
+  | Call (ty, callee, args) ->
+    Call
+      (ty, callee, List.map (fun a -> { a with Operand.v = f a.Operand.v }) args)
+  | Select (c, a, b) ->
+    Select (f c, { a with Operand.v = f a.Operand.v },
+            { b with Operand.v = f b.Operand.v })
+  | Cast (c, v, ty) -> Cast (c, { v with Operand.v = f v.Operand.v }, ty)
+  | Phi (ty, incoming) -> Phi (ty, List.map (fun (v, l) -> (f v, l)) incoming)
+  | Freeze v -> Freeze { v with Operand.v = f v.Operand.v }
+
+let map_term_operands f = function
+  | Ret (Some v) -> Ret (Some { v with Operand.v = f v.Operand.v })
+  | Ret None -> Ret None
+  | Br l -> Br l
+  | Cond_br (c, t, e) -> Cond_br (f c, t, e)
+  | Switch (v, d, cases) ->
+    Switch ({ v with Operand.v = f v.Operand.v }, d, cases)
+  | Unreachable -> Unreachable
+
+let successors = function
+  | Ret _ | Unreachable -> []
+  | Br l -> [ l ]
+  | Cond_br (_, t, e) -> if String.equal t e then [ t ] else [ t; e ]
+  | Switch (_, d, cases) ->
+    let labels = d :: List.map snd cases in
+    List.sort_uniq String.compare labels
+
+(* ------------------------------------------------------------------ *)
+(* Printing helpers (full syntax lives in Printer)                     *)
+
+let string_of_binop = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Udiv -> "udiv"
+  | Srem -> "srem"
+  | Urem -> "urem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let string_of_fbinop = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Frem -> "frem"
+
+let string_of_icmp = function
+  | Ieq -> "eq"
+  | Ine -> "ne"
+  | Islt -> "slt"
+  | Isle -> "sle"
+  | Isgt -> "sgt"
+  | Isge -> "sge"
+  | Iult -> "ult"
+  | Iule -> "ule"
+  | Iugt -> "ugt"
+  | Iuge -> "uge"
+
+let string_of_fcmp = function
+  | Foeq -> "oeq"
+  | Fone -> "one"
+  | Folt -> "olt"
+  | Fole -> "ole"
+  | Fogt -> "ogt"
+  | Foge -> "oge"
+  | Ford -> "ord"
+  | Funo -> "uno"
+
+let string_of_cast = function
+  | Zext -> "zext"
+  | Sext -> "sext"
+  | Trunc -> "trunc"
+  | Bitcast -> "bitcast"
+  | Inttoptr -> "inttoptr"
+  | Ptrtoint -> "ptrtoint"
+  | Sitofp -> "sitofp"
+  | Fptosi -> "fptosi"

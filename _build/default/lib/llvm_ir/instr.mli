@@ -1,0 +1,101 @@
+(** Instructions and terminators of the LLVM IR subset. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | Udiv
+  | Srem
+  | Urem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv | Frem
+
+type icmp =
+  | Ieq
+  | Ine
+  | Islt
+  | Isle
+  | Isgt
+  | Isge
+  | Iult
+  | Iule
+  | Iugt
+  | Iuge
+
+type fcmp = Foeq | Fone | Folt | Fole | Fogt | Foge | Ford | Funo
+
+type cast =
+  | Zext
+  | Sext
+  | Trunc
+  | Bitcast
+  | Inttoptr
+  | Ptrtoint
+  | Sitofp
+  | Fptosi
+
+type op =
+  | Binop of binop * Ty.t * Operand.t * Operand.t
+  | Fbinop of fbinop * Ty.t * Operand.t * Operand.t
+  | Icmp of icmp * Ty.t * Operand.t * Operand.t
+  | Fcmp of fcmp * Ty.t * Operand.t * Operand.t
+  | Alloca of Ty.t  (** allocated type; the result has type ptr *)
+  | Load of Ty.t * Operand.t  (** loaded type, pointer *)
+  | Store of Operand.typed * Operand.t  (** stored value, pointer *)
+  | Gep of Ty.t * Operand.t * Operand.typed list
+      (** source element type, base pointer, indices *)
+  | Call of Ty.t * string * Operand.typed list
+      (** return type, callee name (without [@]), arguments *)
+  | Select of Operand.t * Operand.typed * Operand.typed
+  | Cast of cast * Operand.typed * Ty.t  (** op, source, target type *)
+  | Phi of Ty.t * (Operand.t * string) list
+      (** incoming (value, predecessor label) pairs *)
+  | Freeze of Operand.typed
+
+type t = { id : string option; op : op }
+(** An instruction, optionally naming its result ([%id = ...]). *)
+
+type term =
+  | Ret of Operand.typed option
+  | Br of string
+  | Cond_br of Operand.t * string * string  (** i1 cond, then, else *)
+  | Switch of Operand.typed * string * (Constant.t * string) list
+  | Unreachable
+
+val mk : ?id:string -> op -> t
+
+val binop_is_division : binop -> bool
+
+val has_side_effect : op -> bool
+(** May the instruction be removed when its result is unused? Calls are
+    conservatively effectful (they may be quantum operations). *)
+
+val result_ty : op -> Ty.t option
+(** The type of the produced value, or [None] (store, void call). *)
+
+val operands : op -> Operand.typed list
+val term_operands : term -> Operand.typed list
+
+val map_operands : (Operand.t -> Operand.t) -> op -> op
+(** Rebuilds the instruction with every operand transformed — the
+    workhorse of substitution and renaming. *)
+
+val map_term_operands : (Operand.t -> Operand.t) -> term -> term
+
+val successors : term -> string list
+(** Distinct successor labels. *)
+
+(** {1 Mnemonic spellings} *)
+
+val string_of_binop : binop -> string
+val string_of_fbinop : fbinop -> string
+val string_of_icmp : icmp -> string
+val string_of_fcmp : fcmp -> string
+val string_of_cast : cast -> string

@@ -1,0 +1,66 @@
+(** An interpreter for the IR subset — the stand-in for LLVM's [lli]
+    (Sec. III-C). Quantum instructions are {e not} built in: they arrive
+    as calls to undefined external functions, and the caller provides
+    their implementations through the [externals] table — precisely the
+    runtime-augmentation architecture of the paper's Ex. 5.
+
+    Memory model: a flat 64-bit address space of 8-byte cells. [alloca]
+    and global initializers carve cells from a bump allocator starting at
+    {!heap_base}, far above the small integers that static qubit
+    addressing turns into pointers (Ex. 6), so [inttoptr (i64 1 to ptr)]
+    never aliases allocated storage. *)
+
+type value =
+  | VInt of Ty.t * int64  (** integer type and two's-complement payload *)
+  | VFloat of float
+  | VPtr of int64
+  | VVoid
+
+val heap_base : int64
+
+type stats = {
+  mutable instructions : int;
+  mutable external_calls : int;
+  mutable internal_calls : int;
+  mutable blocks_entered : int;
+}
+
+type t
+(** Execution state: module, memory, externals, fuel, statistics. *)
+
+val create :
+  ?fuel:int ->
+  ?externals:(string * (value list -> value)) list ->
+  Ir_module.t ->
+  t
+(** [fuel]: instruction budget, negative = unlimited (default). Globals
+    are allocated and initialized eagerly. *)
+
+val register_external : t -> string -> (value list -> value) -> unit
+val stats : t -> stats
+
+val run_function : t -> string -> value list -> value
+(** Raises {!Ir_error.Exec_error} on undefined behaviour (missing
+    external, bad memory access, fuel exhaustion, ...). *)
+
+val run :
+  ?fuel:int ->
+  ?externals:(string * (value list -> value)) list ->
+  Ir_module.t ->
+  string ->
+  value list ->
+  value
+(** Fresh state + {!run_function}. *)
+
+val run_entry :
+  ?fuel:int ->
+  ?externals:(string * (value list -> value)) list ->
+  Ir_module.t ->
+  value
+(** Runs the module's entry point with no arguments. *)
+
+(** {1 Helpers reused by constant folding} *)
+
+val truncate_to_width : Ty.t -> int64 -> int64
+val sign_extend : Ty.t -> int64 -> int64
+val pp_value : Format.formatter -> value -> unit

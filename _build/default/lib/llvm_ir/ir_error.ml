@@ -1,0 +1,22 @@
+(* Diagnostics shared by the lexer, parser, verifier and interpreter. *)
+
+type location = { line : int; col : int }
+
+exception Parse_error of location * string
+exception Verify_error of string
+exception Exec_error of string
+
+let parse_error ~line ~col fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error ({ line; col }, msg))) fmt
+
+let verify_error fmt = Format.kasprintf (fun msg -> raise (Verify_error msg)) fmt
+let exec_error fmt = Format.kasprintf (fun msg -> raise (Exec_error msg)) fmt
+
+let pp_location ppf { line; col } = Format.fprintf ppf "%d:%d" line col
+
+let to_string = function
+  | Parse_error (loc, msg) ->
+    Format.asprintf "parse error at %a: %s" pp_location loc msg
+  | Verify_error msg -> "verify error: " ^ msg
+  | Exec_error msg -> "execution error: " ^ msg
+  | exn -> Printexc.to_string exn

@@ -1,0 +1,16 @@
+(** Diagnostics shared by the lexer, parser, verifier and interpreter. *)
+
+type location = { line : int; col : int }
+
+exception Parse_error of location * string
+exception Verify_error of string
+exception Exec_error of string
+
+val parse_error : line:int -> col:int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val verify_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val exec_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val pp_location : Format.formatter -> location -> unit
+
+val to_string : exn -> string
+(** Renders the three exceptions above; falls back to
+    [Printexc.to_string]. *)

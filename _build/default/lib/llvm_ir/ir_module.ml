@@ -1,0 +1,56 @@
+(* A translation unit: global variables and functions. *)
+
+type global = {
+  gname : string;
+  gty : Ty.t;
+  ginit : Constant.t option; (* None for external globals *)
+  gconst : bool;
+}
+
+type t = {
+  source_name : string;
+  globals : global list;
+  funcs : Func.t list;
+}
+
+let mk ?(source_name = "module") ?(globals = []) funcs =
+  { source_name; globals; funcs }
+
+let find_func m name =
+  List.find_opt (fun f -> String.equal f.Func.name name) m.funcs
+
+let find_func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Ir_module.find_func: no @%s" name)
+
+let find_global m name =
+  List.find_opt (fun g -> String.equal g.gname name) m.globals
+
+let defined_funcs m = List.filter (fun f -> not (Func.is_declaration f)) m.funcs
+let declarations m = List.filter Func.is_declaration m.funcs
+
+let replace_func m f =
+  let replaced = ref false in
+  let funcs =
+    List.map
+      (fun g ->
+        if String.equal g.Func.name f.Func.name then begin
+          replaced := true;
+          f
+        end
+        else g)
+      m.funcs
+  in
+  if !replaced then { m with funcs } else { m with funcs = m.funcs @ [ f ] }
+
+let map_funcs m fn = { m with funcs = List.map fn m.funcs }
+
+(* The QIR entry point: the function carrying the "entry_point" attribute,
+   falling back to @main. *)
+let entry_point m =
+  match List.find_opt (fun f -> Func.has_attr f "entry_point") m.funcs with
+  | Some f -> Some f
+  | None -> find_func m "main"
+
+let size m = List.fold_left (fun acc f -> acc + Func.size f) 0 m.funcs

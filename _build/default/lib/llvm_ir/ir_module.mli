@@ -1,0 +1,31 @@
+(** A translation unit: global variables and functions. *)
+
+type global = {
+  gname : string;
+  gty : Ty.t;
+  ginit : Constant.t option;  (** [None] for external globals *)
+  gconst : bool;
+}
+
+type t = {
+  source_name : string;
+  globals : global list;
+  funcs : Func.t list;
+}
+
+val mk : ?source_name:string -> ?globals:global list -> Func.t list -> t
+val find_func : t -> string -> Func.t option
+val find_func_exn : t -> string -> Func.t
+val find_global : t -> string -> global option
+val defined_funcs : t -> Func.t list
+val declarations : t -> Func.t list
+
+val replace_func : t -> Func.t -> t
+(** Replaces the function with the same name, or appends it. *)
+
+val map_funcs : t -> (Func.t -> Func.t) -> t
+
+val entry_point : t -> Func.t option
+(** The function carrying the ["entry_point"] attribute, else [@main]. *)
+
+val size : t -> int

@@ -1,0 +1,267 @@
+(* Hand-written lexer for the LLVM assembly subset. Comments (';' to end
+   of line) are dropped. Identifier syntax follows LLVM: the sigils '@'
+   (global), '%' (local) and '!' (metadata) prefix names; bare words are
+   keywords or label definitions. *)
+
+type token =
+  | GLOBAL of string (* @name *)
+  | LOCAL of string (* %name *)
+  | META of string (* !name or !0 *)
+  | ATTR_REF of int (* #0 *)
+  | WORD of string (* keyword / bare identifier *)
+  | INT of int64
+  | FLOAT of float
+  | STRING of string (* "..." *)
+  | CSTRING of string (* c"..." *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EQUALS
+  | STAR
+  | COLON
+  | ELLIPSIS
+  | EOF
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let create src = { src; pos = 0; line = 1; bol = 0 }
+let col lx = lx.pos - lx.bol + 1
+
+let error lx fmt = Ir_error.parse_error ~line:lx.line ~col:(col lx) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-' || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.bol <- lx.pos + 1
+  | Some _ | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_trivia lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_trivia lx
+  | Some ';' ->
+    let rec to_eol () =
+      match peek_char lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia lx
+  | Some _ | None -> ()
+
+let take_while lx pred =
+  let start = lx.pos in
+  let rec go () =
+    match peek_char lx with
+    | Some c when pred c ->
+      advance lx;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub lx.src start (lx.pos - start)
+
+(* A quoted string; supports LLVM's \xx two-hex-digit escapes and \\. *)
+let quoted_string lx =
+  advance lx (* opening quote *);
+  let buf = Buffer.create 16 in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> error lx "invalid hex digit %C in string escape" c
+  in
+  let rec go () =
+    match peek_char lx with
+    | None -> error lx "unterminated string literal"
+    | Some '"' ->
+      advance lx;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance lx;
+      (match peek_char lx with
+      | Some '\\' ->
+        advance lx;
+        Buffer.add_char buf '\\';
+        go ()
+      | Some c1 ->
+        advance lx;
+        (match peek_char lx with
+        | Some c2 ->
+          advance lx;
+          Buffer.add_char buf (Char.chr ((hex c1 * 16) + hex c2));
+          go ()
+        | None -> error lx "unterminated string escape")
+      | None -> error lx "unterminated string escape")
+    | Some c ->
+      advance lx;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+(* Name after a sigil: quoted or bare. *)
+let sigil_name lx =
+  match peek_char lx with
+  | Some '"' -> quoted_string lx
+  | Some _ -> take_while lx is_ident_char
+  | None -> error lx "expected name after sigil"
+
+let number lx =
+  let start = lx.pos in
+  if peek_char lx = Some '-' then advance lx;
+  if peek_char lx = Some '0' && lx.pos + 1 < String.length lx.src
+     && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+  then begin
+    (* Hexadecimal: LLVM uses 0x... for the raw IEEE-754 bits of floats. *)
+    advance lx;
+    advance lx;
+    let digits =
+      take_while lx (fun c ->
+          is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))
+    in
+    let bits = Int64.of_string ("0x" ^ digits) in
+    FLOAT (Int64.float_of_bits bits)
+  end
+  else begin
+    let _ = take_while lx is_digit in
+    let is_float = ref false in
+    if peek_char lx = Some '.' then begin
+      is_float := true;
+      advance lx;
+      let _ = take_while lx is_digit in
+      ()
+    end;
+    (match peek_char lx with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance lx;
+      (match peek_char lx with
+      | Some ('+' | '-') -> advance lx
+      | Some _ | None -> ());
+      let _ = take_while lx is_digit in
+      ()
+    | Some _ | None -> ());
+    let text = String.sub lx.src start (lx.pos - start) in
+    if !is_float then FLOAT (float_of_string text)
+    else INT (Int64.of_string text)
+  end
+
+let next lx =
+  skip_trivia lx;
+  match peek_char lx with
+  | None -> EOF
+  | Some '@' ->
+    advance lx;
+    GLOBAL (sigil_name lx)
+  | Some '%' ->
+    advance lx;
+    LOCAL (sigil_name lx)
+  | Some '!' ->
+    advance lx;
+    META (take_while lx is_ident_char)
+  | Some '#' ->
+    advance lx;
+    let digits = take_while lx is_digit in
+    if String.equal digits "" then error lx "expected attribute group number"
+    else ATTR_REF (int_of_string digits)
+  | Some '"' -> STRING (quoted_string lx)
+  | Some '(' ->
+    advance lx;
+    LPAREN
+  | Some ')' ->
+    advance lx;
+    RPAREN
+  | Some '{' ->
+    advance lx;
+    LBRACE
+  | Some '}' ->
+    advance lx;
+    RBRACE
+  | Some '[' ->
+    advance lx;
+    LBRACKET
+  | Some ']' ->
+    advance lx;
+    RBRACKET
+  | Some ',' ->
+    advance lx;
+    COMMA
+  | Some '=' ->
+    advance lx;
+    EQUALS
+  | Some '*' ->
+    advance lx;
+    STAR
+  | Some ':' ->
+    advance lx;
+    COLON
+  | Some '.' ->
+    if lx.pos + 2 < String.length lx.src
+       && lx.src.[lx.pos + 1] = '.'
+       && lx.src.[lx.pos + 2] = '.'
+    then begin
+      advance lx;
+      advance lx;
+      advance lx;
+      ELLIPSIS
+    end
+    else error lx "unexpected '.'"
+  | Some c when is_digit c || c = '-' -> number lx
+  | Some 'c' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '"'
+    ->
+    advance lx;
+    CSTRING (quoted_string lx)
+  | Some c when is_ident_char c ->
+    let word = take_while lx is_ident_char in
+    WORD word
+  | Some c -> error lx "unexpected character %C" c
+
+let string_of_token = function
+  | GLOBAL s -> "@" ^ s
+  | LOCAL s -> "%" ^ s
+  | META s -> "!" ^ s
+  | ATTR_REF n -> "#" ^ string_of_int n
+  | WORD s -> s
+  | INT n -> Int64.to_string n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | CSTRING s -> Printf.sprintf "c%S" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | EQUALS -> "="
+  | STAR -> "*"
+  | COLON -> ":"
+  | ELLIPSIS -> "..."
+  | EOF -> "<eof>"

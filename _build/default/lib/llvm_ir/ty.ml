@@ -1,0 +1,76 @@
+type t =
+  | Void
+  | I1
+  | I8
+  | I16
+  | I32
+  | I64
+  | Double
+  | Ptr
+  | Array of int * t
+  | Struct of t list
+  | Func of t * t list * bool
+  | Label
+
+let rec equal a b =
+  match a, b with
+  | Void, Void | I1, I1 | I8, I8 | I16, I16 | I32, I32 | I64, I64 -> true
+  | Double, Double | Ptr, Ptr | Label, Label -> true
+  | Array (n, t), Array (m, u) -> n = m && equal t u
+  | Struct ts, Struct us ->
+    List.length ts = List.length us && List.for_all2 equal ts us
+  | Func (r, ps, v), Func (r', ps', v') ->
+    v = v' && equal r r'
+    && List.length ps = List.length ps'
+    && List.for_all2 equal ps ps'
+  | ( ( Void | I1 | I8 | I16 | I32 | I64 | Double | Ptr | Array _ | Struct _
+      | Func _ | Label ),
+      _ ) ->
+    false
+
+let is_integer = function
+  | I1 | I8 | I16 | I32 | I64 -> true
+  | Void | Double | Ptr | Array _ | Struct _ | Func _ | Label -> false
+
+let bit_width = function
+  | I1 -> 1
+  | I8 -> 8
+  | I16 -> 16
+  | I32 -> 32
+  | I64 -> 64
+  | Void | Double | Ptr | Array _ | Struct _ | Func _ | Label ->
+    invalid_arg "Ty.bit_width: not an integer type"
+
+let rec size_in_cells = function
+  | Void -> 0
+  | I1 | I8 | I16 | I32 | I64 | Double | Ptr -> 1
+  | Array (n, t) -> n * size_in_cells t
+  | Struct ts -> List.fold_left (fun acc t -> acc + size_in_cells t) 0 ts
+  | Func _ | Label -> invalid_arg "Ty.size_in_cells: not a sized type"
+
+let rec pp ppf = function
+  | Void -> Format.pp_print_string ppf "void"
+  | I1 -> Format.pp_print_string ppf "i1"
+  | I8 -> Format.pp_print_string ppf "i8"
+  | I16 -> Format.pp_print_string ppf "i16"
+  | I32 -> Format.pp_print_string ppf "i32"
+  | I64 -> Format.pp_print_string ppf "i64"
+  | Double -> Format.pp_print_string ppf "double"
+  | Ptr -> Format.pp_print_string ppf "ptr"
+  | Array (n, t) -> Format.fprintf ppf "[%d x %a]" n pp t
+  | Struct ts ->
+    Format.fprintf ppf "{ %a }"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp)
+      ts
+  | Func (ret, params, vararg) ->
+    Format.fprintf ppf "%a (%a%s)" pp ret
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp)
+      params
+      (if vararg then if params = [] then "..." else ", ..." else "")
+  | Label -> Format.pp_print_string ppf "label"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,38 @@
+(** LLVM IR types (the subset used by QIR programs).
+
+    Pointers are opaque ([Ptr]), following modern LLVM syntax (the paper's
+    footnote 1): pointee types are carried by the instructions that need
+    them ([load], [getelementptr], ...), not by the pointer type itself. *)
+
+type t =
+  | Void
+  | I1
+  | I8
+  | I16
+  | I32
+  | I64
+  | Double
+  | Ptr  (** opaque pointer *)
+  | Array of int * t
+  | Struct of t list
+  | Func of t * t list * bool
+      (** return type, parameter types, is-vararg *)
+  | Label
+
+val equal : t -> t -> bool
+
+val is_integer : t -> bool
+(** [is_integer t] holds for [I1], [I8], [I16], [I32] and [I64]. *)
+
+val bit_width : t -> int
+(** Bit width of an integer type. Raises [Invalid_argument] otherwise. *)
+
+val size_in_cells : t -> int
+(** Abstract size used by the interpreter's memory model: every scalar
+    (integer, double, pointer) occupies one 8-byte cell; aggregates are the
+    sum of their fields. See {!Interp} for the memory model. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the type in LLVM assembly syntax, e.g. [i64], [[4 x double]]. *)
+
+val to_string : t -> string

@@ -1,0 +1,129 @@
+(* Structural well-formedness checks for functions and modules. Returns a
+   list of human-readable violations; an empty list means the module is
+   well-formed with respect to the checks below. *)
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+type violation = { where : string; what : string }
+
+let pp_violation ppf v = Format.fprintf ppf "%s: %s" v.where v.what
+
+let check_func (m : Ir_module.t) (f : Func.t) =
+  let errs = ref [] in
+  let err where fmt =
+    Format.kasprintf (fun what -> errs := { where; what } :: !errs) fmt
+  in
+  let fname = "@" ^ f.Func.name in
+  if Func.is_declaration f then []
+  else begin
+    (* unique labels *)
+    let labels = List.map (fun (b : Block.t) -> b.label) f.blocks in
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun l ->
+        if Hashtbl.mem seen l then err fname "duplicate block label %%%s" l
+        else Hashtbl.replace seen l ())
+      labels;
+    let label_set = SSet.of_list labels in
+    (* unique defs; collect def sites *)
+    let defs = Hashtbl.create 64 in
+    List.iter (fun (p : Func.param) -> Hashtbl.replace defs p.pname "param") f.params;
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.id with
+            | Some id ->
+              if Hashtbl.mem defs id then
+                err fname "%%%s defined more than once" id
+              else Hashtbl.replace defs id b.label;
+              if Instr.result_ty i.op = None then
+                err fname "%%%s names an instruction with no result" id
+            | None ->
+              if Instr.result_ty i.op <> None
+                 && (match i.op with
+                    | Instr.Call _ -> false (* unused call results are fine *)
+                    | _ -> true)
+              then err fname "unnamed instruction with a result in %%%s" b.label)
+          b.instrs)
+      f.blocks;
+    (* every use refers to a defined value; terminator targets exist;
+       phis lead their block and match predecessors *)
+    let cfg = Cfg.of_func f in
+    List.iter
+      (fun (b : Block.t) ->
+        let where = Printf.sprintf "%s %%%s" fname b.label in
+        let check_operand (o : Operand.typed) =
+          match o.Operand.v with
+          | Operand.Local name ->
+            if not (Hashtbl.mem defs name) then
+              err where "use of undefined value %%%s" name
+          | Operand.Const (Constant.Global g) ->
+            if Ir_module.find_func m g = None && Ir_module.find_global m g = None
+            then err where "reference to undefined global @%s" g
+          | Operand.Const _ -> ()
+        in
+        let saw_non_phi = ref false in
+        List.iter
+          (fun (i : Instr.t) ->
+            (match i.op with
+            | Instr.Phi (_, incoming) ->
+              if !saw_non_phi then
+                err where "phi node is not at the start of the block";
+              let preds = SSet.of_list (Cfg.predecessors cfg b.label) in
+              let inc_labels = SSet.of_list (List.map snd incoming) in
+              SSet.iter
+                (fun p ->
+                  if not (SSet.mem p inc_labels) then
+                    err where "phi is missing an entry for predecessor %%%s" p)
+                preds;
+              SSet.iter
+                (fun l ->
+                  if not (SSet.mem l preds) then
+                    err where "phi has an entry for non-predecessor %%%s" l)
+                inc_labels
+            | Instr.Call (_, callee, args) ->
+              (match Ir_module.find_func m callee with
+              | Some decl ->
+                let expected = List.length decl.Func.params in
+                let got = List.length args in
+                if expected <> got then
+                  err where "call to @%s with %d arguments, expected %d" callee
+                    got expected
+              | None -> err where "call to undeclared function @%s" callee)
+            | _ -> saw_non_phi := true);
+            List.iter check_operand (Instr.operands i.op))
+          b.instrs;
+        List.iter check_operand (Instr.term_operands b.term);
+        List.iter
+          (fun target ->
+            if not (SSet.mem target label_set) then
+              err where "branch to undefined label %%%s" target)
+          (Instr.successors b.term))
+      f.blocks;
+    (* the entry block must have no predecessors *)
+    (match Cfg.predecessors cfg cfg.Cfg.entry with
+    | [] -> ()
+    | _ :: _ -> err fname "the entry block has predecessors");
+    List.rev !errs
+  end
+
+let check_module (m : Ir_module.t) =
+  (* duplicate function names *)
+  let errs = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      if Hashtbl.mem seen f.Func.name then
+        errs :=
+          { where = "module"; what = "duplicate function @" ^ f.Func.name }
+          :: !errs
+      else Hashtbl.replace seen f.Func.name ())
+    m.Ir_module.funcs;
+  List.rev !errs @ List.concat_map (check_func m) m.Ir_module.funcs
+
+let verify_exn m =
+  match check_module m with
+  | [] -> ()
+  | v :: _ -> Ir_error.verify_error "%a" pp_violation v

@@ -1,0 +1,13 @@
+(** Structural well-formedness checks: unique labels and definitions,
+    defined uses, valid branch targets, phi/predecessor agreement, call
+    arities against declarations, entry block without predecessors. *)
+
+type violation = { where : string; what : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_func : Ir_module.t -> Func.t -> violation list
+val check_module : Ir_module.t -> violation list
+
+val verify_exn : Ir_module.t -> unit
+(** Raises {!Ir_error.Verify_error} on the first violation. *)

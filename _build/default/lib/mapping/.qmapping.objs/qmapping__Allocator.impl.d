@@ -1,0 +1,1 @@
+lib/mapping/allocator.ml: Array Circuit Fun Hashtbl List Option Qcircuit

@@ -1,0 +1,1 @@
+lib/mapping/allocator.mli: Qcircuit

@@ -1,0 +1,1 @@
+lib/mapping/hardware.ml: Array Format List Printf Queue

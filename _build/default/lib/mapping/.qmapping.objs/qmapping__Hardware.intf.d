@@ -1,0 +1,1 @@
+lib/mapping/hardware.mli: Format

@@ -1,0 +1,1 @@
+lib/mapping/layout.ml: Array Circuit Fun Hardware Hashtbl List Option Qcircuit

@@ -1,0 +1,1 @@
+lib/mapping/layout.mli: Hardware Hashtbl Qcircuit

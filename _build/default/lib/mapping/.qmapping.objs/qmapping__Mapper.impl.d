@@ -1,0 +1,1 @@
+lib/mapping/mapper.ml: Allocator Circuit Format Hardware Printf Qcircuit Router

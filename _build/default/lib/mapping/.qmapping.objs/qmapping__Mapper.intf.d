@@ -1,0 +1,1 @@
+lib/mapping/mapper.mli: Format Hardware Layout Qcircuit

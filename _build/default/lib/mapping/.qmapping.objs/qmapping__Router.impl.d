@@ -1,0 +1,1 @@
+lib/mapping/router.ml: Array Circuit Gate Hardware Layout List Printf Qcircuit

@@ -1,0 +1,1 @@
+lib/mapping/router.mli: Hardware Layout Qcircuit

@@ -1,0 +1,125 @@
+(* Static qubit-address assignment as register allocation (Sec. IV-A:
+   "the compiler must at some point assign the program's qubits to the
+   hardware's qubits — a process very similar to register allocation in
+   classical compilers").
+
+   Each program (logical) qubit has a live range [first op, last op].
+   Linear-scan allocation packs logical qubits whose ranges do not
+   overlap onto the same hardware qubit, inserting a [reset] at reuse
+   boundaries when the previous occupant did not end in a measurement or
+   reset (a freshly reused qubit must be |0>). *)
+
+open Qcircuit
+
+type interval = {
+  logical : int;
+  first : int;
+  last : int;
+  ends_clean : bool; (* last op is a measure or reset *)
+}
+
+type result = {
+  circuit : Circuit.t; (* remapped to hardware qubits *)
+  hw_qubits_used : int;
+  assignment : (int * int) list; (* logical -> hardware *)
+  resets_inserted : int;
+}
+
+let live_intervals (c : Circuit.t) =
+  let n = c.Circuit.num_qubits in
+  let first = Array.make n max_int and last = Array.make n (-1) in
+  let clean = Array.make n false in
+  List.iteri
+    (fun i (op : Circuit.op) ->
+      List.iter
+        (fun q ->
+          if first.(q) = max_int then first.(q) <- i;
+          last.(q) <- i;
+          clean.(q) <-
+            (match op.Circuit.kind with
+            | Circuit.Measure _ | Circuit.Reset _ -> true
+            | Circuit.Gate _ | Circuit.Barrier _ -> false))
+        (Circuit.op_qubits op))
+    c.Circuit.ops;
+  List.filter_map
+    (fun q ->
+      if last.(q) < 0 then None (* unused qubit *)
+      else
+        Some { logical = q; first = first.(q); last = last.(q);
+               ends_clean = clean.(q) })
+    (List.init n Fun.id)
+
+let allocate (c : Circuit.t) : result =
+  let intervals =
+    List.sort (fun a b -> compare a.first b.first) (live_intervals c)
+  in
+  (* free hardware qubits, with a flag: does it need a reset before reuse? *)
+  let free : (int * bool) list ref = ref [] in
+  let next_hw = ref 0 in
+  let active : (int * interval * int) list ref = ref [] in
+  (* (end, interval, hw) *)
+  let assignment = Hashtbl.create 16 in
+  let reset_before : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  (* op index -> hw qubits to reset first *)
+  let resets = ref 0 in
+  let expire now =
+    let expired, still =
+      List.partition (fun (last, _, _) -> last < now) !active
+    in
+    active := still;
+    List.iter
+      (fun (_, iv, hw) -> free := (hw, not iv.ends_clean) :: !free)
+      expired
+  in
+  List.iter
+    (fun iv ->
+      expire iv.first;
+      let hw, needs_reset =
+        match !free with
+        | (hw, dirty) :: rest ->
+          free := rest;
+          (hw, dirty)
+        | [] ->
+          let hw = !next_hw in
+          incr next_hw;
+          (hw, false)
+      in
+      if needs_reset then begin
+        incr resets;
+        Hashtbl.replace reset_before iv.first
+          (hw
+          :: Option.value ~default:[] (Hashtbl.find_opt reset_before iv.first))
+      end;
+      Hashtbl.replace assignment iv.logical hw;
+      active := (iv.last, iv, hw) :: !active)
+    intervals;
+  let remap q =
+    match Hashtbl.find_opt assignment q with
+    | Some hw -> hw
+    | None -> 0 (* unused qubit: arbitrary *)
+  in
+  let build =
+    Circuit.Build.create ~num_qubits:(max !next_hw 1)
+      ~num_clbits:c.Circuit.num_clbits ()
+  in
+  List.iteri
+    (fun i (op : Circuit.op) ->
+      (match Hashtbl.find_opt reset_before i with
+      | Some hws -> List.iter (fun hw -> Circuit.Build.reset build hw) hws
+      | None -> ());
+      let cond = op.Circuit.cond in
+      match op.Circuit.kind with
+      | Circuit.Gate (g, qs) ->
+        Circuit.Build.gate ?cond build g (List.map remap qs)
+      | Circuit.Measure (q, cl) -> Circuit.Build.measure ?cond build (remap q) cl
+      | Circuit.Reset q -> Circuit.Build.reset ?cond build (remap q)
+      | Circuit.Barrier qs -> Circuit.Build.barrier build (List.map remap qs))
+    c.Circuit.ops;
+  {
+    circuit = Circuit.Build.finish build;
+    hw_qubits_used = !next_hw;
+    assignment =
+      List.sort compare
+        (Hashtbl.fold (fun l hw acc -> (l, hw) :: acc) assignment []);
+    resets_inserted = !resets;
+  }

@@ -1,0 +1,26 @@
+(** Static qubit-address assignment as register allocation (Sec. IV-A:
+    "a process very similar to register allocation in classical
+    compilers").
+
+    Every program qubit gets a live range (first to last operation
+    touching it); linear-scan allocation packs qubits with disjoint
+    ranges onto the same hardware qubit, inserting a [reset] at reuse
+    boundaries when the previous occupant did not end in a measurement or
+    reset. *)
+
+type interval = {
+  logical : int;
+  first : int;
+  last : int;
+  ends_clean : bool;  (** last op is a measure or reset *)
+}
+
+type result = {
+  circuit : Qcircuit.Circuit.t;  (** remapped to hardware qubits *)
+  hw_qubits_used : int;
+  assignment : (int * int) list;  (** logical -> hardware, sorted *)
+  resets_inserted : int;
+}
+
+val live_intervals : Qcircuit.Circuit.t -> interval list
+val allocate : Qcircuit.Circuit.t -> result

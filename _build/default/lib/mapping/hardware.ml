@@ -1,0 +1,131 @@
+(* Hardware models: a fixed number of physical qubits and a coupling
+   graph restricting two-qubit gates (Sec. IV-A: "the hardware only has a
+   fixed number of qubits"). *)
+
+type t = {
+  hw_name : string;
+  num_qubits : int;
+  edges : (int * int) list; (* undirected couplings *)
+  dist : int array array; (* all-pairs shortest-path distances *)
+  next_hop : int array array; (* next_hop.(a).(b): neighbor of a towards b *)
+}
+
+let adjacency num_qubits edges =
+  let adj = Array.make num_qubits [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= num_qubits || b < 0 || b >= num_qubits || a = b then
+        invalid_arg "Hardware: bad edge";
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    edges;
+  Array.map (List.sort_uniq compare) adj
+
+let create ~name ~num_qubits ~edges =
+  let adj = adjacency num_qubits edges in
+  let inf = max_int / 2 in
+  let dist = Array.make_matrix num_qubits num_qubits inf in
+  let next_hop = Array.make_matrix num_qubits num_qubits (-1) in
+  (* BFS from every node *)
+  for src = 0 to num_qubits - 1 do
+    dist.(src).(src) <- 0;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if dist.(src).(v) >= inf then begin
+            dist.(src).(v) <- dist.(src).(u) + 1;
+            (* first hop on the path src -> v goes through u's chain; we
+               record hops in the reverse direction below *)
+            Queue.add v queue
+          end)
+        adj.(u)
+    done
+  done;
+  (* next hop: neighbor minimizing remaining distance *)
+  for a = 0 to num_qubits - 1 do
+    for b = 0 to num_qubits - 1 do
+      if a <> b && dist.(a).(b) < inf then
+        next_hop.(a).(b) <-
+          List.fold_left
+            (fun best v ->
+              if best >= 0 && dist.(best).(b) <= dist.(v).(b) then best else v)
+            (-1) adj.(a)
+    done
+  done;
+  { hw_name = name; num_qubits; edges; dist; next_hop }
+
+let connected t a b = t.dist.(a).(b) = 1
+let distance t a b = t.dist.(a).(b)
+
+let is_fully_connected t =
+  let ok = ref true in
+  for a = 0 to t.num_qubits - 1 do
+    for b = 0 to t.num_qubits - 1 do
+      if a <> b && t.dist.(a).(b) > 1 then ok := false
+    done
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Presets                                                              *)
+
+let linear n =
+  create ~name:(Printf.sprintf "linear-%d" n) ~num_qubits:n
+    ~edges:(List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then linear n
+  else
+    create ~name:(Printf.sprintf "ring-%d" n) ~num_qubits:n
+      ~edges:((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let grid rows cols =
+  let n = rows * cols in
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (idx r c, idx (r + 1) c) :: !edges
+    done
+  done;
+  create ~name:(Printf.sprintf "grid-%dx%d" rows cols) ~num_qubits:n
+    ~edges:!edges
+
+let star n =
+  create ~name:(Printf.sprintf "star-%d" n) ~num_qubits:n
+    ~edges:(List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let fully_connected n =
+  let edges = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      edges := (a, b) :: !edges
+    done
+  done;
+  create ~name:(Printf.sprintf "full-%d" n) ~num_qubits:n ~edges:!edges
+
+(* A heavy-hex-inspired sparse layout (degree <= 3), built as rows of
+   qubits joined by sparse vertical rungs — a simplified IBM-style
+   topology. *)
+let heavy_hex rows cols =
+  let n = rows * cols in
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+      (* vertical rungs every 4 columns, offset by row parity *)
+      if r + 1 < rows && c mod 4 = if r mod 2 = 0 then 0 else 2 then
+        edges := (idx r c, idx (r + 1) c) :: !edges
+    done
+  done;
+  create ~name:(Printf.sprintf "heavy-hex-%dx%d" rows cols) ~num_qubits:n
+    ~edges:!edges
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d qubits, %d couplings)" t.hw_name t.num_qubits
+    (List.length t.edges)

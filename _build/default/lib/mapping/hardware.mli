@@ -1,0 +1,35 @@
+(** Hardware models: a fixed number of physical qubits and a coupling
+    graph restricting two-qubit gates (Sec. IV-A: "the hardware only has
+    a fixed number of qubits"). *)
+
+type t = private {
+  hw_name : string;
+  num_qubits : int;
+  edges : (int * int) list;  (** undirected couplings *)
+  dist : int array array;  (** all-pairs shortest-path distances *)
+  next_hop : int array array;
+      (** [next_hop.(a).(b)]: a's neighbor on a shortest path to [b] *)
+}
+
+val create : name:string -> num_qubits:int -> edges:(int * int) list -> t
+(** Raises [Invalid_argument] on out-of-range or self-loop edges. *)
+
+val connected : t -> int -> int -> bool
+(** Directly coupled. *)
+
+val distance : t -> int -> int -> int
+val is_fully_connected : t -> bool
+
+(** {1 Presets} *)
+
+val linear : int -> t
+val ring : int -> t
+val grid : int -> int -> t
+val star : int -> t
+val fully_connected : int -> t
+
+val heavy_hex : int -> int -> t
+(** A heavy-hex-inspired sparse layout (degree <= 3): rows joined by
+    sparse vertical rungs. *)
+
+val pp : Format.formatter -> t -> unit

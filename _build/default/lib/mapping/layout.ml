@@ -1,0 +1,110 @@
+(* Initial placement of logical qubits onto physical qubits. *)
+
+open Qcircuit
+
+type t = {
+  phys_of_log : int array; (* logical -> physical *)
+  log_of_phys : int array; (* physical -> logical, or -1 *)
+}
+
+let identity ~num_logical ~num_physical =
+  if num_logical > num_physical then
+    invalid_arg "Layout.identity: more logical than physical qubits";
+  let log_of_phys = Array.make num_physical (-1) in
+  for l = 0 to num_logical - 1 do
+    log_of_phys.(l) <- l
+  done;
+  { phys_of_log = Array.init num_logical Fun.id; log_of_phys }
+
+let phys t l = t.phys_of_log.(l)
+let logical t p = t.log_of_phys.(p)
+
+let copy t =
+  { phys_of_log = Array.copy t.phys_of_log; log_of_phys = Array.copy t.log_of_phys }
+
+let swap_physical t p1 p2 =
+  let l1 = t.log_of_phys.(p1) and l2 = t.log_of_phys.(p2) in
+  t.log_of_phys.(p1) <- l2;
+  t.log_of_phys.(p2) <- l1;
+  if l1 >= 0 then t.phys_of_log.(l1) <- p2;
+  if l2 >= 0 then t.phys_of_log.(l2) <- p1
+
+(* Interaction weights between logical qubit pairs. *)
+let interaction_graph (c : Circuit.t) =
+  let w = Hashtbl.create 32 in
+  List.iter
+    (fun (op : Circuit.op) ->
+      match op.Circuit.kind with
+      | Circuit.Gate (_, ([ _; _ ] as qs)) | Circuit.Gate (_, ([ _; _; _ ] as qs))
+        ->
+        List.iteri
+          (fun i a ->
+            List.iteri
+              (fun j b ->
+                if i < j then begin
+                  let key = (min a b, max a b) in
+                  Hashtbl.replace w key
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt w key))
+                end)
+              qs)
+          qs
+      | _ -> ())
+    c.Circuit.ops;
+  w
+
+(* Greedy similarity placement: logical qubits in decreasing interaction
+   degree; each placed on the free physical qubit minimizing the
+   weighted distance to already-placed partners (ties: lowest index,
+   which favors dense regions on the presets). *)
+let greedy (hw : Hardware.t) (c : Circuit.t) =
+  let nl = c.Circuit.num_qubits and np = hw.Hardware.num_qubits in
+  if nl > np then invalid_arg "Layout.greedy: circuit too wide for hardware";
+  let w = interaction_graph c in
+  let degree = Array.make nl 0 in
+  Hashtbl.iter
+    (fun (a, b) n ->
+      degree.(a) <- degree.(a) + n;
+      degree.(b) <- degree.(b) + n)
+    w;
+  let order =
+    List.sort
+      (fun a b -> compare (degree.(b), a) (degree.(a), b))
+      (List.init nl Fun.id)
+  in
+  let phys_of_log = Array.make nl (-1) in
+  let log_of_phys = Array.make np (-1) in
+  (* centrality of a physical node: total distance to all others *)
+  let centrality p =
+    let acc = ref 0 in
+    for q = 0 to np - 1 do
+      acc := !acc + hw.Hardware.dist.(p).(q)
+    done;
+    !acc
+  in
+  List.iter
+    (fun l ->
+      let partners =
+        Hashtbl.fold
+          (fun (a, b) n acc ->
+            if a = l && phys_of_log.(b) >= 0 then (phys_of_log.(b), n) :: acc
+            else if b = l && phys_of_log.(a) >= 0 then
+              (phys_of_log.(a), n) :: acc
+            else acc)
+          w []
+      in
+      let cost p =
+        if partners = [] then centrality p
+        else
+          List.fold_left
+            (fun acc (pp, n) -> acc + (n * hw.Hardware.dist.(p).(pp)))
+            0 partners
+      in
+      let best = ref (-1) in
+      for p = 0 to np - 1 do
+        if log_of_phys.(p) < 0 && (!best < 0 || cost p < cost !best) then
+          best := p
+      done;
+      phys_of_log.(l) <- !best;
+      log_of_phys.(!best) <- l)
+    order;
+  { phys_of_log; log_of_phys }

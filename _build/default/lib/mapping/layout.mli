@@ -1,0 +1,23 @@
+(** Placement of logical qubits onto physical qubits. *)
+
+type t = {
+  phys_of_log : int array;  (** logical -> physical *)
+  log_of_phys : int array;  (** physical -> logical, or -1 when free *)
+}
+
+val identity : num_logical:int -> num_physical:int -> t
+val phys : t -> int -> int
+val logical : t -> int -> int
+val copy : t -> t
+
+val swap_physical : t -> int -> int -> unit
+(** Exchanges the logical occupants of two physical qubits (the effect of
+    a routed SWAP). *)
+
+val interaction_graph : Qcircuit.Circuit.t -> (int * int, int) Hashtbl.t
+(** Two-qubit interaction counts between logical qubit pairs. *)
+
+val greedy : Hardware.t -> Qcircuit.Circuit.t -> t
+(** Greedy similarity placement: qubits in decreasing interaction degree,
+    each placed to minimize weighted distance to already-placed
+    partners. *)

@@ -1,0 +1,56 @@
+(* End-to-end hardware mapping: optional live-range allocation (packing
+   logical qubits onto fewer hardware qubits), initial layout, SWAP
+   routing, and a report. The full Sec. IV-A pipeline: dynamic program
+   qubits become static hardware addresses. *)
+
+open Qcircuit
+
+type report = {
+  logical_qubits : int;
+  allocated_qubits : int;
+  resets_inserted : int;
+  swaps_inserted : int;
+  input_depth : int;
+  output_depth : int;
+  layout_kind : string;
+}
+
+exception Too_wide of string
+
+let map ?(allocate = true) ?(layout = `Greedy) (hw : Hardware.t)
+    (c : Circuit.t) : Circuit.t * report =
+  let c', alloc_report =
+    if allocate then begin
+      let r = Allocator.allocate c in
+      (r.Allocator.circuit,
+       (r.Allocator.hw_qubits_used, r.Allocator.resets_inserted))
+    end
+    else (c, (c.Circuit.num_qubits, 0))
+  in
+  let allocated, resets = alloc_report in
+  if allocated > hw.Hardware.num_qubits then
+    raise
+      (Too_wide
+         (Printf.sprintf "program needs %d qubits, %s has %d" allocated
+            hw.Hardware.hw_name hw.Hardware.num_qubits));
+  let routed, _final_layout, stats = Router.route ~layout hw c' in
+  ( routed,
+    {
+      logical_qubits = c.Circuit.num_qubits;
+      allocated_qubits = allocated;
+      resets_inserted = resets;
+      swaps_inserted = stats.Router.swaps_inserted;
+      input_depth = stats.Router.input_depth;
+      output_depth = stats.Router.output_depth;
+      layout_kind =
+        (match layout with
+        | `Trivial -> "trivial"
+        | `Greedy -> "greedy"
+        | `Fixed _ -> "fixed");
+    } )
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "logical=%d allocated=%d resets=%d swaps=%d depth %d -> %d (%s layout)"
+    r.logical_qubits r.allocated_qubits r.resets_inserted r.swaps_inserted
+    r.input_depth r.output_depth r.layout_kind

@@ -1,0 +1,25 @@
+(** End-to-end hardware mapping (the full Sec. IV-A pipeline): optional
+    live-range allocation, initial layout, SWAP routing, and a report. *)
+
+type report = {
+  logical_qubits : int;
+  allocated_qubits : int;
+  resets_inserted : int;
+  swaps_inserted : int;
+  input_depth : int;
+  output_depth : int;
+  layout_kind : string;
+}
+
+exception Too_wide of string
+
+val map :
+  ?allocate:bool ->
+  ?layout:[ `Fixed of Layout.t | `Greedy | `Trivial ] ->
+  Hardware.t ->
+  Qcircuit.Circuit.t ->
+  Qcircuit.Circuit.t * report
+(** Raises {!Too_wide} when the (allocated) program still exceeds the
+    hardware, and {!Router.Unroutable} on connectivity failures. *)
+
+val pp_report : Format.formatter -> report -> unit

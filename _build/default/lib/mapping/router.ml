@@ -1,0 +1,139 @@
+(* Routing: rewrite a circuit so that every multi-qubit gate acts on
+   coupled physical qubits, inserting SWAPs along shortest paths. The
+   output circuit is expressed over physical qubit indices. *)
+
+open Qcircuit
+
+type stats = {
+  swaps_inserted : int;
+  input_depth : int;
+  output_depth : int;
+}
+
+exception Unroutable of string
+
+(* Moves logical [a]'s physical position one hop towards [b]'s, recording
+   the swap. *)
+let step_towards hw layout build stats_swaps a_phys b_phys =
+  let hop = hw.Hardware.next_hop.(a_phys).(b_phys) in
+  if hop < 0 then
+    raise
+      (Unroutable
+         (Printf.sprintf "no path between physical qubits %d and %d" a_phys
+            b_phys));
+  Circuit.Build.gate build Gate.Swap [ a_phys; hop ];
+  incr stats_swaps;
+  Layout.swap_physical layout a_phys hop;
+  hop
+
+let route ?(layout = `Greedy) (hw : Hardware.t) (c : Circuit.t) :
+    Circuit.t * Layout.t * stats =
+  if c.Circuit.num_qubits > hw.Hardware.num_qubits then
+    raise
+      (Unroutable
+         (Printf.sprintf "circuit needs %d qubits, hardware has %d"
+            c.Circuit.num_qubits hw.Hardware.num_qubits));
+  let layout =
+    match layout with
+    | `Trivial ->
+      Layout.identity ~num_logical:c.Circuit.num_qubits
+        ~num_physical:hw.Hardware.num_qubits
+    | `Greedy -> Layout.greedy hw c
+    | `Fixed l -> Layout.copy l
+  in
+  let build =
+    Circuit.Build.create ~num_qubits:hw.Hardware.num_qubits
+      ~num_clbits:c.Circuit.num_clbits ()
+  in
+  let swaps = ref 0 in
+  let route_2q cond g a b =
+    let rec bring () =
+      let pa = Layout.phys layout a and pb = Layout.phys layout b in
+      if hw.Hardware.dist.(pa).(pb) > 1 then begin
+        let _ = step_towards hw layout build swaps pa pb in
+        bring ()
+      end
+    in
+    bring ();
+    Circuit.Build.gate ?cond build g
+      [ Layout.phys layout a; Layout.phys layout b ]
+  in
+  let route_3q cond g a b c3 =
+    (* bring all three mutually adjacent: first a next to c3, then b *)
+    let rec bring x y =
+      let px = Layout.phys layout x and py = Layout.phys layout y in
+      if hw.Hardware.dist.(px).(py) > 1 then begin
+        let _ = step_towards hw layout build swaps px py in
+        bring x y
+      end
+    in
+    bring a c3;
+    bring b c3;
+    (* the two controls may still be far from each other; for CCX-style
+       gates adjacency to the target suffices only if the hardware also
+       couples the controls — otherwise decompose. Here we require all
+       three pairwise adjacent and keep pulling. *)
+    let rec fix () =
+      let pa = Layout.phys layout a
+      and pb = Layout.phys layout b
+      and pc = Layout.phys layout c3 in
+      if
+        hw.Hardware.dist.(pa).(pb) > 1
+        || hw.Hardware.dist.(pa).(pc) > 1
+        || hw.Hardware.dist.(pb).(pc) > 1
+      then begin
+        if hw.Hardware.dist.(pa).(pc) > 1 then ignore (step_towards hw layout build swaps pa pc)
+        else if hw.Hardware.dist.(pb).(pc) > 1 then
+          ignore (step_towards hw layout build swaps pb pc)
+        else ignore (step_towards hw layout build swaps pa pb);
+        fix ()
+      end
+    in
+    fix ();
+    Circuit.Build.gate ?cond build g
+      [ Layout.phys layout a; Layout.phys layout b; Layout.phys layout c3 ]
+  in
+  List.iter
+    (fun (op : Circuit.op) ->
+      let cond = op.Circuit.cond in
+      match op.Circuit.kind with
+      | Circuit.Gate (g, [ q ]) ->
+        Circuit.Build.gate ?cond build g [ Layout.phys layout q ]
+      | Circuit.Gate (g, [ a; b ]) -> route_2q cond g a b
+      | Circuit.Gate (g, [ a; b; c3 ]) -> route_3q cond g a b c3
+      | Circuit.Gate (g, qs) ->
+        raise
+          (Unroutable
+             (Printf.sprintf "cannot route %d-qubit gate %s" (List.length qs)
+                (Gate.name g)))
+      | Circuit.Measure (q, cl) ->
+        Circuit.Build.measure ?cond build (Layout.phys layout q) cl
+      | Circuit.Reset q -> Circuit.Build.reset ?cond build (Layout.phys layout q)
+      | Circuit.Barrier qs ->
+        Circuit.Build.barrier build (List.map (Layout.phys layout) qs))
+    c.Circuit.ops;
+  let routed = Circuit.Build.finish build in
+  let stats =
+    {
+      swaps_inserted = !swaps;
+      input_depth = Circuit.depth c;
+      output_depth = Circuit.depth routed;
+    }
+  in
+  (routed, layout, stats)
+
+(* Routed circuits must only use coupled pairs: checked by tests. *)
+let respects_coupling (hw : Hardware.t) (c : Circuit.t) =
+  List.for_all
+    (fun (op : Circuit.op) ->
+      match op.Circuit.kind with
+      | Circuit.Gate (_, ([ _; _ ] | [ _; _; _ ])) ->
+        let qs = Circuit.op_qubits op in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b -> a = b || Hardware.connected hw a b)
+              qs)
+          qs
+      | _ -> true)
+    c.Circuit.ops

@@ -1,0 +1,20 @@
+(** Routing: rewriting a circuit so every multi-qubit gate acts on
+    coupled physical qubits, inserting SWAPs along shortest paths. The
+    output circuit is expressed over physical qubit indices. *)
+
+type stats = { swaps_inserted : int; input_depth : int; output_depth : int }
+
+exception Unroutable of string
+
+val route :
+  ?layout:[ `Fixed of Layout.t | `Greedy | `Trivial ] ->
+  Hardware.t ->
+  Qcircuit.Circuit.t ->
+  Qcircuit.Circuit.t * Layout.t * stats
+(** [route hw c] returns the routed circuit, the {e final} layout
+    (logical -> physical, after all inserted SWAPs) and statistics.
+    Raises {!Unroutable} when the circuit is too wide or a gate spans
+    disconnected components. *)
+
+val respects_coupling : Hardware.t -> Qcircuit.Circuit.t -> bool
+(** Every multi-qubit gate acts on pairwise-coupled qubits. *)

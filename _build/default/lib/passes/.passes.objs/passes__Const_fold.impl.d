@@ -1,0 +1,1 @@
+lib/passes/const_fold.ml: Block Constant Float Func Instr Int64 Interp Ir_module List Llvm_ir Operand Option Pass Subst Ty

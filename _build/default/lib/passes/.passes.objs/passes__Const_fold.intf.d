@@ -1,0 +1,1 @@
+lib/passes/const_fold.mli: Constant Func Instr Ir_module Llvm_ir Pass Ty

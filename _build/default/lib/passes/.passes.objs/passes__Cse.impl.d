@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Block Func Hashtbl Instr Ir_module List Llvm_ir Operand Pass Printer Subst

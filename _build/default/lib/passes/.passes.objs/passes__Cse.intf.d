@@ -1,0 +1,1 @@
+lib/passes/cse.mli: Func Ir_module Llvm_ir Pass

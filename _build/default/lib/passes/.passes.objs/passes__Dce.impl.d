@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Block Func Instr Ir_module List Llvm_ir Operand Pass Set String

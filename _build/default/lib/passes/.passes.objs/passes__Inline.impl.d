@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Block Constant Func Hashtbl Instr Ir_module List Llvm_ir Map Operand Option Pass Set String Subst

@@ -1,0 +1,1 @@
+lib/passes/inline.mli: Func Ir_module Llvm_ir Pass Set String

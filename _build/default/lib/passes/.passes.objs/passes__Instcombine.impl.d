@@ -1,0 +1,1 @@
+lib/passes/instcombine.ml: Block Constant Func Instr Ir_module List Llvm_ir Operand Pass Subst Ty

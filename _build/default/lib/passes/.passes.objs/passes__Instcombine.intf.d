@@ -1,0 +1,1 @@
+lib/passes/instcombine.mli: Func Instr Ir_module Llvm_ir Operand Pass

@@ -1,0 +1,1 @@
+lib/passes/loop.ml: Cfg Dom Func Hashtbl List Llvm_ir Set String

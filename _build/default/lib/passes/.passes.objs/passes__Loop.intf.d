@@ -1,0 +1,1 @@
+lib/passes/loop.mli: Cfg Func Llvm_ir Set

@@ -1,0 +1,1 @@
+lib/passes/mem2reg.ml: Block Cfg Constant Dom Func Hashtbl Instr Ir_module List Llvm_ir Map Operand Option Pass Set String Subst Ty

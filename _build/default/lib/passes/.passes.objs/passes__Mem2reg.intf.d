@@ -1,0 +1,1 @@
+lib/passes/mem2reg.mli: Func Hashtbl Ir_module Llvm_ir Pass Ty

@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Func Ir_module List Llvm_ir

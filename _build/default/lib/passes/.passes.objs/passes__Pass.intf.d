@@ -1,0 +1,1 @@
+lib/passes/pass.mli: Func Ir_module Llvm_ir

@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Const_fold Cse Dce Inline Instcombine Ir_module List Llvm_ir Mem2reg Pass Sccp Simplify_cfg String Unroll

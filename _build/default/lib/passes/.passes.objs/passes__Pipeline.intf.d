@@ -1,0 +1,1 @@
+lib/passes/pipeline.mli: Ir_module Llvm_ir Pass

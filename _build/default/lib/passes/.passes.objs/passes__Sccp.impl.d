@@ -1,0 +1,1 @@
+lib/passes/sccp.ml: Block Cfg Const_fold Constant Func Instr Int64 Ir_module List Llvm_ir Map Operand Option Pass Set String

@@ -1,0 +1,1 @@
+lib/passes/sccp.mli: Func Ir_module Llvm_ir Pass

@@ -1,0 +1,1 @@
+lib/passes/simplify_cfg.ml: Block Cfg Const_fold Func Hashtbl Instr Int64 Ir_module List Llvm_ir Operand Option Pass Set String Subst

@@ -1,0 +1,1 @@
+lib/passes/simplify_cfg.mli: Func Ir_module Llvm_ir Pass

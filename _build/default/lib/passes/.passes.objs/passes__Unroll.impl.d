@@ -1,0 +1,1 @@
+lib/passes/unroll.ml: Block Cfg Const_fold Constant Func Hashtbl Instr Int64 Ir_module List Llvm_ir Loop Map Operand Option Pass Printf String Subst Ty

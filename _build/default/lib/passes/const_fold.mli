@@ -1,0 +1,16 @@
+(** Local constant folding: instructions with all-constant operands are
+    evaluated at compile time and their uses rewritten; iterated to a
+    fixed point per function. One of the classical optimizations the
+    paper credits LLVM with (Sec. II-B). Trapping divisions by a zero
+    constant are never folded away. *)
+
+open Llvm_ir
+
+val int_of_const : Constant.t -> int64 option
+val fold_icmp : Instr.icmp -> Ty.t -> int64 -> int64 -> Constant.t
+
+val fold_instr : Instr.op -> Constant.t option
+(** The single-instruction folder (also reused by SCCP). *)
+
+val run : Ir_module.t -> Func.t -> Func.t * bool
+val pass : Pass.func_pass

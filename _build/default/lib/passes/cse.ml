@@ -1,0 +1,58 @@
+(* Local common-subexpression elimination: within each basic block, pure
+   instructions that are structurally identical to an earlier one are
+   replaced by the earlier result. Loads are not CSE'd (stores and
+   opaque calls may intervene); calls are never pure here, since quantum
+   instructions are calls. *)
+
+open Llvm_ir
+
+(* A pure instruction's structural key, or None when not eligible. *)
+let key_of (op : Instr.op) : string option =
+  match op with
+  | Instr.Binop _ | Instr.Fbinop _ | Instr.Icmp _ | Instr.Fcmp _
+  | Instr.Cast _ | Instr.Select _ | Instr.Gep _ | Instr.Freeze _ ->
+    (* the printed form without the result name is a canonical key *)
+    Some (Printer.instr_to_string (Instr.mk op))
+  | Instr.Alloca _ | Instr.Load _ | Instr.Store _ | Instr.Call _
+  | Instr.Phi _ ->
+    None
+
+let run (_m : Ir_module.t) (f : Func.t) : Func.t * bool =
+  let changed = ref false in
+  let blocks =
+    List.map
+      (fun (b : Block.t) ->
+        let seen : (string, string) Hashtbl.t = Hashtbl.create 16 in
+        let subst = ref Subst.SMap.empty in
+        let resolve (o : Operand.t) =
+          match o with
+          | Operand.Local name -> (
+            match Subst.SMap.find_opt name !subst with
+            | Some o' -> o'
+            | None -> o)
+          | Operand.Const _ -> o
+        in
+        let instrs =
+          List.filter_map
+            (fun (i : Instr.t) ->
+              let op = Instr.map_operands resolve i.Instr.op in
+              match i.Instr.id, key_of op with
+              | Some id, Some key -> (
+                match Hashtbl.find_opt seen key with
+                | Some earlier ->
+                  changed := true;
+                  subst := Subst.SMap.add id (Operand.Local earlier) !subst;
+                  None
+                | None ->
+                  Hashtbl.replace seen key id;
+                  Some { i with Instr.op })
+              | _ -> Some { i with Instr.op })
+            b.Block.instrs
+        in
+        let term = Instr.map_term_operands resolve b.Block.term in
+        Block.mk b.Block.label instrs term)
+      f.Func.blocks
+  in
+  (Func.replace_blocks f blocks, !changed)
+
+let pass = { Pass.name = "cse"; run }

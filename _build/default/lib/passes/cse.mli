@@ -1,0 +1,9 @@
+(** Local common-subexpression elimination: within each basic block,
+    pure instructions structurally identical to an earlier one are
+    replaced by the earlier result. Loads and calls are never reused
+    (stores / quantum calls may intervene). *)
+
+open Llvm_ir
+
+val run : Ir_module.t -> Func.t -> Func.t * bool
+val pass : Pass.func_pass

@@ -1,0 +1,63 @@
+(* Dead code elimination: removes instructions whose results are unused
+   and which have no side effects, iterating until nothing more dies. *)
+
+open Llvm_ir
+module SSet = Set.Make (String)
+
+let used_locals (f : Func.t) =
+  let used = ref SSet.empty in
+  let add (o : Operand.t) =
+    match o with
+    | Operand.Local name -> used := SSet.add name !used
+    | Operand.Const _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter
+            (fun (o : Operand.typed) -> add o.Operand.v)
+            (Instr.operands i.Instr.op))
+        b.Block.instrs;
+      List.iter
+        (fun (o : Operand.typed) -> add o.Operand.v)
+        (Instr.term_operands b.Block.term))
+    f.Func.blocks;
+  !used
+
+let run (_m : Ir_module.t) (f : Func.t) : Func.t * bool =
+  let changed = ref false in
+  let rec fixpoint f =
+    let used = used_locals f in
+    let died = ref false in
+    let blocks =
+      List.map
+        (fun (b : Block.t) ->
+          let instrs =
+            List.filter
+              (fun (i : Instr.t) ->
+                let keep =
+                  Instr.has_side_effect i.Instr.op
+                  ||
+                  match i.Instr.id with
+                  | Some id -> SSet.mem id used
+                  | None -> true
+                in
+                if not keep then died := true;
+                keep)
+              b.Block.instrs
+          in
+          { b with Block.instrs })
+        f.Func.blocks
+    in
+    let f = Func.replace_blocks f blocks in
+    if !died then begin
+      changed := true;
+      fixpoint f
+    end
+    else f
+  in
+  let f = fixpoint f in
+  (f, !changed)
+
+let pass = { Pass.name = "dce"; run }

@@ -1,0 +1,7 @@
+(** Dead code elimination: removes side-effect-free instructions whose
+    results are unused, iterating until nothing more dies. *)
+
+open Llvm_ir
+
+val run : Ir_module.t -> Func.t -> Func.t * bool
+val pass : Pass.func_pass

@@ -1,0 +1,16 @@
+(** Function inlining: call sites whose callee is a defined,
+    non-recursive function within the size budget are replaced by a clone
+    of the callee's body. Needed to lower multi-function QIR programs
+    into a single entry function (Sec. III-B). *)
+
+open Llvm_ir
+
+type limits = { max_callee_size : int; max_growth : int }
+
+val default_limits : limits
+
+val recursive_funcs : Ir_module.t -> Set.Make(String).t
+(** Functions that can (transitively) reach themselves. *)
+
+val run : ?limits:limits -> Ir_module.t -> Func.t -> Func.t * bool
+val pass : Pass.func_pass

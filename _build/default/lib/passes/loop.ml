@@ -1,0 +1,58 @@
+(* Natural-loop detection via back edges in the dominator tree. *)
+
+open Llvm_ir
+module SSet = Set.Make (String)
+
+type t = {
+  header : string;
+  latches : string list; (* sources of back edges into the header *)
+  body : SSet.t; (* all blocks of the loop, including the header *)
+}
+
+(* Natural loop of back edge (latch -> header): header plus all blocks that
+   reach the latch without passing through the header. *)
+let natural_loop cfg header latch =
+  let body = ref (SSet.singleton header) in
+  let rec grow label =
+    if not (SSet.mem label !body) then begin
+      body := SSet.add label !body;
+      List.iter grow (Cfg.predecessors cfg label)
+    end
+  in
+  grow latch;
+  !body
+
+let find (f : Func.t) =
+  let cfg = Cfg.of_func f in
+  let dom = Dom.compute cfg in
+  (* back edges: u -> v where v dominates u *)
+  let back_edges =
+    List.concat_map
+      (fun u ->
+        List.filter_map
+          (fun v -> if Dom.dominates dom v u then Some (u, v) else None)
+          (Cfg.successors cfg u))
+      (Cfg.reachable cfg)
+  in
+  (* group by header, merging bodies of shared headers *)
+  let tbl : (string, string list * SSet.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (latch, header) ->
+      let body = natural_loop cfg header latch in
+      match Hashtbl.find_opt tbl header with
+      | Some (latches, acc) ->
+        Hashtbl.replace tbl header (latch :: latches, SSet.union acc body)
+      | None -> Hashtbl.replace tbl header ([ latch ], body))
+    back_edges;
+  Hashtbl.fold
+    (fun header (latches, body) acc -> { header; latches; body } :: acc)
+    tbl []
+
+(* Exits of a loop: (from, to) edges leaving the body. *)
+let exits cfg loop =
+  List.concat_map
+    (fun label ->
+      List.filter_map
+        (fun s -> if SSet.mem s loop.body then None else Some (label, s))
+        (Cfg.successors cfg label))
+    (SSet.elements loop.body)

@@ -1,0 +1,12 @@
+(** Promotion of non-escaping allocas to SSA values, inserting phi nodes
+    at iterated dominance frontiers (standard SSA construction). The
+    enabling pass for loop unrolling on frontend output such as the
+    paper's Ex. 4, where the induction variable lives in an alloca. *)
+
+open Llvm_ir
+
+val promotable_allocas : Func.t -> (string, Ty.t) Hashtbl.t
+(** Single-cell allocas whose address is only used by loads and stores. *)
+
+val run : Ir_module.t -> Func.t -> Func.t * bool
+val pass : Pass.func_pass

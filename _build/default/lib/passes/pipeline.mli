@@ -1,0 +1,24 @@
+(** Preset pass pipelines. *)
+
+open Llvm_ir
+
+val all_passes : Pass.func_pass list
+(** mem2reg, const-fold, sccp, instcombine, cse, dce, simplify-cfg,
+    loop-unroll, inline. *)
+
+val find_pass : string -> Pass.func_pass option
+
+val standard : Pass.module_pass list
+(** SSA construction plus the classical scalar optimizations the paper
+    names in Sec. II-B (mem2reg, SCCP, CFG simplification, DCE). *)
+
+val lowering : Pass.module_pass list
+(** The adaptive-to-base flattening pipeline (Sec. III-B / Ex. 4):
+    inline, mem2reg, SCCP, full unrolling, folding, DCE, CFG cleanup. *)
+
+val optimize : ?max_rounds:int -> Ir_module.t -> Ir_module.t
+val lower : ?max_rounds:int -> Ir_module.t -> Ir_module.t
+
+val run_pass : string -> Ir_module.t -> Ir_module.t
+(** Runs one named pass once; raises [Invalid_argument] on unknown
+    names. *)

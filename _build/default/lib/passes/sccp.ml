@@ -1,0 +1,206 @@
+(* Sparse conditional constant propagation (Wegman-Zadeck), by chaotic
+   iteration over the reachable blocks: values descend the lattice
+   Top > Constant > Bottom while edge executability grows, so the
+   iteration terminates. Stronger than plain constant folding because phi
+   nodes only meet over *executable* incoming edges, letting constants
+   flow through conditionals whose outcome is known. *)
+
+open Llvm_ir
+module SMap = Map.Make (String)
+
+module ESet = Set.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+type lattice = Top | Cst of Constant.t | Bot
+
+let meet a b =
+  match a, b with
+  | Top, x | x, Top -> x
+  | Bot, _ | _, Bot -> Bot
+  | Cst c1, Cst c2 -> if Constant.equal c1 c2 then Cst c1 else Bot
+
+let lattice_equal a b =
+  match a, b with
+  | Top, Top | Bot, Bot -> true
+  | Cst c1, Cst c2 -> Constant.equal c1 c2
+  | (Top | Cst _ | Bot), _ -> false
+
+type state = {
+  mutable values : lattice SMap.t;
+  mutable edges : ESet.t; (* executable CFG edges *)
+}
+
+let value st id = Option.value ~default:Top (SMap.find_opt id st.values)
+
+let operand_lattice st (o : Operand.t) =
+  match o with
+  | Operand.Const c -> Cst c
+  | Operand.Local id -> value st id
+
+(* Re-expresses an instruction with lattice-constant operands substituted,
+   then reuses the constant folder. *)
+let eval_instr st (op : Instr.op) : lattice =
+  match op with
+  | Instr.Call _ | Instr.Load _ | Instr.Alloca _ | Instr.Gep _ -> Bot
+  | Instr.Store _ -> Bot
+  | Instr.Phi _ -> assert false (* handled by the caller *)
+  | Instr.Freeze v -> operand_lattice st v.Operand.v
+  | _ ->
+    (* if any operand is Top the result stays Top (optimism); if all are
+       constants, fold; otherwise Bot *)
+    let operands = Instr.operands op in
+    let lats =
+      List.map (fun (o : Operand.typed) -> operand_lattice st o.Operand.v) operands
+    in
+    if List.exists (fun l -> l = Top) lats then Top
+    else begin
+      let subst (o : Operand.t) =
+        match o with
+        | Operand.Local id -> (
+          match value st id with
+          | Cst c -> Operand.Const c
+          | Top | Bot -> o)
+        | Operand.Const _ -> o
+      in
+      let op' = Instr.map_operands subst op in
+      match Const_fold.fold_instr op' with
+      | Some c -> Cst c
+      | None -> Bot
+    end
+
+let run (_m : Ir_module.t) (f : Func.t) : Func.t * bool =
+  let cfg = Cfg.of_func f in
+  let st = { values = SMap.empty; edges = ESet.empty } in
+  (* parameters are unknown *)
+  List.iter
+    (fun (p : Func.param) -> st.values <- SMap.add p.Func.pname Bot st.values)
+    f.Func.params;
+  let entry = cfg.Cfg.entry in
+  let block_reachable label =
+    String.equal label entry
+    || ESet.exists (fun (_, t) -> String.equal t label) st.edges
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun label ->
+        if block_reachable label then begin
+          let b = Cfg.block cfg label in
+          List.iter
+            (fun (i : Instr.t) ->
+              match i.Instr.id, i.Instr.op with
+              | Some id, Instr.Phi (_, incoming) ->
+                let lat =
+                  List.fold_left
+                    (fun acc (v, l) ->
+                      if ESet.mem (l, label) st.edges then
+                        meet acc (operand_lattice st v)
+                      else acc)
+                    Top incoming
+                in
+                if not (lattice_equal lat (value st id)) then begin
+                  st.values <- SMap.add id lat st.values;
+                  changed := true
+                end
+              | Some id, op ->
+                let lat = eval_instr st op in
+                if not (lattice_equal lat (value st id)) then begin
+                  st.values <- SMap.add id lat st.values;
+                  changed := true
+                end
+              | None, _ -> ())
+            b.Block.instrs;
+          (* mark executable out-edges *)
+          let mark t =
+            if not (ESet.mem (label, t) st.edges) then begin
+              st.edges <- ESet.add (label, t) st.edges;
+              changed := true
+            end
+          in
+          match b.Block.term with
+          | Instr.Ret _ | Instr.Unreachable -> ()
+          | Instr.Br t -> mark t
+          | Instr.Cond_br (c, t, e) -> (
+            match operand_lattice st c with
+            | Cst cc -> (
+              match Const_fold.int_of_const cc with
+              | Some n -> mark (if Int64.equal n 0L then e else t)
+              | None ->
+                mark t;
+                mark e)
+            | Bot ->
+              mark t;
+              mark e
+            | Top -> ())
+          | Instr.Switch (v, d, cases) -> (
+            match operand_lattice st v.Operand.v with
+            | Cst cc -> (
+              match Const_fold.int_of_const cc with
+              | Some n ->
+                let target =
+                  List.fold_left
+                    (fun acc (c, l) ->
+                      match Const_fold.int_of_const c with
+                      | Some m when Int64.equal m n -> Some l
+                      | _ -> acc)
+                    None cases
+                in
+                mark (Option.value ~default:d target)
+              | None ->
+                mark d;
+                List.iter (fun (_, l) -> mark l) cases)
+            | Bot ->
+              mark d;
+              List.iter (fun (_, l) -> mark l) cases
+            | Top -> ())
+        end)
+      cfg.Cfg.rpo
+  done;
+  (* transformation: substitute constants, drop folded instructions, fold
+     branches whose condition is now constant *)
+  let const_ids =
+    SMap.filter_map
+      (fun _ lat ->
+        match lat with
+        | Cst c -> Some (Operand.Const c)
+        | Top | Bot -> None)
+      st.values
+  in
+  if SMap.is_empty const_ids then (f, false)
+  else begin
+    let resolve (o : Operand.t) =
+      match o with
+      | Operand.Local id -> (
+        match SMap.find_opt id const_ids with
+        | Some v -> v
+        | None -> o)
+      | Operand.Const _ -> o
+    in
+    let blocks =
+      List.map
+        (fun (b : Block.t) ->
+          let instrs =
+            List.filter_map
+              (fun (i : Instr.t) ->
+                match i.Instr.id with
+                | Some id
+                  when SMap.mem id const_ids
+                       && not (Instr.has_side_effect i.Instr.op) ->
+                  None
+                | _ ->
+                  Some
+                    { i with Instr.op = Instr.map_operands resolve i.Instr.op })
+              b.Block.instrs
+          in
+          let term = Instr.map_term_operands resolve b.Block.term in
+          Block.mk b.Block.label instrs term)
+        f.Func.blocks
+    in
+    (Func.replace_blocks f blocks, true)
+  end
+
+let pass = { Pass.name = "sccp"; run }

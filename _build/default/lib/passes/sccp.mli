@@ -1,0 +1,9 @@
+(** Sparse conditional constant propagation (Wegman-Zadeck), by chaotic
+    iteration: values descend Top > Constant > Bottom while edge
+    executability grows. Stronger than plain folding because phi nodes
+    meet only over executable incoming edges. *)
+
+open Llvm_ir
+
+val run : Ir_module.t -> Func.t -> Func.t * bool
+val pass : Pass.func_pass

@@ -1,0 +1,8 @@
+(** Control-flow cleanup: folds constant branches, removes unreachable
+    blocks (fixing phis), collapses single-incoming phis, and merges
+    straight-line block chains, to a local fixed point. *)
+
+open Llvm_ir
+
+val run : Ir_module.t -> Func.t -> Func.t * bool
+val pass : Pass.func_pass

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Format Func Hashtbl Interp Ir_module List Llvm_ir Option Qir Qsim Runtime String

@@ -1,0 +1,1 @@
+lib/runtime/executor.mli: Format Llvm_ir Qcircuit Qir Runtime

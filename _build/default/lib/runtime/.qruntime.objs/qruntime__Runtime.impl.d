@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Buffer Format Gate Hashtbl Int64 Interp List Llvm_ir Qcircuit Qir Qsim Ty

@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Buffer Hashtbl Llvm_ir Qcircuit Qsim

@@ -1,0 +1,81 @@
+(* End-to-end execution of QIR programs: interpreter (the lli stand-in)
+   plus the quantum runtime over a chosen simulator backend. Supports
+   single runs and shot loops with histogram collection. *)
+
+open Llvm_ir
+
+type backend_kind = [ `Statevector | `Stabilizer ]
+
+type run_result = {
+  output : string; (* the recorded-output bitstring, clbit order *)
+  results : (int64 * bool) list; (* all measured results, by address *)
+  interp_stats : Interp.stats;
+  runtime_stats : Runtime.stats;
+}
+
+let backend_of_kind ?seed kind n : Qsim.Backend.instance =
+  Qsim.Backend.create_instance ?seed kind n
+
+(* Initial register size: the entry point's declared requirement, or 0
+   (the register grows on demand — Sec. IV-A). *)
+let declared_qubits (m : Ir_module.t) =
+  match Ir_module.entry_point m with
+  | Some f -> (
+    match Func.attr f "required_num_qubits" with
+    | Some n -> Option.value ~default:0 (int_of_string_opt n)
+    | None -> 0)
+  | None -> 0
+
+let run ?(seed = 1) ?(backend : backend_kind = `Statevector) ?fuel
+    (m : Ir_module.t) : run_result =
+  let inst = backend_of_kind ~seed backend (declared_qubits m) in
+  let rt = Runtime.create inst in
+  let st = Interp.create ?fuel ~externals:(Runtime.externals rt) m in
+  let entry =
+    match Ir_module.entry_point m with
+    | Some f -> f.Func.name
+    | None -> raise (Runtime.Runtime_error "module has no entry point")
+  in
+  let _ = Interp.run_function st entry [] in
+  let results =
+    Hashtbl.fold (fun addr b acc -> (addr, b) :: acc) rt.Runtime.results []
+    |> List.sort compare
+  in
+  {
+    output = Runtime.recorded_output rt;
+    results;
+    interp_stats = Interp.stats st;
+    runtime_stats = Runtime.stats rt;
+  }
+
+(* The shot key: the recorded output when the program records one, else
+   the concatenation of all results in address order. *)
+let shot_key r =
+  if String.length r.output > 0 then r.output
+  else
+    String.concat ""
+      (List.map (fun (_, b) -> if b then "1" else "0") r.results)
+
+let run_shots ?(seed = 1) ?backend ?fuel ~shots (m : Ir_module.t) :
+    (string * int) list =
+  let histogram = Hashtbl.create 16 in
+  for shot = 0 to shots - 1 do
+    let r = run ~seed:(seed + (shot * 7919)) ?backend ?fuel m in
+    let key = shot_key r in
+    Hashtbl.replace histogram key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt histogram key))
+  done;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Convenience: run a circuit through the full QIR path (build -> execute)
+   — the architecture benchmarked in E4. *)
+let run_circuit_via_qir ?seed ?backend ?(addressing = `Static) ~shots c =
+  let m = Qir.Qir_builder.build ~addressing c in
+  run_shots ?seed ?backend ~shots m
+
+let pp_histogram ppf hist =
+  List.iter
+    (fun (key, count) ->
+      Format.fprintf ppf "%s: %d@\n" (if key = "" then "(empty)" else key) count)
+    hist

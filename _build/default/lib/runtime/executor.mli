@@ -1,0 +1,47 @@
+(** End-to-end execution of QIR programs: the interpreter (the [lli]
+    stand-in) plus the quantum runtime over a chosen simulator backend
+    (Sec. III-C). *)
+
+type backend_kind = [ `Stabilizer | `Statevector ]
+
+type run_result = {
+  output : string;  (** recorded-output bitstring, clbit order *)
+  results : (int64 * bool) list;  (** every measured result, by address *)
+  interp_stats : Llvm_ir.Interp.stats;
+  runtime_stats : Runtime.stats;
+}
+
+val declared_qubits : Llvm_ir.Ir_module.t -> int
+(** The entry point's [required_num_qubits], or 0 (the register grows on
+    demand). *)
+
+val run :
+  ?seed:int ->
+  ?backend:backend_kind ->
+  ?fuel:int ->
+  Llvm_ir.Ir_module.t ->
+  run_result
+(** One shot. Raises {!Runtime.Runtime_error} or
+    {!Llvm_ir.Ir_error.Exec_error} on bad programs. *)
+
+val run_shots :
+  ?seed:int ->
+  ?backend:backend_kind ->
+  ?fuel:int ->
+  shots:int ->
+  Llvm_ir.Ir_module.t ->
+  (string * int) list
+(** Histogram over [shots] runs, keyed by the recorded output (or, when
+    the program records nothing, by all results in address order),
+    sorted by key. *)
+
+val run_circuit_via_qir :
+  ?seed:int ->
+  ?backend:backend_kind ->
+  ?addressing:Qir.Qir_builder.addressing ->
+  shots:int ->
+  Qcircuit.Circuit.t ->
+  (string * int) list
+(** Convenience: circuit -> QIR -> histogram (the E4 architecture). *)
+
+val pp_histogram : Format.formatter -> (string * int) list -> unit

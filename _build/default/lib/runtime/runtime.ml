@@ -1,0 +1,346 @@
+(* The QIR runtime (the paper's Ex. 5): implementations of the
+   [__quantum__qis__*] and [__quantum__rt__*] functions that mutate a
+   simulator state, installed into the interpreter's external-call table.
+   Each function "modifies the internal state of the simulator to reflect
+   the application of the respective gate" — the Catalyst/Lightning
+   architecture, with the interpreter standing in for [lli].
+
+   Address model (matching {!Llvm_ir.Interp}'s value model):
+   - static qubit/result addresses are small integers (Ex. 6);
+   - dynamically allocated qubits get addresses from [dynamic_base] up;
+   - runtime arrays get handle and element addresses from [array_base] up;
+   - the canonical one/zero Result constants live at dedicated addresses.
+
+   Static addresses map to simulator qubits 1:1 and the register grows on
+   demand — the "allocate qubits on the fly when it encounters a new
+   qubit address" strategy discussed in Sec. IV-A. *)
+
+open Llvm_ir
+open Qcircuit
+
+let dynamic_base = 0x2000_0000L
+let array_base = 0x3000_0000L
+let one_result_addr = 0x4000_0001L
+let zero_result_addr = 0x4000_0002L
+
+exception Runtime_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type backend_ops = {
+  backend_name : string;
+  apply : Gate.t -> int list -> unit;
+  bmeasure : int -> bool;
+  breset : int -> unit;
+  ensure : int -> unit;
+  bnum_qubits : unit -> int;
+}
+
+let ops_of_instance (inst : Qsim.Backend.instance) = {
+  backend_name = Qsim.Backend.instance_name inst;
+  apply = Qsim.Backend.instance_apply inst;
+  bmeasure = Qsim.Backend.instance_measure inst;
+  breset = Qsim.Backend.instance_reset inst;
+  ensure = Qsim.Backend.instance_ensure inst;
+  bnum_qubits = (fun () -> Qsim.Backend.instance_num_qubits inst);
+}
+
+type array_info = {
+  elem_base : int64; (* first element address *)
+  count : int;
+  qubit_base : int option; (* Some base for qubit arrays *)
+}
+
+type stats = {
+  mutable gate_calls : int;
+  mutable measurements : int;
+  mutable resets : int;
+  mutable rt_calls : int;
+}
+
+type t = {
+  ops : backend_ops;
+  (* explicit dynamic-qubit map: address -> simulator index *)
+  qubit_of_addr : (int64, int) Hashtbl.t;
+  arrays : (int64, array_info) Hashtbl.t;
+  results : (int64, bool) Hashtbl.t;
+  output : Buffer.t;
+  mutable next_dynamic : int64;
+  mutable next_array : int64;
+  stats : stats;
+}
+
+let create (inst : Qsim.Backend.instance) =
+  {
+    ops = ops_of_instance inst;
+    qubit_of_addr = Hashtbl.create 32;
+    arrays = Hashtbl.create 8;
+    results = Hashtbl.create 32;
+    output = Buffer.create 64;
+    next_dynamic = dynamic_base;
+    next_array = array_base;
+    stats = { gate_calls = 0; measurements = 0; resets = 0; rt_calls = 0 };
+  }
+
+let stats rt = rt.stats
+let recorded_output rt = Buffer.contents rt.output
+
+(* ------------------------------------------------------------------ *)
+(* Address resolution                                                   *)
+
+let fresh_sim_qubit rt =
+  let n = rt.ops.bnum_qubits () in
+  rt.ops.ensure (n + 1);
+  n
+
+(* Does [addr] fall in a qubit array's element range? *)
+let qubit_array_lookup rt addr =
+  Hashtbl.fold
+    (fun _handle info acc ->
+      match acc, info.qubit_base with
+      | Some _, _ | _, None -> acc
+      | None, Some qbase ->
+        let off = Int64.sub addr info.elem_base in
+        if off >= 0L && Int64.to_int off / 8 < info.count
+           && Int64.rem off 8L = 0L
+        then Some (qbase + (Int64.to_int off / 8))
+        else None)
+    rt.arrays None
+
+let qubit_of_address rt addr =
+  match Hashtbl.find_opt rt.qubit_of_addr addr with
+  | Some q -> q
+  | None -> (
+    match qubit_array_lookup rt addr with
+    | Some q -> q
+    | None ->
+      if Int64.unsigned_compare addr dynamic_base < 0 then begin
+        (* static address: qubit index = address, growing on demand *)
+        let q = Int64.to_int addr in
+        rt.ops.ensure (q + 1);
+        q
+      end
+      else fail "unknown qubit address 0x%Lx" addr)
+
+let result_addr_of_value (v : Interp.value) =
+  match v with
+  | Interp.VPtr a -> a
+  | Interp.VInt (_, a) -> a
+  | Interp.VFloat _ | Interp.VVoid -> fail "expected a result pointer"
+
+let qubit_arg rt (v : Interp.value) =
+  match v with
+  | Interp.VPtr a | Interp.VInt (_, a) -> qubit_of_address rt a
+  | Interp.VFloat _ | Interp.VVoid -> fail "expected a qubit pointer"
+
+let double_arg (v : Interp.value) =
+  match v with
+  | Interp.VFloat f -> f
+  | Interp.VInt (_, n) -> Int64.to_float n
+  | Interp.VPtr _ | Interp.VVoid -> fail "expected a double"
+
+let int_arg (v : Interp.value) =
+  match v with
+  | Interp.VInt (_, n) -> n
+  | Interp.VPtr a -> a
+  | Interp.VFloat _ | Interp.VVoid -> fail "expected an integer"
+
+(* ------------------------------------------------------------------ *)
+(* The external-function table                                          *)
+
+let unit_value = Interp.VVoid
+
+let gate_fn rt g ~doubles ~qubits args =
+  let rec split k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | x :: rest -> split (k - 1) (x :: acc) rest
+      | [] -> fail "%s: not enough arguments" (Gate.name g)
+  in
+  let dargs, qargs = split doubles [] args in
+  if List.length qargs <> qubits then
+    fail "%s: expected %d qubit arguments" (Gate.name g) qubits;
+  let g =
+    match g, List.map double_arg dargs with
+    | Gate.Rx _, [ t ] -> Gate.Rx t
+    | Gate.Ry _, [ t ] -> Gate.Ry t
+    | Gate.Rz _, [ t ] -> Gate.Rz t
+    | g, [] -> g
+    | _ -> fail "%s: unexpected parameters" (Gate.name g)
+  in
+  let qs = List.map (qubit_arg rt) qargs in
+  rt.stats.gate_calls <- rt.stats.gate_calls + 1;
+  rt.ops.apply g qs;
+  unit_value
+
+let externals rt : (string * (Interp.value list -> Interp.value)) list =
+  let open Qir.Names in
+  let rt_fn f args =
+    rt.stats.rt_calls <- rt.stats.rt_calls + 1;
+    f args
+  in
+  let gate name g ~doubles ~qubits =
+    (name, fun args -> gate_fn rt g ~doubles ~qubits args)
+  in
+  [
+    (* --- gates --- *)
+    gate (qis "h") Gate.H ~doubles:0 ~qubits:1;
+    gate (qis "x") Gate.X ~doubles:0 ~qubits:1;
+    gate (qis "y") Gate.Y ~doubles:0 ~qubits:1;
+    gate (qis "z") Gate.Z ~doubles:0 ~qubits:1;
+    gate (qis "s") Gate.S ~doubles:0 ~qubits:1;
+    gate (qis_adj "s") Gate.Sdg ~doubles:0 ~qubits:1;
+    gate (qis "t") Gate.T ~doubles:0 ~qubits:1;
+    gate (qis_adj "t") Gate.Tdg ~doubles:0 ~qubits:1;
+    gate (qis "sx") Gate.Sx ~doubles:0 ~qubits:1;
+    gate (qis "rx") (Gate.Rx 0.0) ~doubles:1 ~qubits:1;
+    gate (qis "ry") (Gate.Ry 0.0) ~doubles:1 ~qubits:1;
+    gate (qis "rz") (Gate.Rz 0.0) ~doubles:1 ~qubits:1;
+    gate (qis "cnot") Gate.Cx ~doubles:0 ~qubits:2;
+    gate (qis "cz") Gate.Cz ~doubles:0 ~qubits:2;
+    gate (qis "cy") Gate.Cy ~doubles:0 ~qubits:2;
+    gate (qis "swap") Gate.Swap ~doubles:0 ~qubits:2;
+    gate (qis "ccx") Gate.Ccx ~doubles:0 ~qubits:3;
+    ( qis "reset",
+      fun args ->
+        match args with
+        | [ q ] ->
+          rt.stats.resets <- rt.stats.resets + 1;
+          rt.ops.breset (qubit_arg rt q);
+          unit_value
+        | _ -> fail "reset: bad arguments" );
+    ( qis_mz,
+      fun args ->
+        match args with
+        | [ q; r ] ->
+          rt.stats.measurements <- rt.stats.measurements + 1;
+          let outcome = rt.ops.bmeasure (qubit_arg rt q) in
+          Hashtbl.replace rt.results (result_addr_of_value r) outcome;
+          unit_value
+        | _ -> fail "mz: bad arguments" );
+    ( qis_m,
+      fun args ->
+        match args with
+        | [ q ] ->
+          rt.stats.measurements <- rt.stats.measurements + 1;
+          let outcome = rt.ops.bmeasure (qubit_arg rt q) in
+          (* a fresh result cell in the array address space *)
+          let addr = rt.next_array in
+          rt.next_array <- Int64.add rt.next_array 8L;
+          Hashtbl.replace rt.results addr outcome;
+          Interp.VPtr addr
+        | _ -> fail "m: bad arguments" );
+    ( rt_read_result,
+      fun args ->
+        match args with
+        | [ r ] -> (
+          let addr = result_addr_of_value r in
+          match Hashtbl.find_opt rt.results addr with
+          | Some b -> Interp.VInt (Ty.I1, if b then 1L else 0L)
+          | None -> fail "read_result before measurement (0x%Lx)" addr)
+        | _ -> fail "read_result: bad arguments" );
+    (* --- runtime --- *)
+    ( rt_qubit_allocate,
+      rt_fn (fun args ->
+          match args with
+          | [] ->
+            let q = fresh_sim_qubit rt in
+            let addr = rt.next_dynamic in
+            rt.next_dynamic <- Int64.add rt.next_dynamic 8L;
+            Hashtbl.replace rt.qubit_of_addr addr q;
+            Interp.VPtr addr
+          | _ -> fail "qubit_allocate: bad arguments") );
+    ( rt_qubit_allocate_array,
+      rt_fn (fun args ->
+          match args with
+          | [ n ] ->
+            let count = Int64.to_int (int_arg n) in
+            if count < 0 then fail "qubit_allocate_array: negative size";
+            let qubit_base = rt.ops.bnum_qubits () in
+            rt.ops.ensure (qubit_base + count);
+            let handle = rt.next_array in
+            let elem_base = Int64.add handle 8L in
+            rt.next_array <-
+              Int64.add rt.next_array (Int64.of_int (8 * (count + 1)));
+            Hashtbl.replace rt.arrays handle
+              { elem_base; count; qubit_base = Some qubit_base };
+            Interp.VPtr handle
+          | _ -> fail "qubit_allocate_array: bad arguments") );
+    ( rt_array_create_1d,
+      rt_fn (fun args ->
+          match args with
+          | [ _elem_size; n ] ->
+            let count = Int64.to_int (int_arg n) in
+            if count < 0 then fail "array_create_1d: negative size";
+            let handle = rt.next_array in
+            let elem_base = Int64.add handle 8L in
+            rt.next_array <-
+              Int64.add rt.next_array (Int64.of_int (8 * (count + 1)));
+            Hashtbl.replace rt.arrays handle
+              { elem_base; count; qubit_base = None };
+            Interp.VPtr handle
+          | _ -> fail "array_create_1d: bad arguments") );
+    ( rt_array_get_element_ptr_1d,
+      rt_fn (fun args ->
+          match args with
+          | [ h; i ] -> (
+            let handle = result_addr_of_value h in
+            let idx = Int64.to_int (int_arg i) in
+            match Hashtbl.find_opt rt.arrays handle with
+            | Some info ->
+              if idx < 0 || idx >= info.count then
+                fail "array index %d out of range [0, %d)" idx info.count;
+              Interp.VPtr (Int64.add info.elem_base (Int64.of_int (8 * idx)))
+            | None -> fail "array_get_element_ptr_1d: unknown array 0x%Lx" handle)
+          | _ -> fail "array_get_element_ptr_1d: bad arguments") );
+    ( rt_array_get_size_1d,
+      rt_fn (fun args ->
+          match args with
+          | [ h ] -> (
+            match Hashtbl.find_opt rt.arrays (result_addr_of_value h) with
+            | Some info -> Interp.VInt (Ty.I64, Int64.of_int info.count)
+            | None -> fail "array_get_size_1d: unknown array")
+          | _ -> fail "array_get_size_1d: bad arguments") );
+    (rt_qubit_release, rt_fn (fun _ -> unit_value));
+    (rt_qubit_release_array, rt_fn (fun _ -> unit_value));
+    (rt_array_update_reference_count, rt_fn (fun _ -> unit_value));
+    (rt_result_update_reference_count, rt_fn (fun _ -> unit_value));
+    (rt_result_get_one, rt_fn (fun _ -> Interp.VPtr one_result_addr));
+    (rt_result_get_zero, rt_fn (fun _ -> Interp.VPtr zero_result_addr));
+    ( rt_result_equal,
+      rt_fn (fun args ->
+          match args with
+          | [ a; b ] ->
+            let interpret v =
+              let addr = result_addr_of_value v in
+              if Int64.equal addr one_result_addr then true
+              else if Int64.equal addr zero_result_addr then false
+              else
+                match Hashtbl.find_opt rt.results addr with
+                | Some b -> b
+                | None -> fail "result_equal before measurement"
+            in
+            Interp.VInt (Ty.I1, if interpret a = interpret b then 1L else 0L)
+          | _ -> fail "result_equal: bad arguments") );
+    ( rt_result_record_output,
+      rt_fn (fun args ->
+          match args with
+          | [ r; _label ] -> (
+            let addr = result_addr_of_value r in
+            match Hashtbl.find_opt rt.results addr with
+            | Some b ->
+              Buffer.add_string rt.output (if b then "1" else "0");
+              unit_value
+            | None -> fail "result_record_output before measurement")
+          | _ -> fail "result_record_output: bad arguments") );
+    ( rt_array_record_output,
+      rt_fn (fun args ->
+          match args with
+          | [ _n; _label ] -> unit_value
+          | _ -> fail "array_record_output: bad arguments") );
+    (rt_initialize, rt_fn (fun _ -> unit_value));
+    (rt_message, rt_fn (fun _ -> unit_value));
+    ( rt_fail,
+      rt_fn (fun _ -> fail "program called __quantum__rt__fail") );
+  ]

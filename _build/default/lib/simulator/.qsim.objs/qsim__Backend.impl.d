@@ -1,0 +1,1 @@
+lib/simulator/backend.ml: Gate Qcircuit Stabilizer Statevector

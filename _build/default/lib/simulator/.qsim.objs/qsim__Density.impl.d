@@ -1,0 +1,1 @@
+lib/simulator/density.ml: Array Circuit Complex Gate List Printf Qcircuit Rng

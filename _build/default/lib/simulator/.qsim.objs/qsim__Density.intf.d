@@ -1,0 +1,1 @@
+lib/simulator/density.mli: Complex Qcircuit

@@ -1,0 +1,1 @@
+lib/simulator/noise.ml: Array Circuit Gate List Qcircuit Rng Statevector

@@ -1,0 +1,1 @@
+lib/simulator/noise.mli: Qcircuit Statevector

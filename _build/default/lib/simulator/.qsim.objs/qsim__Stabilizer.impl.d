@@ -1,0 +1,1 @@
+lib/simulator/stabilizer.ml: Array Bytes Circuit Gate List Printf Qcircuit Rng

@@ -1,0 +1,1 @@
+lib/simulator/stabilizer.mli: Qcircuit

@@ -1,0 +1,1 @@
+lib/simulator/statevector.ml: Array Circuit Complex Gate List Printf Qcircuit Rng

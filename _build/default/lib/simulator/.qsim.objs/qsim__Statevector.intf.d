@@ -1,0 +1,1 @@
+lib/simulator/statevector.mli: Complex Qcircuit

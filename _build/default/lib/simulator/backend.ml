@@ -1,0 +1,71 @@
+(* Backend abstraction: the QIR runtime (Ex. 5) is parametric over the
+   simulator implementing the quantum state, exactly as Catalyst is
+   parametric over Lightning. *)
+
+open Qcircuit
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : ?seed:int -> int -> t
+  val num_qubits : t -> int
+
+  val ensure_qubits : t -> int -> unit
+  (** Grows the register so that at least [n] qubits exist — the
+      "allocate qubits on the fly when [the runtime] encounters a new
+      qubit address" strategy of Sec. IV-A. *)
+
+  val apply : t -> Gate.t -> int list -> unit
+  (** May raise if the backend cannot represent the gate (e.g. a
+      non-Clifford gate on the stabilizer backend). *)
+
+  val measure : t -> int -> bool
+  val reset : t -> int -> unit
+end
+
+module Statevector_backend : S = struct
+  type t = Statevector.t
+
+  let name = "statevector"
+  let create ?seed n = Statevector.create ?seed n
+  let num_qubits = Statevector.num_qubits
+  let ensure_qubits = Statevector.ensure_qubits
+  let apply = Statevector.apply
+  let measure = Statevector.measure
+  let reset = Statevector.reset
+end
+
+module Stabilizer_backend : S = struct
+  type t = Stabilizer.t
+
+  let name = "stabilizer"
+  let create ?seed n = Stabilizer.create ?seed n
+  let num_qubits = Stabilizer.num_qubits
+  let ensure_qubits = Stabilizer.ensure_qubits
+  let apply = Stabilizer.apply
+  let measure = Stabilizer.measure
+  let reset = Stabilizer.reset
+end
+
+(* An existentially-packed backend instance, so callers can choose one at
+   runtime (e.g. from a CLI flag). *)
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+let create_instance ?seed kind n =
+  match kind with
+  | `Statevector ->
+    Instance
+      ((module Statevector_backend : S with type t = Statevector_backend.t),
+       Statevector_backend.create ?seed n)
+  | `Stabilizer ->
+    Instance
+      ((module Stabilizer_backend : S with type t = Stabilizer_backend.t),
+       Stabilizer_backend.create ?seed n)
+
+let instance_name (Instance ((module B), _)) = B.name
+let instance_apply (Instance ((module B), st)) g qs = B.apply st g qs
+let instance_measure (Instance ((module B), st)) q = B.measure st q
+let instance_reset (Instance ((module B), st)) q = B.reset st q
+let instance_ensure (Instance ((module B), st)) n = B.ensure_qubits st n
+let instance_num_qubits (Instance ((module B), st)) = B.num_qubits st

@@ -1,0 +1,42 @@
+(** Exact density-matrix simulator: rho -> U rho U+ for gates, exact
+    channel application for noise — the reference against which the
+    stochastic {!Noise} trajectories are validated. Practical to ~10
+    qubits (memory is 2 * 4^n doubles). *)
+
+type t
+
+val create : ?seed:int -> int -> t
+(** |0..0><0..0| over [n] qubits (0 <= n <= 12). *)
+
+val num_qubits : t -> int
+val dim : t -> int
+
+val entry : t -> int -> int -> Complex.t
+(** Matrix entry (row, column) over basis states. *)
+
+val trace : t -> float
+(** Should remain 1 under trace-preserving evolution. *)
+
+val probability : t -> int -> float
+(** Diagonal entry: probability of a computational basis state. *)
+
+val probabilities : t -> float array
+
+val apply : t -> Qcircuit.Gate.t -> int list -> unit
+val apply_matrix : t -> Complex.t array array -> int list -> unit
+
+val depolarize : t -> int -> float -> unit
+(** Exact depolarizing channel on one qubit:
+    rho -> (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z). *)
+
+val prob_one : t -> int -> float
+val measure : t -> int -> bool
+val reset : t -> int -> unit
+
+val purity : t -> float
+(** Tr(rho^2): 1 for pure states, 1/2^n for maximally mixed. *)
+
+val run_circuit :
+  ?seed:int -> ?noise:float * float -> Qcircuit.Circuit.t -> t * bool array
+(** Executes a circuit; [noise = (p1, p2)] applies the exact depolarizing
+    channel after every gate on each participating qubit (by arity). *)

@@ -1,0 +1,99 @@
+(* Depolarizing noise on top of the statevector backend (stochastic
+   Pauli-twirl trajectories): after every gate, each participating qubit
+   suffers a uniformly random Pauli error with probability [p1] (one-
+   qubit gates) or [p2] (two-or-more-qubit gates), and measurements
+   misreport with probability [p_readout].
+
+   This quantifies the paper's motivation that optimization passes are
+   "essential to ... maintain a high fidelity of the resulting quantum
+   program" (Sec. I): fewer gates, fewer error opportunities. Fidelity
+   estimates average over trajectories. *)
+
+open Qcircuit
+
+type params = { p1 : float; p2 : float; p_readout : float }
+
+let default = { p1 = 0.001; p2 = 0.01; p_readout = 0.01 }
+let noiseless = { p1 = 0.0; p2 = 0.0; p_readout = 0.0 }
+
+type t = {
+  sv : Statevector.t;
+  rng : Rng.t;
+  params : params;
+  mutable pauli_errors : int; (* injected error count, for reporting *)
+}
+
+let create ?(seed = 1) ?(params = default) n =
+  {
+    sv = Statevector.create ~seed n;
+    rng = Rng.create (seed lxor 0x5EED);
+    params;
+    pauli_errors = 0;
+  }
+
+let statevector t = t.sv
+let num_qubits t = Statevector.num_qubits t.sv
+let error_count t = t.pauli_errors
+
+let inject_pauli t q =
+  t.pauli_errors <- t.pauli_errors + 1;
+  let g =
+    match Rng.int t.rng 3 with
+    | 0 -> Gate.X
+    | 1 -> Gate.Y
+    | _ -> Gate.Z
+  in
+  Statevector.apply t.sv g [ q ]
+
+let apply t g qs =
+  Statevector.apply t.sv g qs;
+  let p = if Gate.num_qubits g >= 2 then t.params.p2 else t.params.p1 in
+  if p > 0.0 then
+    List.iter (fun q -> if Rng.float t.rng < p then inject_pauli t q) qs
+
+let measure t q =
+  let outcome = Statevector.measure t.sv q in
+  if t.params.p_readout > 0.0 && Rng.float t.rng < t.params.p_readout then
+    not outcome
+  else outcome
+
+let reset t q = Statevector.reset t.sv q
+
+(* One noisy trajectory of a whole circuit. *)
+let run_circuit ?(seed = 1) ?(params = default) (c : Circuit.t) =
+  let t = create ~seed ~params c.Circuit.num_qubits in
+  let clbits = Array.make (max c.Circuit.num_clbits 1) false in
+  let cond_holds (cond : Circuit.cond option) =
+    match cond with
+    | None -> true
+    | Some { cbits; value } ->
+      let v, _ =
+        List.fold_left
+          (fun (acc, k) cb ->
+            ((acc lor if clbits.(cb) then 1 lsl k else 0), k + 1))
+          (0, 0) cbits
+      in
+      v = value
+  in
+  List.iter
+    (fun (op : Circuit.op) ->
+      if cond_holds op.Circuit.cond then
+        match op.Circuit.kind with
+        | Circuit.Gate (g, qs) -> apply t g qs
+        | Circuit.Measure (q, cl) -> clbits.(cl) <- measure t q
+        | Circuit.Reset q -> reset t q
+        | Circuit.Barrier _ -> ())
+    c.Circuit.ops;
+  (t, clbits)
+
+(* Average fidelity of the noisy output state against the ideal one, over
+   [trials] trajectories. Only meaningful for measurement-free circuits
+   (measurements collapse both states differently). *)
+let average_fidelity ?(seed = 1) ?(params = default) ~trials (c : Circuit.t) =
+  let ideal, _ = Statevector.run_circuit ~seed c in
+  let acc = ref 0.0 in
+  for k = 0 to trials - 1 do
+    let t, _ = run_circuit ~seed:(seed + (k * 7919)) ~params c in
+    acc := !acc +. Statevector.fidelity ideal (statevector t)
+  done;
+  !acc /. float_of_int trials

@@ -1,0 +1,36 @@
+(** Depolarizing noise over the statevector backend (stochastic Pauli
+    trajectories): after each gate, every participating qubit suffers a
+    uniformly random Pauli with probability [p1]/[p2] (by gate arity);
+    measurements misreport with probability [p_readout].
+
+    Quantifies the paper's Sec. I motivation that optimization passes
+    "maintain a high fidelity": fewer gates, fewer error opportunities. *)
+
+type params = { p1 : float; p2 : float; p_readout : float }
+
+val default : params
+(** p1 = 0.001, p2 = 0.01, readout = 0.01. *)
+
+val noiseless : params
+
+type t
+
+val create : ?seed:int -> ?params:params -> int -> t
+val statevector : t -> Statevector.t
+val num_qubits : t -> int
+
+val error_count : t -> int
+(** Pauli errors injected so far. *)
+
+val apply : t -> Qcircuit.Gate.t -> int list -> unit
+val measure : t -> int -> bool
+val reset : t -> int -> unit
+
+val run_circuit :
+  ?seed:int -> ?params:params -> Qcircuit.Circuit.t -> t * bool array
+(** One noisy trajectory. *)
+
+val average_fidelity :
+  ?seed:int -> ?params:params -> trials:int -> Qcircuit.Circuit.t -> float
+(** Mean fidelity of noisy output states against the ideal state, over
+    [trials] trajectories (measurement-free circuits only). *)

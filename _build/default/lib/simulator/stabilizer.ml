@@ -1,0 +1,283 @@
+(* CHP stabilizer simulator (Aaronson & Gottesman, "Improved simulation of
+   stabilizer circuits"): tracks the stabilizer group of the state in a
+   (2n+1) x 2n binary tableau, simulating Clifford circuits in polynomial
+   time and space. The second simulator backend, demonstrating that the
+   QIR runtime of Ex. 5 is backend-agnostic. *)
+
+open Qcircuit
+
+type t = {
+  mutable n : int;
+  mutable x : Bytes.t array; (* (2n+1) rows of n bytes: X part *)
+  mutable z : Bytes.t array; (* Z part *)
+  mutable r : Bytes.t; (* phase bits, one per row *)
+  rng : Rng.t;
+}
+
+let get b i = Bytes.get_uint8 b i <> 0
+let set b i v = Bytes.set_uint8 b i (if v then 1 else 0)
+
+(* Fresh tableau: destabilizers X_i in rows 0..n-1, stabilizers Z_i in
+   rows n..2n-1, plus one scratch row. *)
+let create ?(seed = 1) n =
+  if n < 0 then invalid_arg "Stabilizer.create: negative size";
+  let rows = (2 * n) + 1 in
+  let x = Array.init rows (fun _ -> Bytes.make (max n 1) '\000') in
+  let z = Array.init rows (fun _ -> Bytes.make (max n 1) '\000') in
+  let r = Bytes.make rows '\000' in
+  for i = 0 to n - 1 do
+    set x.(i) i true;
+    set z.(n + i) i true
+  done;
+  { n; x; z; r; rng = Rng.create seed }
+
+let num_qubits st = st.n
+
+let check_qubit st q =
+  if q < 0 || q >= st.n then
+    invalid_arg (Printf.sprintf "Stabilizer: qubit %d out of range [0, %d)" q st.n)
+
+let add_qubit st =
+  let n = st.n in
+  let n' = n + 1 in
+  let rows' = (2 * n') + 1 in
+  let x = Array.init rows' (fun _ -> Bytes.make n' '\000') in
+  let z = Array.init rows' (fun _ -> Bytes.make n' '\000') in
+  let r = Bytes.make rows' '\000' in
+  (* old destabilizers 0..n-1 stay; new destabilizer X_n at row n;
+     old stabilizers shift from rows n..2n-1 to n'..n'+n-1; new
+     stabilizer Z_n at row n'+n *)
+  for i = 0 to n - 1 do
+    Bytes.blit st.x.(i) 0 x.(i) 0 n;
+    Bytes.blit st.z.(i) 0 z.(i) 0 n;
+    Bytes.set r i (Bytes.get st.r i);
+    Bytes.blit st.x.(n + i) 0 x.(n' + i) 0 n;
+    Bytes.blit st.z.(n + i) 0 z.(n' + i) 0 n;
+    Bytes.set r (n' + i) (Bytes.get st.r (n + i))
+  done;
+  set x.(n) n true;
+  set z.(n' + n) n true;
+  st.n <- n';
+  st.x <- x;
+  st.z <- z;
+  st.r <- r
+
+let ensure_qubits st n =
+  while st.n < n do
+    add_qubit st
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Clifford generators                                                  *)
+
+let h st q =
+  check_qubit st q;
+  for i = 0 to (2 * st.n) - 1 do
+    let xi = get st.x.(i) q and zi = get st.z.(i) q in
+    if xi && zi then set st.r i (not (get st.r i));
+    set st.x.(i) q zi;
+    set st.z.(i) q xi
+  done
+
+let s st q =
+  check_qubit st q;
+  for i = 0 to (2 * st.n) - 1 do
+    let xi = get st.x.(i) q and zi = get st.z.(i) q in
+    if xi && zi then set st.r i (not (get st.r i));
+    set st.z.(i) q (xi <> zi)
+  done
+
+let cnot st a b =
+  check_qubit st a;
+  check_qubit st b;
+  if a = b then invalid_arg "Stabilizer.cnot: identical qubits";
+  for i = 0 to (2 * st.n) - 1 do
+    let xia = get st.x.(i) a and xib = get st.x.(i) b in
+    let zia = get st.z.(i) a and zib = get st.z.(i) b in
+    if xia && zib && xib = zia then set st.r i (not (get st.r i));
+    set st.x.(i) b (xib <> xia);
+    set st.z.(i) a (zia <> zib)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Measurement (Aaronson-Gottesman, Sec. III)                           *)
+
+(* Phase exponent contribution of multiplying row [h] by row [i]
+   (the "g" function): returns 0, 1 or -1 mod 4 contributions. *)
+let g x1 z1 x2 z2 =
+  match x1, z1 with
+  | false, false -> 0
+  | true, true -> (if z2 then 1 else 0) - if x2 then 1 else 0
+  | true, false -> if z2 && x2 then 1 else if z2 && not x2 then -1 else 0
+  | false, true -> if x2 && z2 then -1 else if x2 && not z2 then 1 else 0
+
+(* row_h <- row_h * row_i *)
+let rowsum st h i =
+  let acc = ref ((if get st.r h then 2 else 0) + if get st.r i then 2 else 0) in
+  for j = 0 to st.n - 1 do
+    acc :=
+      !acc
+      + g (get st.x.(i) j) (get st.z.(i) j) (get st.x.(h) j) (get st.z.(h) j);
+    set st.x.(h) j (get st.x.(h) j <> get st.x.(i) j);
+    set st.z.(h) j (get st.z.(h) j <> get st.z.(i) j)
+  done;
+  let m = ((!acc mod 4) + 4) mod 4 in
+  (* the sum is always 0 or 2 mod 4 for commuting products in this
+     algorithm *)
+  set st.r h (m = 2)
+
+let measure st q =
+  check_qubit st q;
+  let n = st.n in
+  (* a stabilizer row with X on q? then the outcome is random *)
+  let p = ref (-1) in
+  for i = n to (2 * n) - 1 do
+    if !p < 0 && get st.x.(i) q then p := i
+  done;
+  if !p >= 0 then begin
+    let p = !p in
+    (* outcome random *)
+    for i = 0 to (2 * n) - 1 do
+      if i <> p && get st.x.(i) q then rowsum st i p
+    done;
+    (* destabilizer row p-n <- old stabilizer p; stabilizer p <- Z_q *)
+    Bytes.blit st.x.(p) 0 st.x.(p - n) 0 n;
+    Bytes.blit st.z.(p) 0 st.z.(p - n) 0 n;
+    Bytes.set st.r (p - n) (Bytes.get st.r p);
+    Bytes.fill st.x.(p) 0 n '\000';
+    Bytes.fill st.z.(p) 0 n '\000';
+    set st.z.(p) q true;
+    let outcome = Rng.bool st.rng in
+    set st.r p outcome;
+    outcome
+  end
+  else begin
+    (* deterministic outcome: accumulate into the scratch row 2n *)
+    let scratch = 2 * n in
+    Bytes.fill st.x.(scratch) 0 n '\000';
+    Bytes.fill st.z.(scratch) 0 n '\000';
+    set st.r scratch false;
+    for i = 0 to n - 1 do
+      if get st.x.(i) q then rowsum st scratch (i + n)
+    done;
+    get st.r scratch
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Derived gates                                                        *)
+
+let z_gate st q =
+  s st q;
+  s st q
+
+let x_gate st q =
+  h st q;
+  z_gate st q;
+  h st q
+
+let y_gate st q =
+  (* Y = i X Z; global phase is immaterial for stabilizer states *)
+  z_gate st q;
+  x_gate st q
+
+let sdg st q =
+  s st q;
+  z_gate st q
+
+let cz st a b =
+  h st b;
+  cnot st a b;
+  h st b
+
+let cy st a b =
+  sdg st b;
+  cnot st a b;
+  s st b
+
+let swap st a b =
+  cnot st a b;
+  cnot st b a;
+  cnot st a b
+
+let sx st q =
+  (* sx = sdg . h . sdg, up to global phase *)
+  sdg st q;
+  h st q;
+  sdg st q
+
+let sxdg st q =
+  s st q;
+  h st q;
+  s st q
+
+exception Not_clifford of Gate.t
+
+let apply st (gate : Gate.t) qubits =
+  match gate, qubits with
+  | Gate.I, [ _ ] -> ()
+  | Gate.H, [ q ] -> h st q
+  | Gate.X, [ q ] -> x_gate st q
+  | Gate.Y, [ q ] -> y_gate st q
+  | Gate.Z, [ q ] -> z_gate st q
+  | Gate.S, [ q ] -> s st q
+  | Gate.Sdg, [ q ] -> sdg st q
+  | Gate.Sx, [ q ] -> sx st q
+  | Gate.Sxdg, [ q ] -> sxdg st q
+  | Gate.Cx, [ a; b ] -> cnot st a b
+  | Gate.Cz, [ a; b ] -> cz st a b
+  | Gate.Cy, [ a; b ] -> cy st a b
+  | Gate.Swap, [ a; b ] -> swap st a b
+  | g, _ -> raise (Not_clifford g)
+
+let reset st q =
+  if measure st q then x_gate st q
+
+(* Probability that measuring [q] yields one: 0, 1/2 or 1 for stabilizer
+   states; non-destructive (works on a copy for the deterministic case). *)
+let prob_one st q =
+  check_qubit st q;
+  let random = ref false in
+  for i = st.n to (2 * st.n) - 1 do
+    if get st.x.(i) q then random := true
+  done;
+  if !random then 0.5
+  else begin
+    (* deterministic: replicate the scratch-row computation *)
+    let scratch = 2 * st.n in
+    Bytes.fill st.x.(scratch) 0 st.n '\000';
+    Bytes.fill st.z.(scratch) 0 st.n '\000';
+    set st.r scratch false;
+    for i = 0 to st.n - 1 do
+      if get st.x.(i) q then rowsum st scratch (i + st.n)
+    done;
+    if get st.r scratch then 1.0 else 0.0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Whole-circuit execution                                              *)
+
+let run_circuit ?(seed = 1) (c : Circuit.t) =
+  let st = create ~seed c.Circuit.num_qubits in
+  let clbits = Array.make (max c.Circuit.num_clbits 1) false in
+  let cond_holds (cond : Circuit.cond option) =
+    match cond with
+    | None -> true
+    | Some { cbits; value } ->
+      let v, _ =
+        List.fold_left
+          (fun (acc, k) cb ->
+            ((acc lor if clbits.(cb) then 1 lsl k else 0), k + 1))
+          (0, 0) cbits
+      in
+      v = value
+  in
+  List.iter
+    (fun (op : Circuit.op) ->
+      if cond_holds op.Circuit.cond then
+        match op.Circuit.kind with
+        | Circuit.Gate (g, qs) -> apply st g qs
+        | Circuit.Measure (q, cl) -> clbits.(cl) <- measure st q
+        | Circuit.Reset q -> reset st q
+        | Circuit.Barrier _ -> ())
+    c.Circuit.ops;
+  (st, clbits)

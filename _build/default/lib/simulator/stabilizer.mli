@@ -1,0 +1,34 @@
+(** CHP stabilizer simulator (Aaronson-Gottesman tableau): Clifford
+    circuits in polynomial time and space — the second backend behind the
+    Ex. 5 runtime, demonstrating backend-agnosticism and scaling far
+    beyond statevector limits. *)
+
+type t
+
+val create : ?seed:int -> int -> t
+val num_qubits : t -> int
+
+val add_qubit : t -> unit
+val ensure_qubits : t -> int -> unit
+
+exception Not_clifford of Qcircuit.Gate.t
+
+val apply : t -> Qcircuit.Gate.t -> int list -> unit
+(** Applies a Clifford gate; raises {!Not_clifford} otherwise. *)
+
+val h : t -> int -> unit
+val s : t -> int -> unit
+val cnot : t -> int -> int -> unit
+
+val measure : t -> int -> bool
+(** Measures in the Z basis (deterministic or fair-coin random, per the
+    stabilizer formalism), collapsing the state. *)
+
+val reset : t -> int -> unit
+
+val prob_one : t -> int -> float
+(** 0, 1/2 or 1 — non-destructive. *)
+
+val run_circuit : ?seed:int -> Qcircuit.Circuit.t -> t * bool array
+(** Executes a whole (Clifford) circuit; returns the final tableau state
+    and the classical bits. *)

@@ -1,0 +1,273 @@
+(* Dense statevector simulator: the stand-in for PennyLane Lightning in
+   the paper's Ex. 5. Amplitudes are kept in two flat [float array]s
+   (real/imaginary), which OCaml stores unboxed; gate kernels stride over
+   the arrays without allocating.
+
+   Qubit [q] indexes bit [q] of the basis-state index (qubit 0 is the
+   least-significant bit). The simulator supports growing the register
+   one qubit at a time ([add_qubit]) to serve dynamic qubit allocation
+   (the paper's Sec. IV-A). *)
+
+open Qcircuit
+
+type t = {
+  mutable n : int;
+  mutable re : float array;
+  mutable im : float array;
+  rng : Rng.t;
+}
+
+let create ?(seed = 1) n =
+  if n < 0 || n > 26 then invalid_arg "Statevector.create: 0 <= n <= 26";
+  let size = 1 lsl n in
+  let re = Array.make size 0.0 and im = Array.make size 0.0 in
+  re.(0) <- 1.0;
+  { n; re; im; rng = Rng.create seed }
+
+let num_qubits st = st.n
+let dim st = 1 lsl st.n
+
+let amplitude st i = { Complex.re = st.re.(i); im = st.im.(i) }
+
+let probability st i = (st.re.(i) *. st.re.(i)) +. (st.im.(i) *. st.im.(i))
+
+let probabilities st = Array.init (dim st) (probability st)
+
+let check_qubit st q =
+  if q < 0 || q >= st.n then
+    invalid_arg (Printf.sprintf "Statevector: qubit %d out of range [0, %d)" q st.n)
+
+(* Tensors |0> onto the high end of the register. *)
+let add_qubit st =
+  if st.n >= 26 then invalid_arg "Statevector.add_qubit: register too large";
+  let old_size = dim st in
+  let re = Array.make (old_size * 2) 0.0 and im = Array.make (old_size * 2) 0.0 in
+  Array.blit st.re 0 re 0 old_size;
+  Array.blit st.im 0 im 0 old_size;
+  st.re <- re;
+  st.im <- im;
+  st.n <- st.n + 1
+
+let ensure_qubits st n =
+  while st.n < n do
+    add_qubit st
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Gate kernels                                                         *)
+
+(* General single-qubit unitary on qubit [q]: for every index pair
+   (i0, i1) differing only in bit q, apply the 2x2 matrix. *)
+let apply_1q st (u : Complex.t array array) q =
+  check_qubit st q;
+  let bit = 1 lsl q in
+  let size = dim st in
+  let u00 = u.(0).(0) and u01 = u.(0).(1) and u10 = u.(1).(0) and u11 = u.(1).(1) in
+  let re = st.re and im = st.im in
+  let i = ref 0 in
+  while !i < size do
+    if !i land bit = 0 then begin
+      let i0 = !i in
+      let i1 = !i lor bit in
+      let a_re = re.(i0) and a_im = im.(i0) in
+      let b_re = re.(i1) and b_im = im.(i1) in
+      re.(i0) <-
+        (u00.Complex.re *. a_re) -. (u00.Complex.im *. a_im)
+        +. (u01.Complex.re *. b_re) -. (u01.Complex.im *. b_im);
+      im.(i0) <-
+        (u00.Complex.re *. a_im) +. (u00.Complex.im *. a_re)
+        +. (u01.Complex.re *. b_im) +. (u01.Complex.im *. b_re);
+      re.(i1) <-
+        (u10.Complex.re *. a_re) -. (u10.Complex.im *. a_im)
+        +. (u11.Complex.re *. b_re) -. (u11.Complex.im *. b_im);
+      im.(i1) <-
+        (u10.Complex.re *. a_im) +. (u10.Complex.im *. a_re)
+        +. (u11.Complex.re *. b_im) +. (u11.Complex.im *. b_re)
+    end;
+    incr i
+  done
+
+(* General two-qubit unitary on qubits [qa] (most significant in the
+   matrix basis) and [qb]. *)
+let apply_2q st (u : Complex.t array array) qa qb =
+  check_qubit st qa;
+  check_qubit st qb;
+  if qa = qb then invalid_arg "Statevector.apply_2q: identical qubits";
+  let ba = 1 lsl qa and bb = 1 lsl qb in
+  let size = dim st in
+  let re = st.re and im = st.im in
+  let tmp_re = Array.make 4 0.0 and tmp_im = Array.make 4 0.0 in
+  let idx = Array.make 4 0 in
+  let i = ref 0 in
+  while !i < size do
+    if !i land ba = 0 && !i land bb = 0 then begin
+      idx.(0) <- !i;
+      idx.(1) <- !i lor bb;
+      idx.(2) <- !i lor ba;
+      idx.(3) <- !i lor ba lor bb;
+      for k = 0 to 3 do
+        let sr = ref 0.0 and si = ref 0.0 in
+        for l = 0 to 3 do
+          let m = u.(k).(l) in
+          let vr = re.(idx.(l)) and vi = im.(idx.(l)) in
+          sr := !sr +. ((m.Complex.re *. vr) -. (m.Complex.im *. vi));
+          si := !si +. ((m.Complex.re *. vi) +. (m.Complex.im *. vr))
+        done;
+        tmp_re.(k) <- !sr;
+        tmp_im.(k) <- !si
+      done;
+      for k = 0 to 3 do
+        re.(idx.(k)) <- tmp_re.(k);
+        im.(idx.(k)) <- tmp_im.(k)
+      done
+    end;
+    incr i
+  done
+
+(* Toffoli / Fredkin as direct permutations, avoiding 8x8 matrices. *)
+let apply_ccx st c1 c2 tgt =
+  check_qubit st c1;
+  check_qubit st c2;
+  check_qubit st tgt;
+  let b1 = 1 lsl c1 and b2 = 1 lsl c2 and bt = 1 lsl tgt in
+  let size = dim st in
+  let re = st.re and im = st.im in
+  let i = ref 0 in
+  while !i < size do
+    if !i land b1 <> 0 && !i land b2 <> 0 && !i land bt = 0 then begin
+      let j = !i lor bt in
+      let tr = re.(!i) and ti = im.(!i) in
+      re.(!i) <- re.(j);
+      im.(!i) <- im.(j);
+      re.(j) <- tr;
+      im.(j) <- ti
+    end;
+    incr i
+  done
+
+let apply_cswap st c a b =
+  check_qubit st c;
+  check_qubit st a;
+  check_qubit st b;
+  let bc = 1 lsl c and ba = 1 lsl a and bb = 1 lsl b in
+  let size = dim st in
+  let re = st.re and im = st.im in
+  let i = ref 0 in
+  while !i < size do
+    (* swap amplitudes of |..a=1,b=0..> and |..a=0,b=1..> when c=1 *)
+    if !i land bc <> 0 && !i land ba <> 0 && !i land bb = 0 then begin
+      let j = (!i lxor ba) lor bb in
+      let tr = re.(!i) and ti = im.(!i) in
+      re.(!i) <- re.(j);
+      im.(!i) <- im.(j);
+      re.(j) <- tr;
+      im.(j) <- ti
+    end;
+    incr i
+  done
+
+let apply st (g : Gate.t) qubits =
+  match Gate.num_qubits g, qubits with
+  | 1, [ q ] -> apply_1q st (Gate.matrix_1q g) q
+  | 2, [ a; b ] -> apply_2q st (Gate.matrix_2q g) a b
+  | 3, [ a; b; c ] -> (
+    match g with
+    | Gate.Ccx -> apply_ccx st a b c
+    | Gate.Cswap -> apply_cswap st a b c
+    | _ -> assert false)
+  | n, qs ->
+    invalid_arg
+      (Printf.sprintf "Statevector.apply: %s expects %d qubits, got %d"
+         (Gate.name g) n (List.length qs))
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                          *)
+
+let prob_one st q =
+  check_qubit st q;
+  let bit = 1 lsl q in
+  let size = dim st in
+  let acc = ref 0.0 in
+  for i = 0 to size - 1 do
+    if i land bit <> 0 then
+      acc := !acc +. (st.re.(i) *. st.re.(i)) +. (st.im.(i) *. st.im.(i))
+  done;
+  !acc
+
+(* Projects onto [q] = [outcome] and renormalizes. *)
+let collapse st q outcome prob =
+  let bit = 1 lsl q in
+  let size = dim st in
+  let norm = 1.0 /. sqrt prob in
+  for i = 0 to size - 1 do
+    let is_one = i land bit <> 0 in
+    if is_one = outcome then begin
+      st.re.(i) <- st.re.(i) *. norm;
+      st.im.(i) <- st.im.(i) *. norm
+    end
+    else begin
+      st.re.(i) <- 0.0;
+      st.im.(i) <- 0.0
+    end
+  done
+
+let measure st q =
+  let p1 = prob_one st q in
+  let outcome = Rng.float st.rng < p1 in
+  let prob = if outcome then p1 else 1.0 -. p1 in
+  (* guard the numerically degenerate draw of a zero-probability branch *)
+  let outcome, prob =
+    if prob <= 0.0 then (not outcome, 1.0 -. prob) else (outcome, prob)
+  in
+  collapse st q outcome prob;
+  outcome
+
+let reset st q =
+  let one = measure st q in
+  if one then apply st Gate.X [ q ]
+
+(* Z-expectation value of qubit [q] without collapsing. *)
+let expectation_z st q = 1.0 -. (2.0 *. prob_one st q)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-circuit execution                                              *)
+
+let run_circuit ?(seed = 1) (c : Circuit.t) =
+  let st = create ~seed c.Circuit.num_qubits in
+  let clbits = Array.make (max c.Circuit.num_clbits 1) false in
+  let cond_holds (cond : Circuit.cond option) =
+    match cond with
+    | None -> true
+    | Some { cbits; value } ->
+      let v =
+        List.fold_left
+          (fun (acc, k) c ->
+            ((acc lor if clbits.(c) then 1 lsl k else 0), k + 1))
+          (0, 0) cbits
+        |> fst
+      in
+      v = value
+  in
+  List.iter
+    (fun (op : Circuit.op) ->
+      if cond_holds op.Circuit.cond then
+        match op.Circuit.kind with
+        | Circuit.Gate (g, qs) -> apply st g qs
+        | Circuit.Measure (q, cl) -> clbits.(cl) <- measure st q
+        | Circuit.Reset q -> reset st q
+        | Circuit.Barrier _ -> ())
+    c.Circuit.ops;
+  (st, clbits)
+
+(* Inner product <a|b>; |<a|b>|^2 = 1 iff the states coincide. *)
+let inner_product a b =
+  if a.n <> b.n then invalid_arg "Statevector.inner_product: size mismatch";
+  let acc_re = ref 0.0 and acc_im = ref 0.0 in
+  for i = 0 to dim a - 1 do
+    (* conj(a) * b *)
+    acc_re := !acc_re +. (a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i));
+    acc_im := !acc_im +. (a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i))
+  done;
+  { Complex.re = !acc_re; im = !acc_im }
+
+let fidelity a b = Complex.norm2 (inner_product a b)

@@ -1,0 +1,54 @@
+(** Dense statevector simulator — the stand-in for PennyLane Lightning in
+    the paper's Ex. 5. Exact amplitudes, up to 26 qubits.
+
+    Qubit [q] indexes bit [q] of the basis-state index (qubit 0 is the
+    least significant bit). The register can grow one qubit at a time to
+    serve dynamic allocation (Sec. IV-A). *)
+
+type t
+
+val create : ?seed:int -> int -> t
+(** [create n] is |0...0> over [n] qubits. Raises [Invalid_argument]
+    unless [0 <= n <= 26]. [seed] drives measurement sampling. *)
+
+val num_qubits : t -> int
+val dim : t -> int
+
+val amplitude : t -> int -> Complex.t
+val probability : t -> int -> float
+(** Probability of the computational basis state with the given index. *)
+
+val probabilities : t -> float array
+
+val add_qubit : t -> unit
+(** Tensors |0> onto the high end of the register. *)
+
+val ensure_qubits : t -> int -> unit
+(** Grows the register until it has at least [n] qubits. *)
+
+val apply : t -> Qcircuit.Gate.t -> int list -> unit
+(** Applies a gate to the given qubit operands. *)
+
+val apply_1q : t -> Complex.t array array -> int -> unit
+(** Applies an arbitrary 2x2 unitary. *)
+
+val apply_2q : t -> Complex.t array array -> int -> int -> unit
+(** Applies an arbitrary 4x4 unitary; the first qubit is the most
+    significant bit of the matrix basis. *)
+
+val prob_one : t -> int -> float
+(** Probability that measuring qubit [q] yields 1 (non-destructive). *)
+
+val measure : t -> int -> bool
+(** Samples and collapses qubit [q]. *)
+
+val reset : t -> int -> unit
+val expectation_z : t -> int -> float
+
+val run_circuit : ?seed:int -> Qcircuit.Circuit.t -> t * bool array
+(** Executes a whole circuit (including measurements, resets and
+    conditions); returns the final state and the classical bits. *)
+
+val inner_product : t -> t -> Complex.t
+val fidelity : t -> t -> float
+(** [|<a|b>|^2]; 1 iff the states coincide up to global phase. *)

@@ -1,0 +1,15 @@
+  $ qasm2qir bell.qasm --record-output false
+  $ qasm2qir bell.qasm -o bell.ll
+  $ qirc bell.ll --check base --emit none
+  $ qasm2qir bell.qasm --addressing dynamic -o bell_dyn.ll
+  $ qirc bell_dyn.ll --check base --emit none
+  $ qirc bell_dyn.ll --addressing static --check base --emit none
+  $ qir-run bell.ll --shots 50 --seed 3
+  $ qir2qasm bell.ll
+  $ qirc bell.ll --pass no-such-pass
+  $ echo "this is not llvm" > bad.ll
+  $ qirc bad.ll
+  $ qir-run bad.ll
+  $ qirc bell.ll --emit mlir
+  $ qirc forloop.ll --check base --emit none
+  $ qirc forloop.ll --lower --check base --emit qasm3

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Algorithms List Llvm_ir Printf Qcircuit Qir Qmapping Qruntime Qsim String

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Circuit Circuit_opt Float Gate Generate List QCheck2 QCheck_alcotest Qasm2 Qasm3 Qcircuit Qsim

@@ -1,0 +1,1 @@
+test/test_commute.ml: Alcotest Circuit Circuit_opt Commute_opt Float Gate Generate List QCheck2 QCheck_alcotest Qcircuit Qsim

@@ -1,0 +1,1 @@
+test/test_density.ml: Alcotest Array Circuit Complex Density Float Gate Generate List Noise Printf QCheck2 QCheck_alcotest Qcircuit Qsim Statevector

@@ -1,0 +1,1 @@
+test/test_gateset.ml: Alcotest Float Gate Generate List Printf QCheck2 QCheck_alcotest Qcircuit Qir Qsim Rng String

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Buffer Classify Feasibility Generate Latency List Llvm_ir Partition Printf Qcircuit Qhybrid

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Allocator Array Circuit Float Fun Gate Generate Hardware Hashtbl Layout List Mapper QCheck2 QCheck_alcotest Qcircuit Qmapping Qsim Router

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring Float Int64 Interp Ir_error List Llvm_ir Parser Qcircuit Ty Verifier

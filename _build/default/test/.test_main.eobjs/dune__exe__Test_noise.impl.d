@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Circuit Circuit_opt Gate Generate Noise Printf Qcircuit Qsim

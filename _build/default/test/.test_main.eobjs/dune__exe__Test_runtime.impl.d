@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Astring Circuit Executor Float Gate Generate List Llvm_ir Option QCheck2 QCheck_alcotest Qcircuit Qir Qir_builder Qir_gateset Qruntime Runtime Test_llvm_ir

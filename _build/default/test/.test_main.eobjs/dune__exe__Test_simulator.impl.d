@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Bool Circuit Complex Float Gate Generate List Printf QCheck2 QCheck_alcotest Qcircuit Qsim Stabilizer Statevector

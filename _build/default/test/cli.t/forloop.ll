@@ -1,0 +1,26 @@
+declare void @__quantum__qis__h__body(ptr)
+
+define void @main() "entry_point" {
+entry:
+  %i = alloca i32, align 4
+  store i32 0, ptr %i, align 4
+  br label %for.header
+
+for.header:
+  %1 = load i32, ptr %i, align 4
+  %cond = icmp slt i32 %1, 10
+  br i1 %cond, label %body, label %exit
+
+body:
+  %2 = load i32, ptr %i, align 4
+  %idx = sext i32 %2 to i64
+  %qb = inttoptr i64 %idx to ptr
+  call void @__quantum__qis__h__body(ptr %qb)
+  %3 = load i32, ptr %i, align 4
+  %4 = add nsw i32 %3, 1
+  store i32 %4, ptr %i, align 4
+  br label %for.header
+
+exit:
+  ret void
+}

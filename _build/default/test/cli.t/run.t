@@ -1,0 +1,150 @@
+The full CLI pipeline on the paper's Fig. 1 program.
+
+OpenQASM 2 -> QIR with static addressing (Ex. 6):
+
+  $ qasm2qir bell.qasm --record-output false
+  ; ModuleID = 'qir_builder'
+  
+  declare void @__quantum__qis__mz__body(ptr, ptr)
+  
+  declare void @__quantum__qis__cnot__body(ptr, ptr)
+  
+  declare void @__quantum__qis__h__body(ptr)
+  
+  define void @main() #0 {
+  entry:
+    call void @__quantum__qis__h__body(ptr null)
+    call void @__quantum__qis__cnot__body(ptr null, ptr inttoptr (i64 1 to ptr))
+    call void @__quantum__qis__mz__body(ptr null, ptr null)
+    call void @__quantum__qis__mz__body(ptr inttoptr (i64 1 to ptr), ptr inttoptr (i64 1 to ptr))
+    ret void
+  }
+  
+  attributes #0 = { "entry_point" "qir_profiles"="base_profile" "required_num_qubits"="2" "required_num_results"="2" }
+
+The static module conforms to the base profile:
+
+  $ qasm2qir bell.qasm -o bell.ll
+  $ qirc bell.ll --check base --emit none
+  conforms to base_profile
+
+Dynamic addressing (Fig. 1 right) violates it:
+
+  $ qasm2qir bell.qasm --addressing dynamic -o bell_dyn.ll
+  $ qirc bell_dyn.ll --check base --emit none
+  [base:no-memory] @main: memory instruction '%0 = alloca ptr, align 8' is not allowed
+  [base:no-allocation] @main: dynamic qubit allocation (@__quantum__rt__qubit_allocate_array) is not allowed
+  [base:no-memory] @main: memory instruction 'store ptr %1, ptr %0, align 8' is not allowed
+  [base:no-memory] @main: memory instruction '%2 = alloca ptr, align 8' is not allowed
+  [base:no-memory] @main: memory instruction 'store ptr %3, ptr %2, align 8' is not allowed
+  [base:no-memory] @main: memory instruction '%4 = load ptr, ptr %0, align 8' is not allowed
+  [base:static-addresses] @main: @__quantum__qis__h__body receives a dynamic qubit/result address
+  [base:no-memory] @main: memory instruction '%6 = load ptr, ptr %0, align 8' is not allowed
+  [base:no-memory] @main: memory instruction '%8 = load ptr, ptr %0, align 8' is not allowed
+  [base:static-addresses] @main: @__quantum__qis__cnot__body receives a dynamic qubit/result address
+  [base:static-addresses] @main: @__quantum__qis__cnot__body receives a dynamic qubit/result address
+  [base:no-memory] @main: memory instruction '%10 = load ptr, ptr %2, align 8' is not allowed
+  [base:no-memory] @main: memory instruction '%12 = load ptr, ptr %0, align 8' is not allowed
+  [base:static-addresses] @main: @__quantum__qis__mz__body receives a dynamic qubit/result address
+  [base:static-addresses] @main: @__quantum__qis__mz__body receives a dynamic qubit/result address
+  [base:no-memory] @main: memory instruction '%14 = load ptr, ptr %2, align 8' is not allowed
+  [base:no-memory] @main: memory instruction '%16 = load ptr, ptr %0, align 8' is not allowed
+  [base:static-addresses] @main: @__quantum__qis__mz__body receives a dynamic qubit/result address
+  [base:static-addresses] @main: @__quantum__qis__mz__body receives a dynamic qubit/result address
+  [base:no-memory] @main: memory instruction '%18 = load ptr, ptr %2, align 8' is not allowed
+  [base:static-addresses] @main: @__quantum__rt__result_record_output receives a dynamic qubit/result address
+  [base:no-memory] @main: memory instruction '%20 = load ptr, ptr %2, align 8' is not allowed
+  [base:static-addresses] @main: @__quantum__rt__result_record_output receives a dynamic qubit/result address
+  [base:no-memory] @main: memory instruction '%22 = load ptr, ptr %0, align 8' is not allowed
+  [1]
+
+...but converts:
+
+  $ qirc bell_dyn.ll --addressing static --check base --emit none
+  conforms to base_profile
+
+Execution (deterministic with a seed):
+
+  $ qir-run bell.ll --shots 50 --seed 3
+  00: 22
+  11: 28
+
+Round-trip back to OpenQASM:
+
+  $ qir2qasm bell.ll
+  OPENQASM 2.0;
+  include "qelib1.inc";
+  qreg q[2];
+  creg c[2];
+  h q[0];
+  cx q[0], q[1];
+  measure q[0] -> c[0];
+  measure q[1] -> c[1];
+
+Error paths: unknown pass, bad input, unroutable profile check.
+
+  $ qirc bell.ll --pass no-such-pass
+  unknown pass no-such-pass (available: mem2reg, const-fold, sccp, instcombine, cse, dce, simplify-cfg, loop-unroll, inline)
+  [1]
+
+  $ echo "this is not llvm" > bad.ll
+  $ qirc bad.ll
+  bad.ll: 1:8: unexpected token 'this' at top level
+  [1]
+
+  $ qir-run bad.ll
+  bad.ll: 1:8: unexpected token 'this' at top level
+  [1]
+
+The MLIR outlook (paper conclusion):
+
+  $ qirc bell.ll --emit mlir
+  module {
+    func.func @main() attributes {qir.entry_point} {
+      %q0_0 = quantum.alloc : !quantum.bit
+      %q1_0 = quantum.alloc : !quantum.bit
+      %q0_1 = quantum.custom "h" %q0_0 : !quantum.bit
+      %q0_2, %q1_1 = quantum.custom "cx" %q0_1, %q1_0 : !quantum.bit, !quantum.bit
+      %m0, %q0_3 = quantum.measure %q0_2 : i1, !quantum.bit
+      %m1, %q1_2 = quantum.measure %q1_1 : i1, !quantum.bit
+      quantum.dealloc %q0_3 : !quantum.bit
+      quantum.dealloc %q1_2 : !quantum.bit
+      return
+    }
+  }
+
+The paper's Ex. 4: a QIR FOR-loop lowers to ten straight-line H calls.
+
+  $ qirc forloop.ll --check base --emit none
+  [base:straight-line] @main: base profile requires a single basic block, found 4
+  [base:no-memory] @main: memory instruction '%i = alloca i32, align 8' is not allowed
+  [base:no-memory] @main: memory instruction 'store i32 0, ptr %i, align 8' is not allowed
+  [base:straight-line] @main: branching is not allowed
+  [base:no-memory] @main: memory instruction '%1 = load i32, ptr %i, align 8' is not allowed
+  [base:no-classical] @main: classical computation '%cond = icmp slt i32 %1, 10' is not allowed
+  [base:straight-line] @main: branching is not allowed
+  [base:no-memory] @main: memory instruction '%2 = load i32, ptr %i, align 8' is not allowed
+  [base:no-classical] @main: classical computation '%idx = sext i32 %2 to i64' is not allowed
+  [base:no-classical] @main: classical computation '%qb = inttoptr i64 %idx to ptr' is not allowed
+  [base:static-addresses] @main: @__quantum__qis__h__body receives a dynamic qubit/result address
+  [base:no-memory] @main: memory instruction '%3 = load i32, ptr %i, align 8' is not allowed
+  [base:no-classical] @main: classical computation '%4 = add i32 %3, 1' is not allowed
+  [base:no-memory] @main: memory instruction 'store i32 %4, ptr %i, align 8' is not allowed
+  [base:straight-line] @main: branching is not allowed
+  [1]
+
+  $ qirc forloop.ll --lower --check base --emit qasm3
+  conforms to base_profile
+  OPENQASM 3;
+  include "stdgates.inc";
+  qubit[10] q;
+  h q[0];
+  h q[1];
+  h q[2];
+  h q[3];
+  h q[4];
+  h q[5];
+  h q[6];
+  h q[7];
+  h q[8];
+  h q[9];

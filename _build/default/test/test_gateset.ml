@@ -1,0 +1,147 @@
+(* Correctness of the QIR gate-set legalization: every decomposition in
+   Qir_gateset must equal the original gate as a unitary, up to global
+   phase. Checked by preparing a random entangled state, applying the
+   original vs. the legalized sequence, and comparing fidelity. *)
+
+open Qcircuit
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+(* A fixed "scrambling" prefix so the gate acts on a generic state. *)
+let scramble st seed =
+  let rng = Rng.create seed in
+  for q = 0 to Qsim.Statevector.num_qubits st - 1 do
+    Qsim.Statevector.apply st (Gate.Ry (Rng.float rng *. 3.0)) [ q ];
+    Qsim.Statevector.apply st (Gate.Rz (Rng.float rng *. 3.0)) [ q ]
+  done;
+  for q = 0 to Qsim.Statevector.num_qubits st - 2 do
+    Qsim.Statevector.apply st Gate.Cx [ q; q + 1 ]
+  done
+
+let legalization_faithful ?(n = 3) ~seed g qs =
+  let st_orig = Qsim.Statevector.create n in
+  let st_leg = Qsim.Statevector.create n in
+  scramble st_orig seed;
+  scramble st_leg seed;
+  Qsim.Statevector.apply st_orig g qs;
+  List.iter
+    (fun (g', qs') -> Qsim.Statevector.apply st_leg g' qs')
+    (Qir.Qir_gateset.legalize_gate g qs);
+  Float.abs (Qsim.Statevector.fidelity st_orig st_leg -. 1.0) < 1e-9
+
+let angles = [ 0.0; 0.7; Float.pi /. 2.0; Float.pi; -1.3; 5.9 ]
+
+let test_1q_decompositions () =
+  List.iter
+    (fun g ->
+      List.iteri
+        (fun i q ->
+          check bool_t
+            (Printf.sprintf "%s on q%d" (Gate.to_string g) q)
+            true
+            (legalization_faithful ~seed:(100 + i) g [ q ]))
+        [ 0; 2 ])
+    ([ Gate.Sx; Gate.Sxdg ]
+    @ List.map (fun t -> Gate.P t) angles
+    @ List.map (fun t -> Gate.U (t, t /. 2.0, -.t)) angles)
+
+let test_2q_decompositions () =
+  List.iter
+    (fun g ->
+      List.iteri
+        (fun i (a, b) ->
+          check bool_t
+            (Printf.sprintf "%s on (%d,%d)" (Gate.to_string g) a b)
+            true
+            (legalization_faithful ~seed:(200 + i) g [ a; b ]))
+        [ (0, 1); (2, 0) ])
+    ([ Gate.Cy; Gate.Ch ]
+    @ List.concat_map
+        (fun t -> [ Gate.Crx t; Gate.Cry t; Gate.Crz t; Gate.Cp t ])
+        angles
+    @ List.map (fun t -> Gate.Cu (t, 0.4, -0.9)) angles)
+
+let test_3q_decompositions () =
+  List.iteri
+    (fun i perm ->
+      check bool_t
+        (Printf.sprintf "cswap %s" (String.concat "," (List.map string_of_int perm)))
+        true
+        (legalization_faithful ~seed:(300 + i) Gate.Cswap perm))
+    [ [ 0; 1; 2 ]; [ 2; 0; 1 ] ]
+
+(* Gate.merge must agree with sequential application. *)
+let prop_merge_faithful =
+  QCheck2.Test.make ~count:100 ~name:"Gate.merge agrees with composition"
+    QCheck2.Gen.(
+      pair (int_range 0 10000)
+        (pair (float_range (-6.0) 6.0) (float_range (-6.0) 6.0)))
+    (fun (seed, (t1, t2)) ->
+      let pairs =
+        [
+          (Gate.Rx t1, Gate.Rx t2); (Gate.Ry t1, Gate.Ry t2);
+          (Gate.Rz t1, Gate.Rz t2); (Gate.P t1, Gate.P t2);
+          (Gate.S, Gate.S); (Gate.T, Gate.T); (Gate.Sdg, Gate.Sdg);
+          (Gate.Tdg, Gate.Tdg);
+        ]
+      in
+      List.for_all
+        (fun (g1, g2) ->
+          match Gate.merge g1 g2 with
+          | None -> true
+          | Some merged ->
+            let st_seq = Qsim.Statevector.create 2 in
+            let st_merged = Qsim.Statevector.create 2 in
+            scramble st_seq seed;
+            scramble st_merged seed;
+            Qsim.Statevector.apply st_seq g1 [ 0 ];
+            Qsim.Statevector.apply st_seq g2 [ 0 ];
+            Qsim.Statevector.apply st_merged merged [ 0 ];
+            Float.abs (Qsim.Statevector.fidelity st_seq st_merged -. 1.0)
+            < 1e-9)
+        pairs)
+
+(* Gate.inverse must undo the gate on the state. *)
+let prop_inverse_faithful_2q =
+  QCheck2.Test.make ~count:60 ~name:"2q/3q Gate.inverse undoes the gate"
+    QCheck2.Gen.(pair (int_range 0 10000) (float_range (-6.0) 6.0))
+    (fun (seed, t) ->
+      let gates2 =
+        [ Gate.Cx; Gate.Cy; Gate.Cz; Gate.Ch; Gate.Swap; Gate.Crx t;
+          Gate.Cry t; Gate.Crz t; Gate.Cp t; Gate.Cu (t, 0.3, -0.8) ]
+      in
+      let gates3 = [ Gate.Ccx; Gate.Cswap ] in
+      let check_gate g qs =
+        let st = Qsim.Statevector.create 3 in
+        let reference = Qsim.Statevector.create 3 in
+        scramble st seed;
+        scramble reference seed;
+        Qsim.Statevector.apply st g qs;
+        Qsim.Statevector.apply st (Gate.inverse g) qs;
+        Float.abs (Qsim.Statevector.fidelity st reference -. 1.0) < 1e-9
+      in
+      List.for_all (fun g -> check_gate g [ 0; 2 ]) gates2
+      && List.for_all (fun g -> check_gate g [ 1; 0; 2 ]) gates3)
+
+(* Whole-circuit legalization preserves semantics including measures. *)
+let prop_legalize_circuit =
+  QCheck2.Test.make ~count:40 ~name:"circuit legalization preserves the state"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 2 4))
+    (fun (seed, n) ->
+      let c = Generate.random ~seed ~gates:30 n in
+      let st, _ = Qsim.Statevector.run_circuit c in
+      let st', _ = Qsim.Statevector.run_circuit (Qir.Qir_gateset.legalize c) in
+      Float.abs (Qsim.Statevector.fidelity st st' -. 1.0) < 1e-9)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_merge_faithful; prop_inverse_faithful_2q; prop_legalize_circuit ]
+
+let suite =
+  [
+    Alcotest.test_case "1q decompositions" `Quick test_1q_decompositions;
+    Alcotest.test_case "2q decompositions" `Quick test_2q_decompositions;
+    Alcotest.test_case "3q decompositions" `Quick test_3q_decompositions;
+  ]
+  @ props

@@ -1,0 +1,272 @@
+(* Tests for hardware models, layout, routing and the register-allocation
+   style qubit allocator (Sec. IV-A). *)
+
+open Qcircuit
+open Qmapping
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Hardware                                                             *)
+
+let test_linear_distances () =
+  let hw = Hardware.linear 5 in
+  check int_t "adjacent" 1 (Hardware.distance hw 0 1);
+  check int_t "ends" 4 (Hardware.distance hw 0 4);
+  check bool_t "not connected" false (Hardware.connected hw 0 2)
+
+let test_ring_distances () =
+  let hw = Hardware.ring 6 in
+  check int_t "wrap-around" 1 (Hardware.distance hw 0 5);
+  check int_t "opposite" 3 (Hardware.distance hw 0 3)
+
+let test_grid_distances () =
+  let hw = Hardware.grid 3 3 in
+  check int_t "manhattan" 4 (Hardware.distance hw 0 8);
+  check int_t "row neighbor" 1 (Hardware.distance hw 3 4)
+
+let test_star () =
+  let hw = Hardware.star 5 in
+  check int_t "leaf to leaf" 2 (Hardware.distance hw 1 4);
+  check int_t "hub to leaf" 1 (Hardware.distance hw 0 3)
+
+let test_full () =
+  check bool_t "fully connected" true
+    (Hardware.is_fully_connected (Hardware.fully_connected 5));
+  check bool_t "linear is not" false
+    (Hardware.is_fully_connected (Hardware.linear 5))
+
+let test_heavy_hex_connected () =
+  let hw = Hardware.heavy_hex 3 8 in
+  let ok = ref true in
+  for a = 0 to hw.Hardware.num_qubits - 1 do
+    if Hardware.distance hw 0 a > hw.Hardware.num_qubits then ok := false
+  done;
+  check bool_t "connected" true !ok
+
+let test_next_hop_progresses () =
+  let hw = Hardware.grid 4 4 in
+  (* following next hops always reaches the target *)
+  let rec walk a b steps =
+    if a = b then true
+    else if steps > hw.Hardware.num_qubits then false
+    else walk hw.Hardware.next_hop.(a).(b) b (steps + 1)
+  in
+  let ok = ref true in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      if not (walk a b 0) then ok := false
+    done
+  done;
+  check bool_t "all paths terminate" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                               *)
+
+let test_layout_greedy_is_permutation () =
+  let hw = Hardware.grid 3 3 in
+  let c = Generate.qft 6 in
+  let l = Layout.greedy hw c in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun p ->
+      check bool_t "no duplicate placement" false (Hashtbl.mem seen p);
+      Hashtbl.replace seen p ())
+    l.Layout.phys_of_log;
+  for log = 0 to 5 do
+    check int_t "inverse consistent" log (Layout.logical l (Layout.phys l log))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                               *)
+
+let test_route_ghz_linear () =
+  let hw = Hardware.linear 6 in
+  let c = Generate.ghz 6 in
+  let routed, _, stats = Router.route ~layout:`Trivial hw c in
+  (* GHZ chain cx(i, i+1) is already linear: no swaps needed *)
+  check int_t "no swaps" 0 stats.Router.swaps_inserted;
+  check bool_t "coupling respected" true (Router.respects_coupling hw routed)
+
+let test_route_needs_swaps () =
+  let hw = Hardware.linear 4 in
+  let b = Circuit.Build.create ~num_qubits:4 () in
+  Circuit.Build.gate b Gate.Cx [ 0; 3 ];
+  let c = Circuit.Build.finish b in
+  let routed, _, stats = Router.route ~layout:`Trivial hw c in
+  check bool_t "swaps inserted" true (stats.Router.swaps_inserted >= 1);
+  check bool_t "coupling respected" true (Router.respects_coupling hw routed)
+
+(* Routing preserves the state up to the final layout permutation. *)
+let routed_state_matches c hw layout_kind =
+  let nl = c.Circuit.num_qubits in
+  assert (nl = hw.Hardware.num_qubits);
+  let routed, final_layout, _ = Router.route ~layout:layout_kind hw c in
+  check bool_t "coupling respected" true (Router.respects_coupling hw routed);
+  let sv_orig, _ = Qsim.Statevector.run_circuit c in
+  let sv_routed, _ = Qsim.Statevector.run_circuit routed in
+  (* permute the routed state back: logical l lives at phys(l) *)
+  let perm = Array.init nl (fun l -> Layout.phys final_layout l) in
+  (* apply swaps to move phys(l) -> l *)
+  let pos = Array.copy perm in
+  for l = 0 to nl - 1 do
+    if pos.(l) <> l then begin
+      (* find who currently sits where we need *)
+      let src = pos.(l) in
+      Qsim.Statevector.apply sv_routed Gate.Swap [ src; l ];
+      (* update positions: any logical qubit at [l] moves to [src] *)
+      for k = 0 to nl - 1 do
+        if k <> l && pos.(k) = l then pos.(k) <- src
+      done;
+      pos.(l) <- l
+    end
+  done;
+  Float.abs (Qsim.Statevector.fidelity sv_orig sv_routed -. 1.0) < 1e-9
+
+let test_route_preserves_state () =
+  let hw = Hardware.linear 5 in
+  let c = Generate.qft 5 in
+  check bool_t "trivial layout" true (routed_state_matches c hw `Trivial);
+  check bool_t "greedy layout" true (routed_state_matches c hw `Greedy)
+
+let prop_route_preserves_state =
+  QCheck2.Test.make ~count:25 ~name:"routing preserves the state"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 3 5))
+    (fun (seed, n) ->
+      let c = Generate.random ~seed ~gates:30 n in
+      let hw = Hardware.linear n in
+      routed_state_matches c hw `Greedy)
+
+let test_route_too_wide () =
+  let hw = Hardware.linear 3 in
+  match Router.route hw (Generate.ghz 5) with
+  | exception Router.Unroutable _ -> ()
+  | _ -> Alcotest.fail "expected Unroutable"
+
+(* ------------------------------------------------------------------ *)
+(* Allocator (register allocation for qubits)                           *)
+
+let test_allocator_packs_sequential () =
+  (* 4 workers with 3 qubits each used strictly one after another: live
+     ranges are disjoint, so 3 hardware qubits suffice *)
+  let c = Generate.sequential_workers ~workers:4 ~span:3 3 in
+  check int_t "12 logical qubits" 12 c.Circuit.num_qubits;
+  let r = Allocator.allocate c in
+  check int_t "3 hardware qubits" 3 r.Allocator.hw_qubits_used
+
+let test_allocator_keeps_parallel () =
+  (* a GHZ keeps every qubit live to the end: no packing possible *)
+  let c = Generate.ghz 5 in
+  let r = Allocator.allocate c in
+  check int_t "5 hardware qubits" 5 r.Allocator.hw_qubits_used
+
+let test_allocator_inserts_reset_on_dirty_reuse () =
+  (* qubit 0's last op is a gate (dirty), then qubit 1 starts fresh *)
+  let b = Circuit.Build.create ~num_qubits:2 ~num_clbits:1 () in
+  Circuit.Build.gate b Gate.X [ 0 ];
+  (* qubit 0 never touched again *)
+  Circuit.Build.gate b Gate.H [ 1 ];
+  Circuit.Build.measure b 1 0;
+  let c = Circuit.Build.finish b in
+  let r = Allocator.allocate c in
+  if r.Allocator.hw_qubits_used = 1 then
+    check bool_t "reset inserted" true (r.Allocator.resets_inserted >= 1)
+
+let test_allocator_preserves_semantics () =
+  (* deterministic workload: each worker flips and measures; outcomes all 1 *)
+  let workers = 3 in
+  let b = Circuit.Build.create ~num_qubits:workers ~num_clbits:workers () in
+  for w = 0 to workers - 1 do
+    Circuit.Build.gate b Gate.X [ w ];
+    Circuit.Build.measure b w w;
+    Circuit.Build.reset b w
+  done;
+  let c = Circuit.Build.finish b in
+  let r = Allocator.allocate c in
+  check int_t "one hardware qubit" 1 r.Allocator.hw_qubits_used;
+  let _, bits = Qsim.Statevector.run_circuit r.Allocator.circuit in
+  check bool_t "all ones" true (Array.for_all Fun.id bits)
+
+(* ------------------------------------------------------------------ *)
+(* Mapper                                                               *)
+
+let test_mapper_end_to_end () =
+  let hw = Hardware.grid 3 3 in
+  let c = Generate.qft 6 in
+  let routed, report = Mapper.map hw c in
+  check bool_t "coupling respected" true (Router.respects_coupling hw routed);
+  check int_t "logical" 6 report.Mapper.logical_qubits;
+  check bool_t "swaps happened on sparse hardware" true
+    (report.Mapper.swaps_inserted > 0)
+
+let test_mapper_allocation_helps () =
+  (* 8 sequential workers x 2 qubits = 16 logical, fits a 4-qubit device
+     only thanks to allocation *)
+  let c = Generate.sequential_workers ~workers:8 ~span:2 2 in
+  let hw = Hardware.linear 4 in
+  let _, report = Mapper.map ~allocate:true hw c in
+  check bool_t "fits after allocation" true
+    (report.Mapper.allocated_qubits <= 4);
+  match Mapper.map ~allocate:false hw c with
+  | exception Mapper.Too_wide _ -> ()
+  | _ -> Alcotest.fail "expected Too_wide without allocation"
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_route_preserves_state ]
+
+let suite =
+  [
+    Alcotest.test_case "hw: linear distances" `Quick test_linear_distances;
+    Alcotest.test_case "hw: ring distances" `Quick test_ring_distances;
+    Alcotest.test_case "hw: grid distances" `Quick test_grid_distances;
+    Alcotest.test_case "hw: star" `Quick test_star;
+    Alcotest.test_case "hw: full connectivity" `Quick test_full;
+    Alcotest.test_case "hw: heavy-hex connected" `Quick
+      test_heavy_hex_connected;
+    Alcotest.test_case "hw: next-hop paths" `Quick test_next_hop_progresses;
+    Alcotest.test_case "layout: greedy permutation" `Quick
+      test_layout_greedy_is_permutation;
+    Alcotest.test_case "route: GHZ on linear" `Quick test_route_ghz_linear;
+    Alcotest.test_case "route: swaps inserted" `Quick test_route_needs_swaps;
+    Alcotest.test_case "route: state preserved" `Quick
+      test_route_preserves_state;
+    Alcotest.test_case "route: too wide" `Quick test_route_too_wide;
+    Alcotest.test_case "alloc: packs sequential workers" `Quick
+      test_allocator_packs_sequential;
+    Alcotest.test_case "alloc: GHZ cannot pack" `Quick
+      test_allocator_keeps_parallel;
+    Alcotest.test_case "alloc: dirty reuse resets" `Quick
+      test_allocator_inserts_reset_on_dirty_reuse;
+    Alcotest.test_case "alloc: semantics preserved" `Quick
+      test_allocator_preserves_semantics;
+    Alcotest.test_case "mapper: end to end" `Quick test_mapper_end_to_end;
+    Alcotest.test_case "mapper: allocation enables fit" `Quick
+      test_mapper_allocation_helps;
+  ]
+  @ props
+
+(* extra: a caller-supplied fixed layout is honored *)
+let test_fixed_layout () =
+  let hw = Hardware.linear 4 in
+  let c = Generate.ghz 4 in
+  let l = Layout.identity ~num_logical:4 ~num_physical:4 in
+  let routed, final, stats = Router.route ~layout:(`Fixed l) hw c in
+  check bool_t "coupling respected" true (Router.respects_coupling hw routed);
+  check int_t "no swaps on a chain" 0 stats.Router.swaps_inserted;
+  (* the caller's layout object is not mutated (route copies it) *)
+  check int_t "caller layout intact" 0 (Layout.phys l 0);
+  ignore final
+
+let test_identity_layout_rejects_too_many () =
+  match Layout.identity ~num_logical:5 ~num_physical:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "route: fixed layout" `Quick test_fixed_layout;
+      Alcotest.test_case "layout: too many logical" `Quick
+        test_identity_layout_rejects_too_many;
+    ]

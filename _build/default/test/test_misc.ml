@@ -1,0 +1,280 @@
+(* Additional corner tests: the OpenQASM expression evaluator, the
+   interpreter's memory model (GEP over arrays and structs), integer
+   cast semantics, and diagnostic quality. *)
+
+open Llvm_ir
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t = Alcotest.float 1e-12
+
+(* ------------------------------------------------------------------ *)
+(* Qasm_expr                                                            *)
+
+let eval_str env src =
+  let lx = Qcircuit.Qasm_lexer.create src in
+  let st = { Qcircuit.Qasm_expr.P.tok = Qcircuit.Qasm_lexer.next lx; lx } in
+  Qcircuit.Qasm_expr.eval env (Qcircuit.Qasm_expr.P.parse 0 st)
+
+let test_expr_precedence () =
+  check float_t "mul binds tighter" 7.0 (eval_str [] "1 + 2 * 3");
+  check float_t "parens" 9.0 (eval_str [] "(1 + 2) * 3");
+  check float_t "division" 2.5 (eval_str [] "5 / 2");
+  check float_t "left assoc" 1.0 (eval_str [] "5 - 3 - 1");
+  check float_t "pow right assoc" 512.0 (eval_str [] "2 ^ 3 ^ 2");
+  check float_t "unary minus" (-6.0) (eval_str [] "-2 * 3")
+
+let test_expr_functions () =
+  check float_t "pi" Float.pi (eval_str [] "pi");
+  check float_t "sin" 1.0 (eval_str [] "sin(pi / 2)");
+  check float_t "cos" (-1.0) (eval_str [] "cos(pi)");
+  check float_t "sqrt" 3.0 (eval_str [] "sqrt(9)");
+  check float_t "ln exp" 1.0 (eval_str [] "ln(exp(1))");
+  check float_t "nested" 2.0 (eval_str [] "sqrt(2) * sqrt(2)")
+
+let test_expr_params () =
+  check float_t "parameter" 1.5 (eval_str [ ("t", 0.5) ] "t * 3");
+  match eval_str [] "unknown + 1" with
+  | exception Qcircuit.Qasm_expr.Unbound "unknown" -> ()
+  | _ -> Alcotest.fail "expected Unbound"
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter memory model                                             *)
+
+let test_interp_gep_array () =
+  let src =
+    {|
+define i64 @f() {
+entry:
+  %a = alloca [4 x i64]
+  %p0 = getelementptr [4 x i64], ptr %a, i64 0, i64 0
+  %p2 = getelementptr [4 x i64], ptr %a, i64 0, i64 2
+  store i64 11, ptr %p0
+  store i64 22, ptr %p2
+  %v0 = load i64, ptr %p0
+  %v2 = load i64, ptr %p2
+  %r = add i64 %v0, %v2
+  ret i64 %r
+}
+|}
+  in
+  let m = Parser.parse_module src in
+  match Interp.run m "f" [] with
+  | Interp.VInt (_, n) -> check bool_t "33" true (Int64.equal n 33L)
+  | _ -> Alcotest.fail "expected int"
+
+let test_interp_gep_struct () =
+  let src =
+    {|
+define i64 @f() {
+entry:
+  %s = alloca { i64, i64, i64 }
+  %f1 = getelementptr { i64, i64, i64 }, ptr %s, i64 0, i64 1
+  %f2 = getelementptr { i64, i64, i64 }, ptr %s, i64 0, i64 2
+  store i64 5, ptr %f1
+  store i64 7, ptr %f2
+  %a = load i64, ptr %f1
+  %b = load i64, ptr %f2
+  %r = mul i64 %a, %b
+  ret i64 %r
+}
+|}
+  in
+  let m = Parser.parse_module src in
+  match Interp.run m "f" [] with
+  | Interp.VInt (_, n) -> check bool_t "35" true (Int64.equal n 35L)
+  | _ -> Alcotest.fail "expected int"
+
+let test_interp_dynamic_gep_index () =
+  let src =
+    {|
+define i64 @f(i64 %i) {
+entry:
+  %a = alloca [4 x i64]
+  %p0 = getelementptr [4 x i64], ptr %a, i64 0, i64 0
+  %p1 = getelementptr [4 x i64], ptr %a, i64 0, i64 1
+  store i64 100, ptr %p0
+  store i64 200, ptr %p1
+  %pi = getelementptr [4 x i64], ptr %a, i64 0, i64 %i
+  %r = load i64, ptr %pi
+  ret i64 %r
+}
+|}
+  in
+  let m = Parser.parse_module src in
+  let run i =
+    match Interp.run m "f" [ Interp.VInt (Ty.I64, i) ] with
+    | Interp.VInt (_, n) -> n
+    | _ -> Alcotest.fail "expected int"
+  in
+  check bool_t "index 0" true (Int64.equal (run 0L) 100L);
+  check bool_t "index 1" true (Int64.equal (run 1L) 200L)
+
+let test_interp_cast_semantics () =
+  let src =
+    {|
+define i64 @f() {
+entry:
+  %wide = add i32 0, 200
+  %byte = trunc i32 %wide to i8
+  %back_s = sext i8 %byte to i64
+  %back_z = zext i8 %byte to i64
+  %r = add i64 %back_s, %back_z
+  ret i64 %r
+}
+|}
+  in
+  (* 200 as i8 is -56 signed / 200 unsigned: sext -> -56, zext -> 200 *)
+  let m = Parser.parse_module src in
+  match Interp.run m "f" [] with
+  | Interp.VInt (_, n) -> check bool_t "144" true (Int64.equal n 144L)
+  | _ -> Alcotest.fail "expected int"
+
+let test_interp_i1_arith () =
+  let src =
+    {|
+define i64 @f(i64 %x) {
+entry:
+  %c = icmp sgt i64 %x, 10
+  %w = zext i1 %c to i64
+  ret i64 %w
+}
+|}
+  in
+  let m = Parser.parse_module src in
+  let run x =
+    match Interp.run m "f" [ Interp.VInt (Ty.I64, x) ] with
+    | Interp.VInt (_, n) -> n
+    | _ -> -1L
+  in
+  check bool_t "above" true (Int64.equal (run 20L) 1L);
+  check bool_t "below" true (Int64.equal (run 5L) 0L)
+
+let test_interp_select () =
+  let src =
+    {|
+define i64 @f(i1 %c) {
+entry:
+  %r = select i1 %c, i64 42, i64 7
+  ret i64 %r
+}
+|}
+  in
+  let m = Parser.parse_module src in
+  let run c =
+    match Interp.run m "f" [ Interp.VInt (Ty.I1, c) ] with
+    | Interp.VInt (_, n) -> n
+    | _ -> -1L
+  in
+  check bool_t "true" true (Int64.equal (run 1L) 42L);
+  check bool_t "false" true (Int64.equal (run 0L) 7L)
+
+let test_interp_unsigned_division () =
+  let src =
+    {|
+define i64 @f() {
+entry:
+  %a = sub i64 0, 8
+  %q = udiv i64 %a, 2
+  %s = sdiv i64 %a, 2
+  %r = sub i64 %q, %s
+  ret i64 %r
+}
+|}
+  in
+  (* -8 unsigned is 2^64-8: udiv 2 = 2^63-4; sdiv = -4 *)
+  let m = Parser.parse_module src in
+  match Interp.run m "f" [] with
+  | Interp.VInt (_, n) ->
+    check bool_t "difference" true (Int64.equal n Int64.(add min_int 0L))
+  | _ -> Alcotest.fail "expected int"
+
+let test_interp_division_by_zero () =
+  let src = "define i64 @f() {\nentry:\n  %r = sdiv i64 1, 0\n  ret i64 %r\n}" in
+  let m = Parser.parse_module src in
+  match Interp.run m "f" [] with
+  | exception Ir_error.Exec_error msg ->
+    check bool_t "mentions zero" true
+      (Astring.String.is_infix ~affix:"zero" msg)
+  | _ -> Alcotest.fail "expected Exec_error"
+
+(* ------------------------------------------------------------------ *)
+(* Verifier corners                                                     *)
+
+let test_verifier_phi_mismatch () =
+  let src =
+    {|
+define i64 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %x = phi i64 [ 1, %a ]
+  ret i64 %x
+}
+|}
+  in
+  let m = Parser.parse_module src in
+  check bool_t "missing incoming flagged" true
+    (List.exists
+       (fun v ->
+         Astring.String.is_infix ~affix:"missing an entry"
+           v.Verifier.what)
+       (Verifier.check_module m))
+
+let test_verifier_call_arity () =
+  let src =
+    {|
+declare void @g(i64, i64)
+define void @f() {
+entry:
+  call void @g(i64 1)
+  ret void
+}
+|}
+  in
+  let m = Parser.parse_module src in
+  check bool_t "arity flagged" true
+    (List.exists
+       (fun v -> Astring.String.is_infix ~affix:"arguments" v.Verifier.what)
+       (Verifier.check_module m))
+
+let test_verifier_duplicate_def () =
+  let src =
+    "define void @f() {\nentry:\n  %x = add i64 1, 1\n  %x = add i64 2, 2\n\
+    \  ret void\n}"
+  in
+  let m = Parser.parse_module src in
+  check bool_t "duplicate flagged" true
+    (List.exists
+       (fun v -> Astring.String.is_infix ~affix:"more than once" v.Verifier.what)
+       (Verifier.check_module m))
+
+let suite =
+  [
+    Alcotest.test_case "expr: precedence" `Quick test_expr_precedence;
+    Alcotest.test_case "expr: functions" `Quick test_expr_functions;
+    Alcotest.test_case "expr: parameters" `Quick test_expr_params;
+    Alcotest.test_case "interp: gep over arrays" `Quick test_interp_gep_array;
+    Alcotest.test_case "interp: gep over structs" `Quick
+      test_interp_gep_struct;
+    Alcotest.test_case "interp: dynamic gep index" `Quick
+      test_interp_dynamic_gep_index;
+    Alcotest.test_case "interp: trunc/sext/zext" `Quick
+      test_interp_cast_semantics;
+    Alcotest.test_case "interp: i1 arithmetic" `Quick test_interp_i1_arith;
+    Alcotest.test_case "interp: select" `Quick test_interp_select;
+    Alcotest.test_case "interp: unsigned division" `Quick
+      test_interp_unsigned_division;
+    Alcotest.test_case "interp: division by zero" `Quick
+      test_interp_division_by_zero;
+    Alcotest.test_case "verifier: phi incoming" `Quick
+      test_verifier_phi_mismatch;
+    Alcotest.test_case "verifier: call arity" `Quick test_verifier_call_arity;
+    Alcotest.test_case "verifier: duplicate definition" `Quick
+      test_verifier_duplicate_def;
+  ]
