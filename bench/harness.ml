@@ -22,6 +22,13 @@ let time_ns ?(quota = 0.25) name fn =
     | Some [] | None -> Float.nan)
   | _ -> Float.nan
 
+(* One wall-clock run, in seconds — for workloads too slow for the
+   Bechamel quota loop (multi-second statevector sweeps). *)
+let time_once fn =
+  let t0 = Unix.gettimeofday () in
+  fn ();
+  Unix.gettimeofday () -. t0
+
 (* Human-readable duration. *)
 let pp_ns ppf ns =
   if Float.is_nan ns then Format.pp_print_string ppf "n/a"

@@ -1,5 +1,5 @@
 (* The benchmark harness: one section per experiment of DESIGN.md
-   (E1..E8), each regenerating the shape of the corresponding paper
+   (E1..E9), each regenerating the shape of the corresponding paper
    artifact. Run with: dune exec bench/main.exe
 
    Absolute numbers depend on this machine; EXPERIMENTS.md records the
@@ -521,6 +521,127 @@ let a1 () =
         [ (0.002, 0.01); (0.01, 0.03) ])
     [ ("redundant (raw)", raw); ("peephole-optimized", optimized) ]
 
+(* ------------------------------------------------------------------ *)
+(* E9 — the high-performance statevector engine: specialized kernels,
+   gate fusion, Domain parallelism and batched shot sampling, each
+   measured against the seed's naive general-kernel engine. Results are
+   also written machine-readably to BENCH_simulator.json. *)
+
+let measure_all (c : Circuit.t) =
+  let b =
+    Circuit.Build.create ~num_qubits:c.Circuit.num_qubits
+      ~num_clbits:c.Circuit.num_qubits ()
+  in
+  List.iter
+    (fun (op : Circuit.op) ->
+      match op.Circuit.kind with
+      | Circuit.Gate (g, qs) -> Circuit.Build.gate b g qs
+      | _ -> ())
+    c.Circuit.ops;
+  for q = 0 to c.Circuit.num_qubits - 1 do
+    Circuit.Build.measure b q q
+  done;
+  Circuit.Build.finish b
+
+let e9 () =
+  Harness.section "E9" "statevector engine: kernels, fusion, batching";
+  (* kernel + fusion speedup on a 20-qubit, 200-gate Clifford+T circuit *)
+  let n = 20 and gates = 200 in
+  let c = Generate.random ~seed:77 ~parametric:false ~gates n in
+  let t_ref =
+    Harness.time_once (fun () ->
+        ignore (Qsim.Statevector.Reference.run_circuit ~seed:1 c))
+  in
+  let t_spec =
+    Harness.time_once (fun () ->
+        ignore (Qsim.Statevector.run_circuit ~seed:1 c))
+  in
+  let t_fused =
+    Harness.time_once (fun () -> ignore (Qsim.Fusion.run_circuit ~seed:1 c))
+  in
+  let _, fstats = Qsim.Fusion.plan c in
+  Harness.row "  %d-qubit, %d-gate Clifford+T circuit (one full run):@\n" n
+    gates;
+  Harness.row "  %-36s %12s %10s@\n" "engine" "time" "speedup";
+  Harness.row "  %-36s %12s %10s@\n" "reference (seed general kernels)"
+    (Harness.ns_to_string (t_ref *. 1e9))
+    "1.0x";
+  Harness.row "  %-36s %12s %9.1fx@\n" "specialized kernels"
+    (Harness.ns_to_string (t_spec *. 1e9))
+    (t_ref /. t_spec);
+  Harness.row "  %-36s %12s %9.1fx@\n" "specialized + fused"
+    (Harness.ns_to_string (t_fused *. 1e9))
+    (t_ref /. t_fused);
+  Harness.row
+    "  fusion plan: %d ops -> %d steps (%d 1q fused, %d absorbed, %d 2q \
+     fused)@\n"
+    fstats.Qsim.Fusion.ops_in fstats.Qsim.Fusion.steps_out
+    fstats.Qsim.Fusion.fused_1q fstats.Qsim.Fusion.absorbed_1q
+    fstats.Qsim.Fusion.fused_2q;
+  Harness.row "  worker pool: %d domain(s), parallel threshold 2^%d@\n"
+    (Qsim.Dpool.domains ())
+    (int_of_float (Float.round (Float.log2 (float_of_int (Qsim.Dpool.threshold ())))));
+  (* batched shot sampling vs per-shot interpretation *)
+  let nb = 12 and gb = 100 and shots = 1000 in
+  let cb = measure_all (Generate.random ~seed:99 ~parametric:true ~gates:gb nb) in
+  let m = Qir.Qir_builder.build cb in
+  let t_per_shot =
+    Harness.time_once (fun () ->
+        ignore (Qruntime.Executor.run_shots ~seed:1 ~batch:false ~shots m))
+  in
+  let t_batched =
+    Harness.time_once (fun () ->
+        ignore (Qruntime.Executor.run_shots ~seed:1 ~batch:true ~shots m))
+  in
+  Harness.row "@\n  %d-qubit, %d-gate circuit, %d shots through qir-run:@\n" nb
+    gb shots;
+  Harness.row "  %-36s %12s %10s@\n" "per-shot interpretation"
+    (Harness.ns_to_string (t_per_shot *. 1e9))
+    "1.0x";
+  Harness.row "  %-36s %12s %9.1fx@\n" "batched sampling"
+    (Harness.ns_to_string (t_batched *. 1e9))
+    (t_per_shot /. t_batched);
+  (* machine-readable record *)
+  let json =
+    Printf.sprintf
+      {|{
+  "e9_kernels": {
+    "circuit": { "qubits": %d, "gates": %d, "family": "clifford+t" },
+    "reference_s": %.6f,
+    "specialized_s": %.6f,
+    "specialized_fused_s": %.6f,
+    "speedup_specialized": %.2f,
+    "speedup_specialized_fused": %.2f
+  },
+  "fusion_plan": {
+    "ops_in": %d, "steps_out": %d,
+    "fused_1q": %d, "absorbed_1q": %d, "fused_2q": %d,
+    "identities_dropped": %d
+  },
+  "e9_batching": {
+    "circuit": { "qubits": %d, "gates": %d },
+    "shots": %d,
+    "per_shot_s": %.6f,
+    "batched_s": %.6f,
+    "speedup": %.2f
+  },
+  "pool": { "domains": %d, "parallel_threshold": %d }
+}
+|}
+      n gates t_ref t_spec t_fused (t_ref /. t_spec) (t_ref /. t_fused)
+      fstats.Qsim.Fusion.ops_in fstats.Qsim.Fusion.steps_out
+      fstats.Qsim.Fusion.fused_1q fstats.Qsim.Fusion.absorbed_1q
+      fstats.Qsim.Fusion.fused_2q fstats.Qsim.Fusion.identities_dropped nb gb
+      shots t_per_shot t_batched
+      (t_per_shot /. t_batched)
+      (Qsim.Dpool.domains ())
+      (Qsim.Dpool.threshold ())
+  in
+  let oc = open_out "BENCH_simulator.json" in
+  output_string oc json;
+  close_out oc;
+  Harness.row "  wrote BENCH_simulator.json@\n"
+
 let () =
   Format.printf "QIR toolchain benchmarks (paper artifacts E1..E8 + ablations)@\n";
   e1 ();
@@ -532,4 +653,5 @@ let () =
   e7 ();
   e8 ();
   a1 ();
+  e9 ();
   Format.printf "@\nAll benchmarks complete.@\n"

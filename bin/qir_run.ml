@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run input shots seed backend stats =
+let run input shots seed backend no_batch stats =
   let m = Cli_common.parse_qir_file input in
   if shots = 1 then begin
     let r = Qruntime.Executor.run ~seed ~backend m in
@@ -26,7 +26,9 @@ let run input shots seed backend stats =
     end
   end
   else begin
-    let hist = Qruntime.Executor.run_shots ~seed ~backend ~shots m in
+    let hist =
+      Qruntime.Executor.run_shots ~seed ~backend ~batch:(not no_batch) ~shots m
+    in
     Format.printf "%a" Qruntime.Executor.pp_histogram hist
   end
 
@@ -49,6 +51,13 @@ let backend =
          ~doc:"Simulator backend: statevector (default) or stabilizer \
                (Clifford-only, scales to many qubits).")
 
+let no_batch =
+  Arg.(value & flag & info [ "no-batch" ]
+         ~doc:"Disable the batched sampling fast path and interpret the \
+               program once per shot. By default, measurement-terminal \
+               programs are simulated once and all shots are drawn from \
+               the final distribution.")
+
 let stats =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Print interpreter and runtime statistics.")
@@ -57,6 +66,6 @@ let cmd =
   let doc = "execute QIR programs on a simulator-backed runtime" in
   Cmd.v
     (Cmd.info "qir-run" ~doc)
-    Term.(const run $ input $ shots $ seed $ backend $ stats)
+    Term.(const run $ input $ shots $ seed $ backend $ no_batch $ stats)
 
 let () = exit (Cmd.eval cmd)

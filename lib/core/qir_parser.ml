@@ -51,6 +51,7 @@ type t = {
   mutable next_slot : int;
   mutable max_qubit : int; (* highest qubit index seen (static or dynamic) *)
   mutable visited : string list;
+  mutable recorded : int list; (* result ids record_output'd, reversed *)
 }
 
 let define st id v =
@@ -221,12 +222,19 @@ let exec_call st ~cond id callee args =
       Circuit.Build.reset ?cond st.build q
     | _ -> fail "reset: bad arguments"
   end
+  else if String.equal callee rt_result_record_output then begin
+    (* no circuit semantics, but the call order defines the program's
+       output bit order — keep it for consumers that need output-
+       compatible sampling (the executor's batched fast path) *)
+    match args with
+    | (_, r) :: _ -> st.recorded <- as_result st r :: st.recorded
+    | [] -> fail "result_record_output: bad arguments"
+  end
   else if
     String.equal callee rt_array_update_reference_count
     || String.equal callee rt_result_update_reference_count
     || String.equal callee rt_qubit_release
     || String.equal callee rt_qubit_release_array
-    || String.equal callee rt_result_record_output
     || String.equal callee rt_array_record_output
     || String.equal callee rt_initialize
     || String.equal callee rt_message
@@ -373,7 +381,7 @@ let rec exec_block st (f : Func.t) label =
   | Instr.Switch _ -> fail "switch instruction (lower first)"
   | Instr.Unreachable -> fail "unreachable terminator"
 
-let parse (m : Ir_module.t) : Circuit.t =
+let parse_with_output_exn (m : Ir_module.t) : Circuit.t * int list =
   let entry =
     match Ir_module.entry_point m with
     | Some f when not (Func.is_declaration f) -> f
@@ -391,6 +399,7 @@ let parse (m : Ir_module.t) : Circuit.t =
       next_slot = 0;
       max_qubit = -1;
       visited = [];
+      recorded = [];
     }
   in
   exec_block st entry (Func.entry entry).Block.label;
@@ -403,11 +412,18 @@ let parse (m : Ir_module.t) : Circuit.t =
   | None -> ());
   if st.max_qubit >= 0 then Circuit.Build.touch_qubit st.build st.max_qubit;
   if st.next_result > 0 then Circuit.Build.touch_clbit st.build (st.next_result - 1);
-  Circuit.Build.finish st.build
+  (Circuit.Build.finish st.build, List.rev st.recorded)
+
+let parse m = fst (parse_with_output_exn m)
 
 let parse_result m =
   match parse m with
   | c -> Ok c
+  | exception Unsupported msg -> Error msg
+
+let parse_with_output m =
+  match parse_with_output_exn m with
+  | pair -> Ok pair
   | exception Unsupported msg -> Error msg
 
 (* Parses textual QIR end to end. *)

@@ -19,5 +19,12 @@ val parse : Llvm_ir.Ir_module.t -> Qcircuit.Circuit.t
 
 val parse_result : Llvm_ir.Ir_module.t -> (Qcircuit.Circuit.t, string) result
 
+val parse_with_output :
+  Llvm_ir.Ir_module.t -> (Qcircuit.Circuit.t * int list, string) result
+(** Like {!parse_result}, additionally returning the result ids passed
+    to [__quantum__rt__result_record_output], in call order (empty when
+    the program records nothing). The program's output bitstring reads
+    those results in that order, which need not match result-id order. *)
+
 val parse_string : string -> Qcircuit.Circuit.t
 (** Parses textual QIR end to end (LLVM text -> module -> circuit). *)

@@ -28,17 +28,27 @@ val run_shots :
   ?seed:int ->
   ?backend:backend_kind ->
   ?fuel:int ->
+  ?batch:bool ->
   shots:int ->
   Llvm_ir.Ir_module.t ->
   (string * int) list
 (** Histogram over [shots] runs, keyed by the recorded output (or, when
     the program records nothing, by all results in address order),
-    sorted by key. *)
+    sorted by key.
+
+    When [batch] is true (the default) and the program parses back into
+    a measurement-terminal circuit (Ex. 3 + {!Qsim.Sampler.batchable}),
+    the unitary prefix is simulated once (fused) and all shots are
+    drawn from the final distribution — orders of magnitude faster for
+    large shot counts. The fast path assumes results are recorded in
+    measurement order (what {!Qir.Qir_builder} emits); pass
+    [~batch:false] to force per-shot interpretation. *)
 
 val run_circuit_via_qir :
   ?seed:int ->
   ?backend:backend_kind ->
   ?addressing:Qir.Qir_builder.addressing ->
+  ?batch:bool ->
   shots:int ->
   Qcircuit.Circuit.t ->
   (string * int) list

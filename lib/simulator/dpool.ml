@@ -1,0 +1,197 @@
+(* A small reusable Domain-based worker pool for data-parallel kernels.
+
+   Statevector kernels stride over disjoint slices of the amplitude
+   arrays, so splitting the index range across domains needs no
+   synchronization beyond the fork/join itself. The pool keeps
+   [domains () - 1] worker domains parked on condition variables and
+   reuses them across kernel invocations; the calling domain always
+   executes one chunk itself, so [domains () = 1] means purely
+   sequential execution with zero overhead.
+
+   Configuration: the QIR_SIM_DOMAINS environment variable (or
+   [set_domains]) fixes the domain count; QIR_SIM_PAR_THRESHOLD (or
+   [set_threshold]) is the minimum index-range size that triggers the
+   parallel split — below it, kernels run sequentially on the caller.
+   Defaults: [Domain.recommended_domain_count ()] and 2^14. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> default)
+  | None -> default
+
+let num_domains =
+  ref (env_int "QIR_SIM_DOMAINS" (Domain.recommended_domain_count ()))
+
+let par_threshold = ref (env_int "QIR_SIM_PAR_THRESHOLD" (1 lsl 14))
+
+let domains () = !num_domains
+let threshold () = !par_threshold
+
+let set_threshold n =
+  if n < 1 then invalid_arg "Dpool.set_threshold: need a positive threshold";
+  par_threshold := n
+
+(* ------------------------------------------------------------------ *)
+(* The worker pool                                                      *)
+
+type job = { f : int -> int -> unit; lo : int; hi : int }
+
+type worker = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable pending : job option;
+  mutable busy : bool;
+  mutable stop : bool;
+  mutable error : exn option;
+}
+
+type pool = { workers : worker array; handles : unit Domain.t array }
+
+let worker_loop w =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock w.mutex;
+    while w.pending = None && not w.stop do
+      Condition.wait w.cond w.mutex
+    done;
+    if w.stop then begin
+      Mutex.unlock w.mutex;
+      continue_ := false
+    end
+    else begin
+      let job = Option.get w.pending in
+      w.pending <- None;
+      Mutex.unlock w.mutex;
+      (try job.f job.lo job.hi with e -> w.error <- Some e);
+      Mutex.lock w.mutex;
+      w.busy <- false;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.mutex
+    end
+  done
+
+let make_pool n_workers =
+  let workers =
+    Array.init n_workers (fun _ ->
+        {
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          pending = None;
+          busy = false;
+          stop = false;
+          error = None;
+        })
+  in
+  let handles =
+    Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers
+  in
+  { workers; handles }
+
+let pool : pool option ref = ref None
+
+let shutdown () =
+  match !pool with
+  | None -> ()
+  | Some p ->
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        w.stop <- true;
+        Condition.broadcast w.cond;
+        Mutex.unlock w.mutex)
+      p.workers;
+    Array.iter Domain.join p.handles;
+    pool := None
+
+let () = at_exit shutdown
+
+let set_domains n =
+  if n < 1 then invalid_arg "Dpool.set_domains: need at least one domain";
+  if n <> !num_domains then begin
+    shutdown ();
+    num_domains := n
+  end
+
+let get_pool () =
+  match !pool with
+  | Some p when Array.length p.workers = !num_domains - 1 -> p
+  | Some _ ->
+    shutdown ();
+    let p = make_pool (!num_domains - 1) in
+    pool := Some p;
+    p
+  | None ->
+    let p = make_pool (!num_domains - 1) in
+    pool := Some p;
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Fork/join entry points                                               *)
+
+let chunk_count ~size =
+  if size < !par_threshold || !num_domains <= 1 then 1 else !num_domains
+
+(* Runs [f k lo hi] for each chunk [k] covering [0, size); chunk 0 runs
+   on the calling domain. *)
+let run_indexed ~size f =
+  let chunks = chunk_count ~size in
+  if chunks = 1 then f 0 0 size
+  else begin
+    let p = get_pool () in
+    let per = (size + chunks - 1) / chunks in
+    (* chunks 1..n-1 go to workers, chunk 0 stays on the caller *)
+    for k = 1 to chunks - 1 do
+      let lo = min size (k * per) and hi = min size ((k + 1) * per) in
+      let w = p.workers.(k - 1) in
+      Mutex.lock w.mutex;
+      w.pending <- Some { f = f k; lo; hi };
+      w.busy <- true;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.mutex
+    done;
+    f 0 0 (min size per);
+    let first_error = ref None in
+    for k = 1 to chunks - 1 do
+      let w = p.workers.(k - 1) in
+      Mutex.lock w.mutex;
+      while w.busy do
+        Condition.wait w.cond w.mutex
+      done;
+      Mutex.unlock w.mutex;
+      (match w.error, !first_error with
+      | Some e, None -> first_error := Some e
+      | _ -> ());
+      w.error <- None
+    done;
+    match !first_error with
+    | Some e -> raise e
+    | None -> ()
+  end
+
+let run ~size f = run_indexed ~size (fun _ lo hi -> f lo hi)
+
+(* Chunked sum; the combination order is fixed (chunk index order), so
+   results are deterministic for a given domain count and threshold. *)
+let reduce_float ~size f =
+  let chunks = chunk_count ~size in
+  if chunks = 1 then f 0 size
+  else begin
+    let parts = Array.make chunks 0.0 in
+    run_indexed ~size (fun k lo hi -> parts.(k) <- f lo hi);
+    Array.fold_left ( +. ) 0.0 parts
+  end
+
+let reduce_float2 ~size f =
+  let chunks = chunk_count ~size in
+  if chunks = 1 then f 0 size
+  else begin
+    let pa = Array.make chunks 0.0 and pb = Array.make chunks 0.0 in
+    run_indexed ~size (fun k lo hi ->
+        let a, b = f lo hi in
+        pa.(k) <- a;
+        pb.(k) <- b);
+    (Array.fold_left ( +. ) 0.0 pa, Array.fold_left ( +. ) 0.0 pb)
+  end

@@ -1,0 +1,38 @@
+(** A small reusable Domain-based worker pool used by the statevector
+    kernels: splits an index range across cores when it exceeds a
+    threshold, otherwise runs sequentially on the caller.
+
+    Knobs (also settable via the environment at startup):
+    - [QIR_SIM_DOMAINS] / {!set_domains}: number of domains, default
+      [Domain.recommended_domain_count ()].
+    - [QIR_SIM_PAR_THRESHOLD] / {!set_threshold}: minimum range size for
+      a parallel split, default [2^14]. *)
+
+val domains : unit -> int
+val set_domains : int -> unit
+(** Changing the domain count tears down and re-creates the pool. *)
+
+val threshold : unit -> int
+val set_threshold : int -> unit
+
+val chunk_count : size:int -> int
+(** Number of chunks a range of [size] would be split into (1 when the
+    range is below the threshold or only one domain is configured). *)
+
+val run : size:int -> (int -> int -> unit) -> unit
+(** [run ~size f] covers [0, size) with [f lo hi] calls, in parallel
+    when the range is large enough. [f] must be safe to run on disjoint
+    sub-ranges concurrently. Exceptions from workers are re-raised. *)
+
+val run_indexed : size:int -> (int -> int -> int -> unit) -> unit
+(** Like {!run} but passes the chunk index first, so callers can write
+    per-chunk results into pre-sized arrays. *)
+
+val reduce_float : size:int -> (int -> int -> float) -> float
+(** Chunked sum of [f lo hi] partials, combined in chunk order
+    (deterministic for a fixed configuration). *)
+
+val reduce_float2 : size:int -> (int -> int -> float * float) -> float * float
+
+val shutdown : unit -> unit
+(** Joins the worker domains (also installed as an [at_exit] hook). *)

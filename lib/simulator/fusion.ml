@@ -1,0 +1,273 @@
+(* Gate fusion: a pre-execution pass that collapses runs of adjacent
+   gates into fewer, denser kernels before the statevector engine runs
+   them — the QDFO/dataflow lever: the cost of a kernel is a sweep over
+   2^n amplitudes, so applying one fused 2x2 instead of five separate
+   gates is a ~5x win on the hot path.
+
+   Two fusion rules, applied greedily in one linear walk:
+   - runs of single-qubit gates on the same qubit multiply into one 2x2
+     matrix;
+   - single-qubit gates adjacent to a two-qubit gate on one of its
+     qubits are absorbed into the 4x4 matrix (before or after), and
+     consecutive two-qubit gates on the same qubit pair multiply into
+     one 4x4.
+
+   Both rules are cost-aware: the engine has specialized kernels whose
+   sweeps are far cheaper than a general matrix sweep (diagonal ~4x,
+   permutation moves ~memory-bound), so a fusion only fires when the
+   fused kernel is no more expensive than the kernels it replaces —
+   e.g. an H is never folded into a lone CNOT, but T.Rz runs fold into
+   a pending CZ and anything folds into an already-general 4x4.
+
+   Measurements, resets, barriers, classically-conditioned operations
+   and 3-qubit gates are fusion barriers for the qubits they touch (a
+   conditional gate's applicability is only known at run time). The
+   emitted plan preserves operation order per qubit; pending matrices on
+   disjoint qubits commute, so flush order between qubits is free. *)
+
+open Qcircuit
+
+type step =
+  | Mat1 of Complex.t array array * int
+  | Mat2 of Complex.t array array * int * int
+      (* first qubit = most significant matrix bit, as in apply_2q *)
+  | Op of Circuit.op
+
+type stats = {
+  ops_in : int;
+  steps_out : int;
+  fused_1q : int; (* 1q gates merged into another 1q matrix *)
+  absorbed_1q : int; (* 1q gates folded into a neighboring 4x4 *)
+  fused_2q : int; (* 2q gates merged pairwise *)
+  identities_dropped : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small complex matrix algebra                                         *)
+
+let mat_mul a b =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref Complex.zero in
+          for k = 0 to n - 1 do
+            acc := Complex.add !acc (Complex.mul a.(i).(k) b.(k).(j))
+          done;
+          !acc))
+
+(* [m] on the most-significant qubit of the pair: m (x) I. *)
+let kron_hi (m : Complex.t array array) =
+  let z = Complex.zero in
+  [|
+    [| m.(0).(0); z; m.(0).(1); z |];
+    [| z; m.(0).(0); z; m.(0).(1) |];
+    [| m.(1).(0); z; m.(1).(1); z |];
+    [| z; m.(1).(0); z; m.(1).(1) |];
+  |]
+
+(* [m] on the least-significant qubit of the pair: I (x) m. *)
+let kron_lo (m : Complex.t array array) =
+  let z = Complex.zero in
+  [|
+    [| m.(0).(0); m.(0).(1); z; z |];
+    [| m.(1).(0); m.(1).(1); z; z |];
+    [| z; z; m.(0).(0); m.(0).(1) |];
+    [| z; z; m.(1).(0); m.(1).(1) |];
+  |]
+
+(* Reindexes a 4x4 matrix to the basis with its two qubit roles
+   swapped: bit pattern |ab> becomes |ba| (1 <-> 2). *)
+let swap_roles (u : Complex.t array array) =
+  let perm = [| 0; 2; 1; 3 |] in
+  Array.init 4 (fun i -> Array.init 4 (fun j -> u.(perm.(i)).(perm.(j))))
+
+let is_identity2 (u : Complex.t array array) =
+  let dev = ref 0.0 in
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      let expect = if i = j then Complex.one else Complex.zero in
+      dev := Float.max !dev (Complex.norm (Complex.sub u.(i).(j) expect))
+    done
+  done;
+  !dev < 1e-14
+
+(* Structure tests (exact zeros: gate matrices carry them, and products
+   of structured matrices preserve them). The engine has cheap kernels
+   for diagonal and permutation-shaped matrices, so fusion must not
+   combine cheap factors into an expensive general 4x4 — a general
+   sweep costs ~4x a diagonal one. *)
+let zero (z : Complex.t) = z.Complex.re = 0.0 && z.Complex.im = 0.0
+
+let is_diag (u : Complex.t array array) =
+  let n = Array.length u in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && not (zero u.(i).(j)) then ok := false
+    done
+  done;
+  !ok
+
+(* One nonzero per row and per column: a permutation with phases.
+   These gates (X, CX, SWAP, CCX...) have move-only kernels. *)
+let is_monomial (u : Complex.t array array) =
+  let n = Array.length u in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let row = ref 0 and col = ref 0 in
+    for j = 0 to n - 1 do
+      if not (zero u.(i).(j)) then incr row;
+      if not (zero u.(j).(i)) then incr col
+    done;
+    if !row <> 1 || !col <> 1 then ok := false
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* The fusion walk                                                      *)
+
+type pend =
+  | P1 of { mutable m : Complex.t array array; q : int }
+  | P2 of { mutable m : Complex.t array array; qa : int; qb : int }
+
+let plan (c : Circuit.t) : step list * stats =
+  let nq = max c.Circuit.num_qubits 1 in
+  let pending : pend option array = Array.make nq None in
+  let rev_steps = ref [] in
+  let fused_1q = ref 0
+  and absorbed_1q = ref 0
+  and fused_2q = ref 0
+  and identities = ref 0 in
+  let emit s = rev_steps := s :: !rev_steps in
+  let flush q =
+    match pending.(q) with
+    | None -> ()
+    | Some (P1 p) ->
+      pending.(p.q) <- None;
+      if is_identity2 p.m then incr identities else emit (Mat1 (p.m, p.q))
+    | Some (P2 p) ->
+      pending.(p.qa) <- None;
+      pending.(p.qb) <- None;
+      emit (Mat2 (p.m, p.qa, p.qb))
+  in
+  let push_1q m q =
+    match pending.(q) with
+    | Some (P1 p) ->
+      (* one 2x2 sweep instead of two: always a win *)
+      incr fused_1q;
+      p.m <- mat_mul m p.m
+    | Some (P2 p) when (not (is_diag p.m)) || is_diag m ->
+      (* free when the 4x4 is already general; diag*diag stays diag *)
+      incr absorbed_1q;
+      p.m <- mat_mul (if q = p.qa then kron_hi m else kron_lo m) p.m
+    | Some (P2 _) ->
+      (* a general 2x2 would turn a diagonal 4x4 into a general one —
+         a ~4x costlier sweep; keep them separate *)
+      flush q;
+      pending.(q) <- Some (P1 { m; q })
+    | None -> pending.(q) <- Some (P1 { m; q })
+  in
+  let push_2q m4 a b =
+    match pending.(a), pending.(b) with
+    | Some (P2 p), _ when (p.qa = a && p.qb = b) || (p.qa = b && p.qb = a) ->
+      (* merging two lifted 4x4s never costs more than two sweeps *)
+      incr fused_2q;
+      let m4 = if p.qa = a then m4 else swap_roles m4 in
+      p.m <- mat_mul m4 p.m
+    | _ ->
+      (* absorb pending 1q factors when profitable, flush the rest *)
+      let m4 = ref m4 in
+      let absorb q hi =
+        match pending.(q) with
+        | Some (P1 p) when (not (is_diag !m4)) || is_diag p.m ->
+          incr absorbed_1q;
+          pending.(q) <- None;
+          m4 := mat_mul !m4 (if hi then kron_hi p.m else kron_lo p.m)
+        | Some _ -> flush q
+        | None -> ()
+      in
+      absorb a true;
+      absorb b false;
+      let p = P2 { m = !m4; qa = a; qb = b } in
+      pending.(a) <- Some p;
+      pending.(b) <- Some p
+  in
+  let flush_all () =
+    for q = 0 to nq - 1 do
+      flush q
+    done
+  in
+  List.iter
+    (fun (op : Circuit.op) ->
+      match op.Circuit.kind, op.Circuit.cond with
+      | Circuit.Gate (g, [ q ]), None when Gate.num_qubits g = 1 ->
+        if not (Gate.is_identity g) then push_1q (Gate.matrix_1q g) q
+      | Circuit.Gate (g, [ a; b ]), None when Gate.num_qubits g = 2 ->
+        let m = Gate.matrix_2q g in
+        if is_monomial m && not (is_diag m) then begin
+          (* permutation-shaped (CX, SWAP, ...): the move-only
+             specialized kernel is far cheaper than any fused 4x4
+             sweep. Merge into a same-pair general 4x4 when one is
+             already pending (free); otherwise pass through. *)
+          match pending.(a) with
+          | Some (P2 p)
+            when ((p.qa = a && p.qb = b) || (p.qa = b && p.qb = a))
+                 && not (is_diag p.m) ->
+            incr fused_2q;
+            let m = if p.qa = a then m else swap_roles m in
+            p.m <- mat_mul m p.m
+          | _ ->
+            flush a;
+            flush b;
+            emit (Op op)
+        end
+        else push_2q m a b
+      | Circuit.Barrier [], _ ->
+        flush_all ();
+        emit (Op op)
+      | _ ->
+        (* measure, reset, 3q gates, conditioned ops, barriers: fusion
+           barrier on the touched qubits *)
+        List.iter flush (Circuit.op_qubits op);
+        emit (Op op))
+    c.Circuit.ops;
+  flush_all ();
+  let steps = List.rev !rev_steps in
+  ( steps,
+    {
+      ops_in = List.length c.Circuit.ops;
+      steps_out = List.length steps;
+      fused_1q = !fused_1q;
+      absorbed_1q = !absorbed_1q;
+      fused_2q = !fused_2q;
+      identities_dropped = !identities;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution                                                       *)
+
+let apply_plan st clbits steps =
+  List.iter
+    (fun step ->
+      match step with
+      | Mat1 (m, q) -> Statevector.apply_1q st m q
+      | Mat2 (m, a, b) -> Statevector.apply_2q st m a b
+      | Op op ->
+        if Statevector.cond_holds clbits op.Circuit.cond then (
+          match op.Circuit.kind with
+          | Circuit.Gate (g, qs) -> Statevector.apply st g qs
+          | Circuit.Measure (q, cl) -> clbits.(cl) <- Statevector.measure st q
+          | Circuit.Reset q -> Statevector.reset st q
+          | Circuit.Barrier _ -> ()))
+    steps
+
+(* Drop-in replacement for {!Statevector.run_circuit} that fuses first.
+   Measurement sampling consumes the RNG in the same order, so for a
+   fixed seed the classical outcomes match the unfused engine (up to
+   knife-edge rounding of branch probabilities). *)
+let run_circuit ?(seed = 1) (c : Circuit.t) =
+  let steps, _stats = plan c in
+  let st = Statevector.create ~seed c.Circuit.num_qubits in
+  let clbits = Array.make (max c.Circuit.num_clbits 1) false in
+  apply_plan st clbits steps;
+  (st, clbits)

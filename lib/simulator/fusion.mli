@@ -1,0 +1,37 @@
+(** Gate fusion for the statevector engine: collapses runs of adjacent
+    single-qubit gates into one 2x2 matrix, absorbs single-qubit gates
+    into neighboring two-qubit unitaries, and merges consecutive
+    two-qubit gates on the same pair — so the engine sweeps the
+    amplitude arrays far fewer times per circuit.
+
+    Measurements, resets, barriers, conditioned operations and 3-qubit
+    gates act as fusion barriers on the qubits they touch. *)
+
+type step =
+  | Mat1 of Complex.t array array * int
+  | Mat2 of Complex.t array array * int * int
+      (** first qubit = most significant matrix bit, as in
+          {!Statevector.apply_2q} *)
+  | Op of Qcircuit.Circuit.op  (** pass-through: not fusable *)
+
+type stats = {
+  ops_in : int;
+  steps_out : int;
+  fused_1q : int;
+  absorbed_1q : int;
+  fused_2q : int;
+  identities_dropped : int;
+}
+
+val plan : Qcircuit.Circuit.t -> step list * stats
+(** One linear walk over the circuit; the plan preserves per-qubit
+    operation order. *)
+
+val apply_plan : Statevector.t -> bool array -> step list -> unit
+(** Executes a plan against a state, reading/writing classical bits for
+    measurements and conditions. *)
+
+val run_circuit : ?seed:int -> Qcircuit.Circuit.t -> Statevector.t * bool array
+(** Drop-in replacement for {!Statevector.run_circuit} that fuses
+    first. RNG consumption order is identical, so classical outcomes
+    match the unfused engine for a fixed seed. *)

@@ -1,0 +1,23 @@
+(** Batched shot sampling: for measurement-terminal circuits (no
+    mid-circuit measurement feeding later operations, no reset, no
+    classical conditional), runs the fused unitary prefix once and draws
+    all shots from the final probability distribution instead of
+    re-simulating per shot. *)
+
+val batchable : Qcircuit.Circuit.t -> bool
+(** Whether all shots can be drawn from one final distribution. Requires:
+    no conditioned op, no reset, measured clbits distinct and dense
+    (0..m-1), measured qubits distinct, and no gate on an
+    already-measured qubit. *)
+
+val sample :
+  ?seed:int -> ?fuse:bool -> shots:int -> Qcircuit.Circuit.t ->
+  (string * int) list
+(** [sample ~shots c] is a sorted histogram of measurement bitstrings
+    (clbit order, measured clbits only — the same key format as the
+    per-shot executor). Raises [Invalid_argument] if [c] is not
+    {!batchable}. [fuse] (default true) runs the prefix through
+    {!Fusion}. *)
+
+val strip_measurements : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+(** The unitary prefix: the circuit with all measurements removed. *)

@@ -6,7 +6,24 @@
    Qubit [q] indexes bit [q] of the basis-state index (qubit 0 is the
    least-significant bit). The simulator supports growing the register
    one qubit at a time ([add_qubit]) to serve dynamic qubit allocation
-   (the paper's Sec. IV-A). *)
+   (the paper's Sec. IV-A).
+
+   Engine layering (the hot path of the whole toolchain):
+   - every kernel enumerates only the indices with the target bit(s)
+     clear and reconstructs the full index by bit insertion, so a 1q
+     kernel visits size/2 loop iterations, a 2q kernel size/4, CCX
+     size/8 — instead of scanning all 2^n indices and filtering;
+   - structured gates get dedicated kernels: permutations (X, CNOT,
+     SWAP, CCX, CSWAP) shuffle amplitudes without arithmetic, diagonal
+     gates (Z, S, T, Rz, CZ, CP, ...) multiply phases without touching
+     index pairs, and real matrices (H, Ry) skip the imaginary halves of
+     the complex multiply; everything else falls back to the general
+     2x2 / 4x4 kernel;
+   - when the register is large enough, kernels split their index range
+     across a reusable Domain pool ({!Dpool});
+   - the seed's full-scan general kernels survive verbatim in
+     {!Reference} as the correctness oracle for tests and the baseline
+     for benchmarks. *)
 
 open Qcircuit
 
@@ -54,162 +71,458 @@ let ensure_qubits st n =
   done
 
 (* ------------------------------------------------------------------ *)
-(* Gate kernels                                                         *)
+(* Index enumeration                                                    *)
 
-(* General single-qubit unitary on qubit [q]: for every index pair
-   (i0, i1) differing only in bit q, apply the 2x2 matrix. *)
-let apply_1q st (u : Complex.t array array) q =
+(* [insert_zero x p] re-spreads [x] so that bit position [p] of the
+   result is 0: the k-th index among those with bit p clear. Composing
+   insertions in ascending position order enumerates the indices with
+   several bits clear. *)
+let insert_zero x p = ((x lsr p) lsl (p + 1)) lor (x land ((1 lsl p) - 1))
+
+let sort2 a b = if a < b then (a, b) else (b, a)
+
+let sort3 a b c =
+  let a, b = sort2 a b in
+  let a, c = sort2 a c in
+  let b, c = sort2 b c in
+  (a, b, c)
+
+(* ------------------------------------------------------------------ *)
+(* Specialized 1-qubit kernels                                          *)
+
+(* Permutation: X swaps each (i0, i1) pair. *)
+let apply_x st q =
   check_qubit st q;
   let bit = 1 lsl q in
-  let size = dim st in
-  let u00 = u.(0).(0) and u01 = u.(0).(1) and u10 = u.(1).(0) and u11 = u.(1).(1) in
+  let half = dim st / 2 in
   let re = st.re and im = st.im in
-  let i = ref 0 in
-  while !i < size do
-    if !i land bit = 0 then begin
-      let i0 = !i in
-      let i1 = !i lor bit in
-      let a_re = re.(i0) and a_im = im.(i0) in
-      let b_re = re.(i1) and b_im = im.(i1) in
-      re.(i0) <-
-        (u00.Complex.re *. a_re) -. (u00.Complex.im *. a_im)
-        +. (u01.Complex.re *. b_re) -. (u01.Complex.im *. b_im);
-      im.(i0) <-
-        (u00.Complex.re *. a_im) +. (u00.Complex.im *. a_re)
-        +. (u01.Complex.re *. b_im) +. (u01.Complex.im *. b_re);
-      re.(i1) <-
-        (u10.Complex.re *. a_re) -. (u10.Complex.im *. a_im)
-        +. (u11.Complex.re *. b_re) -. (u11.Complex.im *. b_im);
-      im.(i1) <-
-        (u10.Complex.re *. a_im) +. (u10.Complex.im *. a_re)
-        +. (u11.Complex.re *. b_im) +. (u11.Complex.im *. b_re)
-    end;
-    incr i
-  done
+  Dpool.run ~size:half (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+        let i1 = i0 lor bit in
+        let tr = re.(i0) and ti = im.(i0) in
+        re.(i0) <- re.(i1);
+        im.(i0) <- im.(i1);
+        re.(i1) <- tr;
+        im.(i1) <- ti
+      done)
 
-(* General two-qubit unitary on qubits [qa] (most significant in the
-   matrix basis) and [qb]. *)
-let apply_2q st (u : Complex.t array array) qa qb =
+(* Y = [[0, -i]; [i, 0]]: a0' = -i*a1, a1' = i*a0. *)
+let apply_y st q =
+  check_qubit st q;
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:half (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+        let i1 = i0 lor bit in
+        let ar = re.(i0) and ai = im.(i0) in
+        let br = re.(i1) and bi = im.(i1) in
+        re.(i0) <- bi;
+        im.(i0) <- -.br;
+        re.(i1) <- -.ai;
+        im.(i1) <- ar
+      done)
+
+(* Diagonal: amp(i0) *= d0, amp(i1) *= d1, no pair shuffle. The common
+   d0 = 1 case (Z, S, T, P) touches only the bit-set half. *)
+let apply_diag1 st ~d0re ~d0im ~d1re ~d1im q =
+  check_qubit st q;
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let re = st.re and im = st.im in
+  if d0re = 1.0 && d0im = 0.0 then
+    Dpool.run ~size:half (fun lo hi ->
+        for k = lo to hi - 1 do
+          let i1 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) lor bit in
+          let r = re.(i1) and m = im.(i1) in
+          re.(i1) <- (d1re *. r) -. (d1im *. m);
+          im.(i1) <- (d1re *. m) +. (d1im *. r)
+        done)
+  else
+    Dpool.run ~size:half (fun lo hi ->
+        for k = lo to hi - 1 do
+          let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+          let i1 = i0 lor bit in
+          let r0 = re.(i0) and m0 = im.(i0) in
+          re.(i0) <- (d0re *. r0) -. (d0im *. m0);
+          im.(i0) <- (d0re *. m0) +. (d0im *. r0);
+          let r1 = re.(i1) and m1 = im.(i1) in
+          re.(i1) <- (d1re *. r1) -. (d1im *. m1);
+          im.(i1) <- (d1re *. m1) +. (d1im *. r1)
+        done)
+
+(* Anti-diagonal [[0, b]; [c, 0]]: a0' = b*a1, a1' = c*a0 (X up to
+   phases — e.g. Y, or fused X-conjugated diagonals). *)
+let apply_antidiag1 st ~bre ~bim ~cre ~cim q =
+  check_qubit st q;
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:half (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+        let i1 = i0 lor bit in
+        let ar = re.(i0) and ai = im.(i0) in
+        let br = re.(i1) and bi = im.(i1) in
+        re.(i0) <- (bre *. br) -. (bim *. bi);
+        im.(i0) <- (bre *. bi) +. (bim *. br);
+        re.(i1) <- (cre *. ar) -. (cim *. ai);
+        im.(i1) <- (cre *. ai) +. (cim *. ar)
+      done)
+
+(* Real 2x2 matrix (H, Ry): halves the multiply count of the general
+   kernel — real and imaginary parts never mix. *)
+let apply_real1q st ~u00 ~u01 ~u10 ~u11 q =
+  check_qubit st q;
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:half (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+        let i1 = i0 lor bit in
+        let ar = re.(i0) and ai = im.(i0) in
+        let br = re.(i1) and bi = im.(i1) in
+        re.(i0) <- (u00 *. ar) +. (u01 *. br);
+        im.(i0) <- (u00 *. ai) +. (u01 *. bi);
+        re.(i1) <- (u10 *. ar) +. (u11 *. br);
+        im.(i1) <- (u10 *. ai) +. (u11 *. bi)
+      done)
+
+(* General single-qubit unitary on qubit [q]: enumerates only the
+   bit-clear half of the index space. *)
+let apply_general1q st ~u00re ~u00im ~u01re ~u01im ~u10re ~u10im ~u11re
+    ~u11im q =
+  check_qubit st q;
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:half (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+        let i1 = i0 lor bit in
+        let ar = re.(i0) and ai = im.(i0) in
+        let br = re.(i1) and bi = im.(i1) in
+        re.(i0) <-
+          (u00re *. ar) -. (u00im *. ai) +. (u01re *. br) -. (u01im *. bi);
+        im.(i0) <-
+          (u00re *. ai) +. (u00im *. ar) +. (u01re *. bi) +. (u01im *. br);
+        re.(i1) <-
+          (u10re *. ar) -. (u10im *. ai) +. (u11re *. br) -. (u11im *. bi);
+        im.(i1) <-
+          (u10re *. ai) +. (u10im *. ar) +. (u11re *. bi) +. (u11im *. br)
+      done)
+
+(* Structure dispatch for an arbitrary 2x2 matrix. The zero tests are
+   exact: gate matrices carry exact 0.0 entries and matrix products of
+   structured matrices preserve them. *)
+let apply_mat1 st (u : Complex.t array array) q =
+  let u00 = u.(0).(0) and u01 = u.(0).(1) and u10 = u.(1).(0) and u11 = u.(1).(1) in
+  let zero (z : Complex.t) = z.Complex.re = 0.0 && z.Complex.im = 0.0 in
+  let r (z : Complex.t) = z.Complex.re and i (z : Complex.t) = z.Complex.im in
+  if zero u01 && zero u10 then
+    apply_diag1 st ~d0re:(r u00) ~d0im:(i u00) ~d1re:(r u11) ~d1im:(i u11) q
+  else if zero u00 && zero u11 then
+    apply_antidiag1 st ~bre:(r u01) ~bim:(i u01) ~cre:(r u10) ~cim:(i u10) q
+  else if i u00 = 0.0 && i u01 = 0.0 && i u10 = 0.0 && i u11 = 0.0 then
+    apply_real1q st ~u00:(r u00) ~u01:(r u01) ~u10:(r u10) ~u11:(r u11) q
+  else
+    apply_general1q st ~u00re:(r u00) ~u00im:(i u00) ~u01re:(r u01)
+      ~u01im:(i u01) ~u10re:(r u10) ~u10im:(i u10) ~u11re:(r u11)
+      ~u11im:(i u11) q
+
+(* ------------------------------------------------------------------ *)
+(* Specialized 2-qubit kernels                                          *)
+
+let check_pair st qa qb =
   check_qubit st qa;
   check_qubit st qb;
-  if qa = qb then invalid_arg "Statevector.apply_2q: identical qubits";
-  let ba = 1 lsl qa and bb = 1 lsl qb in
-  let size = dim st in
-  let re = st.re and im = st.im in
-  let tmp_re = Array.make 4 0.0 and tmp_im = Array.make 4 0.0 in
-  let idx = Array.make 4 0 in
-  let i = ref 0 in
-  while !i < size do
-    if !i land ba = 0 && !i land bb = 0 then begin
-      idx.(0) <- !i;
-      idx.(1) <- !i lor bb;
-      idx.(2) <- !i lor ba;
-      idx.(3) <- !i lor ba lor bb;
-      for k = 0 to 3 do
-        let sr = ref 0.0 and si = ref 0.0 in
-        for l = 0 to 3 do
-          let m = u.(k).(l) in
-          let vr = re.(idx.(l)) and vi = im.(idx.(l)) in
-          sr := !sr +. ((m.Complex.re *. vr) -. (m.Complex.im *. vi));
-          si := !si +. ((m.Complex.re *. vi) +. (m.Complex.im *. vr))
-        done;
-        tmp_re.(k) <- !sr;
-        tmp_im.(k) <- !si
-      done;
-      for k = 0 to 3 do
-        re.(idx.(k)) <- tmp_re.(k);
-        im.(idx.(k)) <- tmp_im.(k)
-      done
-    end;
-    incr i
-  done
+  if qa = qb then invalid_arg "Statevector: identical qubits"
 
-(* Toffoli / Fredkin as direct permutations, avoiding 8x8 matrices. *)
+(* CNOT: for indices with control set, swap the target pair. *)
+let apply_cx st c t =
+  check_pair st c t;
+  let bc = 1 lsl c and bt = 1 lsl t in
+  let p_lo, p_hi = sort2 c t in
+  let quarter = dim st / 4 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:quarter (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero k p_lo) p_hi in
+        let i0 = i lor bc in
+        let i1 = i0 lor bt in
+        let tr = re.(i0) and ti = im.(i0) in
+        re.(i0) <- re.(i1);
+        im.(i0) <- im.(i1);
+        re.(i1) <- tr;
+        im.(i1) <- ti
+      done)
+
+let apply_cy st c t =
+  check_pair st c t;
+  let bc = 1 lsl c and bt = 1 lsl t in
+  let p_lo, p_hi = sort2 c t in
+  let quarter = dim st / 4 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:quarter (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero k p_lo) p_hi in
+        let i0 = i lor bc in
+        let i1 = i0 lor bt in
+        let ar = re.(i0) and ai = im.(i0) in
+        let br = re.(i1) and bi = im.(i1) in
+        re.(i0) <- bi;
+        im.(i0) <- -.br;
+        re.(i1) <- -.ai;
+        im.(i1) <- ar
+      done)
+
+let apply_swap st a b =
+  check_pair st a b;
+  let ba = 1 lsl a and bb = 1 lsl b in
+  let p_lo, p_hi = sort2 a b in
+  let quarter = dim st / 4 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:quarter (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero k p_lo) p_hi in
+        let i0 = i lor ba in
+        let i1 = i lor bb in
+        let tr = re.(i0) and ti = im.(i0) in
+        re.(i0) <- re.(i1);
+        im.(i0) <- im.(i1);
+        re.(i1) <- tr;
+        im.(i1) <- ti
+      done)
+
+(* Diagonal 4x4: phase multiply per basis pattern, no pair shuffle.
+   [d] is indexed by the 2-bit pattern (bit of qa, bit of qb) with qa
+   the most significant — the {!Gate.matrix_2q} convention. Unit
+   entries are skipped. *)
+let apply_diag2 st (d : Complex.t array) qa qb =
+  check_pair st qa qb;
+  let ba = 1 lsl qa and bb = 1 lsl qb in
+  let p_lo, p_hi = sort2 qa qb in
+  let quarter = dim st / 4 in
+  let re = st.re and im = st.im in
+  let one (z : Complex.t) = z.re = 1.0 && z.im = 0.0 in
+  let mul (z : Complex.t) i =
+    let r = re.(i) and m = im.(i) in
+    re.(i) <- (z.re *. r) -. (z.im *. m);
+    im.(i) <- (z.re *. m) +. (z.im *. r)
+  in
+  let s0 = one d.(0) and s1 = one d.(1) and s2 = one d.(2) and s3 = one d.(3) in
+  Dpool.run ~size:quarter (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero k p_lo) p_hi in
+        if not s0 then mul d.(0) i;
+        if not s1 then mul d.(1) (i lor bb);
+        if not s2 then mul d.(2) (i lor ba);
+        if not s3 then mul d.(3) (i lor ba lor bb)
+      done)
+
+(* General two-qubit unitary on qubits [qa] (most significant in the
+   matrix basis) and [qb]: enumerates the quarter of the index space
+   with both bits clear. *)
+let apply_general2q st (u : Complex.t array array) qa qb =
+  check_pair st qa qb;
+  let ba = 1 lsl qa and bb = 1 lsl qb in
+  let p_lo, p_hi = sort2 qa qb in
+  let quarter = dim st / 4 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:quarter (fun lo hi ->
+      (* per-chunk scratch: kernels may run concurrently *)
+      let tmp_re = Array.make 4 0.0 and tmp_im = Array.make 4 0.0 in
+      let idx = Array.make 4 0 in
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero k p_lo) p_hi in
+        idx.(0) <- i;
+        idx.(1) <- i lor bb;
+        idx.(2) <- i lor ba;
+        idx.(3) <- i lor ba lor bb;
+        for row = 0 to 3 do
+          let sr = ref 0.0 and si = ref 0.0 in
+          for col = 0 to 3 do
+            let m = u.(row).(col) in
+            let vr = re.(idx.(col)) and vi = im.(idx.(col)) in
+            sr := !sr +. ((m.Complex.re *. vr) -. (m.Complex.im *. vi));
+            si := !si +. ((m.Complex.re *. vi) +. (m.Complex.im *. vr))
+          done;
+          tmp_re.(row) <- !sr;
+          tmp_im.(row) <- !si
+        done;
+        for row = 0 to 3 do
+          re.(idx.(row)) <- tmp_re.(row);
+          im.(idx.(row)) <- tmp_im.(row)
+        done
+      done)
+
+let is_diag4 (u : Complex.t array array) =
+  let ok = ref true in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if i <> j && not (u.(i).(j).Complex.re = 0.0 && u.(i).(j).Complex.im = 0.0)
+      then ok := false
+    done
+  done;
+  !ok
+
+let apply_mat2 st (u : Complex.t array array) qa qb =
+  if is_diag4 u then
+    apply_diag2 st [| u.(0).(0); u.(1).(1); u.(2).(2); u.(3).(3) |] qa qb
+  else apply_general2q st u qa qb
+
+(* Compatibility aliases for the historical general-kernel API. *)
+let apply_1q = apply_mat1
+let apply_2q = apply_mat2
+
+(* ------------------------------------------------------------------ *)
+(* Three-qubit permutation kernels                                      *)
+
+(* Toffoli: swap the target pair where both controls are set; visits
+   size/8 loop iterations. *)
 let apply_ccx st c1 c2 tgt =
   check_qubit st c1;
   check_qubit st c2;
   check_qubit st tgt;
+  if c1 = c2 || c1 = tgt || c2 = tgt then
+    invalid_arg "Statevector.apply_ccx: identical qubits";
   let b1 = 1 lsl c1 and b2 = 1 lsl c2 and bt = 1 lsl tgt in
-  let size = dim st in
+  let p0, p1, p2 = sort3 c1 c2 tgt in
+  let eighth = dim st / 8 in
   let re = st.re and im = st.im in
-  let i = ref 0 in
-  while !i < size do
-    if !i land b1 <> 0 && !i land b2 <> 0 && !i land bt = 0 then begin
-      let j = !i lor bt in
-      let tr = re.(!i) and ti = im.(!i) in
-      re.(!i) <- re.(j);
-      im.(!i) <- im.(j);
-      re.(j) <- tr;
-      im.(j) <- ti
-    end;
-    incr i
-  done
+  Dpool.run ~size:eighth (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero (insert_zero k p0) p1) p2 in
+        let i0 = i lor b1 lor b2 in
+        let i1 = i0 lor bt in
+        let tr = re.(i0) and ti = im.(i0) in
+        re.(i0) <- re.(i1);
+        im.(i0) <- im.(i1);
+        re.(i1) <- tr;
+        im.(i1) <- ti
+      done)
 
+(* Fredkin: swap amplitudes of |..a=1,b=0..> and |..a=0,b=1..> when the
+   control is set. *)
 let apply_cswap st c a b =
   check_qubit st c;
   check_qubit st a;
   check_qubit st b;
+  if c = a || c = b || a = b then
+    invalid_arg "Statevector.apply_cswap: identical qubits";
   let bc = 1 lsl c and ba = 1 lsl a and bb = 1 lsl b in
-  let size = dim st in
+  let p0, p1, p2 = sort3 c a b in
+  let eighth = dim st / 8 in
   let re = st.re and im = st.im in
-  let i = ref 0 in
-  while !i < size do
-    (* swap amplitudes of |..a=1,b=0..> and |..a=0,b=1..> when c=1 *)
-    if !i land bc <> 0 && !i land ba <> 0 && !i land bb = 0 then begin
-      let j = (!i lxor ba) lor bb in
-      let tr = re.(!i) and ti = im.(!i) in
-      re.(!i) <- re.(j);
-      im.(!i) <- im.(j);
-      re.(j) <- tr;
-      im.(j) <- ti
-    end;
-    incr i
-  done
+  Dpool.run ~size:eighth (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero (insert_zero k p0) p1) p2 in
+        let i0 = i lor bc lor ba in
+        let i1 = i lor bc lor bb in
+        let tr = re.(i0) and ti = im.(i0) in
+        re.(i0) <- re.(i1);
+        im.(i0) <- im.(i1);
+        re.(i1) <- tr;
+        im.(i1) <- ti
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Gate dispatch                                                        *)
+
+let expi_pair t = (cos t, sin t)
 
 let apply st (g : Gate.t) qubits =
-  match Gate.num_qubits g, qubits with
-  | 1, [ q ] -> apply_1q st (Gate.matrix_1q g) q
-  | 2, [ a; b ] -> apply_2q st (Gate.matrix_2q g) a b
-  | 3, [ a; b; c ] -> (
-    match g with
-    | Gate.Ccx -> apply_ccx st a b c
-    | Gate.Cswap -> apply_cswap st a b c
-    | _ -> assert false)
-  | n, qs ->
+  match g, qubits with
+  | Gate.I, [ q ] -> check_qubit st q
+  | Gate.X, [ q ] -> apply_x st q
+  | Gate.Y, [ q ] -> apply_y st q
+  | Gate.Z, [ q ] -> apply_diag1 st ~d0re:1.0 ~d0im:0.0 ~d1re:(-1.0) ~d1im:0.0 q
+  | Gate.S, [ q ] -> apply_diag1 st ~d0re:1.0 ~d0im:0.0 ~d1re:0.0 ~d1im:1.0 q
+  | Gate.Sdg, [ q ] ->
+    apply_diag1 st ~d0re:1.0 ~d0im:0.0 ~d1re:0.0 ~d1im:(-1.0) q
+  | Gate.T, [ q ] ->
+    let d1re, d1im = expi_pair (Float.pi /. 4.0) in
+    apply_diag1 st ~d0re:1.0 ~d0im:0.0 ~d1re ~d1im q
+  | Gate.Tdg, [ q ] ->
+    let d1re, d1im = expi_pair (-.Float.pi /. 4.0) in
+    apply_diag1 st ~d0re:1.0 ~d0im:0.0 ~d1re ~d1im q
+  | Gate.P t, [ q ] ->
+    let d1re, d1im = expi_pair t in
+    apply_diag1 st ~d0re:1.0 ~d0im:0.0 ~d1re ~d1im q
+  | Gate.Rz t, [ q ] ->
+    let d0re, d0im = expi_pair (-.t /. 2.0) in
+    let d1re, d1im = expi_pair (t /. 2.0) in
+    apply_diag1 st ~d0re ~d0im ~d1re ~d1im q
+  | Gate.H, [ q ] ->
+    let s = 1.0 /. sqrt 2.0 in
+    apply_real1q st ~u00:s ~u01:s ~u10:s ~u11:(-.s) q
+  | Gate.Ry t, [ q ] ->
+    let ct = cos (t /. 2.0) and stn = sin (t /. 2.0) in
+    apply_real1q st ~u00:ct ~u01:(-.stn) ~u10:stn ~u11:ct q
+  | (Gate.Sx | Gate.Sxdg | Gate.Rx _ | Gate.U _), [ q ] ->
+    apply_mat1 st (Gate.matrix_1q g) q
+  | Gate.Cx, [ c; t ] -> apply_cx st c t
+  | Gate.Cy, [ c; t ] -> apply_cy st c t
+  | Gate.Swap, [ a; b ] -> apply_swap st a b
+  | (Gate.Cz | Gate.Cp _ | Gate.Crz _), [ a; b ] ->
+    apply_mat2 st (Gate.matrix_2q g) a b
+  | (Gate.Ch | Gate.Crx _ | Gate.Cry _ | Gate.Cu _), [ a; b ] ->
+    apply_general2q st (Gate.matrix_2q g) a b
+  | Gate.Ccx, [ a; b; c ] -> apply_ccx st a b c
+  | Gate.Cswap, [ a; b; c ] -> apply_cswap st a b c
+  | g, qs ->
     invalid_arg
       (Printf.sprintf "Statevector.apply: %s expects %d qubits, got %d"
-         (Gate.name g) n (List.length qs))
+         (Gate.name g) (Gate.num_qubits g) (List.length qs))
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                          *)
 
+(* Sums only the bit-set half of the index space; the result is clamped
+   to [0, 1] so accumulated rounding on long circuits cannot leak an
+   out-of-range probability into sampling or collapse. *)
 let prob_one st q =
   check_qubit st q;
   let bit = 1 lsl q in
-  let size = dim st in
-  let acc = ref 0.0 in
-  for i = 0 to size - 1 do
-    if i land bit <> 0 then
-      acc := !acc +. (st.re.(i) *. st.re.(i)) +. (st.im.(i) *. st.im.(i))
-  done;
-  !acc
+  let half = dim st / 2 in
+  let re = st.re and im = st.im in
+  let sum =
+    Dpool.reduce_float ~size:half (fun lo hi ->
+        let acc = ref 0.0 in
+        for k = lo to hi - 1 do
+          let i1 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) lor bit in
+          acc := !acc +. (re.(i1) *. re.(i1)) +. (im.(i1) *. im.(i1))
+        done;
+        !acc)
+  in
+  Float.min 1.0 (Float.max 0.0 sum)
 
-(* Projects onto [q] = [outcome] and renormalizes. *)
+(* Projects onto [q] = [outcome] and renormalizes. The probability is
+   clamped away from zero (and NaN) so that [1.0 /. sqrt prob] stays
+   finite even when a numerically degenerate branch is collapsed —
+   without the guard a denormal [prob] turns the whole register into
+   infinities/NaNs. *)
 let collapse st q outcome prob =
   let bit = 1 lsl q in
   let size = dim st in
+  let prob = if Float.is_nan prob || prob < 1e-300 then 1e-300 else prob in
   let norm = 1.0 /. sqrt prob in
-  for i = 0 to size - 1 do
-    let is_one = i land bit <> 0 in
-    if is_one = outcome then begin
-      st.re.(i) <- st.re.(i) *. norm;
-      st.im.(i) <- st.im.(i) *. norm
-    end
-    else begin
-      st.re.(i) <- 0.0;
-      st.im.(i) <- 0.0
-    end
-  done
+  let re = st.re and im = st.im in
+  Dpool.run ~size (fun lo hi ->
+      for i = lo to hi - 1 do
+        let is_one = i land bit <> 0 in
+        if is_one = outcome then begin
+          re.(i) <- re.(i) *. norm;
+          im.(i) <- im.(i) *. norm
+        end
+        else begin
+          re.(i) <- 0.0;
+          im.(i) <- 0.0
+        end
+      done)
 
 let measure st q =
   let p1 = prob_one st q in
@@ -232,25 +545,24 @@ let expectation_z st q = 1.0 -. (2.0 *. prob_one st q)
 (* ------------------------------------------------------------------ *)
 (* Whole-circuit execution                                              *)
 
+let cond_holds clbits (cond : Circuit.cond option) =
+  match cond with
+  | None -> true
+  | Some { cbits; value } ->
+    let v =
+      List.fold_left
+        (fun (acc, k) c -> ((acc lor if clbits.(c) then 1 lsl k else 0), k + 1))
+        (0, 0) cbits
+      |> fst
+    in
+    v = value
+
 let run_circuit ?(seed = 1) (c : Circuit.t) =
   let st = create ~seed c.Circuit.num_qubits in
   let clbits = Array.make (max c.Circuit.num_clbits 1) false in
-  let cond_holds (cond : Circuit.cond option) =
-    match cond with
-    | None -> true
-    | Some { cbits; value } ->
-      let v =
-        List.fold_left
-          (fun (acc, k) c ->
-            ((acc lor if clbits.(c) then 1 lsl k else 0), k + 1))
-          (0, 0) cbits
-        |> fst
-      in
-      v = value
-  in
   List.iter
     (fun (op : Circuit.op) ->
-      if cond_holds op.Circuit.cond then
+      if cond_holds clbits op.Circuit.cond then
         match op.Circuit.kind with
         | Circuit.Gate (g, qs) -> apply st g qs
         | Circuit.Measure (q, cl) -> clbits.(cl) <- measure st q
@@ -262,12 +574,160 @@ let run_circuit ?(seed = 1) (c : Circuit.t) =
 (* Inner product <a|b>; |<a|b>|^2 = 1 iff the states coincide. *)
 let inner_product a b =
   if a.n <> b.n then invalid_arg "Statevector.inner_product: size mismatch";
-  let acc_re = ref 0.0 and acc_im = ref 0.0 in
-  for i = 0 to dim a - 1 do
-    (* conj(a) * b *)
-    acc_re := !acc_re +. (a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i));
-    acc_im := !acc_im +. (a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i))
-  done;
-  { Complex.re = !acc_re; im = !acc_im }
+  let are = a.re and aim = a.im and bre = b.re and bim = b.im in
+  let acc_re, acc_im =
+    Dpool.reduce_float2 ~size:(dim a) (fun lo hi ->
+        let sr = ref 0.0 and si = ref 0.0 in
+        for i = lo to hi - 1 do
+          (* conj(a) * b *)
+          sr := !sr +. (are.(i) *. bre.(i)) +. (aim.(i) *. bim.(i));
+          si := !si +. (are.(i) *. bim.(i)) -. (aim.(i) *. bre.(i))
+        done;
+        (!sr, !si))
+  in
+  { Complex.re = acc_re; im = acc_im }
 
 let fidelity a b = Complex.norm2 (inner_product a b)
+
+(* ------------------------------------------------------------------ *)
+(* Reference kernels                                                    *)
+
+(* The seed's naive kernels, unchanged: full 2^n scans, complex matrix
+   multiply for every gate, single-threaded. They are the correctness
+   oracle for the specialized/fused/parallel fast paths and the baseline
+   the benchmarks measure speedups against. *)
+module Reference = struct
+  let apply_1q st (u : Complex.t array array) q =
+    check_qubit st q;
+    let bit = 1 lsl q in
+    let size = dim st in
+    let u00 = u.(0).(0) and u01 = u.(0).(1) and u10 = u.(1).(0) and u11 = u.(1).(1) in
+    let re = st.re and im = st.im in
+    let i = ref 0 in
+    while !i < size do
+      if !i land bit = 0 then begin
+        let i0 = !i in
+        let i1 = !i lor bit in
+        let a_re = re.(i0) and a_im = im.(i0) in
+        let b_re = re.(i1) and b_im = im.(i1) in
+        re.(i0) <-
+          (u00.Complex.re *. a_re) -. (u00.Complex.im *. a_im)
+          +. (u01.Complex.re *. b_re) -. (u01.Complex.im *. b_im);
+        im.(i0) <-
+          (u00.Complex.re *. a_im) +. (u00.Complex.im *. a_re)
+          +. (u01.Complex.re *. b_im) +. (u01.Complex.im *. b_re);
+        re.(i1) <-
+          (u10.Complex.re *. a_re) -. (u10.Complex.im *. a_im)
+          +. (u11.Complex.re *. b_re) -. (u11.Complex.im *. b_im);
+        im.(i1) <-
+          (u10.Complex.re *. a_im) +. (u10.Complex.im *. a_re)
+          +. (u11.Complex.re *. b_im) +. (u11.Complex.im *. b_re)
+      end;
+      incr i
+    done
+
+  let apply_2q st (u : Complex.t array array) qa qb =
+    check_qubit st qa;
+    check_qubit st qb;
+    if qa = qb then invalid_arg "Statevector.apply_2q: identical qubits";
+    let ba = 1 lsl qa and bb = 1 lsl qb in
+    let size = dim st in
+    let re = st.re and im = st.im in
+    let tmp_re = Array.make 4 0.0 and tmp_im = Array.make 4 0.0 in
+    let idx = Array.make 4 0 in
+    let i = ref 0 in
+    while !i < size do
+      if !i land ba = 0 && !i land bb = 0 then begin
+        idx.(0) <- !i;
+        idx.(1) <- !i lor bb;
+        idx.(2) <- !i lor ba;
+        idx.(3) <- !i lor ba lor bb;
+        for k = 0 to 3 do
+          let sr = ref 0.0 and si = ref 0.0 in
+          for l = 0 to 3 do
+            let m = u.(k).(l) in
+            let vr = re.(idx.(l)) and vi = im.(idx.(l)) in
+            sr := !sr +. ((m.Complex.re *. vr) -. (m.Complex.im *. vi));
+            si := !si +. ((m.Complex.re *. vi) +. (m.Complex.im *. vr))
+          done;
+          tmp_re.(k) <- !sr;
+          tmp_im.(k) <- !si
+        done;
+        for k = 0 to 3 do
+          re.(idx.(k)) <- tmp_re.(k);
+          im.(idx.(k)) <- tmp_im.(k)
+        done
+      end;
+      incr i
+    done
+
+  let apply_ccx st c1 c2 tgt =
+    check_qubit st c1;
+    check_qubit st c2;
+    check_qubit st tgt;
+    let b1 = 1 lsl c1 and b2 = 1 lsl c2 and bt = 1 lsl tgt in
+    let size = dim st in
+    let re = st.re and im = st.im in
+    let i = ref 0 in
+    while !i < size do
+      if !i land b1 <> 0 && !i land b2 <> 0 && !i land bt = 0 then begin
+        let j = !i lor bt in
+        let tr = re.(!i) and ti = im.(!i) in
+        re.(!i) <- re.(j);
+        im.(!i) <- im.(j);
+        re.(j) <- tr;
+        im.(j) <- ti
+      end;
+      incr i
+    done
+
+  let apply_cswap st c a b =
+    check_qubit st c;
+    check_qubit st a;
+    check_qubit st b;
+    let bc = 1 lsl c and ba = 1 lsl a and bb = 1 lsl b in
+    let size = dim st in
+    let re = st.re and im = st.im in
+    let i = ref 0 in
+    while !i < size do
+      if !i land bc <> 0 && !i land ba <> 0 && !i land bb = 0 then begin
+        let j = (!i lxor ba) lor bb in
+        let tr = re.(!i) and ti = im.(!i) in
+        re.(!i) <- re.(j);
+        im.(!i) <- im.(j);
+        re.(j) <- tr;
+        im.(j) <- ti
+      end;
+      incr i
+    done
+
+  let apply st (g : Gate.t) qubits =
+    match Gate.num_qubits g, qubits with
+    | 1, [ q ] -> apply_1q st (Gate.matrix_1q g) q
+    | 2, [ a; b ] -> apply_2q st (Gate.matrix_2q g) a b
+    | 3, [ a; b; c ] -> (
+      match g with
+      | Gate.Ccx -> apply_ccx st a b c
+      | Gate.Cswap -> apply_cswap st a b c
+      | _ -> assert false)
+    | n, qs ->
+      invalid_arg
+        (Printf.sprintf "Statevector.Reference.apply: %s expects %d qubits, got %d"
+           (Gate.name g) n (List.length qs))
+
+  let run_circuit ?(seed = 1) (c : Circuit.t) =
+    let st = create ~seed c.Circuit.num_qubits in
+    let clbits = Array.make (max c.Circuit.num_clbits 1) false in
+    List.iter
+      (fun (op : Circuit.op) ->
+        if cond_holds clbits op.Circuit.cond then
+          match op.Circuit.kind with
+          | Circuit.Gate (g, qs) -> apply st g qs
+          | Circuit.Measure (q, cl) -> clbits.(cl) <- measure st q
+          | Circuit.Reset q ->
+            let one = measure st q in
+            if one then apply st Gate.X [ q ]
+          | Circuit.Barrier _ -> ())
+      c.Circuit.ops;
+    (st, clbits)
+end

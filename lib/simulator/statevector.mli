@@ -3,7 +3,15 @@
 
     Qubit [q] indexes bit [q] of the basis-state index (qubit 0 is the
     least significant bit). The register can grow one qubit at a time to
-    serve dynamic allocation (Sec. IV-A). *)
+    serve dynamic allocation (Sec. IV-A).
+
+    Gate kernels are specialized by matrix structure (permutation /
+    diagonal / real / general), enumerate only the index subspace they
+    touch (size/2 for 1q gates, size/4 for 2q, size/8 for CCX), and
+    split their ranges across the {!Dpool} Domain pool when the register
+    exceeds the parallel threshold. The seed's naive full-scan kernels
+    are kept in {!Reference} as the correctness oracle and benchmark
+    baseline. *)
 
 type t
 
@@ -27,23 +35,31 @@ val ensure_qubits : t -> int -> unit
 (** Grows the register until it has at least [n] qubits. *)
 
 val apply : t -> Qcircuit.Gate.t -> int list -> unit
-(** Applies a gate to the given qubit operands. *)
+(** Applies a gate to the given qubit operands via the best kernel for
+    its structure. *)
 
 val apply_1q : t -> Complex.t array array -> int -> unit
-(** Applies an arbitrary 2x2 unitary. *)
+(** Applies an arbitrary 2x2 unitary, dispatching on matrix structure
+    (diagonal / anti-diagonal / real / general). *)
 
 val apply_2q : t -> Complex.t array array -> int -> int -> unit
 (** Applies an arbitrary 4x4 unitary; the first qubit is the most
     significant bit of the matrix basis. *)
 
 val prob_one : t -> int -> float
-(** Probability that measuring qubit [q] yields 1 (non-destructive). *)
+(** Probability that measuring qubit [q] yields 1 (non-destructive).
+    Clamped to [0, 1] against accumulated rounding. *)
 
 val measure : t -> int -> bool
-(** Samples and collapses qubit [q]. *)
+(** Samples and collapses qubit [q]. The collapse renormalization is
+    guarded against denormal branch probabilities, so long circuits
+    cannot produce NaN amplitudes. *)
 
 val reset : t -> int -> unit
 val expectation_z : t -> int -> float
+
+val cond_holds : bool array -> Qcircuit.Circuit.cond option -> bool
+(** Whether a classical condition holds under the given clbit values. *)
 
 val run_circuit : ?seed:int -> Qcircuit.Circuit.t -> t * bool array
 (** Executes a whole circuit (including measurements, resets and
@@ -52,3 +68,14 @@ val run_circuit : ?seed:int -> Qcircuit.Circuit.t -> t * bool array
 val inner_product : t -> t -> Complex.t
 val fidelity : t -> t -> float
 (** [|<a|b>|^2]; 1 iff the states coincide up to global phase. *)
+
+(** The seed engine's naive kernels, kept verbatim: full 2^n scans with
+    a complex matrix multiply for every gate, single-threaded. Tests
+    verify every fast path against these; benchmarks measure speedups
+    relative to them. *)
+module Reference : sig
+  val apply_1q : t -> Complex.t array array -> int -> unit
+  val apply_2q : t -> Complex.t array array -> int -> int -> unit
+  val apply : t -> Qcircuit.Gate.t -> int list -> unit
+  val run_circuit : ?seed:int -> Qcircuit.Circuit.t -> t * bool array
+end

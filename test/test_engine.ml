@@ -1,0 +1,407 @@
+(* Property tests for the high-performance statevector engine: every
+   specialized kernel, the fusion pass, the Domain-parallel paths and
+   the batched shot sampler are checked against the naive general-kernel
+   reference ({!Qsim.Statevector.Reference}) on randomized inputs. *)
+
+open Qcircuit
+module Sv = Qsim.Statevector
+module Ref = Qsim.Statevector.Reference
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+
+(* Two bitwise-identical random states, both prepared by the reference
+   engine, so any deviation after the gate under test is the kernel's. *)
+let prep n seed =
+  let c = Generate.random ~seed ~gates:(6 * n) ~parametric:true n in
+  let st1, _ = Ref.run_circuit ~seed c in
+  let st2, _ = Ref.run_circuit ~seed c in
+  (st1, st2)
+
+let max_dev a b =
+  check int_t "same dim" (Sv.dim a) (Sv.dim b);
+  let d = ref 0.0 in
+  for i = 0 to Sv.dim a - 1 do
+    let za = Sv.amplitude a i and zb = Sv.amplitude b i in
+    d := Float.max !d (Complex.norm (Complex.sub za zb))
+  done;
+  !d
+
+let norm st =
+  let s = ref 0.0 in
+  for i = 0 to Sv.dim st - 1 do
+    s := !s +. Sv.probability st i
+  done;
+  !s
+
+let all_finite st =
+  let ok = ref true in
+  for i = 0 to Sv.dim st - 1 do
+    let z = Sv.amplitude st i in
+    if not (Float.is_finite z.Complex.re && Float.is_finite z.Complex.im) then
+      ok := false
+  done;
+  !ok
+
+(* Temporarily force a worker pool so the parallel code paths run even
+   on single-core CI machines. *)
+let with_pool ~domains ~threshold f =
+  let d0 = Qsim.Dpool.domains () and t0 = Qsim.Dpool.threshold () in
+  Qsim.Dpool.set_domains domains;
+  Qsim.Dpool.set_threshold threshold;
+  Fun.protect f ~finally:(fun () ->
+      Qsim.Dpool.set_domains d0;
+      Qsim.Dpool.set_threshold t0)
+
+(* ------------------------------------------------------------------ *)
+(* 1. Every specialized kernel against the reference                     *)
+
+let gates_1q =
+  Gate.
+    [
+      I; H; X; Y; Z; S; Sdg; T; Tdg; Sx; Sxdg; Rx 0.7; Ry 1.1; Rz 2.3; P 0.9;
+      U (0.5, 1.2, 2.0);
+    ]
+
+let gates_2q =
+  Gate.
+    [
+      Cx; Cy; Cz; Ch; Swap; Crx 0.8; Cry 1.3; Crz 0.4; Cp 1.9;
+      Cu (0.3, 0.7, 1.5);
+    ]
+
+let test_kernels_vs_reference () =
+  let n = 5 in
+  let try_gate seed g qs =
+    let st_fast, st_ref = prep n seed in
+    Sv.apply st_fast g qs;
+    Ref.apply st_ref g qs;
+    let dev = max_dev st_fast st_ref in
+    if dev > 1e-12 then
+      Alcotest.failf "%s on [%s]: deviation %g" (Gate.to_string g)
+        (String.concat ";" (List.map string_of_int qs))
+        dev
+  in
+  List.iteri
+    (fun i g -> List.iter (fun q -> try_gate (31 + i) g [ q ]) [ 0; 2; n - 1 ])
+    gates_1q;
+  List.iteri
+    (fun i g ->
+      List.iter
+        (fun (a, b) -> try_gate (53 + i) g [ a; b ])
+        [ (0, 1); (1, 0); (0, n - 1); (3, 1) ])
+    gates_2q;
+  List.iter
+    (fun qs -> try_gate 71 Gate.Ccx qs)
+    [ [ 0; 1; 2 ]; [ 2; 0; 4 ]; [ 4; 3; 1 ] ];
+  List.iter
+    (fun qs -> try_gate 73 Gate.Cswap qs)
+    [ [ 0; 1; 2 ]; [ 1; 4; 0 ]; [ 3; 0; 2 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* 2. Whole random circuits: fast engine == reference                    *)
+
+let test_random_circuits_vs_reference () =
+  List.iter
+    (fun seed ->
+      let parametric = seed mod 2 = 0 in
+      let c =
+        Generate.random ~seed ~two_qubit_fraction:0.35 ~parametric ~gates:120 6
+      in
+      let st_fast, _ = Sv.run_circuit ~seed c in
+      let st_ref, _ = Ref.run_circuit ~seed c in
+      let dev = max_dev st_fast st_ref in
+      if dev > 1e-10 then Alcotest.failf "seed %d: deviation %g" seed dev)
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* 3. Fusion: same state, far fewer kernel sweeps                        *)
+
+let test_fusion_vs_reference () =
+  List.iter
+    (fun seed ->
+      let parametric = seed mod 2 = 0 in
+      let c =
+        Generate.random ~seed ~two_qubit_fraction:0.3 ~parametric ~gates:150 6
+      in
+      let st_fused, _ = Qsim.Fusion.run_circuit ~seed c in
+      let st_ref, _ = Ref.run_circuit ~seed c in
+      let fid = Sv.fidelity st_fused st_ref in
+      if Float.abs (fid -. 1.0) > 1e-9 then
+        Alcotest.failf "seed %d: fidelity %.15f" seed fid;
+      let _, stats = Qsim.Fusion.plan c in
+      check bool_t "fusion shrinks the plan" true
+        (stats.Qsim.Fusion.steps_out < stats.Qsim.Fusion.ops_in))
+    [ 11; 12; 13; 14 ]
+
+(* Fusion must also preserve classical behavior: measurements, resets
+   and conditioned gates are barriers, and RNG consumption order is
+   unchanged. *)
+let test_fusion_with_measurements () =
+  List.iter
+    (fun seed ->
+      let c = Generate.feedback_rounds ~rounds:4 3 in
+      let st_fused, cl_fused = Qsim.Fusion.run_circuit ~seed c in
+      let st_ref, cl_ref = Ref.run_circuit ~seed c in
+      check bool_t "clbits match" true (cl_fused = cl_ref);
+      let dev = max_dev st_fused st_ref in
+      if dev > 1e-10 then Alcotest.failf "seed %d: deviation %g" seed dev)
+    [ 3; 17; 42 ]
+
+(* QFT: long runs of 1q+Cp gates — the fusion sweet spot. *)
+let test_fusion_qft () =
+  let c = Generate.qft 6 in
+  let st_fused, _ = Qsim.Fusion.run_circuit c in
+  let st_ref, _ = Ref.run_circuit c in
+  let dev = max_dev st_fused st_ref in
+  if dev > 1e-10 then Alcotest.failf "qft deviation %g" dev
+
+(* ------------------------------------------------------------------ *)
+(* 4. Parallel paths: forced pool == sequential                          *)
+
+let test_parallel_kernels () =
+  with_pool ~domains:4 ~threshold:32 (fun () ->
+      test_kernels_vs_reference ();
+      test_random_circuits_vs_reference ();
+      test_fusion_vs_reference ())
+
+let test_parallel_reductions () =
+  let c = Generate.random ~seed:9 ~gates:80 ~parametric:true 7 in
+  let st, _ = Ref.run_circuit ~seed:9 c in
+  let st2, _ = Ref.run_circuit ~seed:9 c in
+  let seq_probs = Array.init 7 (fun q -> Sv.prob_one st q) in
+  let seq_ip = Sv.inner_product st st2 in
+  with_pool ~domains:4 ~threshold:16 (fun () ->
+      Array.iteri
+        (fun q p ->
+          let pp = Sv.prob_one st q in
+          if Float.abs (p -. pp) > 1e-12 then
+            Alcotest.failf "prob_one qubit %d: %g vs %g" q p pp)
+        seq_probs;
+      let par_ip = Sv.inner_product st st2 in
+      if Complex.norm (Complex.sub seq_ip par_ip) > 1e-12 then
+        Alcotest.fail "inner_product parallel mismatch")
+
+let test_parallel_measure_collapse () =
+  (* measure/collapse under a forced pool: same outcomes and a
+     normalized post-state *)
+  let c = Generate.random ~seed:21 ~gates:60 ~parametric:false 6 in
+  let st_seq, _ = Ref.run_circuit ~seed:21 c in
+  let seq_outcomes = List.init 6 (fun q -> Sv.measure st_seq q) in
+  with_pool ~domains:4 ~threshold:16 (fun () ->
+      let st_par, _ = Ref.run_circuit ~seed:21 c in
+      let par_outcomes = List.init 6 (fun q -> Sv.measure st_par q) in
+      check bool_t "same outcomes" true (seq_outcomes = par_outcomes);
+      check bool_t "finite" true (all_finite st_par);
+      if Float.abs (norm st_par -. 1.0) > 1e-9 then
+        Alcotest.failf "norm %g after parallel collapse" (norm st_par))
+
+(* ------------------------------------------------------------------ *)
+(* 5. The Domain pool itself                                             *)
+
+let test_dpool_coverage () =
+  with_pool ~domains:4 ~threshold:16 (fun () ->
+      check int_t "small stays sequential" 1 (Qsim.Dpool.chunk_count ~size:8);
+      check int_t "large splits" 4 (Qsim.Dpool.chunk_count ~size:64);
+      let size = 1000 in
+      let hits = Array.make size 0 in
+      Qsim.Dpool.run ~size (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      check bool_t "every index exactly once" true
+        (Array.for_all (fun h -> h = 1) hits);
+      let s =
+        Qsim.Dpool.reduce_float ~size (fun lo hi ->
+            let acc = ref 0.0 in
+            for i = lo to hi - 1 do
+              acc := !acc +. float_of_int i
+            done;
+            !acc)
+      in
+      check bool_t "reduce sums the range" true
+        (Float.abs (s -. (float_of_int (size * (size - 1)) /. 2.0)) < 1e-9))
+
+let test_dpool_exception () =
+  with_pool ~domains:4 ~threshold:16 (fun () ->
+      match
+        Qsim.Dpool.run ~size:256 (fun lo _ ->
+            if lo > 0 then failwith "worker boom")
+      with
+      | () -> Alcotest.fail "expected the worker exception to propagate"
+      | exception Failure _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* 6. FP robustness                                                      *)
+
+let test_prob_one_clamped () =
+  let c = Generate.random ~seed:5 ~gates:200 ~parametric:true 8 in
+  let st, _ = Sv.run_circuit ~seed:5 c in
+  for q = 0 to 7 do
+    let p = Sv.prob_one st q in
+    check bool_t "p >= 0" true (p >= 0.0);
+    check bool_t "p <= 1" true (p <= 1.0)
+  done
+
+let test_collapse_near_zero_branch () =
+  (* a branch with probability ~1e-18 must not blow up into NaN/inf *)
+  let st = Sv.create ~seed:7 2 in
+  Sv.apply st (Gate.Ry 2e-9) [ 0 ];
+  ignore (Sv.measure st 0);
+  check bool_t "finite after knife-edge collapse" true (all_finite st);
+  if Float.abs (norm st -. 1.0) > 1e-6 then
+    Alcotest.failf "norm %g after collapse" (norm st)
+
+let test_measure_deterministic_qubit () =
+  let st = Sv.create 2 in
+  check bool_t "|0> measures 0" false (Sv.measure st 0);
+  Sv.apply st Gate.X [ 1 ];
+  check bool_t "|1> measures 1" true (Sv.measure st 1);
+  check bool_t "finite" true (all_finite st);
+  if Float.abs (norm st -. 1.0) > 1e-12 then Alcotest.fail "not normalized"
+
+(* ------------------------------------------------------------------ *)
+(* 7. Batched shot sampling                                              *)
+
+let measure_all c =
+  let b = Circuit.Build.create ~num_qubits:c.Circuit.num_qubits
+      ~num_clbits:c.Circuit.num_qubits ()
+  in
+  List.iter
+    (fun (op : Circuit.op) ->
+      match op.Circuit.kind with
+      | Circuit.Gate (g, qs) -> Circuit.Build.gate b g qs
+      | _ -> ())
+    c.Circuit.ops;
+  for q = 0 to c.Circuit.num_qubits - 1 do
+    Circuit.Build.measure b q q
+  done;
+  Circuit.Build.finish b
+
+let test_batchable () =
+  check bool_t "bell is batchable" true (Qsim.Sampler.batchable (Generate.bell ()));
+  check bool_t "ghz is batchable" true (Qsim.Sampler.batchable (Generate.ghz 4));
+  check bool_t "feedback is not (cond/reset)" false
+    (Qsim.Sampler.batchable (Generate.feedback_rounds ~rounds:2 2));
+  (* gate after measuring the same qubit *)
+  let b = Circuit.Build.create ~num_qubits:2 ~num_clbits:1 () in
+  Circuit.Build.gate b Gate.H [ 0 ];
+  Circuit.Build.measure b 0 0;
+  Circuit.Build.gate b Gate.X [ 0 ];
+  check bool_t "gate after measure" false
+    (Qsim.Sampler.batchable (Circuit.Build.finish b));
+  (* gate on another qubit after a measurement commutes: still batchable *)
+  let b = Circuit.Build.create ~num_qubits:2 ~num_clbits:2 () in
+  Circuit.Build.gate b Gate.H [ 0 ];
+  Circuit.Build.measure b 0 0;
+  Circuit.Build.gate b Gate.X [ 1 ];
+  Circuit.Build.measure b 1 1;
+  check bool_t "commuting tail gate" true
+    (Qsim.Sampler.batchable (Circuit.Build.finish b));
+  (* permuted clbits are fine; sparse clbits are not *)
+  let b = Circuit.Build.create ~num_qubits:2 ~num_clbits:2 () in
+  Circuit.Build.gate b Gate.H [ 0 ];
+  Circuit.Build.measure b 0 1;
+  Circuit.Build.measure b 1 0;
+  check bool_t "permuted clbits" true
+    (Qsim.Sampler.batchable (Circuit.Build.finish b));
+  let b = Circuit.Build.create ~num_qubits:2 ~num_clbits:3 () in
+  Circuit.Build.measure b 0 2;
+  check bool_t "sparse clbits" false
+    (Qsim.Sampler.batchable (Circuit.Build.finish b));
+  match Qsim.Sampler.sample ~shots:10 (Generate.feedback_rounds ~rounds:2 2) with
+  | _ -> Alcotest.fail "sample must reject non-batchable circuits"
+  | exception Invalid_argument _ -> ()
+
+let total_variation h1 h2 =
+  let keys =
+    List.sort_uniq compare (List.map fst h1 @ List.map fst h2)
+  in
+  let shots h = float_of_int (List.fold_left (fun a (_, n) -> a + n) 0 h) in
+  let s1 = shots h1 and s2 = shots h2 in
+  List.fold_left
+    (fun acc k ->
+      let f h s =
+        float_of_int (Option.value ~default:0 (List.assoc_opt k h)) /. s
+      in
+      acc +. Float.abs (f h1 s1 -. f h2 s2))
+    0.0 keys
+  /. 2.0
+
+let test_batched_matches_per_shot () =
+  let c = measure_all (Generate.random ~seed:8 ~gates:40 ~parametric:true 4) in
+  let shots = 2000 in
+  let batched =
+    Qruntime.Executor.run_circuit_via_qir ~seed:3 ~batch:true ~shots c
+  in
+  let per_shot =
+    Qruntime.Executor.run_circuit_via_qir ~seed:3 ~batch:false ~shots c
+  in
+  check int_t "batched shot total" shots
+    (List.fold_left (fun a (_, n) -> a + n) 0 batched);
+  let tv = total_variation batched per_shot in
+  if tv > 0.06 then
+    Alcotest.failf "batched vs per-shot total variation %.4f" tv
+
+let test_batched_sampler_vs_direct () =
+  (* the sampler agrees with drawing shots from the exact distribution *)
+  let c = measure_all (Generate.random ~seed:14 ~gates:30 ~parametric:false 3) in
+  let st, _ = Ref.run_circuit (Qsim.Sampler.strip_measurements c) in
+  let hist = Qsim.Sampler.sample ~seed:2 ~shots:4000 c in
+  List.iter
+    (fun (key, n) ->
+      (* key bit j = qubit j here, LSB first *)
+      let idx = ref 0 in
+      String.iteri (fun j ch -> if ch = '1' then idx := !idx lor (1 lsl j)) key;
+      let p = Sv.probability st !idx in
+      let f = float_of_int n /. 4000.0 in
+      if Float.abs (p -. f) > 0.05 then
+        Alcotest.failf "outcome %s: probability %.3f sampled %.3f" key p f)
+    hist
+
+let test_batched_deterministic_permutation () =
+  (* QPE measures qubit i into clbit bits-1-i: the batched path must
+     reproduce the per-shot (recorded-output) key exactly *)
+  let m = Qir.Qir_builder.build (Algorithms.phase_estimation ~bits:3 ~k:5) in
+  let batched = Qruntime.Executor.run_shots ~seed:4 ~shots:50 m in
+  let per_shot = Qruntime.Executor.run_shots ~seed:4 ~batch:false ~shots:50 m in
+  check bool_t "same deterministic histogram" true (batched = per_shot);
+  match batched with
+  | [ (key, 50) ] -> check Alcotest.string "key" "101" key
+  | _ -> Alcotest.fail "expected a deterministic outcome"
+
+let suite =
+  [
+    Alcotest.test_case "specialized kernels vs reference" `Quick
+      test_kernels_vs_reference;
+    Alcotest.test_case "random circuits vs reference" `Quick
+      test_random_circuits_vs_reference;
+    Alcotest.test_case "fusion vs reference" `Quick test_fusion_vs_reference;
+    Alcotest.test_case "fusion with measurements" `Quick
+      test_fusion_with_measurements;
+    Alcotest.test_case "fusion on QFT" `Quick test_fusion_qft;
+    Alcotest.test_case "parallel kernels (forced pool)" `Quick
+      test_parallel_kernels;
+    Alcotest.test_case "parallel reductions" `Quick test_parallel_reductions;
+    Alcotest.test_case "parallel measure/collapse" `Quick
+      test_parallel_measure_collapse;
+    Alcotest.test_case "dpool coverage and reduce" `Quick test_dpool_coverage;
+    Alcotest.test_case "dpool exception propagation" `Quick
+      test_dpool_exception;
+    Alcotest.test_case "prob_one clamped" `Quick test_prob_one_clamped;
+    Alcotest.test_case "collapse near-zero branch" `Quick
+      test_collapse_near_zero_branch;
+    Alcotest.test_case "measure deterministic qubit" `Quick
+      test_measure_deterministic_qubit;
+    Alcotest.test_case "batchable classification" `Quick test_batchable;
+    Alcotest.test_case "batched matches per-shot" `Quick
+      test_batched_matches_per_shot;
+    Alcotest.test_case "batched sampler vs exact distribution" `Quick
+      test_batched_sampler_vs_direct;
+    Alcotest.test_case "batched path matches recorded-output order" `Quick
+      test_batched_deterministic_permutation;
+  ]

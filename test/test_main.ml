@@ -5,6 +5,7 @@ let () =
       ("passes", Test_passes.suite);
       ("circuit", Test_circuit.suite);
       ("simulator", Test_simulator.suite);
+      ("engine", Test_engine.suite);
       ("qir", Test_qir.suite);
       ("runtime", Test_runtime.suite);
       ("mapping", Test_mapping.suite);
