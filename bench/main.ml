@@ -642,6 +642,104 @@ let e9 () =
   close_out oc;
   Harness.row "  wrote BENCH_simulator.json@\n"
 
+(* ------------------------------------------------------------------ *)
+(* E10 — resilience: recovery overhead vs injected fault rate           *)
+
+(* A 16-qubit measurement-terminal circuit runs per shot through the
+   full QIR executor under increasing injected-fault rates; the retry
+   policy re-runs faulted shots until they succeed. Overhead is the
+   wall-clock cost relative to the fault-free per-shot run, and every
+   recovered histogram must equal the fault-free one exactly (retries
+   reuse the shot's quantum seed with a fresh fault stream). Written
+   machine-readably to BENCH_resilience.json. *)
+
+let e10 () =
+  Harness.section "E10" "resilience: recovery overhead vs fault rate";
+  let n = 16 and gates = 120 and shots = 40 in
+  let c =
+    measure_all (Generate.random ~seed:91 ~parametric:false ~gates n)
+  in
+  let m = Qir.Qir_builder.build c in
+  (* sleep = false: measure re-execution cost, not backoff waits *)
+  let policy =
+    {
+      Qruntime.Resilience.default with
+      Qruntime.Resilience.max_retries = 50;
+      sleep = false;
+    }
+  in
+  let run rate =
+    let backend =
+      if rate = 0.0 then `Statevector
+      else
+        `Faulty
+          {
+            Qsim.Faulty.default with
+            Qsim.Faulty.gate_rate = rate *. 0.8;
+            measure_rate = rate *. 0.1;
+            crash_rate = rate *. 0.1;
+            fault_seed = 5;
+          }
+    in
+    let result = ref None in
+    let t =
+      Harness.time_once (fun () ->
+          result :=
+            Some
+              (Qruntime.Executor.run_shots_resilient ~policy ~seed:7 ~backend
+                 ~batch:false ~shots m))
+    in
+    (t, Option.get !result)
+  in
+  let t0, base = run 0.0 in
+  Harness.row "  %-12s %12s %9s %9s %11s@\n" "fault rate" "time" "retries"
+    "overhead" "hist match";
+  let rows =
+    List.map
+      (fun rate ->
+        let t, r = run rate in
+        let matches =
+          r.Qruntime.Executor.histogram = base.Qruntime.Executor.histogram
+        in
+        Harness.row "  %-12g %12s %9d %8.2fx %11b@\n" rate
+          (Harness.ns_to_string (t *. 1e9))
+          r.Qruntime.Executor.retries (t /. t0) matches;
+        (rate, t, r.Qruntime.Executor.retries, matches))
+      (* per-gate rates: at 120 gates, 0.01 already faults ~60% of
+         attempts, so the sweep stops there *)
+      [ 0.0; 0.001; 0.002; 0.005; 0.01 ]
+  in
+  let json_rows =
+    String.concat ",\n"
+      (List.map
+         (fun (rate, t, retries, matches) ->
+           Printf.sprintf
+             {|    { "fault_rate": %g, "time_s": %.6f, "retries": %d,
+      "overhead": %.3f, "histogram_matches_fault_free": %b }|}
+             rate t retries (t /. t0) matches)
+         rows)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "e10_resilience": {
+    "circuit": { "qubits": %d, "gates": %d },
+    "shots": %d,
+    "policy": { "max_retries": %d, "sleep": false },
+    "fault_free_per_shot_s": %.6f,
+    "sweep": [
+%s
+    ]
+  }
+}
+|}
+      n gates shots policy.Qruntime.Resilience.max_retries t0 json_rows
+  in
+  let oc = open_out "BENCH_resilience.json" in
+  output_string oc json;
+  close_out oc;
+  Harness.row "  wrote BENCH_resilience.json@\n"
+
 let () =
   Format.printf "QIR toolchain benchmarks (paper artifacts E1..E8 + ablations)@\n";
   e1 ();
@@ -654,4 +752,5 @@ let () =
   e8 ();
   a1 ();
   e9 ();
+  e10 ();
   Format.printf "@\nAll benchmarks complete.@\n"

@@ -5,6 +5,7 @@
 open Cmdliner
 
 let run input qasm3 addressing record_output output =
+  Cli_common.protect @@ fun () ->
   let src = Cli_common.read_file input in
   let circuit =
     if qasm3 then

@@ -6,20 +6,21 @@
 open Cmdliner
 
 let run input qasm3 lower output =
+  Cli_common.protect @@ fun () ->
   let m = Cli_common.parse_qir_file input in
   let circuit =
     if lower then
       match Qir.Lowering.lower_to_circuit m with
       | Ok c -> c
       | Error e ->
-        Format.eprintf "%a@." Qir.Lowering.pp_error e;
-        exit 1
+        Cli_common.die ~code:Qruntime.Qir_error.exit_exec "%s"
+          (Format.asprintf "%a" Qir.Lowering.pp_error e)
     else
       match Qir.Qir_parser.parse_result m with
       | Ok c -> c
       | Error msg ->
-        Printf.eprintf "%s\n(hint: try --lower)\n" msg;
-        exit 1
+        Cli_common.die ~code:Qruntime.Qir_error.exit_exec
+          "%s (hint: try --lower)" msg
   in
   let text =
     if qasm3 then Qcircuit.Qasm3.to_string circuit

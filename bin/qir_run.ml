@@ -1,35 +1,68 @@
 (* qir-run — execute a QIR program on the simulator-backed runtime (the
    lli-plus-quantum-runtime architecture of the paper's Sec. III-C).
 
-   Example: qir-run program.ll --shots 1000 --backend statevector *)
+   Examples:
+     qir-run program.ll --shots 1000 --backend statevector
+     qir-run program.ll --shots 1000 --backend faulty:gate=0.05 --retries 5
+     qir-run program.ll --timeout 10 --shot-timeout 0.5
+
+   Exit codes: 0 ok, 2 parse, 3 verify, 4 exec, 5 timeout/degraded,
+   6 backend, 7 usage. *)
 
 open Cmdliner
 
-let run input shots seed backend no_batch stats =
+let run input shots seed backend no_batch stats timeout shot_timeout retries =
+  Cli_common.protect @@ fun () ->
   let m = Cli_common.parse_qir_file input in
+  let policy =
+    {
+      Qruntime.Resilience.default with
+      Qruntime.Resilience.max_retries = retries;
+      total_timeout = timeout;
+      shot_timeout;
+    }
+  in
   if shots = 1 then begin
-    let r = Qruntime.Executor.run ~seed ~backend m in
-    if String.length r.Qruntime.Executor.output > 0 then
-      Printf.printf "output: %s\n" r.Qruntime.Executor.output;
-    List.iter
-      (fun (addr, b) ->
-        Printf.printf "result 0x%Lx = %s\n" addr (if b then "1" else "0"))
-      r.Qruntime.Executor.results;
-    if stats then begin
-      let i = r.Qruntime.Executor.interp_stats in
-      let q = r.Qruntime.Executor.runtime_stats in
-      Printf.printf
-        "instructions=%d external-calls=%d gates=%d measurements=%d resets=%d\n"
-        i.Llvm_ir.Interp.instructions i.Llvm_ir.Interp.external_calls
-        q.Qruntime.Runtime.gate_calls q.Qruntime.Runtime.measurements
-        q.Qruntime.Runtime.resets
-    end
+    match Qruntime.Executor.run_resilient ~policy ~seed ~backend m with
+    | Error e -> Cli_common.fail_error e
+    | Ok r ->
+      if String.length r.Qruntime.Executor.output > 0 then
+        Printf.printf "output: %s\n" r.Qruntime.Executor.output;
+      List.iter
+        (fun (addr, b) ->
+          Printf.printf "result 0x%Lx = %s\n" addr (if b then "1" else "0"))
+        r.Qruntime.Executor.results;
+      if stats then begin
+        let i = r.Qruntime.Executor.interp_stats in
+        let q = r.Qruntime.Executor.runtime_stats in
+        Printf.printf
+          "instructions=%d external-calls=%d gates=%d measurements=%d \
+           resets=%d\n"
+          i.Llvm_ir.Interp.instructions i.Llvm_ir.Interp.external_calls
+          q.Qruntime.Runtime.gate_calls q.Qruntime.Runtime.measurements
+          q.Qruntime.Runtime.resets
+      end
   end
   else begin
-    let hist =
-      Qruntime.Executor.run_shots ~seed ~backend ~batch:(not no_batch) ~shots m
+    let r =
+      Qruntime.Executor.run_shots_resilient ~policy ~seed ~backend
+        ~batch:(not no_batch) ~shots m
     in
-    Format.printf "%a" Qruntime.Executor.pp_histogram hist
+    Format.printf "%a@?" Qruntime.Executor.pp_histogram
+      r.Qruntime.Executor.histogram;
+    if stats then
+      Printf.printf
+        "completed=%d/%d retries=%d batched=%b batch-fallback=%b \
+         pool-fallbacks=%d\n"
+        r.Qruntime.Executor.completed r.Qruntime.Executor.requested
+        r.Qruntime.Executor.retries r.Qruntime.Executor.batched
+        r.Qruntime.Executor.batch_fallback r.Qruntime.Executor.pool_fallbacks;
+    if r.Qruntime.Executor.degraded then begin
+      Printf.eprintf
+        "qir-run: deadline expired after %d/%d shots (degraded result)\n"
+        r.Qruntime.Executor.completed r.Qruntime.Executor.requested;
+      exit Qruntime.Qir_error.exit_timeout
+    end
   end
 
 let input =
@@ -43,13 +76,47 @@ let shots =
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
-let backend =
-  let enum_conv =
-    Arg.enum [ ("statevector", `Statevector); ("stabilizer", `Stabilizer) ]
+let backend_conv : Qruntime.Executor.backend_kind Arg.conv =
+  let parse s =
+    match s with
+    | "statevector" -> Ok `Statevector
+    | "stabilizer" -> Ok `Stabilizer
+    | _ when s = "faulty" || String.starts_with ~prefix:"faulty:" s -> (
+      let spec_text =
+        if String.length s > 7 then String.sub s 7 (String.length s - 7)
+        else ""
+      in
+      match Qsim.Faulty.spec_of_string spec_text with
+      | Ok spec -> Ok (`Faulty spec)
+      | Error msg -> Error (`Msg msg))
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown backend %S (expected statevector, stabilizer or \
+               faulty:<spec>)"
+              s))
   in
-  Arg.(value & opt enum_conv `Statevector & info [ "backend" ] ~docv:"BACKEND"
-         ~doc:"Simulator backend: statevector (default) or stabilizer \
-               (Clifford-only, scales to many qubits).")
+  let print ppf (b : Qruntime.Executor.backend_kind) =
+    match b with
+    | `Statevector -> Format.pp_print_string ppf "statevector"
+    | `Stabilizer -> Format.pp_print_string ppf "stabilizer"
+    | `Faulty spec ->
+      Format.fprintf ppf "faulty:%s" (Qsim.Faulty.spec_to_string spec)
+  in
+  Arg.conv (parse, print)
+
+let backend =
+  Arg.(value & opt backend_conv `Statevector & info [ "backend" ]
+         ~docv:"BACKEND"
+         ~doc:"Simulator backend: statevector (default), stabilizer \
+               (Clifford-only, scales to many qubits), or \
+               faulty:<spec> — a fault-injecting wrapper for resilience \
+               testing, e.g. \
+               faulty:gate=0.05,measure=0.01,crash=0.001,seed=7 (a bare \
+               rate faulty:0.05 splits it across gate/measure/crash). \
+               Faulty runs execute per shot so faults exercise the \
+               retry machinery.")
 
 let no_batch =
   Arg.(value & flag & info [ "no-batch" ]
@@ -60,12 +127,30 @@ let no_batch =
 
 let stats =
   Arg.(value & flag & info [ "stats" ]
-         ~doc:"Print interpreter and runtime statistics.")
+         ~doc:"Print interpreter/runtime statistics (single shot) or \
+               resilience statistics (multi-shot).")
+
+let timeout =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC"
+         ~doc:"Total wall-clock budget. On expiry, completed shots are \
+               printed and the exit code is 5 (degraded result).")
+
+let shot_timeout =
+  Arg.(value & opt (some float) None & info [ "shot-timeout" ] ~docv:"SEC"
+         ~doc:"Wall-clock budget per shot, enforced inside the \
+               interpreter.")
+
+let retries =
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+         ~doc:"Retries per shot for transient backend faults (with \
+               exponential backoff); 0 fails on the first fault.")
 
 let cmd =
   let doc = "execute QIR programs on a simulator-backed runtime" in
   Cmd.v
     (Cmd.info "qir-run" ~doc)
-    Term.(const run $ input $ shots $ seed $ backend $ no_batch $ stats)
+    Term.(
+      const run $ input $ shots $ seed $ backend $ no_batch $ stats $ timeout
+      $ shot_timeout $ retries)
 
 let () = exit (Cmd.eval cmd)

@@ -10,6 +10,7 @@
 open Cmdliner
 
 let run input passes lower optimize check addressing emit verify output =
+  Cli_common.protect @@ fun () ->
   let m = Cli_common.parse_qir_file input in
   (* 1. individual passes, in order *)
   let m =
@@ -18,12 +19,12 @@ let run input passes lower optimize check addressing emit verify output =
         match Passes.Pipeline.find_pass name with
         | Some _ -> Passes.Pipeline.run_pass name m
         | None ->
-          Printf.eprintf "unknown pass %s (available: %s)\n" name
+          Cli_common.die ~code:Qruntime.Qir_error.exit_usage
+            "unknown pass %s (available: %s)" name
             (String.concat ", "
                (List.map
                   (fun (p : Passes.Pass.func_pass) -> p.Passes.Pass.name)
-                  Passes.Pipeline.all_passes));
-          exit 1)
+                  Passes.Pipeline.all_passes)))
       m passes
   in
   (* 2. preset pipelines *)
@@ -44,7 +45,7 @@ let run input passes lower optimize check addressing emit verify output =
       List.iter
         (fun v -> Format.eprintf "%a@\n" Llvm_ir.Verifier.pp_violation v)
         vs;
-      exit 1
+      exit Qruntime.Qir_error.exit_verify
   end;
   (* 5. profile check *)
   (match check with
@@ -57,7 +58,7 @@ let run input passes lower optimize check addressing emit verify output =
       List.iter
         (fun v -> Format.eprintf "%a@\n" Qir.Profile_check.pp_violation v)
         vs;
-      exit 1));
+      exit Qruntime.Qir_error.exit_verify));
   (* 6. output *)
   let text =
     match emit with

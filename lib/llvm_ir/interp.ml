@@ -32,6 +32,8 @@ type t = {
   externals : (string, value list -> value) Hashtbl.t;
   mutable brk : int64; (* bump allocator *)
   mutable fuel : int; (* remaining instruction budget; < 0 = unlimited *)
+  deadline : (unit -> bool) option; (* returns true once expired *)
+  mutable deadline_tick : int; (* instructions since last deadline poll *)
   stats : stats;
 }
 
@@ -132,7 +134,7 @@ let rec store_const st addr ty (c : Constant.t) =
   | Constant.Inttoptr n, _ -> Hashtbl.replace st.mem addr (VPtr n)
   | (Constant.Undef | Constant.Global _), _ -> ()
 
-let create ?(fuel = -1) ?(externals = []) (m : Ir_module.t) =
+let create ?(fuel = -1) ?deadline ?(externals = []) (m : Ir_module.t) =
   let st =
     {
       m;
@@ -141,6 +143,8 @@ let create ?(fuel = -1) ?(externals = []) (m : Ir_module.t) =
       externals = Hashtbl.create 64;
       brk = heap_base;
       fuel;
+      deadline;
+      deadline_tick = 0;
       stats =
         { instructions = 0; external_calls = 0; internal_calls = 0;
           blocks_entered = 0 };
@@ -160,6 +164,22 @@ let create ?(fuel = -1) ?(externals = []) (m : Ir_module.t) =
 
 let register_external st name fn = Hashtbl.replace st.externals name fn
 let stats st = st.stats
+
+(* Every instruction (and every terminator, so empty loops cannot spin
+   forever) pays one unit of fuel; the wall-clock deadline is polled
+   every 128 instructions to keep the common case cheap. *)
+let consume_budget st =
+  st.stats.instructions <- st.stats.instructions + 1;
+  if st.fuel = 0 then error "instruction budget exhausted";
+  if st.fuel > 0 then st.fuel <- st.fuel - 1;
+  match st.deadline with
+  | None -> ()
+  | Some expired ->
+    st.deadline_tick <- st.deadline_tick + 1;
+    if st.deadline_tick land 127 = 0 && expired () then
+      Ir_error.timeout_error
+        "wall-clock deadline exceeded after %d instructions"
+        st.stats.instructions
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation                                                           *)
@@ -361,10 +381,7 @@ and exec_block st f frame ~prev (b : Block.t) : value =
       | Instr.Phi _ -> ()
       | op -> exec_instr st frame i.Instr.id op)
     b.instrs;
-  (* the terminator also consumes fuel, so empty loops cannot spin forever *)
-  st.stats.instructions <- st.stats.instructions + 1;
-  if st.fuel = 0 then error "instruction budget exhausted";
-  if st.fuel > 0 then st.fuel <- st.fuel - 1;
+  consume_budget st;
   match b.term with
   | Instr.Ret None -> VVoid
   | Instr.Ret (Some v) -> eval_operand st frame v.Operand.ty v.Operand.v
@@ -389,9 +406,7 @@ and branch st f frame ~prev label =
   exec_block st f frame ~prev:(Some prev) (Func.find_block_exn f label)
 
 and exec_instr st frame id op =
-  st.stats.instructions <- st.stats.instructions + 1;
-  if st.fuel = 0 then error "instruction budget exhausted";
-  if st.fuel > 0 then st.fuel <- st.fuel - 1;
+  consume_budget st;
   let set v =
     match id with
     | Some id -> Hashtbl.replace frame.env id v
@@ -471,11 +486,11 @@ let run_function st name args =
   | Some f -> exec_function st f args
   | None -> error "no function @%s" name
 
-let run ?fuel ?externals m name args =
-  let st = create ?fuel ?externals m in
+let run ?fuel ?deadline ?externals m name args =
+  let st = create ?fuel ?deadline ?externals m in
   run_function st name args
 
-let run_entry ?fuel ?externals m =
+let run_entry ?fuel ?deadline ?externals m =
   match Ir_module.entry_point m with
-  | Some f -> run ?fuel ?externals m f.Func.name []
+  | Some f -> run ?fuel ?deadline ?externals m f.Func.name []
   | None -> error "module has no entry point"

@@ -30,11 +30,15 @@ type t
 
 val create :
   ?fuel:int ->
+  ?deadline:(unit -> bool) ->
   ?externals:(string * (value list -> value)) list ->
   Ir_module.t ->
   t
-(** [fuel]: instruction budget, negative = unlimited (default). Globals
-    are allocated and initialized eagerly. *)
+(** [fuel]: instruction budget, negative = unlimited (default).
+    [deadline]: polled every 128 instructions; once it returns [true],
+    execution aborts with {!Ir_error.Timeout_error} — the wall-clock
+    companion to the fuel ceiling. Globals are allocated and
+    initialized eagerly. *)
 
 val register_external : t -> string -> (value list -> value) -> unit
 val stats : t -> stats
@@ -45,6 +49,7 @@ val run_function : t -> string -> value list -> value
 
 val run :
   ?fuel:int ->
+  ?deadline:(unit -> bool) ->
   ?externals:(string * (value list -> value)) list ->
   Ir_module.t ->
   string ->
@@ -54,6 +59,7 @@ val run :
 
 val run_entry :
   ?fuel:int ->
+  ?deadline:(unit -> bool) ->
   ?externals:(string * (value list -> value)) list ->
   Ir_module.t ->
   value

@@ -5,12 +5,16 @@ type location = { line : int; col : int }
 exception Parse_error of location * string
 exception Verify_error of string
 exception Exec_error of string
+exception Timeout_error of string
 
 let parse_error ~line ~col fmt =
   Format.kasprintf (fun msg -> raise (Parse_error ({ line; col }, msg))) fmt
 
 let verify_error fmt = Format.kasprintf (fun msg -> raise (Verify_error msg)) fmt
 let exec_error fmt = Format.kasprintf (fun msg -> raise (Exec_error msg)) fmt
+
+let timeout_error fmt =
+  Format.kasprintf (fun msg -> raise (Timeout_error msg)) fmt
 
 let pp_location ppf { line; col } = Format.fprintf ppf "%d:%d" line col
 
@@ -19,4 +23,5 @@ let to_string = function
     Format.asprintf "parse error at %a: %s" pp_location loc msg
   | Verify_error msg -> "verify error: " ^ msg
   | Exec_error msg -> "execution error: " ^ msg
+  | Timeout_error msg -> "timeout: " ^ msg
   | exn -> Printexc.to_string exn

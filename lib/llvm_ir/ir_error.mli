@@ -6,11 +6,16 @@ exception Parse_error of location * string
 exception Verify_error of string
 exception Exec_error of string
 
+exception Timeout_error of string
+(** A wall-clock deadline expired mid-execution (see
+    {!Interp.create}'s [deadline]). Distinct from {!Exec_error} so
+    callers can degrade gracefully instead of failing. *)
+
 val parse_error : line:int -> col:int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 val verify_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val exec_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val timeout_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val pp_location : Format.formatter -> location -> unit
 
 val to_string : exn -> string
-(** Renders the three exceptions above; falls back to
-    [Printexc.to_string]. *)
+(** Renders the exceptions above; falls back to [Printexc.to_string]. *)

@@ -1,10 +1,25 @@
 (* End-to-end execution of QIR programs: interpreter (the lli stand-in)
    plus the quantum runtime over a chosen simulator backend. Supports
-   single runs and shot loops with histogram collection. *)
+   single runs and shot loops with histogram collection.
+
+   Resilience (threaded through every entry point via
+   {!Resilience.policy}):
+   - transient backend faults (injected by the [`Faulty] backend) are
+     retried per shot with exponential backoff — each retry re-runs the
+     shot with the identical quantum seed but a fresh fault stream, so
+     recovered runs reproduce the fault-free outcomes exactly;
+   - per-shot and total wall-clock deadlines abort cleanly: completed
+     shots are kept and the result is flagged [degraded] instead of
+     being lost;
+   - the batched sampling fast path falls back to per-shot execution if
+     the batchability check or the fused prefix fails mid-run, and the
+     Domain pool falls back to sequential sweeps if workers cannot be
+     spawned — both fallbacks are counted in {!shots_result}. *)
 
 open Llvm_ir
 
-type backend_kind = [ `Statevector | `Stabilizer ]
+type backend_kind =
+  [ `Statevector | `Stabilizer | `Faulty of Qsim.Faulty.spec ]
 
 type run_result = {
   output : string; (* the recorded-output bitstring, clbit order *)
@@ -13,8 +28,11 @@ type run_result = {
   runtime_stats : Runtime.stats;
 }
 
-let backend_of_kind ?seed kind n : Qsim.Backend.instance =
-  Qsim.Backend.create_instance ?seed kind n
+let backend_of_kind ?seed ?attempt (kind : backend_kind) n :
+    Qsim.Backend.instance =
+  match kind with
+  | (`Statevector | `Stabilizer) as k -> Qsim.Backend.create_instance ?seed k n
+  | `Faulty spec -> Qsim.Faulty.create_instance ?seed ?attempt spec n
 
 (* Initial register size: the entry point's declared requirement, or 0
    (the register grows on demand — Sec. IV-A). *)
@@ -26,11 +44,15 @@ let declared_qubits (m : Ir_module.t) =
     | None -> 0)
   | None -> 0
 
-let run ?(seed = 1) ?(backend : backend_kind = `Statevector) ?fuel
-    (m : Ir_module.t) : run_result =
-  let inst = backend_of_kind ~seed backend (declared_qubits m) in
+let run ?(seed = 1) ?(backend : backend_kind = `Statevector) ?fuel ?deadline
+    ?attempt (m : Ir_module.t) : run_result =
+  let inst = backend_of_kind ~seed ?attempt backend (declared_qubits m) in
   let rt = Runtime.create inst in
-  let st = Interp.create ?fuel ~externals:(Runtime.externals rt) m in
+  let st =
+    Interp.create ?fuel
+      ?deadline:(Resilience.Deadline.to_check deadline)
+      ~externals:(Runtime.externals rt) m
+  in
   let entry =
     match Ir_module.entry_point m with
     | Some f -> f.Func.name
@@ -47,6 +69,24 @@ let run ?(seed = 1) ?(backend : backend_kind = `Statevector) ?fuel
     interp_stats = Interp.stats st;
     runtime_stats = Runtime.stats rt;
   }
+
+(* One shot under a policy: retries transient faults with backoff,
+   bounds wall-clock by the shot timeout, and classifies failures into
+   the taxonomy. *)
+let run_resilient ?(policy = Resilience.default) ?(seed = 1)
+    ?(backend : backend_kind = `Statevector) (m : Ir_module.t) :
+    (run_result, Qir_error.t) result =
+  let rng = Qcircuit.Rng.create (seed lxor 0x5bd1e995) in
+  let deadline =
+    Resilience.Deadline.(
+      earliest (after policy.shot_timeout) (after policy.total_timeout))
+  in
+  match
+    Resilience.with_retries policy rng (fun ~attempt ->
+        run ~seed ~backend ?fuel:policy.Resilience.fuel ?deadline ~attempt m)
+  with
+  | Ok (r, _) -> Ok r
+  | Error (e, _) -> Error e
 
 (* The shot key: the recorded output when the program records one, else
    the concatenation of all results in address order. *)
@@ -108,27 +148,120 @@ let batched_circuit (m : Ir_module.t) =
     | Some _ | None -> None)
   | Error _ -> None
 
-let run_shots ?(seed = 1) ?backend ?fuel ?(batch = true) ~shots
-    (m : Ir_module.t) : (string * int) list =
-  let batchable =
-    if
-      batch && shots > 1
-      && (match backend with Some `Stabilizer -> false | _ -> true)
-    then batched_circuit m
-    else None
+(* ------------------------------------------------------------------ *)
+(* Shot loops                                                           *)
+
+type shots_result = {
+  histogram : (string * int) list;
+  completed : int; (* shots that produced an outcome *)
+  requested : int;
+  degraded : bool; (* a deadline expired; histogram is partial *)
+  retries : int; (* transient-fault retries across all shots *)
+  batched : bool; (* histogram came from the batched fast path *)
+  batch_fallback : bool; (* batched path failed mid-run; fell back *)
+  pool_fallbacks : int; (* parallel sweeps degraded to sequential *)
+}
+
+(* Test hook: raised inside the batched path to exercise the
+   batch -> per-shot fallback without a contrived failing circuit. *)
+let batch_sabotage : (unit -> unit) ref = ref (fun () -> ())
+let set_batch_sabotage f = batch_sabotage := f
+
+let sorted_histogram tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+exception Deadline_hit
+
+let run_shots_resilient ?(policy = Resilience.default) ?(seed = 1)
+    ?(backend : backend_kind = `Statevector) ?(batch = true) ~shots
+    (m : Ir_module.t) : shots_result =
+  let total_deadline = Resilience.Deadline.after policy.total_timeout in
+  let pool_fallbacks0 = Qsim.Dpool.sequential_fallbacks () in
+  let retries = ref 0 in
+  let finish ~histogram ~completed ~degraded ~batched ~batch_fallback =
+    {
+      histogram;
+      completed;
+      requested = shots;
+      degraded;
+      retries = !retries;
+      batched;
+      batch_fallback;
+      pool_fallbacks = Qsim.Dpool.sequential_fallbacks () - pool_fallbacks0;
+    }
   in
-  match batchable with
-  | Some c -> Qsim.Sampler.sample ~seed ~shots c
-  | None ->
-    let histogram = Hashtbl.create 16 in
-    for shot = 0 to shots - 1 do
-      let r = run ~seed:(seed + (shot * 7919)) ?backend ?fuel m in
-      let key = shot_key r in
-      Hashtbl.replace histogram key
-        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram key))
-    done;
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  (* The batched fast path applies only to the plain statevector
+     backend: the stabilizer backend cannot expose amplitudes, and the
+     faulty backend must execute per shot so faults actually flow
+     through the runtime and its recovery paths. *)
+  let batched_attempt =
+    if Resilience.Deadline.expired total_deadline then
+      (* already over budget: let the per-shot loop record degradation *)
+      `Not_batchable
+    else if batch && shots > 1 && backend = `Statevector then
+      match batched_circuit m with
+      | None -> `Not_batchable
+      | Some c -> (
+        try
+          !batch_sabotage ();
+          `Batched (Qsim.Sampler.sample ~seed ~shots c)
+        with e when Qir_error.of_exn e <> None -> `Fallback)
+    else `Not_batchable
+  in
+  match batched_attempt with
+  | `Batched histogram ->
+    finish ~histogram ~completed:shots ~degraded:false ~batched:true
+      ~batch_fallback:false
+  | (`Not_batchable | `Fallback) as outcome ->
+    let batch_fallback = outcome = `Fallback in
+    let tbl = Hashtbl.create 16 in
+    let completed = ref 0 in
+    let degraded = ref false in
+    let rng = Qcircuit.Rng.create (seed lxor 0x27d4eb2d) in
+    (try
+       for shot = 0 to shots - 1 do
+         if Resilience.Deadline.expired total_deadline then begin
+           degraded := true;
+           raise Deadline_hit
+         end;
+         let shot_deadline =
+           Resilience.Deadline.(
+             earliest total_deadline (after policy.shot_timeout))
+         in
+         match
+           Resilience.with_retries
+             ~on_retry:(fun _ ~attempt:_ -> incr retries)
+             policy rng
+             (fun ~attempt ->
+               run
+                 ~seed:(seed + (shot * 7919))
+                 ~backend ?fuel:policy.Resilience.fuel ?deadline:shot_deadline
+                 ~attempt m)
+         with
+         | Ok (r, _) ->
+           let key = shot_key r in
+           Hashtbl.replace tbl key
+             (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key));
+           incr completed
+         | Error (e, _) when e.Qir_error.kind = Qir_error.Timeout ->
+           (* deadline expiry keeps completed shots instead of losing them *)
+           degraded := true;
+           raise Deadline_hit
+         | Error (e, _) -> raise (Qir_error.Error e)
+       done
+     with Deadline_hit -> ());
+    finish ~histogram:(sorted_histogram tbl) ~completed:!completed
+      ~degraded:!degraded ~batched:false ~batch_fallback
+
+(* Back-compatible histogram API: no retries (plain backends never
+   fault), no deadlines, identical per-shot seeding. *)
+let run_shots ?(seed = 1) ?(backend : backend_kind = `Statevector) ?fuel
+    ?(batch = true) ~shots (m : Ir_module.t) : (string * int) list =
+  let policy =
+    { Resilience.no_retry with Resilience.fuel = fuel; sleep = false }
+  in
+  (run_shots_resilient ~policy ~seed ~backend ~batch ~shots m).histogram
 
 (* Convenience: run a circuit through the full QIR path (build -> execute)
    — the architecture benchmarked in E4. *)

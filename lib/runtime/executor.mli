@@ -1,8 +1,14 @@
 (** End-to-end execution of QIR programs: the interpreter (the [lli]
     stand-in) plus the quantum runtime over a chosen simulator backend
-    (Sec. III-C). *)
+    (Sec. III-C), with a resilience layer — retry/backoff for transient
+    backend faults, wall-clock deadlines with graceful degradation, and
+    counted fallbacks from the batched and parallel fast paths. *)
 
-type backend_kind = [ `Stabilizer | `Statevector ]
+type backend_kind =
+  [ `Stabilizer | `Statevector | `Faulty of Qsim.Faulty.spec ]
+(** [`Faulty spec] wraps the backend named by [spec.inner] in the
+    fault injector ({!Qsim.Faulty}); its transient faults exercise the
+    retry machinery. *)
 
 type run_result = {
   output : string;  (** recorded-output bitstring, clbit order *)
@@ -19,10 +25,68 @@ val run :
   ?seed:int ->
   ?backend:backend_kind ->
   ?fuel:int ->
+  ?deadline:float ->
+  ?attempt:int ->
   Llvm_ir.Ir_module.t ->
   run_result
-(** One shot. Raises {!Runtime.Runtime_error} or
-    {!Llvm_ir.Ir_error.Exec_error} on bad programs. *)
+(** One shot. [deadline] is an absolute [Unix.gettimeofday] instant;
+    past it the interpreter aborts with
+    {!Llvm_ir.Ir_error.Timeout_error}. [attempt] perturbs only the
+    faulty backend's fault stream (retries re-run with the identical
+    quantum seed). Raises {!Runtime.Runtime_error},
+    {!Llvm_ir.Ir_error.Exec_error}, {!Llvm_ir.Ir_error.Timeout_error}
+    or {!Qsim.Sim_error.Backend_fault} on bad programs, expired
+    deadlines and backend faults. *)
+
+val run_resilient :
+  ?policy:Resilience.policy ->
+  ?seed:int ->
+  ?backend:backend_kind ->
+  Llvm_ir.Ir_module.t ->
+  (run_result, Qir_error.t) result
+(** One shot under a policy: transient faults are retried with backoff
+    up to [policy.max_retries]; failures come back classified instead
+    of raised. *)
+
+(** {1 Shot loops} *)
+
+type shots_result = {
+  histogram : (string * int) list;
+  completed : int;  (** shots that produced an outcome *)
+  requested : int;
+  degraded : bool;  (** a deadline expired; the histogram is partial *)
+  retries : int;  (** transient-fault retries across all shots *)
+  batched : bool;  (** histogram came from the batched fast path *)
+  batch_fallback : bool;  (** batched path failed mid-run; fell back *)
+  pool_fallbacks : int;  (** parallel sweeps degraded to sequential *)
+}
+
+val run_shots_resilient :
+  ?policy:Resilience.policy ->
+  ?seed:int ->
+  ?backend:backend_kind ->
+  ?batch:bool ->
+  shots:int ->
+  Llvm_ir.Ir_module.t ->
+  shots_result
+(** Histogram over [shots] runs under a {!Resilience.policy}, keyed by
+    the recorded output (or, when the program records nothing, by all
+    results in address order), sorted by key.
+
+    Per shot, transient backend faults are retried with backoff; each
+    retry re-runs the shot with the identical quantum seed but a fresh
+    fault stream, so a recovered run's histogram equals the fault-free
+    one exactly. Expiry of the per-shot or total deadline stops the
+    loop and returns the completed shots with [degraded = true].
+    Permanent errors (and exhausted retry budgets) raise
+    {!Qir_error.Error}.
+
+    The batched fast path (fused unitary prefix simulated once, shots
+    drawn from the final distribution) applies to measurement-terminal
+    programs on the plain statevector backend; if it fails mid-run the
+    loop falls back to per-shot execution ([batch_fallback = true]).
+    The faulty backend always executes per shot, so injected faults
+    flow through the runtime's recovery paths. *)
 
 val run_shots :
   ?seed:int ->
@@ -32,17 +96,9 @@ val run_shots :
   shots:int ->
   Llvm_ir.Ir_module.t ->
   (string * int) list
-(** Histogram over [shots] runs, keyed by the recorded output (or, when
-    the program records nothing, by all results in address order),
-    sorted by key.
-
-    When [batch] is true (the default) and the program parses back into
-    a measurement-terminal circuit (Ex. 3 + {!Qsim.Sampler.batchable}),
-    the unitary prefix is simulated once (fused) and all shots are
-    drawn from the final distribution — orders of magnitude faster for
-    large shot counts. The fast path assumes results are recorded in
-    measurement order (what {!Qir.Qir_builder} emits); pass
-    [~batch:false] to force per-shot interpretation. *)
+(** {!run_shots_resilient} with no retries and no deadlines, returning
+    just the histogram — the historical API. Pass [~batch:false] to
+    force per-shot interpretation. *)
 
 val run_circuit_via_qir :
   ?seed:int ->
@@ -55,3 +111,10 @@ val run_circuit_via_qir :
 (** Convenience: circuit -> QIR -> histogram (the E4 architecture). *)
 
 val pp_histogram : Format.formatter -> (string * int) list -> unit
+
+(** {1 Test hooks} *)
+
+val set_batch_sabotage : (unit -> unit) -> unit
+(** Installs a thunk run at the top of the batched fast path; raising a
+    taxonomy exception from it exercises the batch -> per-shot fallback
+    deterministically. Reset with [(fun () -> ())]. *)

@@ -1,0 +1,88 @@
+(** The unified error taxonomy for the execution stack: one structured
+    value (kind x layer x severity x location x message) wrapping the
+    per-layer exceptions ({!Llvm_ir.Ir_error}, {!Qsim.Sim_error},
+    {!Runtime.Runtime_error}), with stable CLI exit codes per kind and a
+    transient/permanent classification that drives the retry policy. *)
+
+type layer =
+  | L_parser
+  | L_verifier
+  | L_interp
+  | L_runtime
+  | L_backend
+  | L_executor
+  | L_cli
+
+type severity = Transient | Permanent
+
+type kind =
+  | Parse  (** exit 2 *)
+  | Verify  (** exit 3 *)
+  | Exec  (** exit 4 *)
+  | Timeout  (** exit 5 *)
+  | Backend_failure  (** exit 6 *)
+  | Usage  (** exit 7 *)
+
+type t = {
+  kind : kind;
+  layer : layer;
+  severity : severity;
+  location : Llvm_ir.Ir_error.location option;
+  message : string;
+}
+
+exception Error of t
+
+val make :
+  ?severity:severity ->
+  ?location:Llvm_ir.Ir_error.location ->
+  kind:kind ->
+  layer:layer ->
+  string ->
+  t
+
+val raise_error :
+  ?severity:severity ->
+  ?location:Llvm_ir.Ir_error.location ->
+  kind:kind ->
+  layer:layer ->
+  ('a, Format.formatter, unit, 'b) format4 ->
+  'a
+
+(** {1 Exit codes} *)
+
+val exit_ok : int
+val exit_parse : int  (** 2 *)
+
+val exit_verify : int  (** 3 *)
+
+val exit_exec : int  (** 4 *)
+
+val exit_timeout : int  (** 5 *)
+
+val exit_backend : int  (** 6 *)
+
+val exit_usage : int  (** 7 *)
+
+val exit_code : t -> int
+
+(** {1 Classification} *)
+
+val of_exn : exn -> t option
+(** Classifies any exception from the execution stack; [None] for
+    exceptions outside the taxonomy (genuine bugs). *)
+
+val wrap_exn : exn -> t
+(** Like {!of_exn} but maps unknown exceptions to executor-layer [Exec]
+    errors, so callers always get a [t]. *)
+
+val classify : exn -> severity
+val is_transient : exn -> bool
+(** [true] only for injected {!Qsim.Sim_error.Backend_fault}s — the
+    class the retry policy may retry. *)
+
+val kind_name : kind -> string
+val layer_name : layer -> string
+val severity_name : severity -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

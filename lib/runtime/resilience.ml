@@ -1,0 +1,92 @@
+(* Retry/timeout/backoff policy for the execution layer.
+
+   A [policy] bounds how hard the executor tries: transient backend
+   faults (the only class {!Qir_error.is_transient} admits) are retried
+   up to [max_retries] times per shot with exponential backoff and
+   jitter; per-shot and total wall-clock deadlines bound latency; the
+   fuel ceiling bounds interpreted instructions per shot. Backoff
+   jitter draws from the deterministic {!Qcircuit.Rng}, so tests can
+   reproduce exact schedules; [sleep = false] computes delays without
+   waiting (tests, benches). *)
+
+type policy = {
+  max_retries : int; (* per shot; 0 = fail on first transient fault *)
+  base_backoff : float; (* seconds before the first retry *)
+  backoff_factor : float; (* multiplier per subsequent retry *)
+  max_backoff : float; (* ceiling on a single delay *)
+  jitter : float; (* in [0,1]: delay scaled by 1 - jitter*U(0,1) *)
+  shot_timeout : float option; (* wall-clock budget per shot, seconds *)
+  total_timeout : float option; (* wall-clock budget for the whole run *)
+  fuel : int option; (* interpreter instruction ceiling per shot *)
+  sleep : bool; (* actually wait out backoff delays? *)
+}
+
+let default =
+  {
+    max_retries = 3;
+    base_backoff = 0.001;
+    backoff_factor = 2.0;
+    max_backoff = 0.1;
+    jitter = 0.5;
+    shot_timeout = None;
+    total_timeout = None;
+    fuel = None;
+    sleep = true;
+  }
+
+let no_retry = { default with max_retries = 0 }
+
+let backoff_delay policy rng ~attempt =
+  if policy.base_backoff <= 0.0 then 0.0
+  else begin
+    let d =
+      policy.base_backoff *. (policy.backoff_factor ** float_of_int attempt)
+    in
+    let d = Float.min d policy.max_backoff in
+    d *. (1.0 -. (policy.jitter *. Qcircuit.Rng.float rng))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Absolute wall-clock deadlines                                        *)
+
+module Deadline = struct
+  type t = float option (* absolute epoch seconds; None = unbounded *)
+
+  let none : t = None
+  let now () = Unix.gettimeofday ()
+
+  let after (seconds : float option) : t =
+    Option.map (fun s -> now () +. s) seconds
+
+  let earliest (a : t) (b : t) : t =
+    match a, b with
+    | None, d | d, None -> d
+    | Some x, Some y -> Some (Float.min x y)
+
+  let expired = function None -> false | Some at -> now () >= at
+
+  (* The polling closure handed to {!Llvm_ir.Interp.create}. *)
+  let to_check (d : t) : (unit -> bool) option =
+    Option.map (fun at () -> now () >= at) d
+end
+
+(* ------------------------------------------------------------------ *)
+(* The retry loop                                                       *)
+
+(* [with_retries policy rng f] runs [f ~attempt:0]; on a transient
+   exception it backs off and retries with increasing [attempt] up to
+   [policy.max_retries]. Permanent errors and exhausted budgets return
+   the classified error plus the number of attempts made. *)
+let with_retries ?(on_retry = fun _ ~attempt:_ -> ()) policy rng f =
+  let rec go attempt =
+    match f ~attempt with
+    | v -> Ok (v, attempt)
+    | exception e
+      when Qir_error.is_transient e && attempt < policy.max_retries ->
+      on_retry e ~attempt;
+      let d = backoff_delay policy rng ~attempt in
+      if policy.sleep && d > 0.0 then Unix.sleepf d;
+      go (attempt + 1)
+    | exception e -> Error (Qir_error.wrap_exn e, attempt + 1)
+  in
+  go 0

@@ -1,0 +1,55 @@
+(** Retry/timeout/backoff policy for the execution layer: transient
+    backend faults are retried with exponential backoff and jitter;
+    per-shot and total wall-clock deadlines and a fuel ceiling bound
+    each run. Jitter draws from the deterministic {!Qcircuit.Rng}. *)
+
+type policy = {
+  max_retries : int;  (** per shot; 0 = fail on first transient fault *)
+  base_backoff : float;  (** seconds before the first retry *)
+  backoff_factor : float;  (** multiplier per subsequent retry *)
+  max_backoff : float;  (** ceiling on a single delay *)
+  jitter : float;  (** in [0,1]: delay scaled by [1 - jitter*U(0,1)] *)
+  shot_timeout : float option;  (** wall-clock budget per shot, seconds *)
+  total_timeout : float option;  (** wall-clock budget for the run *)
+  fuel : int option;  (** interpreter instruction ceiling per shot *)
+  sleep : bool;  (** actually wait out backoff delays? *)
+}
+
+val default : policy
+(** 3 retries, 1 ms base backoff doubling to a 100 ms cap with 0.5
+    jitter, no deadlines, no fuel ceiling, real sleeps. *)
+
+val no_retry : policy
+(** {!default} with [max_retries = 0]. *)
+
+val backoff_delay : policy -> Qcircuit.Rng.t -> attempt:int -> float
+(** The jittered delay before retry number [attempt] (0-based). *)
+
+module Deadline : sig
+  type t = float option
+  (** Absolute epoch seconds; [None] = unbounded. *)
+
+  val none : t
+  val now : unit -> float
+
+  val after : float option -> t
+  (** [after (Some s)] is a deadline [s] seconds from now. *)
+
+  val earliest : t -> t -> t
+  val expired : t -> bool
+
+  val to_check : t -> (unit -> bool) option
+  (** The polling closure handed to {!Llvm_ir.Interp.create}. *)
+end
+
+val with_retries :
+  ?on_retry:(exn -> attempt:int -> unit) ->
+  policy ->
+  Qcircuit.Rng.t ->
+  (attempt:int -> 'a) ->
+  ('a * int, Qir_error.t * int) result
+(** [with_retries policy rng f] runs [f ~attempt:0], retrying transient
+    exceptions ({!Qir_error.is_transient}) with backoff up to
+    [policy.max_retries] times. [Ok (v, retries_used)] on success;
+    [Error (err, attempts_made)] on a permanent error or an exhausted
+    retry budget. [on_retry] observes each retried fault. *)

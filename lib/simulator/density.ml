@@ -20,7 +20,8 @@ type t = {
 let dim st = 1 lsl st.n
 
 let create ?(seed = 1) n =
-  if n < 0 || n > 12 then invalid_arg "Density.create: 0 <= n <= 12";
+  if n < 0 || n > 12 then
+    Sim_error.error ~op:"Density.create" "0 <= n <= 12 required, got %d" n;
   let d = 1 lsl n in
   let re = Array.make (d * d) 0.0 and im = Array.make (d * d) 0.0 in
   re.(0) <- 1.0;
@@ -30,7 +31,7 @@ let num_qubits st = st.n
 
 let check_qubit st q =
   if q < 0 || q >= st.n then
-    invalid_arg (Printf.sprintf "Density: qubit %d out of range [0, %d)" q st.n)
+    Sim_error.error ~op:"Density" "qubit %d out of range [0, %d)" q st.n
 
 let entry st r c = { Complex.re = st.re.((r * dim st) + c); im = st.im.((r * dim st) + c) }
 
@@ -56,7 +57,9 @@ let apply_matrix st (u : Complex.t array array) qs =
   List.iter (check_qubit st) qs;
   let k = List.length qs in
   let sub = 1 lsl k in
-  if Array.length u <> sub then invalid_arg "Density.apply_matrix: size";
+  if Array.length u <> sub then
+    Sim_error.error ~op:"Density.apply_matrix" "matrix size %d <> 2^%d"
+      (Array.length u) k;
   let d = dim st in
   let bits = Array.of_list qs in
   (* matrix-basis bit (k-1-j) pairs with qubit bits.(j): operand 0 is the
@@ -143,8 +146,8 @@ let rec apply st (g : Gate.t) qs =
            (Tdg, [ b ]); (Cx, [ a; b ]) ]
        | Cswap ->
          [ (Cx, [ c; b ]); (Ccx, [ a; b; c ]); (Cx, [ c; b ]) ]
-       | _ -> invalid_arg "Density.apply: unsupported 3q gate")
-  | _ -> invalid_arg "Density.apply: arity mismatch"
+       | _ -> Sim_error.error ~op:"Density.apply" "unsupported 3q gate")
+  | _ -> Sim_error.error ~op:"Density.apply" "arity mismatch"
 
 (* ------------------------------------------------------------------ *)
 (* Channels                                                             *)

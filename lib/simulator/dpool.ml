@@ -50,6 +50,20 @@ type worker = {
 
 type pool = { workers : worker array; handles : unit Domain.t array }
 
+(* Graceful degradation: if Domain.spawn raises (resource exhaustion,
+   runtime limits), kernels fall back to sequential execution on the
+   calling domain instead of crashing. [seq_fallback_count] records how
+   often that happened; [spawn_disabled] caches the failure so we do not
+   re-attempt a failing spawn on every kernel invocation (cleared when
+   the pool is reconfigured via [set_domains]). *)
+let seq_fallback_count = ref 0
+let sequential_fallbacks () = !seq_fallback_count
+let spawn_disabled = ref false
+
+(* Test hook: force Domain.spawn to fail so the sequential-fallback
+   path is exercisable without exhausting real OS resources. *)
+let spawn_failure_forced = ref false
+
 let worker_loop w =
   let continue_ = ref true in
   while !continue_ do
@@ -73,6 +87,11 @@ let worker_loop w =
     end
   done
 
+let spawn_worker w =
+  if !spawn_failure_forced then
+    failwith "Dpool: simulated Domain.spawn failure";
+  Domain.spawn (fun () -> worker_loop w)
+
 let make_pool n_workers =
   let workers =
     Array.init n_workers (fun _ ->
@@ -85,10 +104,23 @@ let make_pool n_workers =
           error = None;
         })
   in
-  let handles =
-    Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers
-  in
-  { workers; handles }
+  let handles = Array.make n_workers None in
+  (try Array.iteri (fun i w -> handles.(i) <- Some (spawn_worker w)) workers
+   with e ->
+     (* stop whatever did spawn, then let the caller degrade *)
+     Array.iteri
+       (fun i w ->
+         match handles.(i) with
+         | Some h ->
+           Mutex.lock w.mutex;
+           w.stop <- true;
+           Condition.broadcast w.cond;
+           Mutex.unlock w.mutex;
+           Domain.join h
+         | None -> ())
+       workers;
+     raise e);
+  { workers; handles = Array.map Option.get handles }
 
 let pool : pool option ref = ref None
 
@@ -110,10 +142,16 @@ let () = at_exit shutdown
 
 let set_domains n =
   if n < 1 then invalid_arg "Dpool.set_domains: need at least one domain";
+  spawn_disabled := false;
   if n <> !num_domains then begin
     shutdown ();
     num_domains := n
   end
+
+let force_spawn_failure b =
+  shutdown ();
+  spawn_disabled := false;
+  spawn_failure_forced := b
 
 let get_pool () =
   match !pool with
@@ -132,15 +170,23 @@ let get_pool () =
 (* Fork/join entry points                                               *)
 
 let chunk_count ~size =
-  if size < !par_threshold || !num_domains <= 1 then 1 else !num_domains
+  if size < !par_threshold || !num_domains <= 1 || !spawn_disabled then 1
+  else !num_domains
 
 (* Runs [f k lo hi] for each chunk [k] covering [0, size); chunk 0 runs
-   on the calling domain. *)
+   on the calling domain. If worker domains cannot be spawned, the whole
+   range runs sequentially on the caller (counted as a fallback). *)
 let run_indexed ~size f =
   let chunks = chunk_count ~size in
   if chunks = 1 then f 0 0 size
-  else begin
-    let p = get_pool () in
+  else
+    match get_pool () with
+    | exception _ ->
+      spawn_disabled := true;
+      incr seq_fallback_count;
+      f 0 0 size
+    | p ->
+    begin
     let per = (size + chunks - 1) / chunks in
     (* chunks 1..n-1 go to workers, chunk 0 stays on the caller *)
     for k = 1 to chunks - 1 do
@@ -169,7 +215,7 @@ let run_indexed ~size f =
     match !first_error with
     | Some e -> raise e
     | None -> ()
-  end
+    end
 
 let run ~size f = run_indexed ~size (fun _ lo hi -> f lo hi)
 

@@ -36,3 +36,19 @@ val reduce_float2 : size:int -> (int -> int -> float * float) -> float * float
 
 val shutdown : unit -> unit
 (** Joins the worker domains (also installed as an [at_exit] hook). *)
+
+(** {1 Graceful degradation}
+
+    If [Domain.spawn] raises (resource exhaustion, runtime limits),
+    kernels fall back to sequential execution on the calling domain
+    instead of crashing, and stay sequential until the pool is
+    reconfigured with {!set_domains}. *)
+
+val sequential_fallbacks : unit -> int
+(** How many kernel invocations degraded to sequential execution
+    because worker domains could not be spawned. *)
+
+val force_spawn_failure : bool -> unit
+(** Test hook: make every [Domain.spawn] attempt fail, so the
+    sequential-fallback path can be exercised deterministically. Tears
+    down any live pool; pass [false] to restore normal behaviour. *)

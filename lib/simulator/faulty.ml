@@ -1,0 +1,161 @@
+(* A fault-injecting backend wrapper: delegates every operation to an
+   inner backend, but first rolls a seeded RNG against per-fault-kind
+   rates and raises {!Sim_error.Backend_fault} on a hit. This makes
+   every recovery path in the runtime deterministically testable — the
+   same (spec, seed, attempt) triple always injects the same faults.
+
+   The fault RNG is independent of the inner backend's measurement RNG,
+   and it is re-seeded per retry *attempt* (see {!create_instance}):
+   retrying a faulted shot re-runs it with the identical quantum seed
+   but a fresh fault stream, so a transient fault does not recur
+   deterministically on every retry. *)
+
+open Qcircuit
+
+type spec = {
+  gate_rate : float; (* per gate application *)
+  measure_rate : float; (* per measurement *)
+  crash_rate : float; (* per backend call, any kind *)
+  stall_rate : float; (* per backend call, any kind *)
+  fault_seed : int;
+  inner : [ `Statevector | `Stabilizer ];
+}
+
+let default =
+  {
+    gate_rate = 0.0;
+    measure_rate = 0.0;
+    crash_rate = 0.0;
+    stall_rate = 0.0;
+    fault_seed = 1;
+    inner = `Statevector;
+  }
+
+(* Parse "gate=0.05,measure=0.01,crash=0.001,stall=0.001,seed=7,
+   inner=stabilizer"; every field is optional, unknown keys are
+   rejected. A bare float is shorthand for gate=measure=crash=RATE/3. *)
+let spec_of_string s =
+  let trimmed = String.trim s in
+  if trimmed = "" then Ok default
+  else
+    match float_of_string_opt trimmed with
+    | Some r when r >= 0.0 && r <= 1.0 ->
+      let each = r /. 3.0 in
+      Ok { default with gate_rate = each; measure_rate = each;
+           crash_rate = each }
+    | Some _ -> Error "faulty: rate must be in [0, 1]"
+    | None -> (
+      let parse_field acc field =
+        match acc with
+        | Error _ as e -> e
+        | Ok spec -> (
+          match String.split_on_char '=' field with
+          | [ key; value ] -> (
+            let key = String.trim key and value = String.trim value in
+            let rate () =
+              match float_of_string_opt value with
+              | Some r when r >= 0.0 && r <= 1.0 -> Ok r
+              | _ ->
+                Error
+                  (Printf.sprintf "faulty: %s must be a rate in [0, 1]" key)
+            in
+            match key with
+            | "gate" ->
+              Result.map (fun r -> { spec with gate_rate = r }) (rate ())
+            | "measure" ->
+              Result.map (fun r -> { spec with measure_rate = r }) (rate ())
+            | "crash" ->
+              Result.map (fun r -> { spec with crash_rate = r }) (rate ())
+            | "stall" ->
+              Result.map (fun r -> { spec with stall_rate = r }) (rate ())
+            | "seed" -> (
+              match int_of_string_opt value with
+              | Some n -> Ok { spec with fault_seed = n }
+              | None -> Error "faulty: seed must be an integer")
+            | "inner" -> (
+              match value with
+              | "statevector" -> Ok { spec with inner = `Statevector }
+              | "stabilizer" -> Ok { spec with inner = `Stabilizer }
+              | _ ->
+                Error "faulty: inner must be statevector or stabilizer")
+            | _ -> Error (Printf.sprintf "faulty: unknown field %S" key))
+          | _ ->
+            Error (Printf.sprintf "faulty: expected key=value, got %S" field))
+      in
+      List.fold_left parse_field (Ok default)
+        (String.split_on_char ',' trimmed))
+
+let spec_to_string spec =
+  Printf.sprintf "gate=%g,measure=%g,crash=%g,stall=%g,seed=%d,inner=%s"
+    spec.gate_rate spec.measure_rate spec.crash_rate spec.stall_rate
+    spec.fault_seed
+    (match spec.inner with
+    | `Statevector -> "statevector"
+    | `Stabilizer -> "stabilizer")
+
+(* Total faults injected since program start, for stats and benches.
+   Written only under the executor's per-shot loop, which is
+   single-domain, so a plain ref suffices. *)
+let injected_total = ref 0
+let injected () = !injected_total
+
+type wrapped = { inner : Backend.instance; spec : spec; rng : Rng.t }
+
+let roll w rate = rate > 0.0 && Rng.float w.rng < rate
+
+let check_call w ~op =
+  if roll w w.spec.crash_rate then begin
+    incr injected_total;
+    Sim_error.fault ~op Sim_error.Crash
+  end;
+  if roll w w.spec.stall_rate then begin
+    incr injected_total;
+    Sim_error.fault ~op Sim_error.Stall
+  end
+
+module Faulty_backend : Backend.S with type t = wrapped = struct
+  type t = wrapped
+
+  let name = "faulty"
+
+  (* Instances are built by [wrap]; the signature-mandated [create]
+     cannot carry a spec or an inner backend. *)
+  let create ?seed:_ _ =
+    Sim_error.error ~op:"Faulty.create" "use Faulty.wrap to build instances"
+
+  let num_qubits w = Backend.instance_num_qubits w.inner
+  let ensure_qubits w n = Backend.instance_ensure w.inner n
+
+  let apply w g qs =
+    check_call w ~op:(Gate.name g);
+    if roll w w.spec.gate_rate then begin
+      incr injected_total;
+      Sim_error.fault ~op:(Gate.name g) Sim_error.Gate_fault
+    end;
+    Backend.instance_apply w.inner g qs
+
+  let measure w q =
+    check_call w ~op:"measure";
+    if roll w w.spec.measure_rate then begin
+      incr injected_total;
+      Sim_error.fault ~op:"measure" Sim_error.Measure_fault
+    end;
+    Backend.instance_measure w.inner q
+
+  let reset w q =
+    check_call w ~op:"reset";
+    Backend.instance_reset w.inner q
+end
+
+let wrap ?(salt = 0) ?(attempt = 0) spec inner =
+  (* Mix the per-shot salt and the retry attempt into the fault seed so
+     every shot and every retry draws a distinct fault stream
+     (splitmix64 decorrelates consecutive seeds well), while the inner
+     backend's quantum seed stays untouched. *)
+  let seed = spec.fault_seed + (salt * 0x85EB) + (attempt * 0x9E37) in
+  Backend.Instance
+    ((module Faulty_backend : Backend.S with type t = wrapped),
+     { inner; spec; rng = Rng.create seed })
+
+let create_instance ?seed ?attempt spec n =
+  wrap ?salt:seed ?attempt spec (Backend.create_instance ?seed spec.inner n)

@@ -1,0 +1,43 @@
+(** A fault-injecting backend wrapper: delegates to an inner backend but
+    first rolls a seeded RNG against per-fault-kind rates, raising
+    {!Sim_error.Backend_fault} on a hit — so every recovery path in the
+    runtime is deterministically testable.
+
+    The fault RNG is separate from the inner backend's measurement RNG
+    and is re-seeded per retry attempt: a retried shot re-runs with the
+    identical quantum seed but a fresh fault stream, so recovered runs
+    produce exactly the fault-free outcomes. *)
+
+type spec = {
+  gate_rate : float;  (** fault probability per gate application *)
+  measure_rate : float;  (** fault probability per measurement *)
+  crash_rate : float;  (** simulated crash probability per backend call *)
+  stall_rate : float;  (** simulated stall/timeout probability per call *)
+  fault_seed : int;
+  inner : [ `Statevector | `Stabilizer ];
+}
+
+val default : spec
+(** All rates 0, seed 1, statevector inner backend. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parses the CLI spec syntax
+    ["gate=0.05,measure=0.01,crash=0.001,stall=0.001,seed=7,inner=statevector"]
+    (every field optional), or a bare rate ["0.05"] shorthand for
+    gate=measure=crash=rate/3. *)
+
+val spec_to_string : spec -> string
+
+val injected : unit -> int
+(** Total faults injected since program start (across all instances). *)
+
+val wrap :
+  ?salt:int -> ?attempt:int -> spec -> Backend.instance -> Backend.instance
+(** Wraps an existing backend instance. [salt] (typically the shot's
+    quantum seed) and [attempt] (the retry number) perturb the fault
+    seed so every shot and every retry draws a distinct fault stream. *)
+
+val create_instance :
+  ?seed:int -> ?attempt:int -> spec -> int -> Backend.instance
+(** Creates the inner backend named by [spec.inner] with [seed] and
+    [n] qubits, wrapped in the fault injector. *)

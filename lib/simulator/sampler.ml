@@ -74,8 +74,9 @@ let strip_measurements (c : Circuit.t) =
 (* [sample ~shots c] — requires [batchable c]. *)
 let sample ?(seed = 1) ?(fuse = true) ~shots (c : Circuit.t) =
   if not (batchable c) then
-    invalid_arg "Sampler.sample: circuit is not batchable";
-  if shots < 0 then invalid_arg "Sampler.sample: negative shot count";
+    Sim_error.error ~op:"Sampler.sample" "circuit is not batchable";
+  if shots < 0 then
+    Sim_error.error ~op:"Sampler.sample" "negative shot count %d" shots;
   let st, _ =
     if fuse then Fusion.run_circuit ~seed (strip_measurements c)
     else Statevector.run_circuit ~seed (strip_measurements c)

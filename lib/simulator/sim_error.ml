@@ -1,0 +1,38 @@
+(* Typed simulator-layer errors. Two families:
+
+   - [Error]: a permanent simulator error — a malformed request (qubit
+     out of range, identical control/target, arity mismatch, register
+     over the statevector limit). Retrying cannot help; these map to
+     the executor's permanent-error taxonomy.
+
+   - [Backend_fault]: an *injected* transient failure from the faulty
+     backend wrapper ({!Faulty}). These model the flaky-backend
+     behaviour of real execution stacks and are exactly the class the
+     runtime retry policy is allowed to retry. *)
+
+type fault_kind =
+  | Gate_fault (* a gate application failed transiently *)
+  | Measure_fault (* a measurement failed transiently *)
+  | Crash (* the backend process "crashed" mid-call *)
+  | Stall (* the backend stalled past its deadline *)
+
+exception Error of { op : string; msg : string }
+exception Backend_fault of { fault : fault_kind; op : string }
+
+let error ~op fmt =
+  Format.kasprintf (fun msg -> raise (Error { op; msg })) fmt
+
+let fault ~op kind = raise (Backend_fault { fault = kind; op })
+
+let fault_kind_name = function
+  | Gate_fault -> "gate"
+  | Measure_fault -> "measure"
+  | Crash -> "crash"
+  | Stall -> "stall"
+
+let to_string = function
+  | Error { op; msg } -> Printf.sprintf "simulator error: %s: %s" op msg
+  | Backend_fault { fault; op } ->
+    Printf.sprintf "transient backend fault (%s) during %s"
+      (fault_kind_name fault) op
+  | exn -> Printexc.to_string exn

@@ -1,0 +1,25 @@
+(** Typed simulator-layer errors: permanent {!Error}s raised by the
+    simulators on malformed requests, and transient {!Backend_fault}s
+    injected by the {!Faulty} backend wrapper. The runtime retry policy
+    treats only the latter as retryable. *)
+
+type fault_kind =
+  | Gate_fault  (** a gate application failed transiently *)
+  | Measure_fault  (** a measurement failed transiently *)
+  | Crash  (** the backend process "crashed" mid-call *)
+  | Stall  (** the backend stalled past its deadline *)
+
+exception Error of { op : string; msg : string }
+exception Backend_fault of { fault : fault_kind; op : string }
+
+val error : op:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error ~op fmt ...] raises {!Error} with a formatted message. *)
+
+val fault : op:string -> fault_kind -> 'a
+(** Raises {!Backend_fault}. *)
+
+val fault_kind_name : fault_kind -> string
+
+val to_string : exn -> string
+(** Renders {!Error} and {!Backend_fault}; falls back to
+    [Printexc.to_string] for other exceptions. *)

@@ -20,7 +20,7 @@ let set b i v = Bytes.set_uint8 b i (if v then 1 else 0)
 (* Fresh tableau: destabilizers X_i in rows 0..n-1, stabilizers Z_i in
    rows n..2n-1, plus one scratch row. *)
 let create ?(seed = 1) n =
-  if n < 0 then invalid_arg "Stabilizer.create: negative size";
+  if n < 0 then Sim_error.error ~op:"Stabilizer.create" "negative size %d" n;
   let rows = (2 * n) + 1 in
   let x = Array.init rows (fun _ -> Bytes.make (max n 1) '\000') in
   let z = Array.init rows (fun _ -> Bytes.make (max n 1) '\000') in
@@ -35,7 +35,7 @@ let num_qubits st = st.n
 
 let check_qubit st q =
   if q < 0 || q >= st.n then
-    invalid_arg (Printf.sprintf "Stabilizer: qubit %d out of range [0, %d)" q st.n)
+    Sim_error.error ~op:"Stabilizer" "qubit %d out of range [0, %d)" q st.n
 
 let add_qubit st =
   let n = st.n in
@@ -90,7 +90,7 @@ let s st q =
 let cnot st a b =
   check_qubit st a;
   check_qubit st b;
-  if a = b then invalid_arg "Stabilizer.cnot: identical qubits";
+  if a = b then Sim_error.error ~op:"Stabilizer.cnot" "identical qubits";
   for i = 0 to (2 * st.n) - 1 do
     let xia = get st.x.(i) a and xib = get st.x.(i) b in
     let zia = get st.z.(i) a and zib = get st.z.(i) b in

@@ -35,7 +35,8 @@ type t = {
 }
 
 let create ?(seed = 1) n =
-  if n < 0 || n > 26 then invalid_arg "Statevector.create: 0 <= n <= 26";
+  if n < 0 || n > 26 then
+    Sim_error.error ~op:"Statevector.create" "0 <= n <= 26 required, got %d" n;
   let size = 1 lsl n in
   let re = Array.make size 0.0 and im = Array.make size 0.0 in
   re.(0) <- 1.0;
@@ -52,11 +53,13 @@ let probabilities st = Array.init (dim st) (probability st)
 
 let check_qubit st q =
   if q < 0 || q >= st.n then
-    invalid_arg (Printf.sprintf "Statevector: qubit %d out of range [0, %d)" q st.n)
+    Sim_error.error ~op:"Statevector" "qubit %d out of range [0, %d)" q st.n
 
 (* Tensors |0> onto the high end of the register. *)
 let add_qubit st =
-  if st.n >= 26 then invalid_arg "Statevector.add_qubit: register too large";
+  if st.n >= 26 then
+    Sim_error.error ~op:"Statevector.add_qubit"
+      "register limit of 26 qubits reached";
   let old_size = dim st in
   let re = Array.make (old_size * 2) 0.0 and im = Array.make (old_size * 2) 0.0 in
   Array.blit st.re 0 re 0 old_size;
@@ -239,7 +242,7 @@ let apply_mat1 st (u : Complex.t array array) q =
 let check_pair st qa qb =
   check_qubit st qa;
   check_qubit st qb;
-  if qa = qb then invalid_arg "Statevector: identical qubits"
+  if qa = qb then Sim_error.error ~op:"Statevector" "identical qubits (%d)" qa
 
 (* CNOT: for indices with control set, swap the target pair. *)
 let apply_cx st c t =
@@ -388,7 +391,7 @@ let apply_ccx st c1 c2 tgt =
   check_qubit st c2;
   check_qubit st tgt;
   if c1 = c2 || c1 = tgt || c2 = tgt then
-    invalid_arg "Statevector.apply_ccx: identical qubits";
+    Sim_error.error ~op:"Statevector.apply_ccx" "identical qubits";
   let b1 = 1 lsl c1 and b2 = 1 lsl c2 and bt = 1 lsl tgt in
   let p0, p1, p2 = sort3 c1 c2 tgt in
   let eighth = dim st / 8 in
@@ -412,7 +415,7 @@ let apply_cswap st c a b =
   check_qubit st a;
   check_qubit st b;
   if c = a || c = b || a = b then
-    invalid_arg "Statevector.apply_cswap: identical qubits";
+    Sim_error.error ~op:"Statevector.apply_cswap" "identical qubits";
   let bc = 1 lsl c and ba = 1 lsl a and bb = 1 lsl b in
   let p0, p1, p2 = sort3 c a b in
   let eighth = dim st / 8 in
@@ -474,9 +477,8 @@ let apply st (g : Gate.t) qubits =
   | Gate.Ccx, [ a; b; c ] -> apply_ccx st a b c
   | Gate.Cswap, [ a; b; c ] -> apply_cswap st a b c
   | g, qs ->
-    invalid_arg
-      (Printf.sprintf "Statevector.apply: %s expects %d qubits, got %d"
-         (Gate.name g) (Gate.num_qubits g) (List.length qs))
+    Sim_error.error ~op:"Statevector.apply" "%s expects %d qubits, got %d"
+      (Gate.name g) (Gate.num_qubits g) (List.length qs)
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                          *)
@@ -573,7 +575,9 @@ let run_circuit ?(seed = 1) (c : Circuit.t) =
 
 (* Inner product <a|b>; |<a|b>|^2 = 1 iff the states coincide. *)
 let inner_product a b =
-  if a.n <> b.n then invalid_arg "Statevector.inner_product: size mismatch";
+  if a.n <> b.n then
+    Sim_error.error ~op:"Statevector.inner_product" "size mismatch: %d <> %d"
+      a.n b.n;
   let are = a.re and aim = a.im and bre = b.re and bim = b.im in
   let acc_re, acc_im =
     Dpool.reduce_float2 ~size:(dim a) (fun lo hi ->
@@ -629,7 +633,8 @@ module Reference = struct
   let apply_2q st (u : Complex.t array array) qa qb =
     check_qubit st qa;
     check_qubit st qb;
-    if qa = qb then invalid_arg "Statevector.apply_2q: identical qubits";
+    if qa = qb then
+      Sim_error.error ~op:"Statevector.apply_2q" "identical qubits";
     let ba = 1 lsl qa and bb = 1 lsl qb in
     let size = dim st in
     let re = st.re and im = st.im in
@@ -711,9 +716,8 @@ module Reference = struct
       | Gate.Cswap -> apply_cswap st a b c
       | _ -> assert false)
     | n, qs ->
-      invalid_arg
-        (Printf.sprintf "Statevector.Reference.apply: %s expects %d qubits, got %d"
-           (Gate.name g) n (List.length qs))
+      Sim_error.error ~op:"Statevector.Reference.apply"
+        "%s expects %d qubits, got %d" (Gate.name g) n (List.length qs)
 
   let run_circuit ?(seed = 1) (c : Circuit.t) =
     let st = create ~seed c.Circuit.num_qubits in

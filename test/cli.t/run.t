@@ -56,7 +56,7 @@ Dynamic addressing (Fig. 1 right) violates it:
   [base:no-memory] @main: memory instruction '%20 = load ptr, ptr %2, align 8' is not allowed
   [base:static-addresses] @main: @__quantum__rt__result_record_output receives a dynamic qubit/result address
   [base:no-memory] @main: memory instruction '%22 = load ptr, ptr %0, align 8' is not allowed
-  [1]
+  [3]
 
 ...but converts:
 
@@ -66,8 +66,8 @@ Dynamic addressing (Fig. 1 right) violates it:
 Execution (deterministic with a seed):
 
   $ qir-run bell.ll --shots 50 --seed 3
-  00: 22
-  11: 28
+  00: 23
+  11: 27
 
 Round-trip back to OpenQASM:
 
@@ -84,17 +84,17 @@ Round-trip back to OpenQASM:
 Error paths: unknown pass, bad input, unroutable profile check.
 
   $ qirc bell.ll --pass no-such-pass
-  unknown pass no-such-pass (available: mem2reg, const-fold, sccp, instcombine, cse, dce, simplify-cfg, loop-unroll, inline)
-  [1]
+  qirc: unknown pass no-such-pass (available: mem2reg, const-fold, sccp, instcombine, cse, dce, simplify-cfg, loop-unroll, inline)
+  [7]
 
   $ echo "this is not llvm" > bad.ll
   $ qirc bad.ll
-  bad.ll: 1:8: unexpected token 'this' at top level
-  [1]
+  qirc: bad.ll: 1:8: unexpected token 'this' at top level
+  [2]
 
   $ qir-run bad.ll
-  bad.ll: 1:8: unexpected token 'this' at top level
-  [1]
+  qir-run: bad.ll: 1:8: unexpected token 'this' at top level
+  [2]
 
 The MLIR outlook (paper conclusion):
 
@@ -131,7 +131,7 @@ The paper's Ex. 4: a QIR FOR-loop lowers to ten straight-line H calls.
   [base:no-classical] @main: classical computation '%4 = add i32 %3, 1' is not allowed
   [base:no-memory] @main: memory instruction 'store i32 %4, ptr %i, align 8' is not allowed
   [base:straight-line] @main: branching is not allowed
-  [1]
+  [3]
 
   $ qirc forloop.ll --lower --check base --emit qasm3
   conforms to base_profile
@@ -148,3 +148,55 @@ The paper's Ex. 4: a QIR FOR-loop lowers to ten straight-line H calls.
   h q[7];
   h q[8];
   h q[9];
+
+Resilience: the executor retries transient injected faults with backoff,
+and a recovered run reproduces the fault-free histogram exactly.
+
+  $ qir-run bell.ll --shots 50 --seed 3 --no-batch
+  00: 22
+  11: 28
+
+  $ qir-run bell.ll --shots 50 --seed 3 --backend faulty:0.05 --stats
+  00: 22
+  11: 28
+  completed=50/50 retries=6 batched=false batch-fallback=false pool-fallbacks=0
+
+With retries disabled, the first fault is fatal (exit 6):
+
+  $ qir-run bell.ll --shots 50 --seed 3 --backend faulty:gate=1 --retries 0
+  qir-run: backend error (backend, transient): injected gate fault during h
+  [6]
+
+A malformed fault spec is rejected by the option parser (cmdliner's
+conventional exit 124):
+
+  $ qir-run bell.ll --backend faulty:bogus=1
+  qir-run: option '--backend': faulty: unknown field "bogus"
+  Usage: qir-run [OPTION]… INPUT.ll
+  Try 'qir-run --help' for more information.
+  [124]
+
+Execution errors exit 4:
+
+  $ cat > div0.ll <<'LL'
+  > define void @main() "entry_point" {
+  > entry:
+  >   %x = udiv i32 1, 0
+  >   ret void
+  > }
+  > LL
+  $ qir-run div0.ll
+  qir-run: exec error (interpreter, permanent): integer division by zero
+  [4]
+
+An exhausted wall-clock budget keeps completed shots and exits 5:
+
+  $ qir-run bell.ll --shots 5 --timeout 0
+  qir-run: deadline expired after 0/5 shots (degraded result)
+  [5]
+
+A missing input file is a usage error:
+
+  $ qir-run no-such-file.ll
+  qir-run: no-such-file.ll: No such file or directory
+  [7]

@@ -315,7 +315,7 @@ let test_batchable () =
     (Qsim.Sampler.batchable (Circuit.Build.finish b));
   match Qsim.Sampler.sample ~shots:10 (Generate.feedback_rounds ~rounds:2 2) with
   | _ -> Alcotest.fail "sample must reject non-batchable circuits"
-  | exception Invalid_argument _ -> ()
+  | exception Qsim.Sim_error.Error _ -> ()
 
 let total_variation h1 h2 =
   let keys =

@@ -8,6 +8,7 @@ let () =
       ("engine", Test_engine.suite);
       ("qir", Test_qir.suite);
       ("runtime", Test_runtime.suite);
+      ("resilience", Test_resilience.suite);
       ("mapping", Test_mapping.suite);
       ("hybrid", Test_hybrid.suite);
       ("algorithms", Test_algorithms.suite);
