@@ -90,21 +90,21 @@ let reconstruct_by_interpretation (m : Ir_module.t) =
   in
   let externals =
     [
-      (Qir.Names.qis "h", gate Gate.H);
-      (Qir.Names.qis "x", gate Gate.X);
-      (Qir.Names.qis "y", gate Gate.Y);
-      (Qir.Names.qis "z", gate Gate.Z);
-      (Qir.Names.qis "s", gate Gate.S);
-      (Qir.Names.qis_adj "s", gate Gate.Sdg);
-      (Qir.Names.qis "t", gate Gate.T);
-      (Qir.Names.qis_adj "t", gate Gate.Tdg);
-      (Qir.Names.qis "rx", rot (fun t -> Gate.Rx t));
-      (Qir.Names.qis "ry", rot (fun t -> Gate.Ry t));
-      (Qir.Names.qis "rz", rot (fun t -> Gate.Rz t));
-      (Qir.Names.qis "cnot", gate Gate.Cx);
-      (Qir.Names.qis "cz", gate Gate.Cz);
-      (Qir.Names.qis "swap", gate Gate.Swap);
-      ( Qir.Names.qis_mz,
+      (Names.qis "h", gate Gate.H);
+      (Names.qis "x", gate Gate.X);
+      (Names.qis "y", gate Gate.Y);
+      (Names.qis "z", gate Gate.Z);
+      (Names.qis "s", gate Gate.S);
+      (Names.qis_adj "s", gate Gate.Sdg);
+      (Names.qis "t", gate Gate.T);
+      (Names.qis_adj "t", gate Gate.Tdg);
+      (Names.qis "rx", rot (fun t -> Gate.Rx t));
+      (Names.qis "ry", rot (fun t -> Gate.Ry t));
+      (Names.qis "rz", rot (fun t -> Gate.Rz t));
+      (Names.qis "cnot", gate Gate.Cx);
+      (Names.qis "cz", gate Gate.Cz);
+      (Names.qis "swap", gate Gate.Swap);
+      ( Names.qis_mz,
         fun args ->
           (match args with
           | [ q; _r ] ->
@@ -112,8 +112,8 @@ let reconstruct_by_interpretation (m : Ir_module.t) =
             incr next_result
           | _ -> failwith "bad mz");
           Interp.VVoid );
-      (Qir.Names.rt_array_record_output, fun _ -> Interp.VVoid);
-      (Qir.Names.rt_result_record_output, fun _ -> Interp.VVoid);
+      (Names.rt_array_record_output, fun _ -> Interp.VVoid);
+      (Names.rt_result_record_output, fun _ -> Interp.VVoid);
     ]
   in
   ignore (Interp.run_entry ~externals m);
@@ -201,7 +201,7 @@ let e3 () =
           0
           (fun acc i ->
             match i.Instr.op with
-            | Instr.Call (_, c, _) when String.equal c (Qir.Names.qis "h") ->
+            | Instr.Call (_, c, _) when String.equal c (Names.qis "h") ->
               acc + 1
             | _ -> acc)
       in
@@ -287,7 +287,7 @@ let e5 () =
           (fun acc f ->
             Func.fold_instrs f acc (fun acc i ->
                 match i.Instr.op with
-                | Instr.Call (_, callee, _) when Qir.Names.is_rt callee ->
+                | Instr.Call (_, callee, _) when Names.is_rt callee ->
                   acc + 1
                 | _ -> acc))
           0
@@ -452,7 +452,7 @@ let e8 () =
   let gate_calls m =
     Func.fold_instrs (Ir_module.find_func_exn m "main") 0 (fun acc i ->
         match i.Instr.op with
-        | Instr.Call (_, c, _) when Qir.Names.is_qis c -> acc + 1
+        | Instr.Call (_, c, _) when Names.is_qis c -> acc + 1
         | _ -> acc)
   in
   let peepholed, stats = Circuit_opt.optimize_fixpoint redundant in
@@ -740,6 +740,136 @@ let e10 () =
   close_out oc;
   Harness.row "  wrote BENCH_resilience.json@\n"
 
+(* ------------------------------------------------------------------ *)
+(* E11 — static analysis: lint cost and proved-static upgrades          *)
+
+(* qir-lint's full rule set (dataflow lifetime checking, constant
+   propagation over addresses, dead-quantum-code detection) runs over
+   builder output of growing size in both addressing styles; the table
+   reports whole-module cost and cost per instruction. A second corpus
+   computes every qubit address arithmetically, so the syntactic
+   classifier calls the module dynamic while the constant-address
+   analysis proves each operand static; the table shows the upgrade and
+   the cost of to_static's rewrite + cleanup + re-parse route. Written
+   machine-readably to BENCH_lint.json. *)
+
+let computed_addr_src ~qubits ~gates =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "declare void @__quantum__qis__h__body(ptr)\n\
+     declare void @__quantum__qis__x__body(ptr)\n\
+     declare void @__quantum__qis__mz__body(ptr, ptr)\n\n\
+     define void @main() \"entry_point\" {\nentry:\n";
+  for i = 0 to gates - 1 do
+    let q = i mod qubits in
+    Printf.bprintf b "  %%a%d = add i64 0, %d\n" i q;
+    Printf.bprintf b "  %%q%d = inttoptr i64 %%a%d to ptr\n" i i;
+    Printf.bprintf b "  call void @__quantum__qis__%s__body(ptr %%q%d)\n"
+      (if i mod 2 = 0 then "h" else "x")
+      i
+  done;
+  for q = 0 to qubits - 1 do
+    Printf.bprintf b "  %%ma%d = add i64 0, %d\n" q q;
+    Printf.bprintf b "  %%mq%d = inttoptr i64 %%ma%d to ptr\n" q q;
+    Printf.bprintf b
+      "  call void @__quantum__qis__mz__body(ptr %%mq%d, ptr inttoptr (i64 \
+       %d to ptr))\n"
+      q q
+  done;
+  Buffer.add_string b "  ret void\n}\n";
+  Buffer.contents b
+
+let e11 () =
+  Harness.section "E11" "static analysis: lint cost and proved-static upgrades";
+  Harness.row "  %-28s %8s %12s %12s@\n" "module" "instrs" "lint" "per instr";
+  let lint_rows =
+    List.concat_map
+      (fun (n, gates) ->
+        let c =
+          measure_all (Generate.random ~seed:(n * 7) ~parametric:false ~gates n)
+        in
+        List.map
+          (fun (style, addressing) ->
+            let m = Qir.Qir_builder.build ~addressing c in
+            let instrs = Ir_module.size m in
+            let name = Printf.sprintf "%dq/%dg %s" n gates style in
+            let t =
+              Harness.time_ns name (fun () ->
+                  ignore (Qir_analysis.Lint.run ~notes:false m))
+            in
+            Harness.row "  %-28s %8d %12s %12s@\n" name instrs
+              (Harness.ns_to_string t)
+              (Harness.ns_to_string (t /. float_of_int instrs));
+            (name, instrs, t))
+          [ ("static", `Static); ("dynamic", `Dynamic) ])
+      [ (4, 50); (8, 200); (16, 800) ]
+  in
+  Harness.row "@\n  %-28s %10s %8s %9s %12s@\n" "computed-address module"
+    "syntactic" "proved" "upgraded" "to_static";
+  let style_str s = Format.asprintf "%a" Qir.Addressing.pp_style s in
+  let up_rows =
+    List.map
+      (fun (qubits, gates) ->
+        let m =
+          Parser.parse_module (computed_addr_src ~qubits ~gates)
+        in
+        let r = Qir.Addressing.detect_proved m in
+        let name = Printf.sprintf "%dq/%dg" qubits gates in
+        let t =
+          Harness.time_ns name (fun () ->
+              ignore (Qir.Addressing.to_static ~record_output:false m))
+        in
+        Harness.row "  %-28s %10s %8s %9d %12s@\n" name
+          (style_str r.Qir.Addressing.syntactic)
+          (style_str r.Qir.Addressing.proved)
+          r.Qir.Addressing.upgraded_args
+          (Harness.ns_to_string t);
+        (name, r, t))
+      [ (4, 50); (8, 200); (16, 800) ]
+  in
+  let lint_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, instrs, t) ->
+           Printf.sprintf
+             {|      { "module": "%s", "instrs": %d, "lint_ns": %.1f, "ns_per_instr": %.2f }|}
+             name instrs t
+             (t /. float_of_int instrs))
+         lint_rows)
+  in
+  let up_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, (r : Qir.Addressing.report), t) ->
+           Printf.sprintf
+             {|      { "module": "%s", "syntactic": "%s", "proved": "%s",
+        "upgraded_args": %d, "to_static_ns": %.1f }|}
+             name
+             (style_str r.Qir.Addressing.syntactic)
+             (style_str r.Qir.Addressing.proved)
+             r.Qir.Addressing.upgraded_args t)
+         up_rows)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "e11_static_analysis": {
+    "lint": [
+%s
+    ],
+    "proved_static_upgrade": [
+%s
+    ]
+  }
+}
+|}
+      lint_json up_json
+  in
+  let oc = open_out "BENCH_lint.json" in
+  output_string oc json;
+  close_out oc;
+  Harness.row "  wrote BENCH_lint.json@\n"
+
 let () =
   Format.printf "QIR toolchain benchmarks (paper artifacts E1..E8 + ablations)@\n";
   e1 ();
@@ -753,4 +883,5 @@ let () =
   a1 ();
   e9 ();
   e10 ();
+  e11 ();
   Format.printf "@\nAll benchmarks complete.@\n"

@@ -9,7 +9,11 @@
 
 open Cmdliner
 
-let run input passes lower optimize check addressing emit verify output =
+(* Make the analysis layer's pass available to --pass. *)
+let () = Qir_analysis.Quantum_dce.register ()
+
+let run input passes lower optimize check addressing emit verify lint werror
+    output =
   Cli_common.protect @@ fun () ->
   let m = Cli_common.parse_qir_file input in
   (* 1. individual passes, in order *)
@@ -24,7 +28,7 @@ let run input passes lower optimize check addressing emit verify output =
             (String.concat ", "
                (List.map
                   (fun (p : Passes.Pass.func_pass) -> p.Passes.Pass.name)
-                  Passes.Pipeline.all_passes)))
+                  (Passes.Pipeline.registered ()))))
       m passes
   in
   (* 2. preset pipelines *)
@@ -37,17 +41,37 @@ let run input passes lower optimize check addressing emit verify output =
     | Some `Static -> Qir.Addressing.to_static m
     | Some `Dynamic -> Qir.Addressing.to_dynamic m
   in
-  (* 4. verification *)
+  (* 4. verification — violations are reported and exit through the
+     unified error taxonomy (Verify kind, exit 3) *)
   if verify then begin
     match Llvm_ir.Verifier.check_module m with
     | [] -> ()
     | vs ->
+      let errs = List.map Qruntime.Qir_error.of_verifier_violation vs in
       List.iter
-        (fun v -> Format.eprintf "%a@\n" Llvm_ir.Verifier.pp_violation v)
-        vs;
-      exit Qruntime.Qir_error.exit_verify
+        (fun e -> Format.eprintf "%s@\n" (Qruntime.Qir_error.to_string e))
+        errs;
+      exit (Qruntime.Qir_error.exit_code (List.hd errs))
   end;
-  (* 5. profile check *)
+  (* 5. lint *)
+  if lint then begin
+    let ds = Qir_analysis.Lint.run m in
+    Format.eprintf "%a" Qir_analysis.Diagnostic.render_text ds;
+    let failing =
+      List.exists
+        (fun (d : Qir_analysis.Diagnostic.t) ->
+          match d.Qir_analysis.Diagnostic.severity with
+          | Qir_analysis.Diagnostic.Error -> true
+          | Qir_analysis.Diagnostic.Warning -> werror
+          | Qir_analysis.Diagnostic.Note -> false)
+        ds
+    in
+    if failing then
+      exit
+        (Qruntime.Qir_error.exit_code
+           (Qruntime.Qir_error.of_diagnostic (List.hd ds)))
+  end;
+  (* 6. profile check *)
   (match check with
   | None -> ()
   | Some profile -> (
@@ -59,7 +83,7 @@ let run input passes lower optimize check addressing emit verify output =
         (fun v -> Format.eprintf "%a@\n" Qir.Profile_check.pp_violation v)
         vs;
       exit Qruntime.Qir_error.exit_verify));
-  (* 6. output *)
+  (* 7. output *)
   let text =
     match emit with
     | `Qir -> Llvm_ir.Printer.module_to_string m
@@ -116,6 +140,15 @@ let verify =
   Arg.(value & flag & info [ "verify" ] ~doc:"Run the IR verifier and fail \
                                               on violations.")
 
+let lint =
+  Arg.(value & flag & info [ "lint" ]
+         ~doc:"Run the qir-lint analyses and fail on error-severity \
+               findings.")
+
+let werror =
+  Arg.(value & flag & info [ "Werror" ]
+         ~doc:"With --lint: treat warnings as errors.")
+
 let output =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Write output to FILE instead of stdout.")
@@ -126,6 +159,6 @@ let cmd =
     (Cmd.info "qirc" ~doc)
     Term.(
       const run $ input $ passes $ lower $ optimize $ check $ addressing
-      $ emit $ verify $ output)
+      $ emit $ verify $ lint $ werror $ output)
 
 let () = exit (Cmd.eval cmd)

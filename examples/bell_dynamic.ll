@@ -1,0 +1,59 @@
+; ModuleID = 'qir_builder'
+
+declare void @__quantum__rt__array_record_output(i64, ptr)
+
+declare void @__quantum__qis__mz__body(ptr, ptr)
+
+declare void @__quantum__rt__qubit_release_array(ptr)
+
+declare void @__quantum__qis__cnot__body(ptr, ptr)
+
+declare void @__quantum__rt__result_record_output(ptr, ptr)
+
+declare void @__quantum__qis__h__body(ptr)
+
+declare ptr @__quantum__rt__qubit_allocate_array(i64)
+
+declare ptr @__quantum__rt__array_create_1d(i32, i64)
+
+declare ptr @__quantum__rt__array_get_element_ptr_1d(ptr, i64)
+
+define void @main() #0 {
+entry:
+  %0 = alloca ptr, align 8
+  %1 = call ptr @__quantum__rt__qubit_allocate_array(i64 2)
+  store ptr %1, ptr %0, align 8
+  %2 = alloca ptr, align 8
+  %3 = call ptr @__quantum__rt__array_create_1d(i32 1, i64 2)
+  store ptr %3, ptr %2, align 8
+  %4 = load ptr, ptr %0, align 8
+  %5 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %4, i64 0)
+  call void @__quantum__qis__h__body(ptr %5)
+  %6 = load ptr, ptr %0, align 8
+  %7 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %6, i64 0)
+  %8 = load ptr, ptr %0, align 8
+  %9 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %8, i64 1)
+  call void @__quantum__qis__cnot__body(ptr %7, ptr %9)
+  %10 = load ptr, ptr %2, align 8
+  %11 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %10, i64 0)
+  %12 = load ptr, ptr %0, align 8
+  %13 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %12, i64 0)
+  call void @__quantum__qis__mz__body(ptr %13, ptr %11)
+  %14 = load ptr, ptr %2, align 8
+  %15 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %14, i64 1)
+  %16 = load ptr, ptr %0, align 8
+  %17 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %16, i64 1)
+  call void @__quantum__qis__mz__body(ptr %17, ptr %15)
+  call void @__quantum__rt__array_record_output(i64 2, ptr null)
+  %18 = load ptr, ptr %2, align 8
+  %19 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %18, i64 0)
+  call void @__quantum__rt__result_record_output(ptr %19, ptr null)
+  %20 = load ptr, ptr %2, align 8
+  %21 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %20, i64 1)
+  call void @__quantum__rt__result_record_output(ptr %21, ptr null)
+  %22 = load ptr, ptr %0, align 8
+  call void @__quantum__rt__qubit_release_array(ptr %22)
+  ret void
+}
+
+attributes #0 = { "entry_point" "qir_profiles"="base_profile" "required_num_qubits"="2" "required_num_results"="2" }

@@ -1,0 +1,25 @@
+; ModuleID = 'qir_builder'
+
+declare void @__quantum__rt__array_record_output(i64, ptr)
+
+declare void @__quantum__qis__mz__body(ptr, ptr)
+
+declare void @__quantum__qis__cnot__body(ptr, ptr)
+
+declare void @__quantum__rt__result_record_output(ptr, ptr)
+
+declare void @__quantum__qis__h__body(ptr)
+
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__cnot__body(ptr null, ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 1 to ptr), ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__rt__array_record_output(i64 2, ptr null)
+  call void @__quantum__rt__result_record_output(ptr null, ptr null)
+  call void @__quantum__rt__result_record_output(ptr inttoptr (i64 1 to ptr), ptr null)
+  ret void
+}
+
+attributes #0 = { "entry_point" "qir_profiles"="base_profile" "required_num_qubits"="2" "required_num_results"="2" }

@@ -1,0 +1,37 @@
+; A program whose qubit address is a phi-resolved constant: both branch
+; paths feed the same integer into the phi, so the address is static in
+; fact but dynamic in shape. The syntactic scan refuses to convert it
+; (phi node); the constant-address dataflow analysis proves the operand
+; constant (lint note QA001) and `qirc --addressing static` converts it
+; through the proved-constant rewrite.
+
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+declare void @__quantum__rt__array_record_output(i64, ptr)
+declare void @__quantum__rt__result_record_output(ptr, ptr)
+
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  br i1 %r, label %then, label %join
+
+then:
+  %a1 = add i64 0, 1
+  br label %join
+
+join:
+  %addr = phi i64 [ 1, %entry ], [ %a1, %then ]
+  %q = inttoptr i64 %addr to ptr
+  call void @__quantum__qis__x__body(ptr %q)
+  call void @__quantum__qis__mz__body(ptr %q, ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__rt__array_record_output(i64 2, ptr null)
+  call void @__quantum__rt__result_record_output(ptr null, ptr null)
+  call void @__quantum__rt__result_record_output(ptr inttoptr (i64 1 to ptr), ptr null)
+  ret void
+}
+
+attributes #0 = { "entry_point" "qir_profiles"="adaptive_profile" "required_num_qubits"="2" "required_num_results"="2" }

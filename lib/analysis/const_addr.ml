@@ -1,0 +1,335 @@
+(* Constant-address analysis: conditional constant propagation on the
+   {!Llvm_ir.Dataflow} engine, specialized to prove that syntactically
+   dynamic qubit/result addresses (inttoptr of a phi-resolved integer,
+   select chains, byte-GEP arithmetic) are in fact static.
+
+   The value lattice per SSA name is Unknown < Cst c < Varying — Unknown
+   is the engine's bottom (optimistic "no evidence yet"), so facts only
+   harden as edges become feasible; the terminator transfer prunes
+   branches whose condition folds, giving SCCP-style reachability. The
+   proved facts feed three consumers: {!Qir.Profile_check} (a proved
+   address is not a base-profile violation), {!Qir.Addressing} (detect
+   upgrades, to_static conversion of programs the syntactic scan
+   rejects), and the QA001 lint note. *)
+
+open Llvm_ir
+module SMap = Map.Make (String)
+
+type clat = Unknown | Cst of Constant.t | Varying
+
+let join_clat a b =
+  match a, b with
+  | Unknown, x | x, Unknown -> x
+  | Varying, _ | _, Varying -> Varying
+  | Cst c1, Cst c2 -> if Constant.equal c1 c2 then Cst c1 else Varying
+
+let clat_equal a b =
+  match a, b with
+  | Unknown, Unknown | Varying, Varying -> true
+  | Cst c1, Cst c2 -> Constant.equal c1 c2
+  | (Unknown | Cst _ | Varying), _ -> false
+
+module Fact = struct
+  type t = clat SMap.t
+  (* bindings are only ever Cst or Varying; absent = Unknown *)
+
+  let bottom = SMap.empty
+  let equal = SMap.equal clat_equal
+  let join a b = SMap.union (fun _ x y -> Some (join_clat x y)) a b
+end
+
+module Engine = Dataflow.Forward (Fact)
+
+let value fact id = Option.value ~default:Unknown (SMap.find_opt id fact)
+
+let operand_lattice fact (o : Operand.t) =
+  match o with
+  | Operand.Const c -> Cst c
+  | Operand.Local id -> value fact id
+
+let set fact id lat =
+  match id, lat with
+  | None, _ | _, Unknown -> fact
+  | Some id, lat -> SMap.add id lat fact
+
+(* Evaluate one non-phi instruction over the fact. *)
+let eval fact (op : Instr.op) : clat =
+  match op with
+  | Instr.Call _ | Instr.Load _ | Instr.Alloca _ | Instr.Store _ -> Varying
+  | Instr.Phi _ -> assert false
+  | Instr.Freeze v -> operand_lattice fact v.Operand.v
+  | Instr.Select (c, a, b) -> (
+    match operand_lattice fact c with
+    | Cst cc -> (
+      match Passes.Const_fold.int_of_const cc with
+      | Some n ->
+        operand_lattice fact
+          (if Int64.equal n 0L then b.Operand.v else a.Operand.v)
+      | None -> Varying)
+    | Unknown -> Unknown
+    | Varying ->
+      join_clat
+        (operand_lattice fact a.Operand.v)
+        (operand_lattice fact b.Operand.v))
+  | Instr.Gep (src_ty, base, idxs) -> (
+    (* byte-addressed GEP chains over constant pointers fold; anything
+       typed beyond i8 would need a data layout we don't model *)
+    let base_lat = operand_lattice fact base in
+    let idx_lats =
+      List.map (fun (i : Operand.typed) -> operand_lattice fact i.Operand.v) idxs
+    in
+    if List.exists (fun l -> l = Unknown) (base_lat :: idx_lats) then Unknown
+    else
+      match base_lat, idx_lats with
+      | Cst (Constant.Inttoptr b | Constant.Int b), [ Cst i ]
+        when Ty.equal src_ty Ty.I8 -> (
+        match Passes.Const_fold.int_of_const i with
+        | Some i -> Cst (Constant.Inttoptr (Int64.add b i))
+        | None -> Varying)
+      | Cst Constant.Null, [ Cst i ] when Ty.equal src_ty Ty.I8 -> (
+        match Passes.Const_fold.int_of_const i with
+        | Some i -> Cst (Constant.Inttoptr i)
+        | None -> Varying)
+      | _ -> Varying)
+  | _ ->
+    let operands = Instr.operands op in
+    let lats =
+      List.map
+        (fun (o : Operand.typed) -> operand_lattice fact o.Operand.v)
+        operands
+    in
+    if List.exists (fun l -> l = Unknown) lats then Unknown
+    else if List.exists (fun l -> l = Varying) lats then Varying
+    else begin
+      let subst (o : Operand.t) =
+        match o with
+        | Operand.Local id -> (
+          match value fact id with
+          | Cst c -> Operand.Const c
+          | Unknown | Varying -> o)
+        | Operand.Const _ -> o
+      in
+      match Passes.Const_fold.fold_instr (Instr.map_operands subst op) with
+      | Some c -> Cst c
+      | None -> Varying
+    end
+
+let transfer_instr _label (i : Instr.t) fact =
+  match i.Instr.op with
+  | Instr.Phi (_, incoming) ->
+    let lat =
+      List.fold_left
+        (fun acc (v, _) -> join_clat acc (operand_lattice fact v))
+        Unknown incoming
+    in
+    set fact i.Instr.id lat
+  | op -> set fact i.Instr.id (eval fact op)
+
+(* Prune edges whose branch condition folds to a constant. *)
+let transfer_term _label (t : Instr.term) fact =
+  match t with
+  | Instr.Ret _ | Instr.Unreachable -> []
+  | Instr.Br l -> [ (l, fact) ]
+  | Instr.Cond_br (c, th, el) -> (
+    match operand_lattice fact c with
+    | Cst cc -> (
+      match Passes.Const_fold.int_of_const cc with
+      | Some n -> [ ((if Int64.equal n 0L then el else th), fact) ]
+      | None -> [ (th, fact); (el, fact) ])
+    | Unknown -> [] (* condition not yet resolved: wait *)
+    | Varying -> [ (th, fact); (el, fact) ])
+  | Instr.Switch (v, d, cases) -> (
+    match operand_lattice fact v.Operand.v with
+    | Cst cc -> (
+      match Passes.Const_fold.int_of_const cc with
+      | Some n ->
+        let target =
+          List.fold_left
+            (fun acc (c, l) ->
+              match Passes.Const_fold.int_of_const c with
+              | Some m when Int64.equal m n -> Some l
+              | _ -> acc)
+            None cases
+        in
+        [ (Option.value ~default:d target, fact) ]
+      | None -> (d, fact) :: List.map (fun (_, l) -> (l, fact)) cases)
+    | Unknown -> []
+    | Varying -> (d, fact) :: List.map (fun (_, l) -> (l, fact)) cases)
+
+(* ------------------------------------------------------------------ *)
+
+type facts = {
+  consts : Constant.t SMap.t;  (* SSA id -> proved constant *)
+  reached_blocks : Cfg.SSet.t;
+}
+
+let analyze (f : Func.t) : facts =
+  if Func.is_declaration f then
+    { consts = SMap.empty; reached_blocks = Cfg.SSet.empty }
+  else begin
+    let cfg = Cfg.of_func f in
+    let tf = { Engine.instr = transfer_instr; Engine.term = transfer_term } in
+    let res = Engine.solve cfg tf in
+    (* harvest each definition's lattice value by replaying the blocks *)
+    let consts = ref SMap.empty and reached = ref Cfg.SSet.empty in
+    List.iter
+      (fun label ->
+        if Engine.reached res label then begin
+          reached := Cfg.SSet.add label !reached;
+          let b = Cfg.block cfg label in
+          ignore
+            (List.fold_left
+               (fun fact (i : Instr.t) ->
+                 let fact = transfer_instr label i fact in
+                 (match i.Instr.id with
+                 | Some id -> (
+                   match value fact id with
+                   | Cst c -> consts := SMap.add id c !consts
+                   | Unknown | Varying -> ())
+                 | None -> ());
+                 fact)
+               (Engine.block_in res label)
+               b.Block.instrs)
+        end)
+      cfg.Cfg.rpo;
+    { consts = !consts; reached_blocks = !reached }
+  end
+
+let const_of (facts : facts) id = SMap.find_opt id facts.consts
+let block_reached (facts : facts) label = Cfg.SSet.mem label facts.reached_blocks
+
+(* Is this operand, used at a qubit/result position, a proved-constant
+   address that is *not* already spelled as one? *)
+let proved_address (facts : facts) (o : Operand.t) : Constant.t option =
+  match o with
+  | Operand.Const _ -> None
+  | Operand.Local id -> (
+    match const_of facts id with
+    | Some (Constant.Inttoptr n) ->
+      Some (if Int64.equal n 0L then Constant.Null else Constant.Inttoptr n)
+    | Some Constant.Null -> Some Constant.Null
+    | Some _ | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Module-level summary and rewriting.                                  *)
+
+type summary = {
+  total_args : int;  (* qubit/result operands of quantum calls *)
+  syntactic_static : int;
+  proved_static : int;  (* dynamically shaped but proved constant *)
+  dynamic : int;
+}
+
+let fold_quantum_args (m : Ir_module.t) init k =
+  List.fold_left
+    (fun acc (f : Func.t) ->
+      if Func.is_declaration f then acc
+      else begin
+        let facts = analyze f in
+        List.fold_left
+          (fun acc (b : Block.t) ->
+            if not (block_reached facts b.Block.label) then acc
+            else
+              List.fold_left
+                (fun acc (i : Instr.t) ->
+                  match i.Instr.op with
+                  | Instr.Call (_, callee, args) when Names.is_quantum callee
+                    -> (
+                    match Signatures.find callee with
+                    | Some s
+                      when List.length s.Signatures.args = List.length args ->
+                      List.fold_left2
+                        (fun acc kind (a : Operand.typed) ->
+                          match kind with
+                          | Signatures.Qubit | Signatures.Result ->
+                            k acc facts f b i a
+                          | _ -> acc)
+                        acc s.Signatures.args args
+                    | _ -> acc)
+                  | _ -> acc)
+                acc b.Block.instrs)
+          acc f.Func.blocks
+      end)
+    init m.Ir_module.funcs
+
+let summarize (m : Ir_module.t) : summary =
+  fold_quantum_args m
+    { total_args = 0; syntactic_static = 0; proved_static = 0; dynamic = 0 }
+    (fun acc facts _f _b _i (a : Operand.typed) ->
+      let acc = { acc with total_args = acc.total_args + 1 } in
+      match a.Operand.v with
+      | Operand.Const (Constant.Null | Constant.Inttoptr _) ->
+        { acc with syntactic_static = acc.syntactic_static + 1 }
+      | o -> (
+        match proved_address facts o with
+        | Some _ -> { acc with proved_static = acc.proved_static + 1 }
+        | None -> { acc with dynamic = acc.dynamic + 1 }))
+
+(* Rewrites every proved-constant qubit/result operand into its constant
+   spelling. Returns the module and the number of upgraded operands; the
+   address computations left behind are dead and fall to plain DCE. *)
+let rewrite (m : Ir_module.t) : Ir_module.t * int =
+  let upgraded = ref 0 in
+  let m' =
+    Ir_module.map_funcs m (fun f ->
+        if Func.is_declaration f then f
+        else begin
+          let facts = analyze f in
+          let blocks =
+            List.map
+              (fun (b : Block.t) ->
+                if not (block_reached facts b.Block.label) then b
+                else
+                  let instrs =
+                    List.map
+                      (fun (i : Instr.t) ->
+                        match i.Instr.op with
+                        | Instr.Call (ret, callee, args)
+                          when Names.is_quantum callee -> (
+                          match Signatures.find callee with
+                          | Some s
+                            when List.length s.Signatures.args
+                                 = List.length args ->
+                            let args =
+                              List.map2
+                                (fun kind (a : Operand.typed) ->
+                                  match kind with
+                                  | Signatures.Qubit | Signatures.Result -> (
+                                    match proved_address facts a.Operand.v with
+                                    | Some c ->
+                                      incr upgraded;
+                                      { a with Operand.v = Operand.Const c }
+                                    | None -> a)
+                                  | _ -> a)
+                                s.Signatures.args args
+                            in
+                            { i with Instr.op = Instr.Call (ret, callee, args) }
+                          | _ -> i)
+                        | _ -> i)
+                      b.Block.instrs
+                  in
+                  { b with Block.instrs })
+              f.Func.blocks
+          in
+          Func.replace_blocks f blocks
+        end)
+  in
+  (m', !upgraded)
+
+(* QA001 notes for the lint driver: addresses that look dynamic but are
+   proved static. *)
+let notes (m : Ir_module.t) : Diagnostic.t list =
+  List.rev
+    (fold_quantum_args m [] (fun acc facts f b i (a : Operand.typed) ->
+         match proved_address facts a.Operand.v with
+         | Some c ->
+           Diagnostic.make ~rule:"QA001" ~severity:Diagnostic.Note
+             ~where:(Printf.sprintf "@%s %%%s" f.Func.name b.Block.label)
+             "operand %s of %s is proved static (= %s)"
+             (Operand.to_string a.Operand.v)
+             (match i.Instr.op with
+             | Instr.Call (_, callee, _) -> "@" ^ callee
+             | _ -> "call")
+             (Constant.to_string c)
+           :: acc
+         | None -> acc))

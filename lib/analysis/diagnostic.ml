@@ -1,0 +1,79 @@
+(* Structured lint diagnostics: a stable rule id, a severity, a location
+   string ("@func %block") and a message. Rendering is shared by the
+   qir-lint CLI (text and JSON) and by qirc --lint; the JSON printer is
+   hand-rolled (the toolchain carries no JSON dependency) and escapes
+   strings per RFC 8259. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  rule : string;
+  severity : severity;
+  where : string;  (* "@func" or "@func %block" *)
+  message : string;
+}
+
+let make ~rule ~severity ~where fmt =
+  Format.kasprintf (fun message -> { rule; severity; where; message }) fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let compare_severity a b =
+  let rank = function Error -> 0 | Warning -> 1 | Note -> 2 in
+  compare (rank a) (rank b)
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let errors ds = count Error ds
+let warnings ds = count Warning ds
+let notes ds = count Note ds
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering: one line per diagnostic, gcc-style.                  *)
+
+let pp ppf d =
+  Format.fprintf ppf "%s: %s [%s] %s" (severity_name d.severity) d.where
+    d.rule d.message
+
+let render_text ppf ds =
+  List.iter (fun d -> Format.fprintf ppf "%a@\n" pp d) ds;
+  Format.fprintf ppf "%d error(s), %d warning(s), %d note(s)@." (errors ds)
+    (warnings ds) (notes ds)
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering.                                                      *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json ppf ds =
+  let field k v = Printf.sprintf "\"%s\":\"%s\"" k (json_escape v) in
+  let obj d =
+    Printf.sprintf "    {%s,%s,%s,%s}" (field "rule" d.rule)
+      (field "severity" (severity_name d.severity))
+      (field "where" d.where)
+      (field "message" d.message)
+  in
+  (match ds with
+  | [] -> Format.fprintf ppf "{@\n  \"diagnostics\": [],@\n"
+  | ds ->
+    Format.fprintf ppf "{@\n  \"diagnostics\": [@\n%s@\n  ],@\n"
+      (String.concat ",\n" (List.map obj ds)));
+  Format.fprintf ppf
+    "  \"summary\": {\"errors\": %d, \"warnings\": %d, \"notes\": %d}@\n}@."
+    (errors ds) (warnings ds) (notes ds)

@@ -1,0 +1,276 @@
+(* Qubit/result lifetime checking, as a forward dataflow problem on the
+   {!Llvm_ir.Dataflow} engine.
+
+   Facts track, per allocation site (see {!Value_track}), whether the
+   site is definitely live, definitely released, or released on only
+   some paths, plus the may-measured set of results. The rules:
+
+     QL001 use-after-release   a quantum call consumes a qubit whose
+                               site is released on every path here
+     QL002 double-release      release of an already-released site
+     QL003 qubit-leak          a site still (possibly) live at ret
+     QL004 read-before-measure a result is read (read_result,
+                               result_equal, result_record_output) but
+                               measured on no path to the read
+
+   Reports are *definite* on the analyzed paths: joins demote facts to
+   "maybe" states that silence QL001/QL002, and QL004 uses a may-measure
+   set, so well-formed programs produce no findings. The analysis runs
+   on the entry point only — lifetimes of qubits handed across calls are
+   the caller's business, and the toolchain's programs are single-entry
+   (lowered) modules. *)
+
+open Llvm_ir
+
+module TMap = Map.Make (Int)
+
+module RSet = Set.Make (struct
+  type t = Value_track.rref
+
+  let compare = compare
+end)
+
+type qstate = Live | Released | Maybe_released
+
+let join_qstate a b =
+  match a, b with
+  | Live, Live -> Live
+  | Released, Released -> Released
+  | _ -> Maybe_released
+
+module Fact = struct
+  type t = { q : qstate TMap.t; measured : RSet.t }
+
+  let bottom = { q = TMap.empty; measured = RSet.empty }
+
+  let equal a b = TMap.equal ( = ) a.q b.q && RSet.equal a.measured b.measured
+
+  (* Pointwise join; a site absent on one side keeps the other side's
+     state (the site is simply not allocated on that path). *)
+  let join a b =
+    {
+      q =
+        TMap.union (fun _ sa sb -> Some (join_qstate sa sb)) a.q b.q;
+      measured = RSet.union a.measured b.measured;
+    }
+end
+
+module Engine = Dataflow.Forward (Fact)
+
+type finding = Diagnostic.t
+
+(* ------------------------------------------------------------------ *)
+(* The transfer function, shared between solving and reporting: [emit]
+   is [ignore] while iterating and collects diagnostics on the replay
+   pass (the engine guarantees the facts it replays are the fixpoint). *)
+
+type ctx = {
+  vt : Value_track.t;
+  fname : string;
+  emit : Diagnostic.t -> unit;
+}
+
+let where ctx label = Printf.sprintf "@%s %%%s" ctx.fname label
+
+let site_token (q : Value_track.qref) =
+  match q with
+  | Value_track.Alloc s | Value_track.Elem (s, _) -> Some s
+  | Value_track.Static _ | Value_track.QUnknown -> None
+
+let check_qubit_use ctx label callee (fact : Fact.t) (q : Value_track.qref) =
+  match site_token q with
+  | Some s -> (
+    match TMap.find_opt s fact.Fact.q with
+    | Some Released ->
+      ctx.emit
+        (Diagnostic.make ~rule:"QL001" ~severity:Diagnostic.Error
+           ~where:(where ctx label) "@%s uses a released qubit (%a)" callee
+           Value_track.pp_qref q)
+    | Some (Live | Maybe_released) | None -> ())
+  | None -> ()
+
+let check_result_read ctx label callee (fact : Fact.t) (r : Value_track.rref) =
+  match r with
+  | Value_track.RUnknown | Value_track.RMeas _ -> ()
+  | _ ->
+    if not (RSet.mem r fact.Fact.measured) then
+      ctx.emit
+        (Diagnostic.make ~rule:"QL004" ~severity:Diagnostic.Error
+           ~where:(where ctx label)
+           "@%s reads %a, which is measured on no path here" callee
+           Value_track.pp_rref r)
+
+let release ctx label callee (fact : Fact.t) site =
+  match TMap.find_opt site fact.Fact.q with
+  | Some Released ->
+    ctx.emit
+      (Diagnostic.make ~rule:"QL002" ~severity:Diagnostic.Error
+         ~where:(where ctx label) "@%s releases an already-released qubit %s"
+         callee
+         (Printf.sprintf "(allocation site %d)" site));
+    fact
+  | Some (Live | Maybe_released) | None ->
+    { fact with Fact.q = TMap.add site Released fact.Fact.q }
+
+let transfer_call ctx label (fact : Fact.t) id callee
+    (args : Operand.typed list) : Fact.t =
+  let open Names in
+  let kinds =
+    match Signatures.find callee with
+    | Some s when List.length s.Signatures.args = List.length args ->
+      List.combine s.Signatures.args args
+    | _ -> []
+  in
+  let qubit_args =
+    List.filter_map
+      (fun (k, (a : Operand.typed)) ->
+        match k with
+        | Signatures.Qubit -> Some (Value_track.qubit_of ctx.vt a.Operand.v)
+        | _ -> None)
+      kinds
+  in
+  let result_args =
+    List.filter_map
+      (fun (k, (a : Operand.typed)) ->
+        match k with
+        | Signatures.Result -> Some (Value_track.result_of ctx.vt a.Operand.v)
+        | _ -> None)
+      kinds
+  in
+  (* every qubit consumed by a quantum call is a use — except by the
+     release itself, which gets the sharper QL002 below *)
+  if
+    not
+      (String.equal callee rt_qubit_release
+      || String.equal callee rt_qubit_release_array)
+  then List.iter (check_qubit_use ctx label callee fact) qubit_args;
+  if String.equal callee rt_qubit_allocate then begin
+    match id with
+    | Some id -> (
+      match Hashtbl.find_opt ctx.vt.Value_track.site_of_def id with
+      | Some s -> { fact with Fact.q = TMap.add s Live fact.Fact.q }
+      | None -> fact)
+    | None -> fact
+  end
+  else if String.equal callee rt_qubit_allocate_array then begin
+    match id with
+    | Some id -> (
+      match Hashtbl.find_opt ctx.vt.Value_track.site_of_def id with
+      | Some s -> { fact with Fact.q = TMap.add s Live fact.Fact.q }
+      | None -> fact)
+    | None -> fact
+  end
+  else if String.equal callee rt_qubit_release then begin
+    match qubit_args with
+    | [ q ] -> (
+      match site_token q with
+      | Some s -> release ctx label callee fact s
+      | None -> fact)
+    | _ -> fact
+  end
+  else if String.equal callee rt_qubit_release_array then begin
+    match args with
+    | [ a ] -> (
+      match Value_track.qarray_of ctx.vt a.Operand.v with
+      | Some s -> release ctx label callee fact s
+      | None -> fact)
+    | _ -> fact
+  end
+  else if String.equal callee qis_mz then begin
+    match result_args with
+    | [ r ] when r <> Value_track.RUnknown ->
+      { fact with Fact.measured = RSet.add r fact.Fact.measured }
+    | _ -> fact
+  end
+  else if String.equal callee qis_m then begin
+    match id with
+    | Some id ->
+      {
+        fact with
+        Fact.measured = RSet.add (Value_track.RMeas id) fact.Fact.measured;
+      }
+    | None -> fact
+  end
+  else if
+    String.equal callee rt_read_result
+    || String.equal callee rt_result_equal
+    || String.equal callee rt_result_record_output
+  then begin
+    List.iter (check_result_read ctx label callee fact) result_args;
+    fact
+  end
+  else fact
+
+let transfer ctx label (i : Instr.t) (fact : Fact.t) : Fact.t =
+  match i.Instr.op with
+  | Instr.Call (_, callee, args) when Names.is_quantum callee ->
+    transfer_call ctx label fact i.Instr.id callee args
+  | _ -> fact
+
+let check_ret ctx label (fact : Fact.t) =
+  TMap.iter
+    (fun s st ->
+      match st with
+      | Released -> ()
+      | Live | Maybe_released ->
+        let qualifier =
+          match st with Live -> "" | _ -> " on some paths"
+        in
+        let kind =
+          match
+            List.find_opt
+              (fun (site : Value_track.site) -> site.Value_track.site_id = s)
+              (Value_track.sites ctx.vt)
+          with
+          | Some { Value_track.site_kind = Value_track.Qubit_array_site; _ } ->
+            "qubit array"
+          | _ -> "qubit"
+        in
+        ctx.emit
+          (Diagnostic.make ~rule:"QL003" ~severity:Diagnostic.Warning
+             ~where:(where ctx label)
+             "%s allocated at site %d is never released%s" kind s qualifier)
+    )
+    fact.Fact.q
+
+(* ------------------------------------------------------------------ *)
+
+let check_func (f : Func.t) : finding list =
+  if Func.is_declaration f then []
+  else begin
+    let vt = Value_track.of_func f in
+    let silent = { vt; fname = f.Func.name; emit = ignore } in
+    let cfg = Cfg.of_func f in
+    let tf =
+      {
+        Engine.instr = (fun label i fact -> transfer silent label i fact);
+        Engine.term = Engine.uniform_term;
+      }
+    in
+    let res = Engine.solve cfg tf in
+    let out = ref [] in
+    let ctx = { silent with emit = (fun d -> out := d :: !out) } in
+    List.iter
+      (fun label ->
+        if Engine.reached res label then begin
+          let b = Cfg.block cfg label in
+          let fact =
+            List.fold_left
+              (fun fact i -> transfer ctx label i fact)
+              (Engine.block_in res label)
+              b.Block.instrs
+          in
+          match b.Block.term with
+          | Instr.Ret _ -> check_ret ctx label fact
+          | _ -> ()
+        end)
+      cfg.Cfg.rpo;
+    List.rev !out
+  end
+
+(* Lifetimes are an entry-point property: qubits crossing function
+   boundaries belong to whoever inlines them (run --lower first). *)
+let check_module (m : Ir_module.t) : finding list =
+  match Ir_module.entry_point m with
+  | Some f when not (Func.is_declaration f) -> check_func f
+  | _ -> []

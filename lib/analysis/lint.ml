@@ -1,0 +1,35 @@
+(* The qir-lint driver: runs the structural verifier and the dataflow
+   analyses over a module and returns one ordered diagnostic list.
+
+   Rules:
+     QV001 error    IR verifier violation (structural)
+     QL001 error    use of a released qubit
+     QL002 error    double release
+     QL003 warning  qubit (array) never released
+     QL004 error    result read before any measurement
+     QD001 warning  gate affects no measured/recorded qubit
+     QA001 note     dynamic-looking address proved static
+
+   A structurally broken module (any QV001) skips the dataflow passes:
+   their CFG substrate assumes verifier-clean input, and piling derived
+   findings on top of broken structure helps nobody. *)
+
+open Llvm_ir
+
+let verifier_findings (m : Ir_module.t) : Diagnostic.t list =
+  List.map
+    (fun (v : Verifier.violation) ->
+      Diagnostic.make ~rule:"QV001" ~severity:Diagnostic.Error
+        ~where:v.Verifier.where "%s" v.Verifier.what)
+    (Verifier.check_module m)
+
+let run ?(notes = true) (m : Ir_module.t) : Diagnostic.t list =
+  match verifier_findings m with
+  | _ :: _ as structural -> structural
+  | [] ->
+    Lifetime.check_module m
+    @ Quantum_dce.findings m
+    @ (if notes then Const_addr.notes m else [])
+
+let has_errors ds = Diagnostic.errors ds > 0
+let has_findings ds = ds <> []

@@ -1,0 +1,211 @@
+(* Dead-quantum-code analysis: a backward liveness problem over qubits
+   on the {!Llvm_ir.Dataflow} engine. A qubit is live at a point if its
+   state can still influence a later measurement; a pure gate (or reset)
+   all of whose qubits are dead can be removed without changing the
+   distribution of any recorded output.
+
+   Transfer, right to left:
+   - measurements (mz, m) make their qubit live;
+   - a gate touching a live qubit is live and makes *all* its qubits
+     live (entanglement flows through multi-qubit gates);
+   - reset kills backward liveness of its qubit (its prior state is
+     discarded) and is itself live only if the qubit is;
+   - unknown calls, or arguments that do not resolve, force the
+     conservative top ("every qubit live").
+
+   Soundness needs the function to be the whole remaining program, so
+   both the analysis and the quantum-dce pass restrict themselves to the
+   entry point; other functions pass through untouched. *)
+
+open Llvm_ir
+
+module QSet = Set.Make (struct
+  type t = Value_track.qref
+
+  let compare = compare
+end)
+
+module Fact = struct
+  type t = All | Qs of QSet.t
+
+  let bottom = Qs QSet.empty
+
+  let equal a b =
+    match a, b with
+    | All, All -> true
+    | Qs a, Qs b -> QSet.equal a b
+    | (All | Qs _), _ -> false
+
+  let join a b =
+    match a, b with
+    | All, _ | _, All -> All
+    | Qs a, Qs b -> Qs (QSet.union a b)
+end
+
+module Engine = Dataflow.Backward (Fact)
+
+let add_all qs fact =
+  match fact with
+  | Fact.All -> Fact.All
+  | Fact.Qs s -> Fact.Qs (List.fold_left (fun s q -> QSet.add q s) s qs)
+
+let any_live qs (fact : Fact.t) =
+  match fact with
+  | Fact.All -> true
+  | Fact.Qs s -> List.exists (fun q -> QSet.mem q s) qs
+
+(* Quantum calls that neither touch qubit state nor observe it. *)
+let is_bookkeeping callee =
+  let open Names in
+  String.equal callee rt_array_update_reference_count
+  || String.equal callee rt_result_update_reference_count
+  || String.equal callee rt_result_record_output
+  || String.equal callee rt_array_record_output
+  || String.equal callee rt_result_get_one
+  || String.equal callee rt_result_get_zero
+  || String.equal callee rt_result_equal
+  || String.equal callee rt_read_result
+  || String.equal callee rt_initialize
+  || String.equal callee rt_message
+  || String.equal callee rt_qubit_allocate
+  || String.equal callee rt_qubit_allocate_array
+  || String.equal callee rt_qubit_release
+  || String.equal callee rt_qubit_release_array
+  || String.equal callee rt_array_create_1d
+  || String.equal callee rt_array_get_element_ptr_1d
+  || String.equal callee rt_array_get_size_1d
+  || String.equal callee rt_fail
+
+(* Classify one instruction; shared by the transfer function and the
+   dead-gate harvest. [`Dead] means removable when no qubit is live. *)
+let step vt (i : Instr.t) (fact : Fact.t) : [ `Keep | `Dead ] * Fact.t =
+  match i.Instr.op with
+  | Instr.Call (_, callee, args) when Names.is_quantum callee -> (
+    let open Names in
+    let qubit_args =
+      match Signatures.find callee with
+      | Some s when List.length s.Signatures.args = List.length args ->
+        List.filter_map
+          (fun (kind, (a : Operand.typed)) ->
+            match kind with
+            | Signatures.Qubit -> Some (Value_track.qubit_of vt a.Operand.v)
+            | _ -> None)
+          (List.combine s.Signatures.args args)
+      | _ -> []
+    in
+    let unresolved = List.mem Value_track.QUnknown qubit_args in
+    if String.equal callee qis_mz || String.equal callee qis_m then
+      (`Keep, if unresolved then Fact.All else add_all qubit_args fact)
+    else if String.equal callee (qis "reset") then begin
+      match qubit_args with
+      | [ q ] when q <> Value_track.QUnknown ->
+        if any_live [ q ] fact then
+          ( `Keep,
+            match fact with
+            | Fact.All -> Fact.All
+            | Fact.Qs s -> Fact.Qs (QSet.remove q s) )
+        else (`Dead, fact)
+      | _ -> (`Keep, Fact.All)
+    end
+    else if is_bookkeeping callee then (`Keep, fact)
+    else if Names.is_qis callee && Signatures.find callee <> None then begin
+      (* a pure gate from the QIS vocabulary (mz/m/reset/read_result are
+         handled above, everything else in the table is unitary) *)
+      if unresolved || qubit_args = [] then (`Keep, Fact.All)
+      else if any_live qubit_args fact then (`Keep, add_all qubit_args fact)
+      else (`Dead, fact)
+    end
+    else (`Keep, Fact.All) (* unknown quantum function *))
+  | Instr.Call _ ->
+    (* a classical call could do anything with pointers it holds *)
+    (`Keep, Fact.All)
+  | _ -> (`Keep, fact)
+
+let transfer vt _label i fact = snd (step vt i fact)
+
+type result = {
+  dead : (string * Instr.t) list;  (* (block label, instruction) *)
+}
+
+let analyze_func (f : Func.t) : result =
+  if Func.is_declaration f then { dead = [] }
+  else begin
+    let vt = Value_track.of_func f in
+    let cfg = Cfg.of_func f in
+    let tf =
+      {
+        Engine.instr = (fun label i fact -> transfer vt label i fact);
+        Engine.term = (fun _ _ fact -> fact);
+      }
+    in
+    let res = Engine.solve cfg tf in
+    let dead = ref [] in
+    List.iter
+      (fun label ->
+        let b = Cfg.block cfg label in
+        ignore
+          (List.fold_left
+             (fun fact (i : Instr.t) ->
+               let verdict, fact' = step vt i fact in
+               if verdict = `Dead then dead := (label, i) :: !dead;
+               fact')
+             (Engine.block_out res label)
+             (List.rev b.Block.instrs)))
+      cfg.Cfg.rpo;
+    { dead = !dead }
+  end
+
+let analyze (m : Ir_module.t) : result =
+  match Ir_module.entry_point m with
+  | Some f when not (Func.is_declaration f) -> analyze_func f
+  | _ -> { dead = [] }
+
+let findings (m : Ir_module.t) : Diagnostic.t list =
+  let entry_name =
+    match Ir_module.entry_point m with
+    | Some f -> f.Func.name
+    | None -> "main"
+  in
+  List.map
+    (fun (label, (i : Instr.t)) ->
+      Diagnostic.make ~rule:"QD001" ~severity:Diagnostic.Warning
+        ~where:(Printf.sprintf "@%s %%%s" entry_name label)
+        "'%s' affects no measured or recorded qubit" (Printer.instr_to_string i))
+    (analyze m).dead
+
+(* ------------------------------------------------------------------ *)
+(* The quantum-dce pass.                                                *)
+
+let run (m : Ir_module.t) (f : Func.t) : Func.t * bool =
+  let is_entry =
+    match Ir_module.entry_point m with
+    | Some e -> String.equal e.Func.name f.Func.name
+    | None -> false
+  in
+  if not is_entry then (f, false)
+  else begin
+    let { dead } = analyze_func f in
+    if dead = [] then (f, false)
+    else begin
+      let blocks =
+        List.map
+          (fun (b : Block.t) ->
+            let instrs =
+              List.filter
+                (fun (i : Instr.t) ->
+                  not
+                    (List.exists
+                       (fun (l, d) -> String.equal l b.Block.label && d == i)
+                       dead))
+                b.Block.instrs
+            in
+            { b with Block.instrs })
+          f.Func.blocks
+      in
+      (Func.replace_blocks f blocks, true)
+    end
+  end
+
+let pass = { Passes.Pass.name = "quantum-dce"; run }
+
+let register () = Passes.Pipeline.register_pass pass

@@ -1,11 +1,18 @@
 (* Static vs. dynamic qubit addressing (Sec. IV-A). Detection scans the
-   module; conversion goes through the circuit IR: parse with the Ex. 3
-   machinery, then re-emit in the requested style. The conversion to
-   static addresses is the "register allocation" step the paper draws the
-   analogy to — the identity assignment here; {!Qmapping.Allocator}
-   implements the live-range-packing version. *)
+   module's *reachable* instructions — a qubit_allocate sitting in dead
+   code must not classify the program as dynamic — and can additionally
+   consult the constant-address dataflow analysis to upgrade operands it
+   proves constant. Conversion goes through the circuit IR: parse with
+   the Ex. 3 machinery, then re-emit in the requested style; when the
+   syntactic parser rejects the module (phi-resolved addresses), the
+   proved-constant rewrite plus classical cleanup gives it a second
+   chance. The conversion to static addresses is the "register
+   allocation" step the paper draws the analogy to — the identity
+   assignment here; {!Qmapping.Allocator} implements the
+   live-range-packing version. *)
 
 open Llvm_ir
+module Const_addr = Qir_analysis.Const_addr
 
 type style = Static | Dynamic | Mixed | No_qubits
 
@@ -17,41 +24,102 @@ let pp_style ppf s =
     | Mixed -> "mixed"
     | No_qubits -> "no-qubits")
 
-let detect (m : Ir_module.t) : style =
-  let has_static = ref false and has_dynamic = ref false in
-  List.iter
-    (fun (f : Func.t) ->
-      Func.iter_instrs f (fun (i : Instr.t) ->
-          match i.Instr.op with
-          | Instr.Call (_, callee, args) when Names.is_quantum callee -> (
-            if
-              String.equal callee Names.rt_qubit_allocate
-              || String.equal callee Names.rt_qubit_allocate_array
-            then has_dynamic := true;
-            match Signatures.find callee with
-            | Some s when List.length s.Signatures.args = List.length args ->
-              List.iter2
-                (fun kind (a : Operand.typed) ->
-                  match kind, a.Operand.v with
-                  | Signatures.Qubit, Operand.Const (Constant.Inttoptr _)
-                  | Signatures.Qubit, Operand.Const Constant.Null ->
-                    has_static := true
-                  | _ -> ())
-                s.Signatures.args args
-            | _ -> ())
-          | _ -> ()))
-    m.Ir_module.funcs;
-  match !has_static, !has_dynamic with
+let classify_flags ~static ~dynamic =
+  match static, dynamic with
   | true, true -> Mixed
   | true, false -> Static
   | false, true -> Dynamic
   | false, false -> No_qubits
 
-(* Conversions (semantic route: QIR -> circuit -> QIR). *)
+(* One scan serving both views. [syntactic] counts a constant pointer as
+   static and anything else (allocations, locally-computed addresses) as
+   dynamic; [proved] additionally counts operands the dataflow analysis
+   resolves to a constant as static, leaving allocations dynamic only
+   when some qubit still reaches a gate through an unproved address. *)
+type report = {
+  syntactic : style;
+  proved : style;
+  upgraded_args : int;  (* dynamically shaped operands proved constant *)
+}
+
+let scan (m : Ir_module.t) : report =
+  let syn_static = ref false and syn_dynamic = ref false in
+  let proved_args = ref 0 and unproved_args = ref 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      if not (Func.is_declaration f) then begin
+        let facts = Const_addr.analyze f in
+        List.iter
+          (fun (b : Block.t) ->
+            if Const_addr.block_reached facts b.Block.label then
+              List.iter
+                (fun (i : Instr.t) ->
+                  match i.Instr.op with
+                  | Instr.Call (_, callee, args) when Names.is_quantum callee
+                    -> (
+                    if
+                      String.equal callee Names.rt_qubit_allocate
+                      || String.equal callee Names.rt_qubit_allocate_array
+                    then syn_dynamic := true;
+                    match Signatures.find callee with
+                    | Some s
+                      when List.length s.Signatures.args = List.length args ->
+                      List.iter2
+                        (fun kind (a : Operand.typed) ->
+                          match kind with
+                          | Signatures.Qubit -> (
+                            match a.Operand.v with
+                            | Operand.Const (Constant.Inttoptr _)
+                            | Operand.Const Constant.Null ->
+                              syn_static := true
+                            | o -> (
+                              syn_dynamic := true;
+                              match Const_addr.proved_address facts o with
+                              | Some _ -> incr proved_args
+                              | None -> incr unproved_args))
+                          | Signatures.Result
+                          | Signatures.Double_arg | Signatures.Int_arg _
+                          | Signatures.Ptr_arg ->
+                            ())
+                        s.Signatures.args args
+                    | _ -> ())
+                  | _ -> ())
+                b.Block.instrs)
+          f.Func.blocks
+      end)
+    m.Ir_module.funcs;
+  let syntactic =
+    classify_flags ~static:!syn_static ~dynamic:!syn_dynamic
+  in
+  let proved =
+    classify_flags
+      ~static:(!syn_static || !proved_args > 0)
+      ~dynamic:(!unproved_args > 0)
+  in
+  { syntactic; proved; upgraded_args = !proved_args }
+
+let detect (m : Ir_module.t) : style = (scan m).syntactic
+let detect_proved = scan
+
+(* Conversions (semantic route: QIR -> circuit -> QIR). When the
+   syntactic parser rejects the module, rewrite proved-constant
+   addresses into their literal spelling, let DCE and CFG cleanup sweep
+   the now-dead address computation (phi chains, branches over folded
+   conditions), and retry — the path that converts the programs the
+   seed refused. *)
+let parse_with_upgrade (m : Ir_module.t) =
+  try Qir_parser.parse m
+  with Qir_parser.Unsupported _ as first -> (
+    let m', upgraded = Const_addr.rewrite m in
+    if upgraded = 0 then raise first
+    else
+      let m' = Passes.Pipeline.optimize m' in
+      try Qir_parser.parse m' with Qir_parser.Unsupported _ -> raise first)
+
 let to_static ?record_output (m : Ir_module.t) =
-  let circuit = Qir_parser.parse m in
+  let circuit = parse_with_upgrade m in
   Qir_builder.build ~addressing:`Static ?record_output circuit
 
 let to_dynamic ?record_output (m : Ir_module.t) =
-  let circuit = Qir_parser.parse m in
+  let circuit = parse_with_upgrade m in
   Qir_builder.build ~addressing:`Dynamic ?record_output circuit

@@ -42,9 +42,13 @@ let check_entry_point acc (m : Ir_module.t) =
       Some f
     end
 
-(* Rules for the base profile, applied to the entry function. *)
+(* Rules for the base profile, applied to the entry function. The
+   static-addresses rule consults the constant-address analysis: an
+   operand that is dynamically shaped but proved constant is not a
+   violation (it is a QA001 lint note instead). *)
 let check_base acc (f : Func.t) =
   let where = "@" ^ f.Func.name in
+  let facts = Qir_analysis.Const_addr.analyze f in
   (match f.Func.blocks with
   | [ _ ] -> ()
   | blocks ->
@@ -73,7 +77,12 @@ let check_base acc (f : Func.t) =
                     (fun kind (a : Operand.typed) ->
                       match kind with
                       | Signatures.Qubit | Signatures.Result ->
-                        if not (is_static_address a.Operand.v) then
+                        if
+                          (not (is_static_address a.Operand.v))
+                          && Qir_analysis.Const_addr.proved_address facts
+                               a.Operand.v
+                             = None
+                        then
                           violate acc "base:static-addresses" where
                             "@%s receives a dynamic qubit/result address"
                             callee

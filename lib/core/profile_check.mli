@@ -3,8 +3,9 @@
 
     Base-profile rules: one void, parameterless entry point; a single
     straight-line basic block; only calls to the known QIS/RT vocabulary;
-    static qubit/result addresses; no allocation, no result reads, no
-    classical computation. Adaptive adds forward control flow, integer
+    static qubit/result addresses (operands the constant-address
+    analysis proves constant count as static); no allocation, no result
+    reads, no classical computation. Adaptive adds forward control flow, integer
     computation and result reads; loops and memory stay forbidden. *)
 
 type violation = { rule : string; where : string; what : string }

@@ -15,11 +15,11 @@ type instr_class =
 let classify_instr (i : Instr.t) : instr_class =
   match i.Instr.op with
   | Instr.Call (_, callee, _) ->
-    if Qir.Names.is_qis callee then
-      if String.equal callee Qir.Names.rt_read_result then Result_read
+    if Names.is_qis callee then
+      if String.equal callee Names.rt_read_result then Result_read
       else Quantum
-    else if Qir.Names.is_rt callee then
-      if String.equal callee Qir.Names.rt_result_equal then Result_read
+    else if Names.is_rt callee then
+      if String.equal callee Names.rt_result_equal then Result_read
       else Runtime_bookkeeping
     else Call_classical
   | Instr.Alloca _ | Instr.Load _ | Instr.Store _ | Instr.Gep _ -> Memory

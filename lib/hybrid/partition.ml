@@ -42,8 +42,8 @@ let controller_supports (i : Instr.t) =
   | Instr.Phi _ -> true
   | Instr.Call (_, callee, _) ->
     (* result reads happen at the controller by construction *)
-    String.equal callee Qir.Names.rt_read_result
-    || String.equal callee Qir.Names.rt_result_equal
+    String.equal callee Names.rt_read_result
+    || String.equal callee Names.rt_result_equal
   | Instr.Fbinop _ | Instr.Fcmp _ | Instr.Alloca _ | Instr.Load _
   | Instr.Store _ | Instr.Gep _ ->
     false

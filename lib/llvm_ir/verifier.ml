@@ -72,6 +72,16 @@ let check_func (m : Ir_module.t) (f : Func.t) =
               if !saw_non_phi then
                 err where "phi node is not at the start of the block";
               let preds = SSet.of_list (Cfg.predecessors cfg b.label) in
+              (* duplicate entries would be silently collapsed by the
+                 set views below, so flag them first *)
+              let seen_inc = Hashtbl.create 4 in
+              List.iter
+                (fun (_, l) ->
+                  if Hashtbl.mem seen_inc l then
+                    err where "phi has duplicate entries for predecessor %%%s"
+                      l
+                  else Hashtbl.replace seen_inc l ())
+                incoming;
               let inc_labels = SSet.of_list (List.map snd incoming) in
               SSet.iter
                 (fun p ->

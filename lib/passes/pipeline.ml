@@ -15,9 +15,23 @@ let all_passes : Pass.func_pass list =
     Inline.pass;
   ]
 
+(* Passes contributed by higher layers (e.g. the analysis library's
+   quantum-dce), registered at tool startup. *)
+let extra_passes : Pass.func_pass list ref = ref []
+
+let register_pass (p : Pass.func_pass) =
+  if
+    not
+      (List.exists
+         (fun (q : Pass.func_pass) -> String.equal q.Pass.name p.Pass.name)
+         !extra_passes)
+  then extra_passes := !extra_passes @ [ p ]
+
+let registered () = all_passes @ !extra_passes
+
 let find_pass name =
   List.find_opt (fun (p : Pass.func_pass) -> String.equal p.Pass.name name)
-    all_passes
+    (registered ())
 
 (* The cleanup pipeline: SSA construction plus the classical scalar
    optimizations the paper names in Sec. II-B. *)

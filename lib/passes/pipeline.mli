@@ -6,6 +6,13 @@ val all_passes : Pass.func_pass list
 (** mem2reg, const-fold, sccp, instcombine, cse, dce, simplify-cfg,
     loop-unroll, inline. *)
 
+val register_pass : Pass.func_pass -> unit
+(** Adds a pass contributed by a higher layer (e.g. quantum-dce from the
+    analysis library) to the name lookup; idempotent per name. *)
+
+val registered : unit -> Pass.func_pass list
+(** {!all_passes} plus everything {!register_pass}ed, in order. *)
+
 val find_pass : string -> Pass.func_pass option
 
 val standard : Pass.module_pass list

@@ -86,6 +86,17 @@ let severity_name = function
   | Transient -> "transient"
   | Permanent -> "permanent"
 
+(* Structured diagnostics from the verifier and the lint analyses map
+   onto the Verify kind, so qirc --lint and qir-lint exit through the
+   same taxonomy (exit 3) as a failed --verify. *)
+let of_verifier_violation (v : Llvm_ir.Verifier.violation) =
+  make ~kind:Verify ~layer:L_verifier
+    (Format.asprintf "%a" Llvm_ir.Verifier.pp_violation v)
+
+let of_diagnostic (d : Qir_analysis.Diagnostic.t) =
+  make ~kind:Verify ~layer:L_verifier
+    (Format.asprintf "%a" Qir_analysis.Diagnostic.pp d)
+
 (* Classify any exception from the execution stack. [None] for
    exceptions outside the taxonomy (genuine bugs keep their backtrace). *)
 let of_exn = function
@@ -94,6 +105,8 @@ let of_exn = function
     Some (make ~kind:Parse ~layer:L_parser ~location:loc msg)
   | Llvm_ir.Ir_error.Verify_error msg ->
     Some (make ~kind:Verify ~layer:L_verifier msg)
+  | Qir.Qir_parser.Unsupported msg ->
+    Some (make ~kind:Parse ~layer:L_parser msg)
   | Llvm_ir.Ir_error.Exec_error msg ->
     Some (make ~kind:Exec ~layer:L_interp msg)
   | Llvm_ir.Ir_error.Timeout_error msg ->

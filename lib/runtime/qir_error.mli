@@ -68,6 +68,14 @@ val exit_code : t -> int
 
 (** {1 Classification} *)
 
+val of_verifier_violation : Llvm_ir.Verifier.violation -> t
+(** [Verify]-kind (exit 3) wrapper, so CLIs report verifier findings
+    through the same taxonomy as every other failure. *)
+
+val of_diagnostic : Qir_analysis.Diagnostic.t -> t
+(** [Verify]-kind (exit 3) wrapper for a lint diagnostic — qir-lint and
+    [qirc --lint --Werror] exit through one path. *)
+
 val of_exn : exn -> t option
 (** Classifies any exception from the execution stack; [None] for
     exceptions outside the taxonomy (genuine bugs). *)

@@ -175,7 +175,7 @@ let gate_fn rt g ~doubles ~qubits args =
   unit_value
 
 let externals rt : (string * (Interp.value list -> Interp.value)) list =
-  let open Qir.Names in
+  let open Names in
   let rt_fn f args =
     rt.stats.rt_calls <- rt.stats.rt_calls + 1;
     f args

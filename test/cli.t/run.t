@@ -84,7 +84,7 @@ Round-trip back to OpenQASM:
 Error paths: unknown pass, bad input, unroutable profile check.
 
   $ qirc bell.ll --pass no-such-pass
-  qirc: unknown pass no-such-pass (available: mem2reg, const-fold, sccp, instcombine, cse, dce, simplify-cfg, loop-unroll, inline)
+  qirc: unknown pass no-such-pass (available: mem2reg, const-fold, sccp, instcombine, cse, dce, simplify-cfg, loop-unroll, inline, quantum-dce)
   [7]
 
   $ echo "this is not llvm" > bad.ll
@@ -200,3 +200,165 @@ A missing input file is a usage error:
   $ qir-run no-such-file.ll
   qir-run: no-such-file.ll: No such file or directory
   [7]
+
+Static analysis: qir-lint is clean on well-formed programs, whatever
+their addressing style.
+
+  $ qir-lint bell.ll
+  0 error(s), 0 warning(s), 0 note(s)
+
+  $ qir-lint bell_dyn.ll
+  0 error(s), 0 warning(s), 0 note(s)
+
+Seeded lifetime bugs (use-after-release, double release, leak,
+read-before-measure, dead gates) are all flagged; errors exit 3.
+
+  $ cat > buggy.ll <<'LL'
+  > declare ptr @__quantum__rt__qubit_allocate()
+  > declare void @__quantum__rt__qubit_release(ptr)
+  > declare void @__quantum__qis__h__body(ptr)
+  > declare void @__quantum__qis__x__body(ptr)
+  > declare i1 @__quantum__qis__read_result__body(ptr)
+  > define void @main() "entry_point" {
+  > entry:
+  >   %q0 = call ptr @__quantum__rt__qubit_allocate()
+  >   %q1 = call ptr @__quantum__rt__qubit_allocate()
+  >   call void @__quantum__qis__h__body(ptr %q0)
+  >   call void @__quantum__rt__qubit_release(ptr %q0)
+  >   call void @__quantum__qis__x__body(ptr %q0)
+  >   call void @__quantum__rt__qubit_release(ptr %q0)
+  >   %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  >   ret void
+  > }
+  > LL
+  $ qir-lint buggy.ll
+  error: @main %entry [QL001] @__quantum__qis__x__body uses a released qubit (qubit allocated at site 0)
+  error: @main %entry [QL002] @__quantum__rt__qubit_release releases an already-released qubit (allocation site 0)
+  error: @main %entry [QL004] @__quantum__qis__read_result__body reads result 0, which is measured on no path here
+  warning: @main %entry [QL003] qubit allocated at site 1 is never released
+  warning: @main %entry [QD001] 'call void @__quantum__qis__h__body(ptr %q0)' affects no measured or recorded qubit
+  warning: @main %entry [QD001] 'call void @__quantum__qis__x__body(ptr %q0)' affects no measured or recorded qubit
+  3 error(s), 3 warning(s), 0 note(s)
+  [3]
+
+The same report as machine-readable JSON:
+
+  $ qir-lint buggy.ll --format json
+  {
+    "diagnostics": [
+      {"rule":"QL001","severity":"error","where":"@main %entry","message":"@__quantum__qis__x__body uses a released qubit (qubit allocated at site 0)"},
+      {"rule":"QL002","severity":"error","where":"@main %entry","message":"@__quantum__rt__qubit_release releases an already-released qubit (allocation site 0)"},
+      {"rule":"QL004","severity":"error","where":"@main %entry","message":"@__quantum__qis__read_result__body reads result 0, which is measured on no path here"},
+      {"rule":"QL003","severity":"warning","where":"@main %entry","message":"qubit allocated at site 1 is never released"},
+      {"rule":"QD001","severity":"warning","where":"@main %entry","message":"'call void @__quantum__qis__h__body(ptr %q0)' affects no measured or recorded qubit"},
+      {"rule":"QD001","severity":"warning","where":"@main %entry","message":"'call void @__quantum__qis__x__body(ptr %q0)' affects no measured or recorded qubit"}
+    ],
+    "summary": {"errors": 3, "warnings": 3, "notes": 0}
+  }
+  [3]
+
+A phi-resolved constant address is dynamic in shape but proved static
+by the dataflow analysis (QA001), and `--addressing static` converts it
+where the purely syntactic route refuses the phi:
+
+  $ cat > phi_addr.ll <<'LL'
+  > declare void @__quantum__qis__h__body(ptr)
+  > declare void @__quantum__qis__x__body(ptr)
+  > declare void @__quantum__qis__mz__body(ptr, ptr)
+  > declare i1 @__quantum__qis__read_result__body(ptr)
+  > define void @main() "entry_point" {
+  > entry:
+  >   call void @__quantum__qis__h__body(ptr null)
+  >   call void @__quantum__qis__mz__body(ptr null, ptr null)
+  >   %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  >   br i1 %r, label %then, label %join
+  > then:
+  >   %a1 = add i64 0, 1
+  >   br label %join
+  > join:
+  >   %addr = phi i64 [ 1, %entry ], [ %a1, %then ]
+  >   %q = inttoptr i64 %addr to ptr
+  >   call void @__quantum__qis__x__body(ptr %q)
+  >   call void @__quantum__qis__mz__body(ptr %q, ptr inttoptr (i64 1 to ptr))
+  >   ret void
+  > }
+  > LL
+  $ qir-lint phi_addr.ll
+  note: @main %join [QA001] operand %q of @__quantum__qis__x__body is proved static (= inttoptr (i64 1 to ptr))
+  note: @main %join [QA001] operand %q of @__quantum__qis__mz__body is proved static (= inttoptr (i64 1 to ptr))
+  0 error(s), 0 warning(s), 2 note(s)
+
+  $ qirc phi_addr.ll --addressing static --check base --emit none
+  conforms to base_profile
+
+qirc --lint gates compilation on error findings only; --Werror promotes
+warnings (the leak below) to the verify exit code.
+
+  $ cat > leaky.ll <<'LL'
+  > declare ptr @__quantum__rt__qubit_allocate()
+  > declare void @__quantum__qis__h__body(ptr)
+  > declare void @__quantum__qis__mz__body(ptr, ptr)
+  > define void @main() "entry_point" {
+  > entry:
+  >   %q = call ptr @__quantum__rt__qubit_allocate()
+  >   call void @__quantum__qis__h__body(ptr %q)
+  >   call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  >   ret void
+  > }
+  > LL
+  $ qirc leaky.ll --lint --emit none
+  warning: @main %entry [QL003] qubit allocated at site 0 is never released
+  0 error(s), 1 warning(s), 0 note(s)
+
+  $ qirc leaky.ll --lint --Werror --emit none
+  warning: @main %entry [QL003] qubit allocated at site 0 is never released
+  0 error(s), 1 warning(s), 0 note(s)
+  [3]
+
+  $ qirc buggy.ll --lint --emit none
+  error: @main %entry [QL001] @__quantum__qis__x__body uses a released qubit (qubit allocated at site 0)
+  error: @main %entry [QL002] @__quantum__rt__qubit_release releases an already-released qubit (allocation site 0)
+  error: @main %entry [QL004] @__quantum__qis__read_result__body reads result 0, which is measured on no path here
+  warning: @main %entry [QL003] qubit allocated at site 1 is never released
+  warning: @main %entry [QD001] 'call void @__quantum__qis__h__body(ptr %q0)' affects no measured or recorded qubit
+  warning: @main %entry [QD001] 'call void @__quantum__qis__x__body(ptr %q0)' affects no measured or recorded qubit
+  3 error(s), 3 warning(s), 0 note(s)
+  [3]
+
+The quantum-dce pass removes gates that cannot affect any measurement:
+
+  $ cat > deadgate.ll <<'LL'
+  > declare void @__quantum__qis__h__body(ptr)
+  > declare void @__quantum__qis__x__body(ptr)
+  > declare void @__quantum__qis__mz__body(ptr, ptr)
+  > define void @main() "entry_point" {
+  > entry:
+  >   call void @__quantum__qis__h__body(ptr null)
+  >   call void @__quantum__qis__x__body(ptr inttoptr (i64 1 to ptr))
+  >   call void @__quantum__qis__mz__body(ptr null, ptr null)
+  >   ret void
+  > }
+  > LL
+  $ qirc deadgate.ll --pass quantum-dce
+  ; ModuleID = 'deadgate.ll'
+  
+  declare void @__quantum__qis__h__body(ptr)
+  
+  declare void @__quantum__qis__x__body(ptr)
+  
+  declare void @__quantum__qis__mz__body(ptr, ptr)
+  
+  define void @main() #0 {
+  entry:
+    call void @__quantum__qis__h__body(ptr null)
+    call void @__quantum__qis__mz__body(ptr null, ptr null)
+    ret void
+  }
+  
+  attributes #0 = { "entry_point" }
+
+
+
+
+
+

@@ -1,0 +1,183 @@
+(* Lint smoke: qir-lint must be quiet on code that is actually fine and
+   loud on code that is actually broken.
+
+   Three corpora:
+   1. the checked-in examples (examples/*.ll, or the directory given as
+      argv(1)) — no errors or warnings allowed (notes are fine);
+   2. 100 generated circuits built as QIR in both addressing styles —
+      builder output must produce zero findings;
+   3. embedded seeded-bug fixtures — each must trigger its rule.
+
+   Used by CI:  dune exec test/smoke/lint_smoke.exe *)
+
+open Qcircuit
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "FAIL: %s\n" msg)
+    fmt
+
+let noisy ds =
+  Qir_analysis.Diagnostic.errors ds + Qir_analysis.Diagnostic.warnings ds
+
+let rules ds =
+  List.map (fun (d : Qir_analysis.Diagnostic.t) -> d.Qir_analysis.Diagnostic.rule) ds
+
+(* 1. checked-in examples ------------------------------------------- *)
+
+let lint_examples dir =
+  let files =
+    try
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".ll")
+      |> List.sort compare
+    with Sys_error _ -> []
+  in
+  if files = [] then Printf.printf "examples: none found in %s (skipped)\n" dir
+  else
+    List.iter
+      (fun f ->
+        let path = Filename.concat dir f in
+        let src = In_channel.with_open_text path In_channel.input_all in
+        let m = Llvm_ir.Parser.parse_module ~source_name:path src in
+        let ds = Qir_analysis.Lint.run m in
+        if noisy ds > 0 then
+          fail "%s: expected a clean lint, got %d error/warning finding(s)"
+            path (noisy ds))
+      files;
+  Printf.printf "examples: %d file(s) linted\n" (List.length files)
+
+(* 2. generated corpus ---------------------------------------------- *)
+
+let with_measurements (c : Circuit.t) =
+  let b =
+    Circuit.Build.create ~num_qubits:c.Circuit.num_qubits
+      ~num_clbits:c.Circuit.num_qubits ()
+  in
+  List.iter
+    (fun (op : Circuit.op) ->
+      match op.Circuit.kind with
+      | Circuit.Gate (g, qs) -> Circuit.Build.gate b g qs
+      | _ -> ())
+    c.Circuit.ops;
+  for q = 0 to c.Circuit.num_qubits - 1 do
+    Circuit.Build.measure b q q
+  done;
+  Circuit.Build.finish b
+
+let lint_corpus () =
+  let count = 100 in
+  for i = 0 to count - 1 do
+    let seed = 4000 + i in
+    let n = 2 + (i mod 5) in
+    let c =
+      with_measurements
+        (Generate.random ~seed ~parametric:(i mod 2 = 0) ~gates:(8 + (i mod 3 * 8)) n)
+    in
+    List.iter
+      (fun addressing ->
+        let m = Qir.Qir_builder.build ~addressing c in
+        let ds = Qir_analysis.Lint.run ~notes:false m in
+        if ds <> [] then
+          fail "generated circuit %d (%s): %d unexpected finding(s): %s" i
+            (match addressing with `Static -> "static" | `Dynamic -> "dynamic")
+            (List.length ds)
+            (String.concat " " (rules ds)))
+      [ `Static; `Dynamic ]
+  done;
+  Printf.printf "corpus: %d circuits x 2 addressings linted clean\n" count
+
+(* 3. seeded bugs --------------------------------------------------- *)
+
+let prelude =
+  {|
+declare ptr @__quantum__rt__qubit_allocate()
+declare void @__quantum__rt__qubit_release(ptr)
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+|}
+
+let seeded : (string * string * string) list =
+  [
+    ( "QL001",
+      "use after release",
+      prelude
+      ^ {|
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  call void @__quantum__qis__x__body(ptr %q)
+  ret void
+}|} );
+    ( "QL002",
+      "double release",
+      prelude
+      ^ {|
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}|} );
+    ( "QL003",
+      "leaked qubit",
+      prelude
+      ^ {|
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  ret void
+}|} );
+    ( "QL004",
+      "read before measure",
+      prelude
+      ^ {|
+define void @main() "entry_point" {
+entry:
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|} );
+    ( "QD001",
+      "dead gate",
+      prelude
+      ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__x__body(ptr inttoptr (i64 7 to ptr))
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|} );
+  ]
+
+let lint_seeded () =
+  List.iter
+    (fun (rule, what, src) ->
+      let m = Llvm_ir.Parser.parse_module src in
+      let ds = Qir_analysis.Lint.run m in
+      if not (List.mem rule (rules ds)) then
+        fail "seeded %s (%s) not detected" rule what)
+    seeded;
+  Printf.printf "seeded: %d bug fixtures detected\n" (List.length seeded)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "examples" in
+  lint_examples dir;
+  lint_corpus ();
+  lint_seeded ();
+  if !failures > 0 then begin
+    Printf.eprintf "lint smoke: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "lint smoke: ok"

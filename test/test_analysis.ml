@@ -1,0 +1,496 @@
+(* Tests for the dataflow engine and the QIR static analyses: qubit
+   lifetime checking (QL001-QL004), dead-quantum-code analysis (QD001 /
+   the quantum-dce pass), constant-address proofs (QA001, proved-static
+   addressing upgrades) and the lint driver. *)
+
+open Llvm_ir
+open Qir
+open Qruntime
+open Qir_analysis
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let parse = Parser.parse_module
+
+let rules ds = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.rule) ds
+let has_rule r ds = List.mem r (rules ds)
+let count_rule r ds = List.length (List.filter (String.equal r) (rules ds))
+
+let count_calls_to m callee =
+  List.fold_left
+    (fun acc (f : Func.t) ->
+      Func.fold_instrs f acc (fun acc (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Call (_, c, _) when String.equal c callee -> acc + 1
+          | _ -> acc))
+    0 m.Ir_module.funcs
+
+(* ------------------------------------------------------------------ *)
+(* The generic engine                                                   *)
+
+(* A forward reachability problem with branch pruning: blocks behind a
+   constant-false edge are never reached, and a diamond join merges the
+   facts of both feasible predecessors. *)
+module Labels = struct
+  type t = Cfg.SSet.t
+
+  let bottom = Cfg.SSet.empty
+  let equal = Cfg.SSet.equal
+  let join = Cfg.SSet.union
+end
+
+module FwdLabels = Dataflow.Forward (Labels)
+
+let test_forward_join_and_pruning () =
+  let m =
+    parse
+      {|
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  br i1 false, label %dead, label %exit
+dead:
+  br label %exit
+exit:
+  ret void
+}|}
+  in
+  let f = Ir_module.find_func_exn m "f" in
+  let cfg = Cfg.of_func f in
+  let tf =
+    {
+      FwdLabels.instr = (fun _ _ fact -> fact);
+      FwdLabels.term =
+        (fun label term fact ->
+          let fact = Cfg.SSet.add label fact in
+          match term with
+          | Instr.Cond_br (Operand.Const (Constant.Bool false), _, el) ->
+            [ (el, fact) ]
+          | _ -> FwdLabels.uniform_term label term fact);
+    }
+  in
+  let res = FwdLabels.solve cfg tf in
+  check bool_t "diamond join sees both arms" true
+    (Cfg.SSet.equal
+       (FwdLabels.block_in res "join")
+       (Cfg.SSet.of_list [ "entry"; "a"; "b" ]));
+  check bool_t "constant-false arm unreached" false
+    (FwdLabels.reached res "dead");
+  check bool_t "exit reached" true (FwdLabels.reached res "exit")
+
+(* ------------------------------------------------------------------ *)
+(* Lifetime analysis                                                    *)
+
+let lint src = Lint.run (parse src)
+
+let prelude =
+  {|
+declare ptr @__quantum__rt__qubit_allocate()
+declare void @__quantum__rt__qubit_release(ptr)
+declare ptr @__quantum__rt__qubit_allocate_array(i64)
+declare void @__quantum__rt__qubit_release_array(ptr)
+declare ptr @__quantum__rt__array_get_element_ptr_1d(ptr, i64)
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+declare void @__quantum__rt__result_record_output(ptr, ptr)
+|}
+
+let test_use_after_release () =
+  let ds =
+    lint
+      (prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(ptr %q)
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  call void @__quantum__qis__x__body(ptr %q)
+  ret void
+}|})
+  in
+  check bool_t "QL001 reported" true (has_rule "QL001" ds)
+
+let test_release_then_stop_is_clean () =
+  let ds =
+    lint
+      (prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(ptr %q)
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}|})
+  in
+  check int_t "no findings" 0 (List.length ds)
+
+let test_double_release () =
+  let ds =
+    lint
+      (prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}|})
+  in
+  check int_t "one QL002" 1 (count_rule "QL002" ds);
+  check bool_t "no QL001 for the release itself" false (has_rule "QL001" ds)
+
+let test_leak_and_array_release () =
+  let ds =
+    lint
+      (prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  %qs = call ptr @__quantum__rt__qubit_allocate_array(i64 2)
+  %q0 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %qs, i64 0)
+  call void @__quantum__qis__h__body(ptr %q0)
+  call void @__quantum__qis__mz__body(ptr %q0, ptr null)
+  ret void
+}|})
+  in
+  check int_t "one QL003 leak" 1 (count_rule "QL003" ds);
+  (* releasing the array silences it *)
+  let ds' =
+    lint
+      (prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  %qs = call ptr @__quantum__rt__qubit_allocate_array(i64 2)
+  %q0 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %qs, i64 0)
+  call void @__quantum__qis__h__body(ptr %q0)
+  call void @__quantum__qis__mz__body(ptr %q0, ptr null)
+  call void @__quantum__rt__qubit_release_array(ptr %qs)
+  ret void
+}|})
+  in
+  check int_t "no findings after release" 0 (List.length ds')
+
+let test_read_before_measure () =
+  let ds =
+    lint
+      (prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|})
+  in
+  check int_t "one QL004" 1 (count_rule "QL004" ds);
+  let ds' =
+    lint
+      (prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  ret void
+}|})
+  in
+  check bool_t "measured first is clean" false (has_rule "QL004" ds')
+
+let test_branch_release_no_false_positive () =
+  (* released on one path only: a later use is a maybe, not a definite
+     use-after-release — no QL001; the path-dependent leak is a QL003 *)
+  let ds =
+    lint
+      (prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  br i1 %r, label %then, label %join
+then:
+  call void @__quantum__rt__qubit_release(ptr %q)
+  br label %join
+join:
+  call void @__quantum__qis__x__body(ptr %q)
+  ret void
+}|})
+  in
+  check bool_t "no definite use-after-release" false (has_rule "QL001" ds);
+  check bool_t "path-dependent leak reported" true (has_rule "QL003" ds)
+
+let test_builder_output_is_clean () =
+  List.iter
+    (fun addressing ->
+      let m =
+        Qir_builder.build ~addressing (Qcircuit.Generate.bell ())
+      in
+      check int_t "builder module lints clean" 0
+        (List.length (Lint.run ~notes:false m)))
+    [ `Static; `Dynamic ]
+
+(* ------------------------------------------------------------------ *)
+(* Dead-quantum-code analysis / quantum-dce pass                        *)
+
+let () = Quantum_dce.register ()
+
+let deadgate_src =
+  prelude
+  ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__x__body(ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  call void @__quantum__rt__result_record_output(ptr null, ptr null)
+  ret void
+}|}
+
+let test_quantum_dce_removes_dead_gate () =
+  let m = parse deadgate_src in
+  check bool_t "QD001 reported" true (has_rule "QD001" (Lint.run m));
+  let m' = Passes.Pipeline.run_pass "quantum-dce" m in
+  check int_t "x removed" 0 (count_calls_to m' Names.(qis "x"));
+  check int_t "h kept" 1 (count_calls_to m' Names.(qis "h"));
+  (* removing the dead gate does not change the output distribution *)
+  let hist = Executor.run_shots ~seed:7 ~shots:100 m in
+  let hist' = Executor.run_shots ~seed:7 ~shots:100 m' in
+  check bool_t "same histogram" true (hist = hist')
+
+let test_quantum_dce_respects_entanglement () =
+  let m =
+    parse
+      (prelude
+     ^ {|
+declare void @__quantum__qis__cnot__body(ptr, ptr)
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__cnot__body(ptr null, ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 1 to ptr), ptr null)
+  ret void
+}|})
+  in
+  (* h acts on an unmeasured qubit, but its effect reaches the measured
+     one through the cnot: nothing is removable *)
+  check bool_t "nothing dead" false (has_rule "QD001" (Lint.run m));
+  let m' = Passes.Pipeline.run_pass "quantum-dce" m in
+  check int_t "h kept" 1 (count_calls_to m' Names.(qis "h"));
+  check int_t "cnot kept" 1 (count_calls_to m' Names.(qis "cnot"))
+
+(* ------------------------------------------------------------------ *)
+(* Constant-address analysis and proved-static addressing               *)
+
+let phi_addr_src =
+  prelude
+  ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  br i1 %r, label %then, label %join
+then:
+  %a1 = add i64 0, 1
+  br label %join
+join:
+  %addr = phi i64 [ 1, %entry ], [ %a1, %then ]
+  %q = inttoptr i64 %addr to ptr
+  call void @__quantum__qis__x__body(ptr %q)
+  call void @__quantum__qis__mz__body(ptr %q, ptr inttoptr (i64 1 to ptr))
+  ret void
+}|}
+
+let test_const_addr_proves_phi_static () =
+  let m = parse phi_addr_src in
+  let s = Const_addr.summarize m in
+  check int_t "two operands proved" 2 s.Const_addr.proved_static;
+  check int_t "none left dynamic" 0 s.Const_addr.dynamic;
+  check int_t "two QA001 notes" 2 (count_rule "QA001" (Lint.run m))
+
+let test_detect_proved_upgrade () =
+  let m = parse phi_addr_src in
+  let r = Addressing.detect_proved m in
+  (* null-addressed gates next to the phi-computed one: syntactically
+     the module mixes static and dynamic addressing *)
+  check bool_t "syntactically mixed" true
+    (r.Addressing.syntactic = Addressing.Mixed);
+  check bool_t "proved static" true (r.Addressing.proved = Addressing.Static);
+  check int_t "two upgraded operands" 2 r.Addressing.upgraded_args
+
+let test_detect_ignores_dead_allocation () =
+  (* the allocation sits in an unreachable block: the program's live
+     addressing is static *)
+  let m =
+    parse
+      (prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+dead:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(ptr %q)
+  ret void
+}|})
+  in
+  check bool_t "dead allocate does not make it dynamic" true
+    (Addressing.detect m = Addressing.Static)
+
+let test_to_static_converts_where_syntactic_refuses () =
+  let m = parse phi_addr_src in
+  (* the seed's syntactic route rejects the phi outright *)
+  check bool_t "parser refuses the phi" true
+    (match Qir_parser.parse_result m with Error _ -> true | Ok _ -> false);
+  (* the proved-constant rewrite converts it *)
+  let m' = Addressing.to_static ~record_output:false m in
+  check bool_t "now static" true (Addressing.detect m' = Addressing.Static);
+  check bool_t "conforms base" true
+    (Profile_check.conforms Profile.Base m');
+  (* and the observable behavior is unchanged: qubit 1 is always
+     flipped, qubit 0 stays uniform *)
+  let shots = 300 in
+  let hist = Executor.run_shots ~seed:13 ~shots m in
+  let hist' = Executor.run_shots ~seed:29 ~shots m' in
+  let count key h = Option.value ~default:0 (List.assoc_opt key h) in
+  List.iter
+    (fun h ->
+      check int_t "only 01 and 11" shots (count "01" h + count "11" h))
+    [ hist; hist' ];
+  let frac h key = float_of_int (count key h) /. float_of_int shots in
+  check bool_t "p(01) close" true
+    (Float.abs (frac hist "01" -. frac hist' "01") < 0.15)
+
+let test_profile_check_consumes_proofs () =
+  (* a single-block program with a computed — but provably constant —
+     address: base:static-addresses must not fire (the remaining
+     classical-computation violations are expected) *)
+  let m =
+    parse
+      (prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  %a = add i64 0, 1
+  %q = inttoptr i64 %a to ptr
+  call void @__quantum__qis__h__body(ptr %q)
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  ret void
+}|})
+  in
+  let vs = Profile_check.check Profile.Base m in
+  check bool_t "no static-addresses violation" false
+    (List.exists
+       (fun (v : Profile_check.violation) ->
+         String.equal v.Profile_check.rule "base:static-addresses")
+       vs);
+  check bool_t "classical computation still flagged" true
+    (List.exists
+       (fun (v : Profile_check.violation) ->
+         String.equal v.Profile_check.rule "base:no-classical")
+       vs)
+
+(* ------------------------------------------------------------------ *)
+(* Verifier and the lint driver                                         *)
+
+let test_verifier_reports_all_phi_mismatches () =
+  let m =
+    parse
+      {|
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %x = phi i64 [ 1, %a ], [ 2, %a ], [ 3, %nosuchpred ]
+  ret void
+}|}
+  in
+  let f = Ir_module.find_func_exn m "f" in
+  let vs = Verifier.check_func m f in
+  let whats = List.map (fun (v : Verifier.violation) -> v.Verifier.what) vs in
+  let mem sub =
+    List.exists
+      (fun w -> Astring.String.is_infix ~affix:sub w)
+      whats
+  in
+  check bool_t "duplicate entries reported" true (mem "duplicate entries");
+  check bool_t "missing predecessor reported" true (mem "missing an entry");
+  check bool_t "non-predecessor entry reported" true (mem "non-predecessor")
+
+let test_lint_structural_short_circuit () =
+  let m =
+    parse
+      {|
+declare void @__quantum__qis__h__body(ptr)
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__h__body(ptr %undefined)
+  ret void
+}|}
+  in
+  let ds = Lint.run m in
+  check bool_t "QV001 reported" true (has_rule "QV001" ds);
+  check bool_t "only structural findings" true
+    (List.for_all (String.equal "QV001") (rules ds))
+
+let suite =
+  [
+    Alcotest.test_case "engine: forward join and pruning" `Quick
+      test_forward_join_and_pruning;
+    Alcotest.test_case "lifetime: use after release" `Quick
+      test_use_after_release;
+    Alcotest.test_case "lifetime: release is clean" `Quick
+      test_release_then_stop_is_clean;
+    Alcotest.test_case "lifetime: double release" `Quick test_double_release;
+    Alcotest.test_case "lifetime: leak and array release" `Quick
+      test_leak_and_array_release;
+    Alcotest.test_case "lifetime: read before measure" `Quick
+      test_read_before_measure;
+    Alcotest.test_case "lifetime: branch release, no false positive" `Quick
+      test_branch_release_no_false_positive;
+    Alcotest.test_case "lifetime: builder output is clean" `Quick
+      test_builder_output_is_clean;
+    Alcotest.test_case "quantum-dce: removes dead gate" `Quick
+      test_quantum_dce_removes_dead_gate;
+    Alcotest.test_case "quantum-dce: respects entanglement" `Quick
+      test_quantum_dce_respects_entanglement;
+    Alcotest.test_case "const-addr: proves phi static" `Quick
+      test_const_addr_proves_phi_static;
+    Alcotest.test_case "const-addr: detect_proved upgrade" `Quick
+      test_detect_proved_upgrade;
+    Alcotest.test_case "addressing: dead allocate ignored" `Quick
+      test_detect_ignores_dead_allocation;
+    Alcotest.test_case "addressing: to_static via proofs" `Quick
+      test_to_static_converts_where_syntactic_refuses;
+    Alcotest.test_case "profile-check: consumes proofs" `Quick
+      test_profile_check_consumes_proofs;
+    Alcotest.test_case "verifier: all phi mismatches" `Quick
+      test_verifier_reports_all_phi_mismatches;
+    Alcotest.test_case "lint: structural short-circuit" `Quick
+      test_lint_structural_short_circuit;
+  ]

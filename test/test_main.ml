@@ -7,6 +7,7 @@ let () =
       ("simulator", Test_simulator.suite);
       ("engine", Test_engine.suite);
       ("qir", Test_qir.suite);
+      ("analysis", Test_analysis.suite);
       ("runtime", Test_runtime.suite);
       ("resilience", Test_resilience.suite);
       ("mapping", Test_mapping.suite);
