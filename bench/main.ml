@@ -870,6 +870,114 @@ let e11 () =
   close_out oc;
   Harness.row "  wrote BENCH_lint.json@\n"
 
+(* ------------------------------------------------------------------ *)
+(* E12 — interprocedural analysis: summary cost and whole-module lint   *)
+
+(* A call chain of F helper functions, each applying a gate to its qubit
+   argument and forwarding it down; the deepest helper measures. main
+   allocates [qubits] qubits, drives each through the chain and releases
+   it. Every summary depends on the next one, so the bottom-up engine
+   pays the full propagation cost. The table reports call graph +
+   summary construction (and its per-function cost) next to the price of
+   the whole-module interprocedural lint vs the entry-point-only
+   (--ipo=false) intraprocedural run. Written to BENCH_callgraph.json. *)
+
+let chain_src ~funcs ~qubits =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "declare ptr @__quantum__rt__qubit_allocate()\n\
+     declare void @__quantum__rt__qubit_release(ptr)\n\
+     declare void @__quantum__qis__h__body(ptr)\n\
+     declare void @__quantum__qis__x__body(ptr)\n\
+     declare void @__quantum__qis__mz__body(ptr, ptr)\n\n";
+  for i = funcs - 1 downto 0 do
+    Printf.bprintf b "define void @f%d(ptr %%q, ptr %%r) {\nentry:\n" i;
+    Printf.bprintf b "  call void @__quantum__qis__%s__body(ptr %%q)\n"
+      (if i mod 2 = 0 then "h" else "x");
+    if i = funcs - 1 then
+      Buffer.add_string b
+        "  call void @__quantum__qis__mz__body(ptr %q, ptr %r)\n"
+    else Printf.bprintf b "  call void @f%d(ptr %%q, ptr %%r)\n" (i + 1);
+    Buffer.add_string b "  ret void\n}\n\n"
+  done;
+  Buffer.add_string b "define void @main() \"entry_point\" {\nentry:\n";
+  for q = 0 to qubits - 1 do
+    Printf.bprintf b "  %%q%d = call ptr @__quantum__rt__qubit_allocate()\n" q
+  done;
+  for q = 0 to qubits - 1 do
+    Printf.bprintf b
+      "  call void @f0(ptr %%q%d, ptr inttoptr (i64 %d to ptr))\n" q q
+  done;
+  for q = 0 to qubits - 1 do
+    Printf.bprintf b "  call void @__quantum__rt__qubit_release(ptr %%q%d)\n" q
+  done;
+  Buffer.add_string b "  ret void\n}\n";
+  Buffer.contents b
+
+let e12 () =
+  Harness.section "E12"
+    "interprocedural analysis: summary cost and whole-module lint";
+  Harness.row "  %-14s %8s %12s %10s %12s %12s %7s@\n" "module" "instrs"
+    "summaries" "per func" "lint ipo" "lint intra" "ratio";
+  let rows =
+    List.map
+      (fun (funcs, qubits) ->
+        let m = Parser.parse_module (chain_src ~funcs ~qubits) in
+        let nfuncs = funcs + 1 in
+        let instrs = Ir_module.size m in
+        let name = Printf.sprintf "%df/%dq" nfuncs qubits in
+        let t_sum =
+          Harness.time_ns (name ^ " summaries") (fun () ->
+              let cg = Qir_analysis.Call_graph.build m in
+              ignore (Qir_analysis.Summary.of_module ~call_graph:cg m))
+        in
+        let t_ipo =
+          Harness.time_ns (name ^ " ipo") (fun () ->
+              ignore (Qir_analysis.Lint.run ~notes:false ~ipo:true m))
+        in
+        let t_intra =
+          Harness.time_ns (name ^ " intra") (fun () ->
+              ignore (Qir_analysis.Lint.run ~notes:false ~ipo:false m))
+        in
+        let per_func = t_sum /. float_of_int nfuncs in
+        Harness.row "  %-14s %8d %12s %10s %12s %12s %6.1fx@\n" name instrs
+          (Harness.ns_to_string t_sum)
+          (Harness.ns_to_string per_func)
+          (Harness.ns_to_string t_ipo)
+          (Harness.ns_to_string t_intra)
+          (t_ipo /. t_intra);
+        (name, nfuncs, instrs, t_sum, per_func, t_ipo, t_intra))
+      [ (4, 4); (16, 8); (64, 8); (256, 16) ]
+  in
+  let rows_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, nfuncs, instrs, t_sum, per_func, t_ipo, t_intra) ->
+           Printf.sprintf
+             {|      { "module": "%s", "functions": %d, "instrs": %d,
+        "summaries_ns": %.1f, "summary_ns_per_function": %.1f,
+        "lint_ipo_ns": %.1f, "lint_intra_ns": %.1f, "ipo_over_intra": %.2f }|}
+             name nfuncs instrs t_sum per_func t_ipo t_intra
+             (t_ipo /. t_intra))
+         rows)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "e12_interprocedural": {
+    "chain_modules": [
+%s
+    ]
+  }
+}
+|}
+      rows_json
+  in
+  let oc = open_out "BENCH_callgraph.json" in
+  output_string oc json;
+  close_out oc;
+  Harness.row "  wrote BENCH_callgraph.json@\n"
+
 let () =
   Format.printf "QIR toolchain benchmarks (paper artifacts E1..E8 + ablations)@\n";
   e1 ();
@@ -884,4 +992,5 @@ let () =
   e9 ();
   e10 ();
   e11 ();
+  e12 ();
   Format.printf "@\nAll benchmarks complete.@\n"

@@ -1,8 +1,10 @@
 (* qir-lint — static analysis diagnostics for QIR programs.
 
    Runs the structural verifier plus the dataflow analyses (qubit
-   lifetimes, dead quantum code, proved-static addresses) and reports
-   rule-tagged findings:
+   lifetimes, dead quantum code, proved-static addresses) and the
+   whole-module interprocedural checks (call-graph rules, cross-call
+   lifetimes via function effect summaries), reporting rule-tagged
+   findings:
 
      QV001 error    IR verifier violation
      QL001 error    use of a released qubit
@@ -10,25 +12,42 @@
      QL003 warning  qubit (array) never released
      QL004 error    result read before any measurement
      QD001 warning  gate affects no measured/recorded qubit
+     QD002 warning  call affects no measured/recorded qubit
+     QP001 error    recursion reachable from the entry point
+     QC001 warning  defined function unreachable from the entry point
      QA001 note     dynamic-looking address proved static
 
+   --call-graph dumps the module's call graph (text or, with --format
+   json, the schema_version-stamped JSON shape) instead of linting.
    Exit code 0 when nothing rises to error severity, 3 (the verify exit
    code) otherwise; --Werror promotes warnings. *)
 
 open Cmdliner
 
-let run input format werror notes =
+let run input format werror notes ipo call_graph =
   Cli_common.protect @@ fun () ->
   let m = Cli_common.parse_qir_file input in
-  let ds = Qir_analysis.Lint.run ~notes m in
-  (match format with
-  | `Text -> Format.printf "%a" Qir_analysis.Diagnostic.render_text ds
-  | `Json -> Format.printf "%a" Qir_analysis.Diagnostic.render_json ds);
-  let failing =
-    Qir_analysis.Diagnostic.errors ds > 0
-    || (werror && Qir_analysis.Diagnostic.warnings ds > 0)
-  in
-  if failing then exit Qruntime.Qir_error.exit_verify
+  if call_graph then begin
+    let cg = Qir_analysis.Call_graph.build m in
+    match format with
+    | `Text -> Format.printf "%a" Qir_analysis.Call_graph.render_text cg
+    | `Json -> Format.printf "%a" Qir_analysis.Call_graph.render_json cg
+  end
+  else begin
+    let ds = Qir_analysis.Lint.run ~notes ~ipo m in
+    (match format with
+    | `Text -> Format.printf "%a" Qir_analysis.Diagnostic.render_text ds
+    | `Json ->
+      Format.printf "%a"
+        (Qir_analysis.Diagnostic.render_json
+           ~module_name:m.Llvm_ir.Ir_module.source_name)
+        ds);
+    let failing =
+      Qir_analysis.Diagnostic.errors ds > 0
+      || (werror && Qir_analysis.Diagnostic.warnings ds > 0)
+    in
+    if failing then exit Qruntime.Qir_error.exit_verify
+  end
 
 let input =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT.ll"
@@ -47,10 +66,21 @@ let notes =
   Arg.(value & opt bool true & info [ "notes" ] ~docv:"BOOL"
          ~doc:"Include informational notes (QA001). Default true.")
 
+let ipo =
+  Arg.(value & opt bool true & info [ "ipo" ] ~docv:"BOOL"
+         ~doc:"Interprocedural lint: check the whole module with call \
+               graph and function effect summaries. Default true; \
+               --ipo=false restores the entry-point-only check.")
+
+let call_graph =
+  Arg.(value & flag & info [ "call-graph" ]
+         ~doc:"Print the module's call graph (honors --format) instead \
+               of linting.")
+
 let cmd =
   let doc = "static analysis diagnostics for QIR programs" in
   Cmd.v
     (Cmd.info "qir-lint" ~doc)
-    Term.(const run $ input $ format $ werror $ notes)
+    Term.(const run $ input $ format $ werror $ notes $ ipo $ call_graph)
 
 let () = exit (Cmd.eval cmd)

@@ -20,15 +20,14 @@ let run input passes lower optimize check addressing emit verify lint werror
   let m =
     List.fold_left
       (fun m name ->
-        match Passes.Pipeline.find_pass name with
-        | Some _ -> Passes.Pipeline.run_pass name m
-        | None ->
+        if
+          Passes.Pipeline.find_pass name <> None
+          || Passes.Pipeline.find_module_pass name <> None
+        then Passes.Pipeline.run_pass name m
+        else
           Cli_common.die ~code:Qruntime.Qir_error.exit_usage
             "unknown pass %s (available: %s)" name
-            (String.concat ", "
-               (List.map
-                  (fun (p : Passes.Pass.func_pass) -> p.Passes.Pass.name)
-                  (Passes.Pipeline.registered ()))))
+            (String.concat ", " (Passes.Pipeline.pass_names ())))
       m passes
   in
   (* 2. preset pipelines *)

@@ -1,0 +1,35 @@
+; A recursive helper reachable from the entry point. No QIR hardware
+; profile supports recursive calls — the whole-module lint rejects this
+; with rule QP001 (and qirc --check adaptive with adaptive:no-recursion)
+; even though every individual function body looks fine.
+
+declare ptr @__quantum__rt__qubit_allocate()
+declare void @__quantum__rt__qubit_release(ptr)
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+
+define void @loop(ptr %q, i64 %n) {
+entry:
+  %done = icmp sle i64 %n, 0
+  br i1 %done, label %exit, label %recurse
+
+recurse:
+  call void @__quantum__qis__h__body(ptr %q)
+  %n1 = sub i64 %n, 1
+  call void @loop(ptr %q, i64 %n1)
+  br label %exit
+
+exit:
+  ret void
+}
+
+define void @main() #0 {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @loop(ptr %q, i64 3)
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}
+
+attributes #0 = { "entry_point" }

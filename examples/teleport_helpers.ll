@@ -1,0 +1,58 @@
+; Quantum teleportation split across helper functions — a test bed for
+; the interprocedural lint. @entangle prepares the Bell pair, and
+; @measure_and_free measures a qubit *and releases it*: the caller must
+; not touch that qubit again. The bug below does exactly that — %a is
+; used after @measure_and_free released it — which only a cross-call
+; analysis can see (rule QL001 via @measure_and_free's effect summary).
+; The intended correction target in the %fix block is %b.
+
+declare ptr @__quantum__rt__qubit_allocate()
+declare void @__quantum__rt__qubit_release(ptr)
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__cnot__body(ptr, ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+declare void @__quantum__rt__result_record_output(ptr, ptr)
+
+define void @entangle(ptr %a, ptr %b) {
+entry:
+  call void @__quantum__qis__h__body(ptr %a)
+  call void @__quantum__qis__cnot__body(ptr %a, ptr %b)
+  ret void
+}
+
+define void @measure_and_free(ptr %q, ptr %r) {
+entry:
+  call void @__quantum__qis__mz__body(ptr %q, ptr %r)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}
+
+define void @main() #0 {
+entry:
+  %msg = call ptr @__quantum__rt__qubit_allocate()
+  %a = call ptr @__quantum__rt__qubit_allocate()
+  %b = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(ptr %msg)
+  call void @entangle(ptr %a, ptr %b)
+  call void @__quantum__qis__cnot__body(ptr %msg, ptr %a)
+  call void @__quantum__qis__h__body(ptr %msg)
+  call void @measure_and_free(ptr %msg, ptr null)
+  call void @measure_and_free(ptr %a, ptr inttoptr (i64 1 to ptr))
+  %c = call i1 @__quantum__qis__read_result__body(ptr inttoptr (i64 1 to ptr))
+  br i1 %c, label %fix, label %done
+
+fix:
+  call void @__quantum__qis__x__body(ptr %b)
+  call void @__quantum__qis__x__body(ptr %a)
+  br label %done
+
+done:
+  call void @__quantum__qis__mz__body(ptr %b, ptr inttoptr (i64 2 to ptr))
+  call void @__quantum__rt__result_record_output(ptr inttoptr (i64 2 to ptr), ptr null)
+  call void @__quantum__rt__qubit_release(ptr %b)
+  ret void
+}
+
+attributes #0 = { "entry_point" }

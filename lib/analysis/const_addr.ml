@@ -161,17 +161,45 @@ let transfer_term _label (t : Instr.term) fact =
 type facts = {
   consts : Constant.t SMap.t;  (* SSA id -> proved constant *)
   reached_blocks : Cfg.SSet.t;
+  call_args : (string * clat list) list;
+      (* per reached call to a non-quantum callee: its argument lattices,
+         the raw material of interprocedural propagation *)
 }
 
-let analyze (f : Func.t) : facts =
-  if Func.is_declaration f then
-    { consts = SMap.empty; reached_blocks = Cfg.SSet.empty }
+let no_facts =
+  { consts = SMap.empty; reached_blocks = Cfg.SSet.empty; call_args = [] }
+
+(* [params] seeds the lattice value of each parameter positionally; the
+   default Varying is the sound intraprocedural assumption (any caller,
+   any argument). {!analyze_module} narrows it to the join over the
+   actually-reached call sites. *)
+let analyze ?params (f : Func.t) : facts =
+  if Func.is_declaration f then no_facts
   else begin
+    let param_lats =
+      match params with
+      | Some ls -> ls
+      | None -> Array.make (List.length f.Func.params) Varying
+    in
+    let init =
+      List.fold_left
+        (fun (i, fact) (p : Func.param) ->
+          let fact =
+            if i < Array.length param_lats then
+              set fact (Some p.Func.pname) param_lats.(i)
+            else set fact (Some p.Func.pname) Varying
+          in
+          (i + 1, fact))
+        (0, Fact.bottom) f.Func.params
+      |> snd
+    in
     let cfg = Cfg.of_func f in
     let tf = { Engine.instr = transfer_instr; Engine.term = transfer_term } in
-    let res = Engine.solve cfg tf in
+    let res = Engine.solve ~init cfg tf in
     (* harvest each definition's lattice value by replaying the blocks *)
-    let consts = ref SMap.empty and reached = ref Cfg.SSet.empty in
+    let consts = ref SMap.empty
+    and reached = ref Cfg.SSet.empty
+    and call_args = ref [] in
     List.iter
       (fun label ->
         if Engine.reached res label then begin
@@ -187,16 +215,106 @@ let analyze (f : Func.t) : facts =
                    | Cst c -> consts := SMap.add id c !consts
                    | Unknown | Varying -> ())
                  | None -> ());
+                 (match i.Instr.op with
+                 | Instr.Call (_, callee, args)
+                   when not (Names.is_quantum callee) ->
+                   call_args :=
+                     ( callee,
+                       List.map
+                         (fun (a : Operand.typed) ->
+                           operand_lattice fact a.Operand.v)
+                         args )
+                     :: !call_args
+                 | _ -> ());
                  fact)
                (Engine.block_in res label)
                b.Block.instrs)
         end)
       cfg.Cfg.rpo;
-    { consts = !consts; reached_blocks = !reached }
+    { consts = !consts; reached_blocks = !reached; call_args = !call_args }
   end
 
 let const_of (facts : facts) id = SMap.find_opt id facts.consts
 let block_reached (facts : facts) label = Cfg.SSet.mem label facts.reached_blocks
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural propagation: seed every function's parameters with
+   the join of the argument lattices at its reached call sites and
+   iterate to a fixpoint. Parameters only harden (Unknown -> Cst ->
+   Varying) and each round re-analyzes with harder seeds, so the loop
+   terminates; the round bound guards pathological inputs. A function
+   whose parameters are still Unknown at the fixpoint has no reached
+   call site — it is re-analyzed with Varying parameters so its facts
+   never rest on optimism nobody justified. *)
+
+type module_facts = {
+  per_func : (string, facts) Hashtbl.t;
+  param_lats : (string, clat array) Hashtbl.t;
+}
+
+let func_facts (mf : module_facts) name =
+  Option.value ~default:no_facts (Hashtbl.find_opt mf.per_func name)
+
+let param_lattices (mf : module_facts) name = Hashtbl.find_opt mf.param_lats name
+
+let analyze_module (m : Ir_module.t) : module_facts =
+  let defined = Ir_module.defined_funcs m in
+  let entry =
+    match Ir_module.entry_point m with
+    | Some f when not (Func.is_declaration f) -> Some f.Func.name
+    | None | Some _ -> None
+  in
+  let is_root (f : Func.t) =
+    match entry with
+    | Some e -> String.equal f.Func.name e
+    | None -> true (* no entry: every function is a potential root *)
+  in
+  let param_lats = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Func.t) ->
+      Hashtbl.replace param_lats f.Func.name
+        (Array.make (List.length f.Func.params)
+           (if is_root f then Varying else Unknown)))
+    defined;
+  let per_func = Hashtbl.create 8 in
+  let reanalyze (f : Func.t) =
+    let facts = analyze ~params:(Hashtbl.find param_lats f.Func.name) f in
+    Hashtbl.replace per_func f.Func.name facts;
+    facts
+  in
+  let changed = ref true and rounds = ref 0 in
+  let bound = (3 * List.length defined) + 3 in
+  while !changed && !rounds < bound do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (f : Func.t) ->
+        let facts = reanalyze f in
+        List.iter
+          (fun (callee, lats) ->
+            match Hashtbl.find_opt param_lats callee with
+            | Some target when Array.length target = List.length lats ->
+              List.iteri
+                (fun i lat ->
+                  let joined = join_clat target.(i) lat in
+                  if not (clat_equal joined target.(i)) then begin
+                    target.(i) <- joined;
+                    changed := true
+                  end)
+                lats
+            | Some _ | None -> ())
+          facts.call_args)
+      defined
+  done;
+  List.iter
+    (fun (f : Func.t) ->
+      let ps = Hashtbl.find param_lats f.Func.name in
+      if Array.exists (fun l -> l = Unknown) ps then begin
+        Array.iteri (fun i l -> if l = Unknown then ps.(i) <- Varying) ps;
+        ignore (reanalyze f)
+      end)
+    defined;
+  { per_func; param_lats }
 
 (* Is this operand, used at a qubit/result position, a proved-constant
    address that is *not* already spelled as one? *)
@@ -220,12 +338,15 @@ type summary = {
   dynamic : int;
 }
 
-let fold_quantum_args (m : Ir_module.t) init k =
+let fold_quantum_args ?module_facts (m : Ir_module.t) init k =
+  let mf =
+    match module_facts with Some mf -> mf | None -> analyze_module m
+  in
   List.fold_left
     (fun acc (f : Func.t) ->
       if Func.is_declaration f then acc
       else begin
-        let facts = analyze f in
+        let facts = func_facts mf f.Func.name in
         List.fold_left
           (fun acc (b : Block.t) ->
             if not (block_reached facts b.Block.label) then acc
@@ -252,8 +373,8 @@ let fold_quantum_args (m : Ir_module.t) init k =
       end)
     init m.Ir_module.funcs
 
-let summarize (m : Ir_module.t) : summary =
-  fold_quantum_args m
+let summarize ?module_facts (m : Ir_module.t) : summary =
+  fold_quantum_args ?module_facts m
     { total_args = 0; syntactic_static = 0; proved_static = 0; dynamic = 0 }
     (fun acc facts _f _b _i (a : Operand.typed) ->
       let acc = { acc with total_args = acc.total_args + 1 } in
@@ -270,11 +391,12 @@ let summarize (m : Ir_module.t) : summary =
    address computations left behind are dead and fall to plain DCE. *)
 let rewrite (m : Ir_module.t) : Ir_module.t * int =
   let upgraded = ref 0 in
+  let mf = analyze_module m in
   let m' =
     Ir_module.map_funcs m (fun f ->
         if Func.is_declaration f then f
         else begin
-          let facts = analyze f in
+          let facts = func_facts mf f.Func.name in
           let blocks =
             List.map
               (fun (b : Block.t) ->
@@ -318,9 +440,10 @@ let rewrite (m : Ir_module.t) : Ir_module.t * int =
 
 (* QA001 notes for the lint driver: addresses that look dynamic but are
    proved static. *)
-let notes (m : Ir_module.t) : Diagnostic.t list =
+let notes ?module_facts (m : Ir_module.t) : Diagnostic.t list =
   List.rev
-    (fold_quantum_args m [] (fun acc facts f b i (a : Operand.typed) ->
+    (fold_quantum_args ?module_facts m []
+       (fun acc facts f b i (a : Operand.typed) ->
          match proved_address facts a.Operand.v with
          | Some c ->
            Diagnostic.make ~rule:"QA001" ~severity:Diagnostic.Note

@@ -6,6 +6,10 @@
 
 type severity = Error | Warning | Note
 
+(* Version of the JSON output shape (diagnostics and --call-graph dump).
+   Bump on any field rename/removal; adding fields is compatible. *)
+let schema_version = 1
+
 type t = {
   rule : string;
   severity : severity;
@@ -61,18 +65,22 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let render_json ppf ds =
+(* [module_name] is stamped on the envelope and on every finding so that
+   concatenated or merged outputs stay attributable. *)
+let render_json ?(module_name = "") ppf ds =
   let field k v = Printf.sprintf "\"%s\":\"%s\"" k (json_escape v) in
   let obj d =
-    Printf.sprintf "    {%s,%s,%s,%s}" (field "rule" d.rule)
+    Printf.sprintf "    {%s,%s,%s,%s,%s}" (field "rule" d.rule)
       (field "severity" (severity_name d.severity))
-      (field "where" d.where)
+      (field "module" module_name) (field "where" d.where)
       (field "message" d.message)
   in
+  Format.fprintf ppf "{@\n  \"schema_version\": %d,@\n  %s,@\n" schema_version
+    (field "module" module_name);
   (match ds with
-  | [] -> Format.fprintf ppf "{@\n  \"diagnostics\": [],@\n"
+  | [] -> Format.fprintf ppf "  \"diagnostics\": [],@\n"
   | ds ->
-    Format.fprintf ppf "{@\n  \"diagnostics\": [@\n%s@\n  ],@\n"
+    Format.fprintf ppf "  \"diagnostics\": [@\n%s@\n  ],@\n"
       (String.concat ",\n" (List.map obj ds)));
   Format.fprintf ppf
     "  \"summary\": {\"errors\": %d, \"warnings\": %d, \"notes\": %d}@\n}@."

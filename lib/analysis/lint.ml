@@ -8,11 +8,18 @@
      QL003 warning  qubit (array) never released
      QL004 error    result read before any measurement
      QD001 warning  gate affects no measured/recorded qubit
+     QD002 warning  call affects no measured/recorded qubit
+     QP001 error    recursion reachable from the entry point
+     QC001 warning  defined function unreachable from the entry point
      QA001 note     dynamic-looking address proved static
 
-   A structurally broken module (any QV001) skips the dataflow passes:
-   their CFG substrate assumes verifier-clean input, and piling derived
-   findings on top of broken structure helps nobody. *)
+   By default the lint is interprocedural: the whole module is checked,
+   dataflow rules see callee effect summaries, and the call-graph rules
+   (QP001/QC001) fire. [~ipo:false] restores the intraprocedural
+   entry-point-only check (useful for comparing lint cost, see bench
+   E12). A structurally broken module (any QV001) skips the dataflow
+   passes: their CFG substrate assumes verifier-clean input, and piling
+   derived findings on top of broken structure helps nobody. *)
 
 open Llvm_ir
 
@@ -23,13 +30,32 @@ let verifier_findings (m : Ir_module.t) : Diagnostic.t list =
         ~where:v.Verifier.where "%s" v.Verifier.what)
     (Verifier.check_module m)
 
-let run ?(notes = true) (m : Ir_module.t) : Diagnostic.t list =
+let run ?(notes = true) ?(ipo = true) (m : Ir_module.t) : Diagnostic.t list =
   match verifier_findings m with
   | _ :: _ as structural -> structural
   | [] ->
-    Lifetime.check_module m
-    @ Quantum_dce.findings m
-    @ (if notes then Const_addr.notes m else [])
+    if ipo then begin
+      let cg = Call_graph.build m in
+      let summaries = Summary.of_module ~call_graph:cg m in
+      Call_graph.findings cg
+      @ Lifetime.check_module ~summaries m
+      @ Quantum_dce.findings ~summaries m
+      @ (if notes then Const_addr.notes m else [])
+    end
+    else begin
+      (* entry point only, every call opaque: the pre-interprocedural
+         behavior *)
+      let no_summaries : Summary.table = Hashtbl.create 0 in
+      let entry =
+        match Ir_module.entry_point m with
+        | Some f when not (Func.is_declaration f) ->
+          Lifetime.check_func ~summaries:no_summaries ~is_entry:true f
+        | _ -> []
+      in
+      entry
+      @ Quantum_dce.findings ~summaries:no_summaries m
+      @ (if notes then Const_addr.notes m else [])
+    end
 
 let has_errors ds = Diagnostic.errors ds > 0
 let has_findings ds = ds <> []

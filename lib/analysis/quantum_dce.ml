@@ -10,14 +10,22 @@
      live (entanglement flows through multi-qubit gates);
    - reset kills backward liveness of its qubit (its prior state is
      discarded) and is itself live only if the qubit is;
+   - calls to defined functions are interpreted through their
+     {!Summary}: a measuring callee makes its touched qubits live, a
+     pure-unitary callee whose touched qubits are all dead is removable
+     (rule QD002), and a quantum-free side-effect-free callee whose
+     result is unused is plain dead code (QD002 as well);
    - unknown calls, or arguments that do not resolve, force the
      conservative top ("every qubit live").
 
-   Soundness needs the function to be the whole remaining program, so
-   both the analysis and the quantum-dce pass restrict themselves to the
-   entry point; other functions pass through untouched. *)
+   Soundness of instruction removal needs the function to be the whole
+   remaining program downstream, so the per-instruction analysis
+   restricts itself to the entry point. The quantum-dce pass is a
+   *module* pass: besides dead entry instructions it drops defined
+   functions the call graph proves unreachable from the entry point. *)
 
 open Llvm_ir
+module SSet = Set.Make (String)
 
 module QSet = Set.Make (struct
   type t = Value_track.qref
@@ -76,9 +84,45 @@ let is_bookkeeping callee =
   || String.equal callee rt_array_get_size_1d
   || String.equal callee rt_fail
 
+(* A summarized callee that only applies unitaries to qubits we can
+   attribute — removable when all of them are dead at the call. *)
+let removable_unitary (s : Summary.t) =
+  (not s.Summary.opaque) && s.Summary.gates && (not s.Summary.measures)
+  && (not s.Summary.measures_unknown)
+  && (not s.Summary.allocates)
+  && (not s.Summary.touches_local)
+  && (not s.Summary.touches_unknown)
+  && (not s.Summary.releases_unknown)
+  && s.Summary.side_effect_free
+  && Array.for_all
+       (fun fx ->
+         not
+           (fx.Summary.fx_released || fx.Summary.fx_may_release
+          || fx.Summary.fx_measures))
+       s.Summary.arg_fx
+
+(* The qubits a summarized call touches, from the caller's viewpoint. *)
+let touched_qubits vt (sg : Summary.t) (args : Operand.typed list) =
+  let arg_refs =
+    List.filteri
+      (fun j _ ->
+        j < Array.length sg.Summary.arg_fx
+        && sg.Summary.arg_fx.(j).Summary.fx_used)
+      args
+    |> List.map (fun (a : Operand.typed) -> Value_track.qubit_of vt a.Operand.v)
+  in
+  arg_refs
+  @ List.map (fun n -> Value_track.Static n) sg.Summary.touched_statics
+
 (* Classify one instruction; shared by the transfer function and the
-   dead-gate harvest. [`Dead] means removable when no qubit is live. *)
-let step vt (i : Instr.t) (fact : Fact.t) : [ `Keep | `Dead ] * Fact.t =
+   dead-code harvest. [`Dead] means removable when no qubit is live.
+   [used] is the set of SSA ids consumed anywhere in the function: a
+   call whose result feeds later code is never removable. *)
+let step ~summaries ~used vt (i : Instr.t) (fact : Fact.t) :
+    [ `Keep | `Dead ] * Fact.t =
+  let result_used =
+    match i.Instr.id with Some id -> SSet.mem id used | None -> false
+  in
   match i.Instr.op with
   | Instr.Call (_, callee, args) when Names.is_quantum callee -> (
     let open Names in
@@ -116,25 +160,68 @@ let step vt (i : Instr.t) (fact : Fact.t) : [ `Keep | `Dead ] * Fact.t =
       else (`Dead, fact)
     end
     else (`Keep, Fact.All) (* unknown quantum function *))
-  | Instr.Call _ ->
-    (* a classical call could do anything with pointers it holds *)
-    (`Keep, Fact.All)
+  | Instr.Call (_, callee, args) -> (
+    match Summary.find summaries callee with
+    | None ->
+      (* external classical code could do anything with pointers *)
+      (`Keep, Fact.All)
+    | Some sg ->
+      if sg.Summary.opaque || sg.Summary.touches_unknown then (`Keep, Fact.All)
+      else begin
+        let touched = touched_qubits vt sg args in
+        if List.mem Value_track.QUnknown touched then (`Keep, Fact.All)
+        else if sg.Summary.measures || sg.Summary.measures_unknown then
+          (`Keep, add_all touched fact)
+        else if Summary.quantum_free sg then
+          if sg.Summary.side_effect_free && not result_used then (`Dead, fact)
+          else (`Keep, fact)
+        else if removable_unitary sg then
+          if any_live touched fact then (`Keep, add_all touched fact)
+          else if result_used then (`Keep, fact)
+          else (`Dead, fact)
+        else if
+          (* allocates, releases, or touches its own qubits: keep, and
+             propagate entanglement through the qubits it shares with us *)
+          any_live touched fact
+        then (`Keep, add_all touched fact)
+        else (`Keep, fact)
+      end)
   | _ -> (`Keep, fact)
 
-let transfer vt _label i fact = snd (step vt i fact)
+let used_names (f : Func.t) : SSet.t =
+  List.fold_left
+    (fun acc (b : Block.t) ->
+      let add acc (o : Operand.typed) =
+        match o.Operand.v with
+        | Operand.Local id -> SSet.add id acc
+        | Operand.Const _ -> acc
+      in
+      let acc =
+        List.fold_left
+          (fun acc (i : Instr.t) ->
+            List.fold_left add acc (Instr.operands i.Instr.op))
+          acc b.Block.instrs
+      in
+      List.fold_left add acc (Instr.term_operands b.Block.term))
+    SSet.empty f.Func.blocks
 
 type result = {
   dead : (string * Instr.t) list;  (* (block label, instruction) *)
 }
 
-let analyze_func (f : Func.t) : result =
+let analyze_func ?(summaries : Summary.table = Hashtbl.create 0) (f : Func.t) :
+    result =
   if Func.is_declaration f then { dead = [] }
   else begin
-    let vt = Value_track.of_func f in
+    let vt =
+      Value_track.of_func ~fresh_fns:(Summary.fresh_fns_of summaries) f
+    in
+    let used = used_names f in
     let cfg = Cfg.of_func f in
     let tf =
       {
-        Engine.instr = (fun label i fact -> transfer vt label i fact);
+        Engine.instr =
+          (fun _label i fact -> snd (step ~summaries ~used vt i fact));
         Engine.term = (fun _ _ fact -> fact);
       }
     in
@@ -146,7 +233,7 @@ let analyze_func (f : Func.t) : result =
         ignore
           (List.fold_left
              (fun fact (i : Instr.t) ->
-               let verdict, fact' = step vt i fact in
+               let verdict, fact' = step ~summaries ~used vt i fact in
                if verdict = `Dead then dead := (label, i) :: !dead;
                fact')
              (Engine.block_out res label)
@@ -155,12 +242,15 @@ let analyze_func (f : Func.t) : result =
     { dead = !dead }
   end
 
-let analyze (m : Ir_module.t) : result =
+let analyze ?summaries (m : Ir_module.t) : result =
+  let summaries =
+    match summaries with Some s -> s | None -> Summary.of_module m
+  in
   match Ir_module.entry_point m with
-  | Some f when not (Func.is_declaration f) -> analyze_func f
+  | Some f when not (Func.is_declaration f) -> analyze_func ~summaries f
   | _ -> { dead = [] }
 
-let findings (m : Ir_module.t) : Diagnostic.t list =
+let findings ?summaries (m : Ir_module.t) : Diagnostic.t list =
   let entry_name =
     match Ir_module.entry_point m with
     | Some f -> f.Func.name
@@ -168,44 +258,62 @@ let findings (m : Ir_module.t) : Diagnostic.t list =
   in
   List.map
     (fun (label, (i : Instr.t)) ->
-      Diagnostic.make ~rule:"QD001" ~severity:Diagnostic.Warning
-        ~where:(Printf.sprintf "@%s %%%s" entry_name label)
-        "'%s' affects no measured or recorded qubit" (Printer.instr_to_string i))
-    (analyze m).dead
+      let where = Printf.sprintf "@%s %%%s" entry_name label in
+      match i.Instr.op with
+      | Instr.Call (_, callee, _) when not (Names.is_quantum callee) ->
+        Diagnostic.make ~rule:"QD002" ~severity:Diagnostic.Warning ~where
+          "call to @%s has no effect on any measured or recorded qubit"
+          callee
+      | _ ->
+        Diagnostic.make ~rule:"QD001" ~severity:Diagnostic.Warning ~where
+          "'%s' affects no measured or recorded qubit"
+          (Printer.instr_to_string i))
+    (analyze ?summaries m).dead
 
 (* ------------------------------------------------------------------ *)
-(* The quantum-dce pass.                                                *)
+(* The quantum-dce pass: dead entry instructions plus defined functions
+   the call graph proves unreachable from the entry point.              *)
 
-let run (m : Ir_module.t) (f : Func.t) : Func.t * bool =
-  let is_entry =
-    match Ir_module.entry_point m with
-    | Some e -> String.equal e.Func.name f.Func.name
-    | None -> false
+let remove_dead_instrs (f : Func.t) (dead : (string * Instr.t) list) : Func.t =
+  let blocks =
+    List.map
+      (fun (b : Block.t) ->
+        let instrs =
+          List.filter
+            (fun (i : Instr.t) ->
+              not
+                (List.exists
+                   (fun (l, d) -> String.equal l b.Block.label && d == i)
+                   dead))
+            b.Block.instrs
+        in
+        { b with Block.instrs })
+      f.Func.blocks
   in
-  if not is_entry then (f, false)
-  else begin
-    let { dead } = analyze_func f in
-    if dead = [] then (f, false)
-    else begin
-      let blocks =
-        List.map
-          (fun (b : Block.t) ->
-            let instrs =
-              List.filter
-                (fun (i : Instr.t) ->
-                  not
-                    (List.exists
-                       (fun (l, d) -> String.equal l b.Block.label && d == i)
-                       dead))
-                b.Block.instrs
-            in
-            { b with Block.instrs })
-          f.Func.blocks
-      in
-      (Func.replace_blocks f blocks, true)
-    end
-  end
+  Func.replace_blocks f blocks
 
-let pass = { Passes.Pass.name = "quantum-dce"; run }
+let mrun (m : Ir_module.t) : Ir_module.t * bool =
+  let cg = Call_graph.build m in
+  let summaries = Summary.of_module ~call_graph:cg m in
+  let m, changed_funcs =
+    match Ir_module.entry_point m with
+    | Some f when not (Func.is_declaration f) -> (
+      match (analyze_func ~summaries f).dead with
+      | [] -> (m, false)
+      | dead -> (Ir_module.replace_func m (remove_dead_instrs f dead), true))
+    | _ -> (m, false)
+  in
+  match Call_graph.unreachable_defined cg with
+  | [] -> (m, changed_funcs)
+  | unreachable ->
+    let funcs =
+      List.filter
+        (fun (f : Func.t) ->
+          Func.is_declaration f || not (List.mem f.Func.name unreachable))
+        m.Ir_module.funcs
+    in
+    ({ m with Ir_module.funcs }, true)
 
-let register () = Passes.Pipeline.register_pass pass
+let pass = { Passes.Pass.mname = "quantum-dce"; mrun }
+
+let register () = Passes.Pipeline.register_module_pass pass

@@ -1,0 +1,661 @@
+(* Bottom-up function effect summaries: the interprocedural half of the
+   analysis library. For every defined function the engine computes a
+   caller-visible abstraction of its quantum effects —
+
+   - per parameter: is it consumed by a gate/measurement, released on
+     every path (the caller must not touch it again), released on some
+     path, measured into, or read as a result before any measurement;
+   - globally: does the function apply gates, measure, allocate; which
+     *static* qubits/results it touches (static addresses mean the same
+     thing in every frame, so they cross the call boundary verbatim);
+   - classical purity: side-effect-freedom and controller
+     expressibility (mirroring {!Qhybrid.Partition}'s instruction set);
+   - whether every return hands the caller a freshly allocated qubit
+     (the call site then becomes an allocation site in the caller).
+
+   Summaries are computed in the bottom-up SCC order of the call graph,
+   so a callee's summary is always ready when its callers are
+   summarized. Functions in recursive components, and functions calling
+   external classical code we cannot see, get the [opaque] summary:
+   every may-effect set to true, every must-effect and every
+   report-driving flag set to false — consumers stay silent rather than
+   guess. Clients: {!Lifetime} (cross-call QL001/QL002/QL003/QL004),
+   {!Quantum_dce} (QD002 dead calls), {!Qhybrid.Classify}/[Partition]
+   and {!Qir.Profile_check}. *)
+
+open Llvm_ir
+module TMap = Map.Make (Int)
+module I64Set = Set.Make (Int64)
+
+(* Allocation-site tokens: non-negative ids are the function's own
+   {!Value_track} sites, negative ids are caller-owned parameters. *)
+let param_token i = -(i + 1)
+let is_param_token t = t < 0
+
+let qref_token (q : Value_track.qref) =
+  match q with
+  | Value_track.Alloc s | Value_track.Elem (s, _) -> Some s
+  | Value_track.QParam i -> Some (param_token i)
+  | Value_track.Static _ | Value_track.QUnknown -> None
+
+type arg_fx = {
+  fx_used : bool;  (* consumed by a gate/measurement/reset *)
+  fx_released : bool;  (* released on every path to ret *)
+  fx_may_release : bool;  (* released on at least one path *)
+  fx_measures : bool;  (* measured into, as a Result, on some path *)
+  fx_reads : bool;  (* read as a Result with no prior measurement here *)
+}
+
+let no_fx =
+  {
+    fx_used = false;
+    fx_released = false;
+    fx_may_release = false;
+    fx_measures = false;
+    fx_reads = false;
+  }
+
+(* The opaque per-argument effect: may-effects true, report-driving
+   flags (fx_used, fx_reads) and must-effects false. *)
+let opaque_fx =
+  { no_fx with fx_may_release = true; fx_measures = true }
+
+type t = {
+  fname : string;
+  nparams : int;
+  arg_fx : arg_fx array;
+  gates : bool;  (* applies at least one unitary or reset *)
+  measures : bool;
+  allocates : bool;  (* allocates qubits/arrays somewhere inside *)
+  touched_statics : int64 list;  (* static qubits gated/measured/reset *)
+  touches_local : bool;  (* quantum ops on its own allocated qubits *)
+  touches_unknown : bool;  (* a qubit operand did not resolve *)
+  releases_unknown : bool;  (* releases something we cannot attribute *)
+  measured_statics : int64 list;  (* static results measured on some path *)
+  measures_unknown : bool;  (* measured into an unresolvable result *)
+  reads_statics : int64 list;  (* static results read before measurement *)
+  returns_fresh_qubit : bool;  (* every ret returns a locally fresh qubit *)
+  side_effect_free : bool;
+      (* no *classical* side effects: stores, possible traps, output
+         recording, refcounting, runtime messages. Quantum effects are
+         tracked by the flags above; [quantum_free s &&
+         s.side_effect_free] means a call is removable when unused. *)
+  controller_ok : bool;  (* expressible in controller operations *)
+  recursive : bool;
+  opaque : bool;  (* recursive or calls code we cannot summarize *)
+  const_params : Const_addr.clat array;
+      (* interprocedural constant-address lattice each parameter settled
+         at: [Cst c] = provably that constant at every reached call site *)
+}
+
+let opaque_summary ?(recursive = false) fname nparams =
+  {
+    fname;
+    nparams;
+    arg_fx = Array.make nparams opaque_fx;
+    gates = true;
+    measures = true;
+    allocates = true;
+    touched_statics = [];
+    touches_local = true;
+    touches_unknown = true;
+    releases_unknown = true;
+    measured_statics = [];
+    measures_unknown = true;
+    reads_statics = [];
+    returns_fresh_qubit = false;
+    side_effect_free = false;
+    controller_ok = false;
+    recursive;
+    opaque = true;
+    const_params = Array.make nparams Const_addr.Varying;
+  }
+
+(* No quantum effect whatsoever: removable (when also side-effect-free
+   and its result is unused) and ignorable by qubit-state analyses. *)
+let quantum_free s =
+  (not s.opaque) && (not s.gates) && (not s.measures) && (not s.allocates)
+  && (not s.touches_local) && (not s.touches_unknown)
+  && (not s.releases_unknown)
+  && s.touched_statics = []
+  && Array.for_all
+       (fun fx -> not (fx.fx_used || fx.fx_may_release || fx.fx_measures))
+       s.arg_fx
+
+type table = (string, t) Hashtbl.t
+
+let find (table : table) name = Hashtbl.find_opt table name
+
+let fresh_fns_of (table : table) name =
+  match find table name with Some s -> s.returns_fresh_qubit | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pass A: order-insensitive effect flags, by one syntactic fold that
+   composes callee summaries at call instructions.                     *)
+
+type flags = {
+  mutable a_gates : bool;
+  mutable a_measures : bool;
+  mutable a_allocates : bool;
+  mutable a_statics : I64Set.t;
+  mutable a_local : bool;
+  mutable a_unknown : bool;
+  mutable a_rel_unknown : bool;
+  mutable a_meas_unknown : bool;
+  mutable a_opaque : bool;
+  mutable a_sef : bool;  (* side-effect-free *)
+  mutable a_controller : bool;
+  a_used : bool array;
+}
+
+(* mirrors Qhybrid.Partition.controller_supports, plus calls to defined
+   controller-expressible functions *)
+let controller_instr_ok (table : table) (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Binop (_, ty, _, _) | Instr.Icmp (_, ty, _, _) -> Ty.is_integer ty
+  | Instr.Select _ | Instr.Freeze _ -> true
+  | Instr.Cast ((Instr.Zext | Instr.Sext | Instr.Trunc), _, _) -> true
+  | Instr.Cast _ -> false
+  | Instr.Phi _ -> true
+  | Instr.Call (_, callee, _) -> (
+    String.equal callee Names.rt_read_result
+    || String.equal callee Names.rt_result_equal
+    ||
+    match find table callee with
+    | Some s -> s.controller_ok
+    | None -> false)
+  | Instr.Fbinop _ | Instr.Fcmp _ | Instr.Alloca _ | Instr.Load _
+  | Instr.Store _ | Instr.Gep _ ->
+    false
+
+(* Vocabulary calls with no effect on quantum or classical state. *)
+let effect_free_vocab callee =
+  let open Names in
+  String.equal callee rt_read_result
+  || String.equal callee rt_result_equal
+  || String.equal callee rt_result_get_one
+  || String.equal callee rt_result_get_zero
+  || String.equal callee rt_array_get_size_1d
+  || String.equal callee rt_array_get_element_ptr_1d
+
+let qubit_args_of vt callee (args : Operand.typed list) =
+  match Signatures.find callee with
+  | Some s when List.length s.Signatures.args = List.length args ->
+    List.filter_map
+      (fun (kind, (a : Operand.typed)) ->
+        match kind with
+        | Signatures.Qubit -> Some (Value_track.qubit_of vt a.Operand.v)
+        | _ -> None)
+      (List.combine s.Signatures.args args)
+  | _ -> []
+
+let result_args_of vt callee (args : Operand.typed list) =
+  match Signatures.find callee with
+  | Some s when List.length s.Signatures.args = List.length args ->
+    List.filter_map
+      (fun (kind, (a : Operand.typed)) ->
+        match kind with
+        | Signatures.Result -> Some (Value_track.result_of vt a.Operand.v)
+        | _ -> None)
+      (List.combine s.Signatures.args args)
+  | _ -> []
+
+let record_touch fl (q : Value_track.qref) =
+  match q with
+  | Value_track.QParam i ->
+    if i < Array.length fl.a_used then fl.a_used.(i) <- true
+  | Value_track.Static n -> fl.a_statics <- I64Set.add n fl.a_statics
+  | Value_track.Alloc _ | Value_track.Elem _ -> fl.a_local <- true
+  | Value_track.QUnknown -> fl.a_unknown <- true
+
+let pass_a (table : table) vt (f : Func.t) : flags =
+  let fl =
+    {
+      a_gates = false;
+      a_measures = false;
+      a_allocates = false;
+      a_statics = I64Set.empty;
+      a_local = false;
+      a_unknown = false;
+      a_rel_unknown = false;
+      a_meas_unknown = false;
+      a_opaque = false;
+      a_sef = true;
+      a_controller = true;
+      a_used = Array.make (List.length f.Func.params) false;
+    }
+  in
+  Func.iter_instrs f (fun (i : Instr.t) ->
+      if not (controller_instr_ok table i) then fl.a_controller <- false;
+      match i.Instr.op with
+      | Instr.Call (_, callee, args) when Names.is_quantum callee ->
+        let open Names in
+        let quse = qubit_args_of vt callee args in
+        if String.equal callee qis_mz || String.equal callee qis_m then begin
+          fl.a_measures <- true;
+          List.iter (record_touch fl) quse
+        end
+        else if
+          String.equal callee rt_qubit_allocate
+          || String.equal callee rt_qubit_allocate_array
+          || String.equal callee rt_array_create_1d
+        then fl.a_allocates <- true
+        else if
+          String.equal callee rt_qubit_release
+          || String.equal callee rt_qubit_release_array
+        then begin
+          let token =
+            match args with
+            | [ a ] -> (
+              match Value_track.qarray_of vt a.Operand.v with
+              | Some s -> Some s
+              | None -> (
+                match quse with [ q ] -> qref_token q | _ -> None))
+            | _ -> None
+          in
+          if token = None then fl.a_rel_unknown <- true
+        end
+        else if effect_free_vocab callee then ()
+        else if Names.is_qis callee && Signatures.find callee <> None then begin
+          (* a unitary gate or reset from the vocabulary *)
+          fl.a_gates <- true;
+          List.iter (record_touch fl) quse
+        end
+        else if Signatures.find callee <> None then
+          (* remaining rt bookkeeping: refcounts, output recording,
+             initialize, message, fail *)
+          fl.a_sef <- false
+        else fl.a_opaque <- true (* unknown quantum function *)
+      | Instr.Call (_, callee, args) -> (
+        match find table callee with
+        | None -> fl.a_opaque <- true (* external classical code *)
+        | Some sg ->
+          if sg.opaque then fl.a_opaque <- true;
+          if sg.gates then fl.a_gates <- true;
+          if sg.measures then fl.a_measures <- true;
+          if sg.allocates then fl.a_allocates <- true;
+          if sg.touches_local then fl.a_local <- true;
+          if sg.touches_unknown then fl.a_unknown <- true;
+          if sg.releases_unknown then fl.a_rel_unknown <- true;
+          if sg.measures_unknown then fl.a_meas_unknown <- true;
+          if not sg.side_effect_free then fl.a_sef <- false;
+          List.iter
+            (fun n -> fl.a_statics <- I64Set.add n fl.a_statics)
+            sg.touched_statics;
+          List.iteri
+            (fun j (a : Operand.typed) ->
+              if j < Array.length sg.arg_fx then begin
+                let fx = sg.arg_fx.(j) in
+                if fx.fx_used then
+                  record_touch fl (Value_track.qubit_of vt a.Operand.v);
+                if fx.fx_may_release then begin
+                  match qref_token (Value_track.qubit_of vt a.Operand.v) with
+                  | Some _ -> () (* attributed: pass B tracks the state *)
+                  | None -> fl.a_rel_unknown <- true
+                end;
+                if fx.fx_measures then begin
+                  match Value_track.result_of vt a.Operand.v with
+                  | Value_track.RUnknown -> fl.a_meas_unknown <- true
+                  | _ -> ()
+                end
+              end)
+            args)
+      | Instr.Store _ -> fl.a_sef <- false
+      | Instr.Binop (b, _, _, _) when Instr.binop_is_division b ->
+        fl.a_sef <- false
+      | _ -> ());
+  fl
+
+(* ------------------------------------------------------------------ *)
+(* Pass B: order-sensitive facts — parameter release states at returns,
+   may-measured sets, reads not preceded by a measurement — via the same
+   forward dataflow shape as {!Lifetime}, kept silent.                  *)
+
+module RSet = Set.Make (struct
+  type t = Value_track.rref
+
+  let compare = compare
+end)
+
+type qstate = Live | Released | Maybe_released
+
+let join_qstate a b =
+  match a, b with
+  | Live, Live -> Live
+  | Released, Released -> Released
+  | _ -> Maybe_released
+
+module Fact = struct
+  type t = { q : qstate TMap.t; measured : RSet.t; all_measured : bool }
+
+  let bottom = { q = TMap.empty; measured = RSet.empty; all_measured = false }
+
+  let equal a b =
+    TMap.equal ( = ) a.q b.q
+    && RSet.equal a.measured b.measured
+    && a.all_measured = b.all_measured
+
+  let join a b =
+    {
+      q = TMap.union (fun _ sa sb -> Some (join_qstate sa sb)) a.q b.q;
+      measured = RSet.union a.measured b.measured;
+      all_measured = a.all_measured || b.all_measured;
+    }
+end
+
+module Engine = Dataflow.Forward (Fact)
+
+let set_released (fact : Fact.t) token =
+  { fact with Fact.q = TMap.add token Released fact.Fact.q }
+
+let set_maybe_released (fact : Fact.t) token =
+  match TMap.find_opt token fact.Fact.q with
+  | Some Released -> fact (* already certainly released *)
+  | _ -> { fact with Fact.q = TMap.add token Maybe_released fact.Fact.q }
+
+let untrack (fact : Fact.t) token =
+  { fact with Fact.q = TMap.remove token fact.Fact.q }
+
+let measure (fact : Fact.t) (r : Value_track.rref) =
+  match r with
+  | Value_track.RUnknown -> { fact with Fact.all_measured = true }
+  | r -> { fact with Fact.measured = RSet.add r fact.Fact.measured }
+
+let is_measured (fact : Fact.t) (r : Value_track.rref) =
+  fact.Fact.all_measured || RSet.mem r fact.Fact.measured
+
+(* The pass-B transfer. [on_read r] fires for every result read whose
+   result is not measured on any path here (the recording hook). *)
+let transfer_b (table : table) vt ~on_read (i : Instr.t) (fact : Fact.t) :
+    Fact.t =
+  match i.Instr.op with
+  | Instr.Call (_, callee, args) when Names.is_quantum callee ->
+    let open Names in
+    if
+      String.equal callee rt_qubit_allocate
+      || String.equal callee rt_qubit_allocate_array
+      || String.equal callee rt_array_create_1d
+    then begin
+      match i.Instr.id with
+      | Some id -> (
+        match Hashtbl.find_opt vt.Value_track.site_of_def id with
+        | Some s -> { fact with Fact.q = TMap.add s Live fact.Fact.q }
+        | None -> fact)
+      | None -> fact
+    end
+    else if String.equal callee rt_qubit_release then begin
+      match qubit_args_of vt callee args with
+      | [ q ] -> (
+        match qref_token q with
+        | Some t -> set_released fact t
+        | None -> fact)
+      | _ -> fact
+    end
+    else if String.equal callee rt_qubit_release_array then begin
+      match args with
+      | [ a ] -> (
+        match Value_track.qarray_of vt a.Operand.v with
+        | Some s -> set_released fact s
+        | None -> (
+          match Value_track.param_of vt a.Operand.v with
+          | Some p -> set_released fact (param_token p)
+          | None -> fact))
+      | _ -> fact
+    end
+    else if String.equal callee qis_mz then begin
+      match result_args_of vt callee args with
+      | [ r ] -> measure fact r
+      | _ -> fact
+    end
+    else if String.equal callee qis_m then begin
+      match i.Instr.id with
+      | Some id -> measure fact (Value_track.RMeas id)
+      | None -> fact
+    end
+    else if
+      String.equal callee rt_read_result
+      || String.equal callee rt_result_equal
+      || String.equal callee rt_result_record_output
+    then begin
+      List.iter
+        (fun r -> if not (is_measured fact r) then on_read r)
+        (result_args_of vt callee args);
+      fact
+    end
+    else fact
+  | Instr.Call (_, callee, args) -> (
+    match find table callee with
+    | None ->
+      (* external classical code: inert for qubit state, like the
+         intraprocedural analysis always treated it *)
+      fact
+    | Some sg when sg.opaque ->
+      (* untrack whatever flowed in; assume anything may be measured *)
+      let fact =
+        List.fold_left
+          (fun fact (a : Operand.typed) ->
+            match qref_token (Value_track.qubit_of vt a.Operand.v) with
+            | Some t -> untrack fact t
+            | None -> fact)
+          fact args
+      in
+      { fact with Fact.all_measured = true }
+    | Some sg ->
+      let fact =
+        if sg.measures_unknown then { fact with Fact.all_measured = true }
+        else fact
+      in
+      let fact =
+        List.fold_left
+          (fun fact n -> measure fact (Value_track.RStatic n))
+          fact sg.measured_statics
+      in
+      List.iter
+        (fun n ->
+          let r = Value_track.RStatic n in
+          if not (is_measured fact r) then on_read r)
+        sg.reads_statics;
+      let step fact j (a : Operand.typed) =
+        if j >= Array.length sg.arg_fx then fact
+        else begin
+          let fx = sg.arg_fx.(j) in
+          let fact =
+            if fx.fx_reads then begin
+              let r = Value_track.result_of vt a.Operand.v in
+              (match r with
+              | Value_track.RUnknown | Value_track.RMeas _ -> ()
+              | r -> if not (is_measured fact r) then on_read r);
+              fact
+            end
+            else fact
+          in
+          let fact =
+            if fx.fx_measures then
+              measure fact (Value_track.result_of vt a.Operand.v)
+            else fact
+          in
+          match qref_token (Value_track.qubit_of vt a.Operand.v) with
+          | None -> fact
+          | Some t ->
+            if fx.fx_released then set_released fact t
+            else if fx.fx_may_release then set_maybe_released fact t
+            else fact
+        end
+      in
+      List.fold_left
+        (fun (j, fact) a -> (j + 1, step fact j a))
+        (0, fact) args
+      |> snd)
+  | _ -> fact
+
+(* ------------------------------------------------------------------ *)
+
+let summarize_func (table : table) (f : Func.t) : t =
+  let nparams = List.length f.Func.params in
+  let vt = Value_track.of_func ~fresh_fns:(fresh_fns_of table) f in
+  let fl = pass_a table vt f in
+  if fl.a_opaque then opaque_summary f.Func.name nparams
+  else begin
+    let reads = ref RSet.empty in
+    (* solving iterates the transfer to a fixpoint; only record reads on
+       the replay below, where facts are final *)
+    let recording = ref false in
+    let on_read r = if !recording then reads := RSet.add r !reads in
+    let cfg = Cfg.of_func f in
+    let init =
+      List.fold_left
+        (fun (i, fact) (p : Func.param) ->
+          ( i + 1,
+            if Ty.equal p.Func.pty Ty.Ptr then
+              { fact with Fact.q = TMap.add (param_token i) Live fact.Fact.q }
+            else fact ))
+        (0, Fact.bottom) f.Func.params
+      |> snd
+    in
+    let tf =
+      {
+        Engine.instr = (fun _label i fact -> transfer_b table vt ~on_read i fact);
+        Engine.term = Engine.uniform_term;
+      }
+    in
+    let res = Engine.solve ~init cfg tf in
+    recording := true;
+    let rets = ref [] and ret_vals = ref [] in
+    List.iter
+      (fun label ->
+        if Engine.reached res label then begin
+          let b = Cfg.block cfg label in
+          let fact =
+            List.fold_left
+              (fun fact i -> transfer_b table vt ~on_read i fact)
+              (Engine.block_in res label)
+              b.Block.instrs
+          in
+          match b.Block.term with
+          | Instr.Ret v ->
+            rets := fact :: !rets;
+            ret_vals := v :: !ret_vals
+          | _ -> ()
+        end)
+      cfg.Cfg.rpo;
+    let arg_fx =
+      Array.init nparams (fun i ->
+          let tok = param_token i in
+          let states =
+            List.map
+              (fun (fact : Fact.t) ->
+                Option.value ~default:Live (TMap.find_opt tok fact.Fact.q))
+              !rets
+          in
+          let released = states <> [] && List.for_all (( = ) Released) states in
+          let may_release =
+            List.exists (fun s -> s = Released || s = Maybe_released) states
+          in
+          let measured_any =
+            List.exists
+              (fun (fact : Fact.t) ->
+                RSet.mem (Value_track.RParam i) fact.Fact.measured)
+              !rets
+          in
+          {
+            fx_used = fl.a_used.(i);
+            fx_released = released;
+            fx_may_release = may_release;
+            fx_measures = measured_any;
+            fx_reads = RSet.mem (Value_track.RParam i) !reads;
+          })
+    in
+    let measured_statics =
+      List.fold_left
+        (fun acc (fact : Fact.t) ->
+          RSet.fold
+            (fun r acc ->
+              match r with
+              | Value_track.RStatic n -> I64Set.add n acc
+              | _ -> acc)
+            fact.Fact.measured acc)
+        I64Set.empty !rets
+    in
+    let reads_statics =
+      RSet.fold
+        (fun r acc ->
+          match r with Value_track.RStatic n -> I64Set.add n acc | _ -> acc)
+        !reads I64Set.empty
+    in
+    let returns_fresh_qubit =
+      !ret_vals <> []
+      && List.for_all
+           (fun (v : Operand.typed option) ->
+             match v with
+             | Some v -> (
+               match Value_track.qubit_of vt v.Operand.v with
+               | Value_track.Alloc _ -> true
+               | _ -> false)
+             | None -> false)
+           !ret_vals
+    in
+    {
+      fname = f.Func.name;
+      nparams;
+      arg_fx;
+      gates = fl.a_gates;
+      measures = fl.a_measures;
+      allocates = fl.a_allocates;
+      touched_statics = I64Set.elements fl.a_statics;
+      touches_local = fl.a_local;
+      touches_unknown = fl.a_unknown;
+      releases_unknown = fl.a_rel_unknown;
+      measured_statics = I64Set.elements measured_statics;
+      measures_unknown = fl.a_meas_unknown;
+      reads_statics = I64Set.elements reads_statics;
+      returns_fresh_qubit;
+      side_effect_free = fl.a_sef;
+      controller_ok = fl.a_controller;
+      recursive = false;
+      opaque = false;
+      const_params = Array.make nparams Const_addr.Varying;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let of_module ?call_graph ?const_facts (m : Ir_module.t) : table =
+  let cg =
+    match call_graph with Some cg -> cg | None -> Call_graph.build m
+  in
+  let table : table = Hashtbl.create 16 in
+  List.iter
+    (fun scc ->
+      let recursive =
+        match scc with
+        | [ fname ] -> Call_graph.is_recursive cg fname
+        | _ -> true
+      in
+      List.iter
+        (fun fname ->
+          match Ir_module.find_func m fname with
+          | Some f when not (Func.is_declaration f) ->
+            let s =
+              if recursive then
+                opaque_summary ~recursive:true fname
+                  (List.length f.Func.params)
+              else summarize_func table f
+            in
+            Hashtbl.replace table fname s
+          | Some _ | None -> ())
+        scc)
+    (Call_graph.sccs_bottom_up cg);
+  (* stamp the interprocedural constant-address verdicts *)
+  let mf =
+    match const_facts with
+    | Some mf -> mf
+    | None -> Const_addr.analyze_module m
+  in
+  List.iter
+    (fun (name, s) ->
+      match Const_addr.param_lattices mf name with
+      | Some lats when Array.length lats = s.nparams ->
+        Hashtbl.replace table name { s with const_params = lats }
+      | Some _ | None -> ())
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []);
+  table

@@ -15,6 +15,7 @@ type qref =
   | Static of int64  (* inttoptr constant; null = 0 *)
   | Alloc of int  (* site of a qubit_allocate call *)
   | Elem of int * int64  (* known element of a qubit_allocate_array site *)
+  | QParam of int  (* the function's i-th parameter: a caller-owned qubit *)
   | QUnknown
 
 type rref =
@@ -22,6 +23,7 @@ type rref =
   | RElem of int * int64  (* known element of an array_create_1d site *)
   | RMeas of string  (* the fresh result returned by a qis m call, keyed
                         by its defining SSA id *)
+  | RParam of int  (* the function's i-th parameter: a caller-owned result *)
   | RUnknown
 
 (* What an SSA value may denote. The flat join of two distinct values is
@@ -32,6 +34,7 @@ type value =
   | VQArray of int  (* a qubit array pointer: allocate_array site *)
   | VRArray of int  (* a result array pointer: array_create_1d site *)
   | VSlot of string  (* an alloca, keyed by its result name *)
+  | VParam of int  (* the i-th function parameter, kind decided by use *)
   | VInt of int64
   | VOther
 
@@ -58,8 +61,11 @@ let join_value a b =
   | None, v | v, None -> v
   | Some a, Some b -> if value_equal a b then Some a else Some VOther
 
-(* One numbered site per allocation instruction, in block order. *)
-let collect_sites (f : Func.t) =
+(* One numbered site per allocation instruction, in block order. Calls
+   to module functions that [fresh_fns] recognizes (summaries proved they
+   return a fresh qubit) count as allocation sites too: the caller owns
+   the returned qubit. *)
+let collect_sites ?(fresh_fns = fun _ -> false) (f : Func.t) =
   let sites = ref [] and n = ref 0 and of_def = Hashtbl.create 16 in
   List.iter
     (fun (b : Block.t) ->
@@ -89,6 +95,9 @@ let collect_sites (f : Func.t) =
           | Instr.Call (_, c, _) when String.equal c Names.rt_array_create_1d
             ->
             add Result_array_site
+          | Instr.Call (_, c, _) when (not (Names.is_quantum c)) && fresh_fns c
+            ->
+            add Qubit_site
           | _ -> ())
         b.Block.instrs)
     f.Func.blocks;
@@ -108,7 +117,7 @@ let operand_value t (o : Operand.t) =
   | Operand.Local id -> Hashtbl.find_opt t.env id
 
 (* One resolution round; returns whether any binding changed. *)
-let round t (f : Func.t) =
+let round ?(fresh_fns = fun _ -> false) t (f : Func.t) =
   let changed = ref false in
   let set id v =
     match id with
@@ -173,6 +182,12 @@ let round t (f : Func.t) =
             (match i.Instr.id with
             | Some id -> set i.Instr.id (VResult (RMeas id))
             | None -> ())
+          | Instr.Call (_, c, _) when (not (Names.is_quantum c)) && fresh_fns c
+            -> (
+            match i.Instr.id with
+            | Some id ->
+              set i.Instr.id (VQubit (Alloc (Hashtbl.find t.site_of_def id)))
+            | None -> ())
           | Instr.Call _ -> set i.Instr.id VOther
           | Instr.Alloca _ -> (
             match i.Instr.id with
@@ -223,8 +238,8 @@ let round t (f : Func.t) =
     f.Func.blocks;
   !changed
 
-let of_func (f : Func.t) : t =
-  let sites, site_of_def = collect_sites f in
+let of_func ?fresh_fns (f : Func.t) : t =
+  let sites, site_of_def = collect_sites ?fresh_fns f in
   let t =
     {
       env = Hashtbl.create 64;
@@ -233,9 +248,15 @@ let of_func (f : Func.t) : t =
       site_of_def;
     }
   in
+  (* parameters resolve to themselves; uses decide the kind *)
+  List.iteri
+    (fun i (p : Func.param) ->
+      if Ty.equal p.Func.pty Ty.Ptr then
+        Hashtbl.replace t.env p.Func.pname (VParam i))
+    f.Func.params;
   (* the flat value domain has height 2, but slot/phi chains can take a
      few rounds to settle; the bound guards pathological inputs *)
-  let rec fix n = if n > 0 && round t f then fix (n - 1) in
+  let rec fix n = if n > 0 && round ?fresh_fns t f then fix (n - 1) in
   fix 8;
   t
 
@@ -245,6 +266,7 @@ let sites t = t.sites
 let qubit_of t (o : Operand.t) : qref =
   match operand_value t o with
   | Some (VQubit q) -> q
+  | Some (VParam i) -> QParam i
   | Some (VInt n) when n >= 0L -> Static n
   | _ -> QUnknown
 
@@ -256,6 +278,7 @@ let result_of t (o : Operand.t) : rref =
   | _ -> (
     match operand_value t o with
     | Some (VResult r) -> r
+    | Some (VParam i) -> RParam i
     | Some (VInt n) when n >= 0L -> RStatic n
     | Some (VQubit (Static n)) ->
       RStatic n (* a constant address is kind-agnostic *)
@@ -265,14 +288,20 @@ let result_of t (o : Operand.t) : rref =
 let qarray_of t (o : Operand.t) : int option =
   match operand_value t o with Some (VQArray s) -> Some s | _ -> None
 
+(* The parameter index an operand denotes, if any. *)
+let param_of t (o : Operand.t) : int option =
+  match operand_value t o with Some (VParam i) -> Some i | _ -> None
+
 let pp_qref ppf = function
   | Static n -> Format.fprintf ppf "qubit %Ld" n
   | Alloc s -> Format.fprintf ppf "qubit allocated at site %d" s
   | Elem (s, i) -> Format.fprintf ppf "qubit %Ld of array site %d" i s
+  | QParam i -> Format.fprintf ppf "qubit argument %d" i
   | QUnknown -> Format.pp_print_string ppf "unknown qubit"
 
 let pp_rref ppf = function
   | RStatic n -> Format.fprintf ppf "result %Ld" n
   | RElem (s, i) -> Format.fprintf ppf "result %Ld of array site %d" i s
   | RMeas _ -> Format.pp_print_string ppf "measured result"
+  | RParam i -> Format.fprintf ppf "result argument %d" i
   | RUnknown -> Format.pp_print_string ppf "unknown result"

@@ -45,10 +45,13 @@ type report = {
 let scan (m : Ir_module.t) : report =
   let syn_static = ref false and syn_dynamic = ref false in
   let proved_args = ref 0 and unproved_args = ref 0 in
+  (* interprocedural constant propagation: an address that is constant
+     at every call site counts as proved inside the callee too *)
+  let mf = Const_addr.analyze_module m in
   List.iter
     (fun (f : Func.t) ->
       if not (Func.is_declaration f) then begin
-        let facts = Const_addr.analyze f in
+        let facts = Const_addr.func_facts mf f.Func.name in
         List.iter
           (fun (b : Block.t) ->
             if Const_addr.block_reached facts b.Block.label then
@@ -110,11 +113,21 @@ let detect_proved = scan
 let parse_with_upgrade (m : Ir_module.t) =
   try Qir_parser.parse m
   with Qir_parser.Unsupported _ as first -> (
-    let m', upgraded = Const_addr.rewrite m in
-    if upgraded = 0 then raise first
-    else
-      let m' = Passes.Pipeline.optimize m' in
-      try Qir_parser.parse m' with Qir_parser.Unsupported _ -> raise first)
+    (* a multi-function module first gets flattened: inlining turns a
+       constant address threaded through a call into a local constant
+       the rewrite below can spell out *)
+    let m =
+      match Ir_module.defined_funcs m with
+      | _ :: _ :: _ -> Passes.Pipeline.lower m
+      | _ -> m
+    in
+    try Qir_parser.parse m
+    with Qir_parser.Unsupported _ -> (
+      let m', upgraded = Const_addr.rewrite m in
+      if upgraded = 0 then raise first
+      else
+        let m' = Passes.Pipeline.optimize m' in
+        try Qir_parser.parse m' with Qir_parser.Unsupported _ -> raise first))
 
 let to_static ?record_output (m : Ir_module.t) =
   let circuit = parse_with_upgrade m in

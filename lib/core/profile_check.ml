@@ -121,10 +121,14 @@ let check_base acc (f : Func.t) =
         violate acc "base:straight-line" where "unreachable terminator")
     f.Func.blocks
 
-(* Rules for the adaptive profile: forward control flow and integer
-   computation are allowed; memory, floats beyond rotation constants and
-   unknown calls are not. Loops are rejected. *)
-let check_adaptive acc (f : Func.t) =
+(* Rules for the adaptive profile, applied to one function body:
+   forward control flow and integer computation are allowed; memory,
+   floats beyond rotation constants and unknown calls are not. Loops
+   are rejected. Calls to functions *defined in the module* are fine —
+   each reachable definition is checked with the same rules (and
+   inlining can flatten them away) — but recursion has no lowering to
+   any profile, and calls to external classical code stay violations. *)
+let check_adaptive_func acc (cg : Qir_analysis.Call_graph.t) (f : Func.t) =
   let where = "@" ^ f.Func.name in
   List.iter
     (fun (b : Block.t) ->
@@ -132,12 +136,17 @@ let check_adaptive acc (f : Func.t) =
         (fun (i : Instr.t) ->
           match i.Instr.op with
           | Instr.Call (_, callee, _) ->
-            if not (Names.is_quantum callee) then
+            if Names.is_quantum callee then begin
+              if Signatures.find callee = None then
+                violate acc "adaptive:vocabulary" where
+                  "unknown quantum function @%s" callee
+            end
+            else if
+              not
+                (List.mem callee (Qir_analysis.Call_graph.callees cg f.Func.name))
+            then
               violate acc "adaptive:calls" where
-                "call to non-quantum function @%s" callee
-            else if Signatures.find callee = None then
-              violate acc "adaptive:vocabulary" where
-                "unknown quantum function @%s" callee
+                "call to external function @%s" callee
           | Instr.Alloca _ | Instr.Load _ | Instr.Store _ | Instr.Gep _ ->
             violate acc "adaptive:no-memory" where
               "memory instruction '%s' is not allowed"
@@ -152,7 +161,23 @@ let check_adaptive acc (f : Func.t) =
     f.Func.blocks;
   (* no loops *)
   if Passes.Loop.find f <> [] then
-    violate acc "adaptive:no-loops" where "the entry point contains loops"
+    violate acc "adaptive:no-loops" where "function @%s contains loops"
+      f.Func.name;
+  if Qir_analysis.Call_graph.is_recursive cg f.Func.name then
+    violate acc "adaptive:no-recursion" where
+      "function @%s is recursive; no QIR profile supports recursion"
+      f.Func.name
+
+(* The adaptive check is whole-program: every defined function reachable
+   from the entry point must conform, since it will execute there. *)
+let check_adaptive acc (m : Ir_module.t) =
+  let cg = Qir_analysis.Call_graph.build m in
+  List.iter
+    (fun name ->
+      match Ir_module.find_func m name with
+      | Some f when not (Func.is_declaration f) -> check_adaptive_func acc cg f
+      | Some _ | None -> ())
+    (Qir_analysis.Call_graph.reachable_defined cg)
 
 let check (profile : Profile.t) (m : Ir_module.t) : violation list =
   let acc = { violations = [] } in
@@ -160,7 +185,7 @@ let check (profile : Profile.t) (m : Ir_module.t) : violation list =
   | Some f -> (
     match profile with
     | Profile.Base -> check_base acc f
-    | Profile.Adaptive -> check_adaptive acc f
+    | Profile.Adaptive -> check_adaptive acc m
     | Profile.Full -> ())
   | None -> ());
   List.rev acc.violations

@@ -12,7 +12,13 @@ type instr_class =
   | Memory (* alloca / load / store / gep *)
   | Call_classical (* call to a non-quantum function *)
 
-let classify_instr (i : Instr.t) : instr_class =
+(* With [summaries] (see {!Qir_analysis.Summary}), calls to defined
+   functions classify by what the callee actually does instead of the
+   blanket [Call_classical]: a callee with quantum effects is Quantum, a
+   pure result-reading callee sits on the feedback boundary, and a
+   side-effect-free classical callee is plain classical compute. *)
+let classify_instr ?(summaries : Qir_analysis.Summary.table option)
+    (i : Instr.t) : instr_class =
   match i.Instr.op with
   | Instr.Call (_, callee, _) ->
     if Names.is_qis callee then
@@ -21,7 +27,20 @@ let classify_instr (i : Instr.t) : instr_class =
     else if Names.is_rt callee then
       if String.equal callee Names.rt_result_equal then Result_read
       else Runtime_bookkeeping
-    else Call_classical
+    else begin
+      match
+        Option.bind summaries (fun t -> Qir_analysis.Summary.find t callee)
+      with
+      | Some s when not (Qir_analysis.Summary.quantum_free s) -> Quantum
+      | Some s
+        when s.Qir_analysis.Summary.reads_statics <> []
+             || Array.exists
+                  (fun fx -> fx.Qir_analysis.Summary.fx_reads)
+                  s.Qir_analysis.Summary.arg_fx ->
+        Result_read
+      | Some s when s.Qir_analysis.Summary.side_effect_free -> Classical
+      | Some _ | None -> Call_classical
+    end
   | Instr.Alloca _ | Instr.Load _ | Instr.Store _ | Instr.Gep _ -> Memory
   | Instr.Binop _ | Instr.Fbinop _ | Instr.Icmp _ | Instr.Fcmp _
   | Instr.Select _ | Instr.Cast _ | Instr.Phi _ | Instr.Freeze _ ->
@@ -44,12 +63,12 @@ type counts = {
   classical_calls : int;
 }
 
-let count_function (f : Func.t) : counts =
+let count_function ?summaries (f : Func.t) : counts =
   Func.fold_instrs f
     { quantum = 0; result_reads = 0; runtime = 0; classical = 0; memory = 0;
       classical_calls = 0 }
     (fun acc i ->
-      match classify_instr i with
+      match classify_instr ?summaries i with
       | Quantum -> { acc with quantum = acc.quantum + 1 }
       | Result_read -> { acc with result_reads = acc.result_reads + 1 }
       | Runtime_bookkeeping -> { acc with runtime = acc.runtime + 1 }
@@ -69,8 +88,8 @@ type segment = {
   reads_results : bool;
 }
 
-let coarse_class i =
-  match classify_instr i with
+let coarse_class ?summaries i =
+  match classify_instr ?summaries i with
   | Quantum -> `Quantum
   | Result_read | Runtime_bookkeeping | Classical | Memory | Call_classical ->
     `Classical
@@ -78,7 +97,7 @@ let coarse_class i =
 (* Splits the straight-lined entry function into alternating segments.
    Operates on the instruction stream in block order; terminators between
    blocks are classical control and glue segments together. *)
-let segments_of_func (f : Func.t) : segment list =
+let segments_of_func ?summaries (f : Func.t) : segment list =
   let instrs =
     List.concat_map (fun (b : Block.t) -> b.Block.instrs) f.Func.blocks
   in
@@ -107,7 +126,7 @@ let segments_of_func (f : Func.t) : segment list =
       in
       List.rev acc
     | i :: rest ->
-      let c = coarse_class i in
+      let c = coarse_class ?summaries i in
       if c = current_class || current = [] then
         group acc (i :: current) c rest
       else group ((current_class, List.rev current) :: acc) [ i ] c rest
@@ -143,7 +162,7 @@ let segments_of_func (f : Func.t) : segment list =
       let reads_results =
         List.exists
           (fun i ->
-            match classify_instr i with
+            match classify_instr ?summaries i with
             | Result_read -> true
             | _ -> false)
           seg

@@ -30,7 +30,8 @@ type plan = {
    forward branches only — no memory, floats or calls (the paper: special
    purpose hardware is "incapable of executing arbitrary classical
    code"). *)
-let controller_supports (i : Instr.t) =
+let controller_supports ?(summaries : Qir_analysis.Summary.table option)
+    (i : Instr.t) =
   match i.Instr.op with
   | Instr.Binop (_, ty, _, _) | Instr.Icmp (_, ty, _, _) -> Ty.is_integer ty
   | Instr.Select _ | Instr.Freeze _ -> true
@@ -40,19 +41,27 @@ let controller_supports (i : Instr.t) =
         | Instr.Fptosi), _, _) ->
     false
   | Instr.Phi _ -> true
-  | Instr.Call (_, callee, _) ->
+  | Instr.Call (_, callee, _) -> (
     (* result reads happen at the controller by construction *)
     String.equal callee Names.rt_read_result
     || String.equal callee Names.rt_result_equal
+    ||
+    (* a summarized callee whose body is itself controller-expressible
+       is conceptually inlinable into the controller program *)
+    match
+      Option.bind summaries (fun t -> Qir_analysis.Summary.find t callee)
+    with
+    | Some s -> s.Qir_analysis.Summary.controller_ok
+    | None -> false)
   | Instr.Fbinop _ | Instr.Fcmp _ | Instr.Alloca _ | Instr.Load _
   | Instr.Store _ | Instr.Gep _ ->
     false
 
-let segment_controller_ok (s : Classify.segment) =
-  List.for_all controller_supports s.Classify.instrs
+let segment_controller_ok ?summaries (s : Classify.segment) =
+  List.for_all (controller_supports ?summaries) s.Classify.instrs
 
-let plan ?(params = Latency.default) (segments : Classify.segment list) : plan
-    =
+let plan ?summaries ?(params = Latency.default)
+    (segments : Classify.segment list) : plan =
   let controller_budget = ref params.Latency.controller_max_instrs in
   let decisions =
     List.map
@@ -69,7 +78,7 @@ let plan ?(params = Latency.default) (segments : Classify.segment list) : plan
               forced = false }
           else begin
             let can_controller =
-              segment_controller_ok s && n <= !controller_budget
+              segment_controller_ok ?summaries s && n <= !controller_budget
             in
             let controller_cost =
               Latency.segment_cost params ~instrs:n Latency.Controller
@@ -103,7 +112,8 @@ let plan ?(params = Latency.default) (segments : Classify.segment list) : plan
 let plan_module ?params (m : Ir_module.t) =
   match Ir_module.entry_point m with
   | Some f when not (Func.is_declaration f) ->
-    plan ?params (Classify.segments_of_func f)
+    let summaries = Qir_analysis.Summary.of_module m in
+    plan ~summaries ?params (Classify.segments_of_func ~summaries f)
   | Some _ | None -> invalid_arg "Partition.plan_module: no entry point"
 
 let pp_plan ppf p =

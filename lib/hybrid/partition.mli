@@ -22,13 +22,23 @@ type plan = {
   controller_instrs : int;
 }
 
-val controller_supports : Llvm_ir.Instr.t -> bool
-val segment_controller_ok : Classify.segment -> bool
+val controller_supports :
+  ?summaries:Qir_analysis.Summary.table -> Llvm_ir.Instr.t -> bool
+(** With [summaries], a call to a defined function whose summary says
+    [controller_ok] counts as supported (conceptually inlinable). *)
 
-val plan : ?params:Latency.params -> Classify.segment list -> plan
+val segment_controller_ok :
+  ?summaries:Qir_analysis.Summary.table -> Classify.segment -> bool
+
+val plan :
+  ?summaries:Qir_analysis.Summary.table ->
+  ?params:Latency.params ->
+  Classify.segment list ->
+  plan
 
 val plan_module : ?params:Latency.params -> Llvm_ir.Ir_module.t -> plan
-(** Segments the entry point and plans it. Raises [Invalid_argument] when
-    the module has no defined entry point. *)
+(** Segments the entry point and plans it, consulting function effect
+    summaries for calls. Raises [Invalid_argument] when the module has
+    no defined entry point. *)
 
 val pp_plan : Format.formatter -> plan -> unit

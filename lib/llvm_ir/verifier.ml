@@ -93,7 +93,7 @@ let check_func (m : Ir_module.t) (f : Func.t) =
                   if not (SSet.mem l preds) then
                     err where "phi has an entry for non-predecessor %%%s" l)
                 inc_labels
-            | Instr.Call (_, callee, args) ->
+            | Instr.Call (ret_ty, callee, args) ->
               (match Ir_module.find_func m callee with
               | Some decl ->
                 let expected = List.length decl.Func.params in
@@ -101,6 +101,23 @@ let check_func (m : Ir_module.t) (f : Func.t) =
                 if expected <> got then
                   err where "call to @%s with %d arguments, expected %d" callee
                     got expected
+                else
+                  (* the call site must agree with the declared signature:
+                     arity matched, so check types position by position *)
+                  List.iteri
+                    (fun j ((p : Func.param), (a : Operand.typed)) ->
+                      if not (Ty.equal p.Func.pty a.Operand.ty) then
+                        err where
+                          "call to @%s passes %s for argument %d, declared %s"
+                          callee
+                          (Ty.to_string a.Operand.ty)
+                          j
+                          (Ty.to_string p.Func.pty))
+                    (List.combine decl.Func.params args);
+                if not (Ty.equal ret_ty decl.Func.ret_ty) then
+                  err where "call to @%s typed %s, declared to return %s"
+                    callee (Ty.to_string ret_ty)
+                    (Ty.to_string decl.Func.ret_ty)
               | None -> err where "call to undeclared function @%s" callee)
             | _ -> saw_non_phi := true);
             List.iter check_operand (Instr.operands i.op))

@@ -29,9 +29,34 @@ let register_pass (p : Pass.func_pass) =
 
 let registered () = all_passes @ !extra_passes
 
+(* Whole-module passes contributed by higher layers (the analysis
+   library's quantum-dce removes unreachable functions, which no
+   func_pass can express). *)
+let extra_module_passes : Pass.module_pass list ref = ref []
+
+let register_module_pass (p : Pass.module_pass) =
+  if
+    not
+      (List.exists
+         (fun (q : Pass.module_pass) -> String.equal q.Pass.mname p.Pass.mname)
+         !extra_module_passes)
+  then extra_module_passes := !extra_module_passes @ [ p ]
+
+let registered_module () = !extra_module_passes
+
 let find_pass name =
   List.find_opt (fun (p : Pass.func_pass) -> String.equal p.Pass.name name)
     (registered ())
+
+let find_module_pass name =
+  List.find_opt
+    (fun (p : Pass.module_pass) -> String.equal p.Pass.mname name)
+    !extra_module_passes
+
+(* Every runnable pass name: func passes first, then module passes. *)
+let pass_names () =
+  List.map (fun (p : Pass.func_pass) -> p.Pass.name) (registered ())
+  @ List.map (fun (p : Pass.module_pass) -> p.Pass.mname) !extra_module_passes
 
 (* The cleanup pipeline: SSA construction plus the classical scalar
    optimizations the paper names in Sec. II-B. *)
@@ -66,8 +91,12 @@ let optimize ?(max_rounds = 8) m =
 let lower ?(max_rounds = 8) m =
   Pass.run_until_fixpoint ~max_rounds lowering m
 
-(* Runs a single named pass once; [Invalid_argument] on unknown names. *)
+(* Runs a single named pass once; [Invalid_argument] on unknown names.
+   Module passes are looked up after func passes. *)
 let run_pass name (m : Ir_module.t) =
   match find_pass name with
   | Some p -> fst ((Pass.of_func_pass p).Pass.mrun m)
-  | None -> invalid_arg ("Pipeline.run_pass: unknown pass " ^ name)
+  | None -> (
+    match find_module_pass name with
+    | Some p -> fst (p.Pass.mrun m)
+    | None -> invalid_arg ("Pipeline.run_pass: unknown pass " ^ name))

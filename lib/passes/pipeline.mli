@@ -15,6 +15,17 @@ val registered : unit -> Pass.func_pass list
 
 val find_pass : string -> Pass.func_pass option
 
+val register_module_pass : Pass.module_pass -> unit
+(** Adds a whole-module pass contributed by a higher layer (e.g. the
+    analysis library's quantum-dce, which removes unreachable
+    functions); idempotent per name. *)
+
+val registered_module : unit -> Pass.module_pass list
+val find_module_pass : string -> Pass.module_pass option
+
+val pass_names : unit -> string list
+(** Every name {!run_pass} accepts: func passes, then module passes. *)
+
 val standard : Pass.module_pass list
 (** SSA construction plus the classical scalar optimizations the paper
     names in Sec. II-B (mem2reg, SCCP, CFG simplification, DCE). *)

@@ -245,13 +245,15 @@ The same report as machine-readable JSON:
 
   $ qir-lint buggy.ll --format json
   {
+    "schema_version": 1,
+    "module":"buggy.ll",
     "diagnostics": [
-      {"rule":"QL001","severity":"error","where":"@main %entry","message":"@__quantum__qis__x__body uses a released qubit (qubit allocated at site 0)"},
-      {"rule":"QL002","severity":"error","where":"@main %entry","message":"@__quantum__rt__qubit_release releases an already-released qubit (allocation site 0)"},
-      {"rule":"QL004","severity":"error","where":"@main %entry","message":"@__quantum__qis__read_result__body reads result 0, which is measured on no path here"},
-      {"rule":"QL003","severity":"warning","where":"@main %entry","message":"qubit allocated at site 1 is never released"},
-      {"rule":"QD001","severity":"warning","where":"@main %entry","message":"'call void @__quantum__qis__h__body(ptr %q0)' affects no measured or recorded qubit"},
-      {"rule":"QD001","severity":"warning","where":"@main %entry","message":"'call void @__quantum__qis__x__body(ptr %q0)' affects no measured or recorded qubit"}
+      {"rule":"QL001","severity":"error","module":"buggy.ll","where":"@main %entry","message":"@__quantum__qis__x__body uses a released qubit (qubit allocated at site 0)"},
+      {"rule":"QL002","severity":"error","module":"buggy.ll","where":"@main %entry","message":"@__quantum__rt__qubit_release releases an already-released qubit (allocation site 0)"},
+      {"rule":"QL004","severity":"error","module":"buggy.ll","where":"@main %entry","message":"@__quantum__qis__read_result__body reads result 0, which is measured on no path here"},
+      {"rule":"QL003","severity":"warning","module":"buggy.ll","where":"@main %entry","message":"qubit allocated at site 1 is never released"},
+      {"rule":"QD001","severity":"warning","module":"buggy.ll","where":"@main %entry","message":"'call void @__quantum__qis__h__body(ptr %q0)' affects no measured or recorded qubit"},
+      {"rule":"QD001","severity":"warning","module":"buggy.ll","where":"@main %entry","message":"'call void @__quantum__qis__x__body(ptr %q0)' affects no measured or recorded qubit"}
     ],
     "summary": {"errors": 3, "warnings": 3, "notes": 0}
   }
@@ -356,6 +358,72 @@ The quantum-dce pass removes gates that cannot affect any measurement:
   }
   
   attributes #0 = { "entry_point" }
+
+
+
+
+
+
+Interprocedural lint: the checked-in teleportation example hides a
+use-after-release behind a helper call — @measure_and_free releases its
+qubit argument, and @main touches that qubit again. Only the
+whole-module analysis (through the callee's effect summary) sees it.
+
+  $ qir-lint ../../examples/teleport_helpers.ll
+  error: @main %fix [QL001] @__quantum__qis__x__body uses a released qubit (qubit allocated at site 1)
+  warning: @main %fix [QD001] 'call void @__quantum__qis__x__body(ptr %a)' affects no measured or recorded qubit
+  1 error(s), 1 warning(s), 0 note(s)
+  [3]
+
+The pre-interprocedural behavior (--ipo=false) is blind to the real bug
+and instead raises false alarms: the helper-released qubits look leaked
+and the helper-measured result looks unmeasured.
+
+  $ qir-lint ../../examples/teleport_helpers.ll --ipo=false
+  error: @main %entry [QL004] @__quantum__qis__read_result__body reads result 1, which is measured on no path here
+  warning: @main %done [QL003] qubit allocated at site 0 is never released
+  warning: @main %done [QL003] qubit allocated at site 1 is never released
+  warning: @main %fix [QD001] 'call void @__quantum__qis__x__body(ptr %a)' affects no measured or recorded qubit
+  1 error(s), 3 warning(s), 0 note(s)
+  [3]
+
+The call graph behind the verdict:
+
+  $ qir-lint ../../examples/teleport_helpers.ll --call-graph
+  call graph of '../../examples/teleport_helpers.ll' (entry: @main)
+    @entangle -> (no calls)
+    @measure_and_free -> (no calls)
+    @main -> @entangle, @measure_and_free
+    sccs (bottom-up): {@entangle} {@measure_and_free} {@main}
+    recursive: none
+    unreachable: none
+
+Recursion is rejected whole-module (QP001): no QIR profile supports it,
+even though each function body is individually well-formed.
+
+  $ qir-lint ../../examples/recursive_bad.ll
+  error: @loop [QP001] recursion (@loop) is reachable from @main; no QIR profile supports recursive calls
+  1 error(s), 0 warning(s), 0 note(s)
+  [3]
+
+  $ qirc ../../examples/recursive_bad.ll --check adaptive --emit none
+  [adaptive:no-recursion] @loop: function @loop is recursive; no QIR profile supports recursion
+  [3]
+
+The machine-readable call-graph dump shares the JSON envelope
+(schema_version + module) with the diagnostics format:
+
+  $ qir-lint ../../examples/recursive_bad.ll --call-graph --format json
+  {
+    "schema_version": 1,
+    "module": "../../examples/recursive_bad.ll",
+    "entry": "main",
+    "functions": [
+      {"name":"loop","callees":["loop"],"external_callees":[],"recursive":true,"reachable":true},
+      {"name":"main","callees":["loop"],"external_callees":[],"recursive":false,"reachable":true}
+    ],
+    "sccs": [["loop"],["main"]]
+  }
 
 
 

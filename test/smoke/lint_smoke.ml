@@ -1,12 +1,19 @@
 (* Lint smoke: qir-lint must be quiet on code that is actually fine and
    loud on code that is actually broken.
 
-   Three corpora:
+   Four corpora:
    1. the checked-in examples (examples/*.ll, or the directory given as
-      argv(1)) — no errors or warnings allowed (notes are fine);
+      argv(1)) — no errors or warnings allowed (notes are fine), except
+      the deliberately-buggy demos, which must fire exactly their
+      documented rules;
    2. 100 generated circuits built as QIR in both addressing styles —
       builder output must produce zero findings;
-   3. embedded seeded-bug fixtures — each must trigger its rule.
+   3. 100 generated *multi-function* modules — helpers taking qubit
+      arguments, qubit-releasing callees, fresh-qubit-returning
+      factories, two-level call chains — that the interprocedural lint
+      must pass zero-FP;
+   4. embedded seeded-bug fixtures, intraprocedural and cross-call —
+      each must trigger its rule.
 
    Used by CI:  dune exec test/smoke/lint_smoke.exe *)
 
@@ -29,6 +36,14 @@ let rules ds =
 
 (* 1. checked-in examples ------------------------------------------- *)
 
+(* Deliberately-buggy demos: each must fire exactly the rules it is
+   checked in to demonstrate (any extra error/warning is a smoke FP). *)
+let expected_bad =
+  [
+    ("teleport_helpers.ll", [ "QL001" ]);
+    ("recursive_bad.ll", [ "QP001" ]);
+  ]
+
 let lint_examples dir =
   let files =
     try
@@ -45,9 +60,17 @@ let lint_examples dir =
         let src = In_channel.with_open_text path In_channel.input_all in
         let m = Llvm_ir.Parser.parse_module ~source_name:path src in
         let ds = Qir_analysis.Lint.run m in
-        if noisy ds > 0 then
-          fail "%s: expected a clean lint, got %d error/warning finding(s)"
-            path (noisy ds))
+        match List.assoc_opt f expected_bad with
+        | Some required ->
+          List.iter
+            (fun rule ->
+              if not (List.mem rule (rules ds)) then
+                fail "%s: expected rule %s to fire" path rule)
+            required
+        | None ->
+          if noisy ds > 0 then
+            fail "%s: expected a clean lint, got %d error/warning finding(s)"
+              path (noisy ds))
       files;
   Printf.printf "examples: %d file(s) linted\n" (List.length files)
 
@@ -91,7 +114,167 @@ let lint_corpus () =
   done;
   Printf.printf "corpus: %d circuits x 2 addressings linted clean\n" count
 
-(* 3. seeded bugs --------------------------------------------------- *)
+(* 3. generated multi-function corpus ------------------------------- *)
+
+(* Textual QIR with helpers that take qubit arguments, release their
+   arguments, return fresh qubits, or forward qubits down a two-level
+   call chain — all correct, so the interprocedural lint must stay
+   silent. Three module shapes, sizes varied by index. *)
+
+let mf_prelude =
+  {|declare ptr @__quantum__rt__qubit_allocate()
+declare void @__quantum__rt__qubit_release(ptr)
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__cnot__body(ptr, ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+declare void @__quantum__rt__result_record_output(ptr, ptr)
+|}
+
+let result_addr i =
+  if i = 0 then "ptr null" else Printf.sprintf "ptr inttoptr (i64 %d to ptr)" i
+
+(* helpers release their qubit arguments; main only hands qubits over *)
+let mf_release_shape ~n ~gate ~read =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b mf_prelude;
+  Buffer.add_string b
+    {|
+define void @entangle(ptr %a, ptr %b) {
+entry:
+  call void @__quantum__qis__h__body(ptr %a)
+  call void @__quantum__qis__cnot__body(ptr %a, ptr %b)
+  ret void
+}
+
+define void @finish(ptr %q, ptr %r) {
+entry:
+  call void @__quantum__qis__mz__body(ptr %q, ptr %r)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}
+
+define void @main() "entry_point" {
+entry:
+|};
+  for q = 0 to n - 1 do
+    Printf.bprintf b "  %%q%d = call ptr @__quantum__rt__qubit_allocate()\n" q
+  done;
+  Printf.bprintf b "  call void @__quantum__qis__%s__body(ptr %%q0)\n" gate;
+  for q = 0 to n - 2 do
+    Printf.bprintf b "  call void @entangle(ptr %%q%d, ptr %%q%d)\n" q (q + 1)
+  done;
+  for q = 0 to n - 1 do
+    Printf.bprintf b "  call void @finish(ptr %%q%d, %s)\n" q (result_addr q)
+  done;
+  if read then begin
+    Buffer.add_string b
+      "  %c = call i1 @__quantum__qis__read_result__body(ptr null)\n";
+    Buffer.add_string b
+      "  call void @__quantum__rt__result_record_output(ptr null, ptr null)\n"
+  end;
+  Buffer.add_string b "  ret void\n}\n";
+  Buffer.contents b
+
+(* a factory returns a fresh qubit the caller must (and does) release *)
+let mf_factory_shape ~n ~gate ~read =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b mf_prelude;
+  Printf.bprintf b
+    {|
+define ptr @make_q() {
+entry:
+  %%q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__%s__body(ptr %%q)
+  ret ptr %%q
+}
+
+define void @main() "entry_point" {
+entry:
+|}
+    gate;
+  for q = 0 to n - 1 do
+    Printf.bprintf b "  %%q%d = call ptr @make_q()\n" q
+  done;
+  for q = 0 to n - 2 do
+    Printf.bprintf b
+      "  call void @__quantum__qis__cnot__body(ptr %%q%d, ptr %%q%d)\n" q
+      (q + 1)
+  done;
+  for q = 0 to n - 1 do
+    Printf.bprintf b "  call void @__quantum__qis__mz__body(ptr %%q%d, %s)\n" q
+      (result_addr q)
+  done;
+  if read then
+    Buffer.add_string b
+      "  %c = call i1 @__quantum__qis__read_result__body(ptr null)\n";
+  for q = 0 to n - 1 do
+    Printf.bprintf b "  call void @__quantum__rt__qubit_release(ptr %%q%d)\n" q
+  done;
+  Buffer.add_string b "  ret void\n}\n";
+  Buffer.contents b
+
+(* a two-level chain: effects must compose through nested summaries *)
+let mf_chain_shape ~n ~gate ~read =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b mf_prelude;
+  Printf.bprintf b
+    {|
+define void @inner(ptr %%q, ptr %%r) {
+entry:
+  call void @__quantum__qis__mz__body(ptr %%q, ptr %%r)
+  ret void
+}
+
+define void @outer(ptr %%q, ptr %%r) {
+entry:
+  call void @__quantum__qis__%s__body(ptr %%q)
+  call void @inner(ptr %%q, ptr %%r)
+  ret void
+}
+
+define void @main() "entry_point" {
+entry:
+|}
+    gate;
+  for q = 0 to n - 1 do
+    Printf.bprintf b "  %%q%d = call ptr @__quantum__rt__qubit_allocate()\n" q
+  done;
+  for q = 0 to n - 1 do
+    Printf.bprintf b "  call void @outer(ptr %%q%d, %s)\n" q (result_addr q)
+  done;
+  if read then
+    Buffer.add_string b
+      "  %c = call i1 @__quantum__qis__read_result__body(ptr null)\n";
+  for q = 0 to n - 1 do
+    Printf.bprintf b "  call void @__quantum__rt__qubit_release(ptr %%q%d)\n" q
+  done;
+  Buffer.add_string b "  ret void\n}\n";
+  Buffer.contents b
+
+let lint_mf_corpus () =
+  let count = 100 in
+  for i = 0 to count - 1 do
+    let n = 2 + (i mod 4) in
+    let gate = if i mod 2 = 0 then "h" else "x" in
+    let read = i mod 3 = 0 in
+    let shape, src =
+      match i mod 3 with
+      | 0 -> ("release", mf_release_shape ~n ~gate ~read)
+      | 1 -> ("factory", mf_factory_shape ~n ~gate ~read)
+      | _ -> ("chain", mf_chain_shape ~n ~gate ~read)
+    in
+    let m = Llvm_ir.Parser.parse_module src in
+    let ds = Qir_analysis.Lint.run ~notes:false m in
+    if ds <> [] then
+      fail "multi-function module %d (%s, n=%d): %d unexpected finding(s): %s"
+        i shape n (List.length ds)
+        (String.concat " " (rules ds))
+  done;
+  Printf.printf "multi-function corpus: %d modules linted clean\n" count
+
+(* 4. seeded bugs --------------------------------------------------- *)
 
 let prelude =
   {|
@@ -161,6 +344,133 @@ entry:
 }|} );
   ]
 
+(* Bugs only visible across a call boundary: every one was a blind spot
+   of the intraprocedural lint and must fire through summaries now. *)
+let seeded_cross_call : (string * string * string) list =
+  [
+    ( "QL001",
+      "helper releases its argument, caller uses it after",
+      mf_prelude
+      ^ {|
+define void @free_it(ptr %q) {
+entry:
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @free_it(ptr %q)
+  call void @__quantum__qis__x__body(ptr %q)
+  ret void
+}|} );
+    ( "QL002",
+      "helper releases its argument, caller releases it again",
+      mf_prelude
+      ^ {|
+define void @free_it(ptr %q) {
+entry:
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @free_it(ptr %q)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}|} );
+    ( "QL003",
+      "factory returns a fresh qubit the caller never releases",
+      mf_prelude
+      ^ {|
+define ptr @make_q() {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  ret ptr %q
+}
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @make_q()
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  ret void
+}|} );
+    ( "QD002",
+      "pure classical call with unused result",
+      mf_prelude
+      ^ {|
+define i64 @twice(i64 %x) {
+entry:
+  %y = add i64 %x, %x
+  ret i64 %y
+}
+define void @main() "entry_point" {
+entry:
+  %t = call i64 @twice(i64 3)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|} );
+    ( "QD002",
+      "unitary helper applied to a qubit no measurement can see",
+      mf_prelude
+      ^ {|
+define void @spin(ptr %q) {
+entry:
+  call void @__quantum__qis__h__body(ptr %q)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  %q0 = call ptr @__quantum__rt__qubit_allocate()
+  %q1 = call ptr @__quantum__rt__qubit_allocate()
+  call void @spin(ptr %q1)
+  call void @__quantum__qis__mz__body(ptr %q0, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q0)
+  call void @__quantum__rt__qubit_release(ptr %q1)
+  ret void
+}|} );
+    ( "QP001",
+      "recursion reachable from the entry point",
+      mf_prelude
+      ^ {|
+define void @loop(ptr %q, i64 %n) {
+entry:
+  %done = icmp sle i64 %n, 0
+  br i1 %done, label %exit, label %recurse
+recurse:
+  call void @__quantum__qis__h__body(ptr %q)
+  %n1 = sub i64 %n, 1
+  call void @loop(ptr %q, i64 %n1)
+  br label %exit
+exit:
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @loop(ptr %q, i64 3)
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}|} );
+    ( "QC001",
+      "defined helper unreachable from the entry point",
+      mf_prelude
+      ^ {|
+define void @orphan(ptr %q) {
+entry:
+  call void @__quantum__qis__h__body(ptr %q)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|} );
+  ]
+
 let lint_seeded () =
   List.iter
     (fun (rule, what, src) ->
@@ -171,11 +481,24 @@ let lint_seeded () =
     seeded;
   Printf.printf "seeded: %d bug fixtures detected\n" (List.length seeded)
 
+let lint_seeded_cross_call () =
+  List.iter
+    (fun (rule, what, src) ->
+      let m = Llvm_ir.Parser.parse_module src in
+      let ds = Qir_analysis.Lint.run m in
+      if not (List.mem rule (rules ds)) then
+        fail "seeded cross-call %s (%s) not detected" rule what)
+    seeded_cross_call;
+  Printf.printf "seeded cross-call: %d bug fixtures detected\n"
+    (List.length seeded_cross_call)
+
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "examples" in
   lint_examples dir;
   lint_corpus ();
+  lint_mf_corpus ();
   lint_seeded ();
+  lint_seeded_cross_call ();
   if !failures > 0 then begin
     Printf.eprintf "lint smoke: %d failure(s)\n" !failures;
     exit 1

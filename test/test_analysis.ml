@@ -458,6 +458,433 @@ entry:
   check bool_t "only structural findings" true
     (List.for_all (String.equal "QV001") (rules ds))
 
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                           *)
+
+let diamond_with_orphan =
+  prelude
+  ^ {|
+define void @leaf(ptr %q) {
+entry:
+  call void @__quantum__qis__h__body(ptr %q)
+  ret void
+}
+define void @mid(ptr %q) {
+entry:
+  call void @leaf(ptr %q)
+  ret void
+}
+define void @orphan(ptr %q) {
+entry:
+  call void @__quantum__qis__x__body(ptr %q)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  call void @mid(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|}
+
+let test_call_graph_basics () =
+  let m = parse diamond_with_orphan in
+  let cg = Call_graph.build m in
+  let order = List.concat (Call_graph.sccs_bottom_up cg) in
+  let pos name =
+    let rec go i = function
+      | [] -> Alcotest.failf "%s not in SCC order" name
+      | n :: _ when String.equal n name -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 order
+  in
+  check bool_t "callee before caller (leaf < mid)" true (pos "leaf" < pos "mid");
+  check bool_t "callee before caller (mid < main)" true (pos "mid" < pos "main");
+  check bool_t "no recursion" false (Call_graph.is_recursive cg "mid");
+  check bool_t "orphan unreachable" true
+    (Call_graph.unreachable_defined cg = [ "orphan" ]);
+  let ds = Call_graph.findings cg in
+  check int_t "one QC001" 1 (count_rule "QC001" ds);
+  check int_t "no QP001" 0 (count_rule "QP001" ds)
+
+let test_call_graph_mutual_recursion () =
+  let m =
+    parse
+      (prelude
+     ^ {|
+define void @ping(ptr %q, i64 %n) {
+entry:
+  call void @pong(ptr %q, i64 %n)
+  ret void
+}
+define void @pong(ptr %q, i64 %n) {
+entry:
+  call void @ping(ptr %q, i64 %n)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  call void @ping(ptr null, i64 2)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|})
+  in
+  let cg = Call_graph.build m in
+  check bool_t "ping recursive" true (Call_graph.is_recursive cg "ping");
+  check bool_t "pong recursive" true (Call_graph.is_recursive cg "pong");
+  check bool_t "main not recursive" false (Call_graph.is_recursive cg "main");
+  (* the mutual pair is one SCC and is reported once per function *)
+  check int_t "two QP001" 2 (count_rule "QP001" (Call_graph.findings cg));
+  (* whole-module lint surfaces the same rule *)
+  check bool_t "lint reports QP001" true (has_rule "QP001" (Lint.run m))
+
+(* ------------------------------------------------------------------ *)
+(* Function effect summaries                                            *)
+
+let releasing_helper_src ~use_after =
+  prelude
+  ^ {|
+define void @free_it(ptr %q) {
+entry:
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(ptr %q)
+  call void @free_it(ptr %q)
+|}
+  ^ (if use_after then "  call void @__quantum__qis__x__body(ptr %q)\n" else "")
+  ^ {|  ret void
+}|}
+
+let test_summary_release_and_purity () =
+  let m = parse (releasing_helper_src ~use_after:false) in
+  let tbl = Summary.of_module m in
+  let s =
+    match Summary.find tbl "free_it" with
+    | Some s -> s
+    | None -> Alcotest.fail "no summary for @free_it"
+  in
+  check bool_t "argument released on every path" true
+    s.Summary.arg_fx.(0).Summary.fx_released;
+  check bool_t "argument consumed" true s.Summary.arg_fx.(0).Summary.fx_used;
+  check bool_t "measures" true s.Summary.measures;
+  check bool_t "not opaque" false s.Summary.opaque;
+  (* a pure classical helper is quantum-free and side-effect-free *)
+  let m2 =
+    parse
+      {|
+define i64 @twice(i64 %x) {
+entry:
+  %y = add i64 %x, %x
+  ret i64 %y
+}
+define void @main() "entry_point" {
+entry:
+  %t = call i64 @twice(i64 3)
+  ret void
+}|}
+  in
+  let tbl2 = Summary.of_module m2 in
+  (match Summary.find tbl2 "twice" with
+  | Some s ->
+    check bool_t "quantum free" true (Summary.quantum_free s);
+    check bool_t "side-effect free" true s.Summary.side_effect_free;
+    check bool_t "controller expressible" true s.Summary.controller_ok
+  | None -> Alcotest.fail "no summary for @twice")
+
+let test_summary_returns_fresh_qubit () =
+  let m =
+    parse
+      (prelude
+     ^ {|
+define ptr @make_q() {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(ptr %q)
+  ret ptr %q
+}
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @make_q()
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}|})
+  in
+  let tbl = Summary.of_module m in
+  (match Summary.find tbl "make_q" with
+  | Some s ->
+    check bool_t "returns fresh qubit" true s.Summary.returns_fresh_qubit
+  | None -> Alcotest.fail "no summary for @make_q");
+  check int_t "caller releasing the returned qubit is clean" 0
+    (List.length (Lint.run ~notes:false m))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-call lifetime rules                                            *)
+
+let test_cross_call_use_after_release () =
+  let ds = lint (releasing_helper_src ~use_after:true) in
+  check bool_t "QL001 through the summary" true (has_rule "QL001" ds);
+  (* without the use, the helper-released qubit is fine (no QL003: the
+     callee released it for us) *)
+  check int_t "correct caller is clean" 0
+    (List.length (lint (releasing_helper_src ~use_after:false)))
+
+let test_cross_call_double_release () =
+  let ds =
+    lint
+      (prelude
+     ^ {|
+define void @free_it(ptr %q) {
+entry:
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @free_it(ptr %q)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}|})
+  in
+  check int_t "one QL002 through the summary" 1 (count_rule "QL002" ds)
+
+let test_cross_call_leak_of_returned_qubit () =
+  let factory leak =
+    prelude
+    ^ {|
+define ptr @make_q() {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  ret ptr %q
+}
+define void @main() "entry_point" {
+entry:
+  %q = call ptr @make_q()
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+|}
+    ^ (if leak then ""
+       else "  call void @__quantum__rt__qubit_release(ptr %q)\n")
+    ^ {|  ret void
+}|}
+  in
+  check bool_t "leaked factory qubit" true (has_rule "QL003" (lint (factory true)));
+  check bool_t "released factory qubit is clean" false
+    (has_rule "QL003" (lint (factory false)))
+
+let test_helper_bodies_are_checked_too () =
+  (* a double release inside a non-entry helper is reported even though
+     no one calls the helper bug into the entry path *)
+  let ds =
+    lint
+      (prelude
+     ^ {|
+define void @bad_helper() {
+entry:
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__mz__body(ptr %q, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  call void @__quantum__rt__qubit_release(ptr %q)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  call void @bad_helper()
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|})
+  in
+  check bool_t "QL002 inside the helper" true (has_rule "QL002" ds)
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural dead quantum code (QD002) and whole-function DCE     *)
+
+let test_qd002_dead_classical_call () =
+  let src used =
+    prelude
+    ^ {|
+define i64 @twice(i64 %x) {
+entry:
+  %y = add i64 %x, %x
+  ret i64 %y
+}
+define void @main() "entry_point" {
+entry:
+  %t = call i64 @twice(i64 3)
+|}
+    ^ (if used then
+         "  %addr = inttoptr i64 %t to ptr\n\
+          \  call void @__quantum__qis__mz__body(ptr %addr, ptr null)\n"
+       else "  call void @__quantum__qis__mz__body(ptr null, ptr null)\n")
+    ^ {|  ret void
+}|}
+  in
+  check bool_t "unused pure call is QD002" true
+    (has_rule "QD002" (lint (src false)));
+  check bool_t "used result keeps the call" false
+    (has_rule "QD002" (lint (src true)))
+
+let test_qd002_dead_unitary_helper () =
+  let src measured =
+    prelude
+    ^ {|
+define void @spin(ptr %q) {
+entry:
+  call void @__quantum__qis__h__body(ptr %q)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  %q0 = call ptr @__quantum__rt__qubit_allocate()
+  %q1 = call ptr @__quantum__rt__qubit_allocate()
+  call void @spin(ptr %q1)
+  call void @__quantum__qis__mz__body(ptr %q0, ptr null)
+|}
+    ^ (if measured then
+         "  call void @__quantum__qis__mz__body(ptr %q1, ptr inttoptr (i64 1 \
+          to ptr))\n"
+       else "")
+    ^ {|  call void @__quantum__rt__qubit_release(ptr %q0)
+  call void @__quantum__rt__qubit_release(ptr %q1)
+  ret void
+}|}
+  in
+  check bool_t "helper on unmeasured qubit is QD002" true
+    (has_rule "QD002" (lint (src false)));
+  check bool_t "measured qubit keeps the call" false
+    (has_rule "QD002" (lint (src true)))
+
+let test_quantum_dce_drops_unreachable_function () =
+  let m = parse diamond_with_orphan in
+  check bool_t "QC001 before the pass" true (has_rule "QC001" (Lint.run m));
+  let m' = Passes.Pipeline.run_pass "quantum-dce" m in
+  check bool_t "orphan dropped" true
+    (Ir_module.find_func m' "orphan" = None);
+  check bool_t "reachable helpers kept" true
+    (Ir_module.find_func m' "mid" <> None
+    && Ir_module.find_func m' "leaf" <> None);
+  check bool_t "clean after the pass" false (has_rule "QC001" (Lint.run m'))
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural constant addresses and profile checking              *)
+
+let threaded_addr_src =
+  prelude
+  ^ {|
+define void @apply_x(i64 %addr) {
+entry:
+  %q = inttoptr i64 %addr to ptr
+  call void @__quantum__qis__x__body(ptr %q)
+  ret void
+}
+define void @mid(i64 %a) {
+entry:
+  call void @apply_x(i64 %a)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @mid(i64 1)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 1 to ptr), ptr inttoptr (i64 1 to ptr))
+  ret void
+}|}
+
+let test_const_addr_through_calls () =
+  let m = parse threaded_addr_src in
+  (* the constant 1 reaches @apply_x's address through two call sites *)
+  let r = Addressing.detect_proved m in
+  check bool_t "proved static" true (r.Addressing.proved = Addressing.Static);
+  check bool_t "at least one upgraded operand" true
+    (r.Addressing.upgraded_args >= 1)
+
+let test_to_static_through_calls () =
+  let m = parse threaded_addr_src in
+  check bool_t "syntactic route refuses" true
+    (match Qir_parser.parse_result m with Error _ -> true | Ok _ -> false);
+  let m' = Addressing.to_static ~record_output:false m in
+  check bool_t "now static" true (Addressing.detect m' = Addressing.Static);
+  check bool_t "conforms base" true (Profile_check.conforms Profile.Base m');
+  (* distribution equivalence: qubit 1 always flipped, qubit 0 uniform *)
+  let shots = 300 in
+  let hist = Executor.run_shots ~seed:11 ~shots m in
+  let hist' = Executor.run_shots ~seed:23 ~shots m' in
+  let count key h = Option.value ~default:0 (List.assoc_opt key h) in
+  List.iter
+    (fun h ->
+      check int_t "only 01 and 11" shots (count "01" h + count "11" h))
+    [ hist; hist' ];
+  let frac h key = float_of_int (count key h) /. float_of_int shots in
+  check bool_t "p(01) close" true
+    (Float.abs (frac hist "01" -. frac hist' "01") < 0.15)
+
+let test_adaptive_profile_interprocedural () =
+  (* calls to defined conforming helpers are fine under adaptive... *)
+  let ok =
+    parse
+      (prelude
+     ^ {|
+define void @helper(ptr %q) {
+entry:
+  call void @__quantum__qis__h__body(ptr %q)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  call void @helper(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|})
+  in
+  check bool_t "internal call conforms" true
+    (Profile_check.conforms Profile.Adaptive ok);
+  (* ...but recursion has no lowering to any profile *)
+  let rec_m =
+    parse
+      ({|define void @loop(i64 %n) {
+entry:
+  call void @loop(i64 %n)
+  ret void
+}
+define void @main() "entry_point" {
+entry:
+  call void @loop(i64 4)
+  ret void
+}|})
+  in
+  check bool_t "recursion violates adaptive" true
+    (List.exists
+       (fun (v : Profile_check.violation) ->
+         String.equal v.Profile_check.rule "adaptive:no-recursion")
+       (Profile_check.check Profile.Adaptive rec_m))
+
+let test_classify_with_summaries () =
+  let m = parse (releasing_helper_src ~use_after:false) in
+  let summaries = Summary.of_module m in
+  let f = Ir_module.find_func_exn m "main" in
+  let call_to name =
+    Func.fold_instrs f None (fun acc (i : Instr.t) ->
+        match i.Instr.op with
+        | Instr.Call (_, c, _) when String.equal c name -> Some i
+        | _ -> acc)
+    |> Option.get
+  in
+  (* without summaries a defined callee is an opaque classical call;
+     with them, its quantum effects are visible *)
+  check bool_t "opaque without summaries" true
+    (Qhybrid.Classify.classify_instr (call_to "free_it")
+    = Qhybrid.Classify.Call_classical);
+  check bool_t "quantum with summaries" true
+    (Qhybrid.Classify.classify_instr ~summaries (call_to "free_it")
+    = Qhybrid.Classify.Quantum)
+
 let suite =
   [
     Alcotest.test_case "engine: forward join and pruning" `Quick
@@ -493,4 +920,34 @@ let suite =
       test_verifier_reports_all_phi_mismatches;
     Alcotest.test_case "lint: structural short-circuit" `Quick
       test_lint_structural_short_circuit;
+    Alcotest.test_case "call-graph: bottom-up SCCs and reachability" `Quick
+      test_call_graph_basics;
+    Alcotest.test_case "call-graph: mutual recursion (QP001)" `Quick
+      test_call_graph_mutual_recursion;
+    Alcotest.test_case "summary: release and purity" `Quick
+      test_summary_release_and_purity;
+    Alcotest.test_case "summary: returns fresh qubit" `Quick
+      test_summary_returns_fresh_qubit;
+    Alcotest.test_case "lifetime: cross-call use after release" `Quick
+      test_cross_call_use_after_release;
+    Alcotest.test_case "lifetime: cross-call double release" `Quick
+      test_cross_call_double_release;
+    Alcotest.test_case "lifetime: leak of returned qubit" `Quick
+      test_cross_call_leak_of_returned_qubit;
+    Alcotest.test_case "lifetime: helper bodies checked" `Quick
+      test_helper_bodies_are_checked_too;
+    Alcotest.test_case "quantum-dce: QD002 dead classical call" `Quick
+      test_qd002_dead_classical_call;
+    Alcotest.test_case "quantum-dce: QD002 dead unitary helper" `Quick
+      test_qd002_dead_unitary_helper;
+    Alcotest.test_case "quantum-dce: drops unreachable function" `Quick
+      test_quantum_dce_drops_unreachable_function;
+    Alcotest.test_case "const-addr: threaded through calls" `Quick
+      test_const_addr_through_calls;
+    Alcotest.test_case "addressing: to_static through calls" `Quick
+      test_to_static_through_calls;
+    Alcotest.test_case "profile-check: adaptive interprocedural" `Quick
+      test_adaptive_profile_interprocedural;
+    Alcotest.test_case "classify: summaries reveal callee effects" `Quick
+      test_classify_with_summaries;
   ]

@@ -267,6 +267,66 @@ let test_verifier_accepts_fixtures () =
         Alcotest.failf "unexpected violation: %a" Verifier.pp_violation v)
     [ bell_qir; forloop_qir; static_qir; legacy_qir ]
 
+(* Call sites must agree with the declared signature: arity, per-argument
+   types, and the call's return type are all checked. *)
+let callee_def = "define i64 @g(i64 %x, ptr %p) {\nentry:\n  ret i64 %x\n}\n"
+
+let violations_mentioning affix vs =
+  List.filter
+    (fun (v : Verifier.violation) ->
+      Astring.String.is_infix ~affix v.Verifier.what)
+    vs
+
+let test_verifier_catches_call_arity_mismatch () =
+  let m =
+    parse
+      (callee_def
+     ^ "define void @f() {\nentry:\n  %r = call i64 @g(i64 1)\n  ret void\n}")
+  in
+  let vs = Verifier.check_module m in
+  check bool_t "arity mismatch reported" true
+    (violations_mentioning "expected 2" vs <> [])
+
+let test_verifier_catches_call_arg_type_mismatch () =
+  let m =
+    parse
+      (callee_def
+     ^ "define void @f() {\n\
+        entry:\n\
+       \  %r = call i64 @g(i64 1, i64 2)\n\
+       \  ret void\n\
+        }")
+  in
+  let vs = Verifier.check_module m in
+  check bool_t "argument type mismatch reported" true
+    (violations_mentioning "passes i64 for argument 1" vs <> [])
+
+let test_verifier_catches_call_return_type_mismatch () =
+  let m =
+    parse
+      (callee_def
+     ^ "define void @f() {\n\
+        entry:\n\
+       \  %r = call i1 @g(i64 1, ptr null)\n\
+       \  ret void\n\
+        }")
+  in
+  let vs = Verifier.check_module m in
+  check bool_t "return type mismatch reported" true
+    (violations_mentioning "declared to return i64" vs <> [])
+
+let test_verifier_accepts_matching_call () =
+  let m =
+    parse
+      (callee_def
+     ^ "define void @f() {\n\
+        entry:\n\
+       \  %r = call i64 @g(i64 1, ptr null)\n\
+       \  ret void\n\
+        }")
+  in
+  check int_t "matching call is clean" 0 (List.length (Verifier.check_module m))
+
 (* ------------------------------------------------------------------ *)
 (* Interpreter                                                          *)
 
@@ -650,6 +710,14 @@ let suite =
       test_verifier_catches_bad_branch;
     Alcotest.test_case "verifier: fixtures are clean" `Quick
       test_verifier_accepts_fixtures;
+    Alcotest.test_case "verifier: call arity mismatch" `Quick
+      test_verifier_catches_call_arity_mismatch;
+    Alcotest.test_case "verifier: call argument type mismatch" `Quick
+      test_verifier_catches_call_arg_type_mismatch;
+    Alcotest.test_case "verifier: call return type mismatch" `Quick
+      test_verifier_catches_call_return_type_mismatch;
+    Alcotest.test_case "verifier: matching call is clean" `Quick
+      test_verifier_accepts_matching_call;
     Alcotest.test_case "interp: arithmetic" `Quick test_interp_arith;
     Alcotest.test_case "interp: alloca loop" `Quick test_interp_loop;
     Alcotest.test_case "interp: recursion" `Quick test_interp_recursion;
