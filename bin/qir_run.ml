@@ -11,9 +11,23 @@
 
 open Cmdliner
 
-let run input shots seed backend no_batch stats timeout shot_timeout retries =
+let run input shots seed backend no_batch engine stats timeout shot_timeout
+    retries =
   Cli_common.protect @@ fun () ->
+  let t0 = Unix.gettimeofday () in
   let m = Cli_common.parse_qir_file input in
+  let parse_s = Unix.gettimeofday () -. t0 in
+  (* Wall-clock breakdown under --stats, as one stable-keyed JSON line:
+     parse / lint (gate-tape eligibility analysis) / compile (bytecode)
+     / execute. Values vary run to run; the keys are the contract. *)
+  let print_timings ~compile_s ~lint_s =
+    let total_s = Unix.gettimeofday () -. t0 in
+    let execute_s = Float.max 0. (total_s -. parse_s -. compile_s -. lint_s) in
+    Printf.printf
+      "timings: {\"parse_s\": %.6f, \"lint_s\": %.6f, \"compile_s\": %.6f, \
+       \"execute_s\": %.6f, \"total_s\": %.6f}\n"
+      parse_s lint_s compile_s execute_s total_s
+  in
   let policy =
     {
       Qruntime.Resilience.default with
@@ -23,7 +37,7 @@ let run input shots seed backend no_batch stats timeout shot_timeout retries =
     }
   in
   if shots = 1 then begin
-    match Qruntime.Executor.run_resilient ~policy ~seed ~backend m with
+    match Qruntime.Executor.run_resilient ~policy ~seed ~backend ~engine m with
     | Error e -> Cli_common.fail_error e
     | Ok r ->
       if String.length r.Qruntime.Executor.output > 0 then
@@ -37,26 +51,31 @@ let run input shots seed backend no_batch stats timeout shot_timeout retries =
         let q = r.Qruntime.Executor.runtime_stats in
         Printf.printf
           "instructions=%d external-calls=%d gates=%d measurements=%d \
-           resets=%d\n"
+           resets=%d engine=%s\n"
           i.Llvm_ir.Interp.instructions i.Llvm_ir.Interp.external_calls
           q.Qruntime.Runtime.gate_calls q.Qruntime.Runtime.measurements
-          q.Qruntime.Runtime.resets
+          q.Qruntime.Runtime.resets r.Qruntime.Executor.engine_used;
+        print_timings ~compile_s:r.Qruntime.Executor.compile_s ~lint_s:0.
       end
   end
   else begin
     let r =
       Qruntime.Executor.run_shots_resilient ~policy ~seed ~backend
-        ~batch:(not no_batch) ~shots m
+        ~batch:(not no_batch) ~engine ~shots m
     in
     Format.printf "%a@?" Qruntime.Executor.pp_histogram
       r.Qruntime.Executor.histogram;
-    if stats then
+    if stats then begin
       Printf.printf
         "completed=%d/%d retries=%d batched=%b batch-fallback=%b \
-         pool-fallbacks=%d\n"
+         pool-fallbacks=%d engine=%s tape=%b\n"
         r.Qruntime.Executor.completed r.Qruntime.Executor.requested
         r.Qruntime.Executor.retries r.Qruntime.Executor.batched
-        r.Qruntime.Executor.batch_fallback r.Qruntime.Executor.pool_fallbacks;
+        r.Qruntime.Executor.batch_fallback r.Qruntime.Executor.pool_fallbacks
+        r.Qruntime.Executor.engine r.Qruntime.Executor.tape;
+      print_timings ~compile_s:r.Qruntime.Executor.compile_s
+        ~lint_s:r.Qruntime.Executor.analysis_s
+    end;
     if r.Qruntime.Executor.degraded then begin
       Printf.eprintf
         "qir-run: deadline expired after %d/%d shots (degraded result)\n"
@@ -118,6 +137,32 @@ let backend =
                Faulty runs execute per shot so faults exercise the \
                retry machinery.")
 
+let engine_conv : Qruntime.Executor.engine Arg.conv =
+  let parse = function
+    | "ast" -> Ok `Ast
+    | "bytecode" -> Ok `Bytecode
+    | "auto" -> Ok `Auto
+    | s ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown engine %S (expected ast, bytecode or auto)" s))
+  in
+  let print ppf (e : Qruntime.Executor.engine) =
+    Format.pp_print_string ppf
+      (match e with `Ast -> "ast" | `Bytecode -> "bytecode" | `Auto -> "auto")
+  in
+  Arg.conv (parse, print)
+
+let engine =
+  Arg.(value & opt engine_conv `Auto & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Execution engine: ast (tree-walking interpreter), bytecode \
+               (compile each function once to a flat instruction array \
+               and execute that), or auto (default: bytecode, plus the \
+               gate-tape fast path for proved-static multi-shot \
+               programs). All engines produce bit-identical results for \
+               identical seeds.")
+
 let no_batch =
   Arg.(value & flag & info [ "no-batch" ]
          ~doc:"Disable the batched sampling fast path and interpret the \
@@ -150,7 +195,7 @@ let cmd =
   Cmd.v
     (Cmd.info "qir-run" ~doc)
     Term.(
-      const run $ input $ shots $ seed $ backend $ no_batch $ stats $ timeout
-      $ shot_timeout $ retries)
+      const run $ input $ shots $ seed $ backend $ no_batch $ engine $ stats
+      $ timeout $ shot_timeout $ retries)
 
 let () = exit (Cmd.eval cmd)

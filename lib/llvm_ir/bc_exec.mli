@@ -1,0 +1,31 @@
+(** Execution engine for {!Bytecode} programs — the fast counterpart of
+    {!Interp}, sharing its value model, stats record and externals
+    convention. Observable behaviour (results, stats, fuel, deadline
+    polling, error strings) matches the AST interpreter bit for bit. *)
+
+type t
+(** Execution state: memory, externals, fuel, statistics. The compiled
+    program is shared and immutable — many states can run it
+    concurrently (one per shot, retry or Domain worker). *)
+
+val create :
+  ?fuel:int ->
+  ?deadline:(unit -> bool) ->
+  ?externals:(string * (Interp.value list -> Interp.value)) list ->
+  Bytecode.program ->
+  t
+(** Same contract as {!Interp.create}: [fuel] < 0 = unlimited, the
+    deadline is polled every 128 instructions, globals are materialized
+    eagerly (from the program's precomputed layout). *)
+
+val register_external :
+  t -> string -> (Interp.value list -> Interp.value) -> unit
+
+val stats : t -> Interp.stats
+
+val run_function : t -> string -> Interp.value list -> Interp.value
+(** Raises {!Ir_error.Exec_error} / {!Ir_error.Timeout_error} exactly as
+    {!Interp.run_function} would. *)
+
+val run_entry : t -> Interp.value
+(** Runs the module's entry point with no arguments. *)

@@ -32,6 +32,17 @@ let entry f =
 let find_block f label =
   List.find_opt (fun b -> String.equal b.Block.label label) f.blocks
 
+(* O(1) label lookup for interpreters and compilers that branch a lot.
+   Duplicate labels keep the first occurrence, matching [find_block]. *)
+let label_table f =
+  let tbl = Hashtbl.create (max 16 (List.length f.blocks)) in
+  List.iter
+    (fun (b : Block.t) ->
+      if not (Hashtbl.mem tbl b.Block.label) then
+        Hashtbl.add tbl b.Block.label b)
+    f.blocks;
+  tbl
+
 let find_block_exn f label =
   match find_block f label with
   | Some b -> b

@@ -32,6 +32,10 @@ val entry : t -> Block.t
 val find_block : t -> string -> Block.t option
 val find_block_exn : t -> string -> Block.t
 
+val label_table : t -> (string, Block.t) Hashtbl.t
+(** One-shot label → block table for O(1) branching (duplicate labels
+    keep the first occurrence, like {!find_block}). *)
+
 val has_attr : t -> string -> bool
 val attr : t -> string -> string option
 

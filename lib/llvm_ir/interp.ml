@@ -25,11 +25,31 @@ type stats = {
   mutable blocks_entered : int;
 }
 
+(* Per-block execution plans, built lazily on first entry and cached for
+   the lifetime of the state: the phi (pred -> value) map is computed
+   once instead of remapping [incoming] with [List.assoc] on every edge,
+   and branches resolve labels through a per-function table instead of
+   scanning the block list. *)
+type phi_plan = {
+  phi_dst : string;
+  phi_ty : Ty.t;
+  phi_by_pred : (string, Operand.t) Hashtbl.t;
+      (* duplicate predecessor entries keep the first, like List.assoc *)
+}
+
+type block_plan = { plan_phis : phi_plan array; plan_body : Instr.t list }
+
+type func_plan = {
+  labels : (string, Block.t) Hashtbl.t;
+  block_plans : (string, block_plan) Hashtbl.t;
+}
+
 type t = {
   m : Ir_module.t;
   mem : (int64, value) Hashtbl.t;
   global_addrs : (string, int64) Hashtbl.t;
   externals : (string, value list -> value) Hashtbl.t;
+  plans : (string, func_plan) Hashtbl.t; (* keyed by function name *)
   mutable brk : int64; (* bump allocator *)
   mutable fuel : int; (* remaining instruction budget; < 0 = unlimited *)
   deadline : (unit -> bool) option; (* returns true once expired *)
@@ -102,12 +122,12 @@ let alloc st cells =
   st.brk <- Int64.add st.brk (Int64.mul (Int64.of_int (max cells 1)) cell_size);
   addr
 
-let rec store_const st addr ty (c : Constant.t) =
+let rec store_const_into mem addr ty (c : Constant.t) =
   match c, ty with
   | Constant.Str s, _ ->
     String.iteri
       (fun i ch ->
-        Hashtbl.replace st.mem
+        Hashtbl.replace mem
           (Int64.add addr (Int64.mul (Int64.of_int i) cell_size))
           (VInt (Ty.I8, Int64.of_int (Char.code ch))))
       s
@@ -115,24 +135,26 @@ let rec store_const st addr ty (c : Constant.t) =
     let esize = Int64.of_int (Ty.size_in_cells ety) in
     List.iteri
       (fun i e ->
-        store_const st
+        store_const_into mem
           (Int64.add addr
              (Int64.mul (Int64.mul (Int64.of_int i) esize) cell_size))
           ety e)
       elems
   | Constant.Zeroinit, _ ->
     for i = 0 to Ty.size_in_cells ty - 1 do
-      Hashtbl.replace st.mem
+      Hashtbl.replace mem
         (Int64.add addr (Int64.mul (Int64.of_int i) cell_size))
         (VInt (Ty.I64, 0L))
     done
-  | Constant.Int n, _ -> Hashtbl.replace st.mem addr (VInt (ty, n))
+  | Constant.Int n, _ -> Hashtbl.replace mem addr (VInt (ty, n))
   | Constant.Bool b, _ ->
-    Hashtbl.replace st.mem addr (VInt (Ty.I1, if b then 1L else 0L))
-  | Constant.Float f, _ -> Hashtbl.replace st.mem addr (VFloat f)
-  | Constant.Null, _ -> Hashtbl.replace st.mem addr (VPtr 0L)
-  | Constant.Inttoptr n, _ -> Hashtbl.replace st.mem addr (VPtr n)
+    Hashtbl.replace mem addr (VInt (Ty.I1, if b then 1L else 0L))
+  | Constant.Float f, _ -> Hashtbl.replace mem addr (VFloat f)
+  | Constant.Null, _ -> Hashtbl.replace mem addr (VPtr 0L)
+  | Constant.Inttoptr n, _ -> Hashtbl.replace mem addr (VPtr n)
   | (Constant.Undef | Constant.Global _), _ -> ()
+
+let store_const st addr ty c = store_const_into st.mem addr ty c
 
 let create ?(fuel = -1) ?deadline ?(externals = []) (m : Ir_module.t) =
   let st =
@@ -141,6 +163,7 @@ let create ?(fuel = -1) ?deadline ?(externals = []) (m : Ir_module.t) =
       mem = Hashtbl.create 256;
       global_addrs = Hashtbl.create 16;
       externals = Hashtbl.create 64;
+      plans = Hashtbl.create 8;
       brk = heap_base;
       fuel;
       deadline;
@@ -170,8 +193,11 @@ let stats st = st.stats
    every 128 instructions to keep the common case cheap. *)
 let consume_budget st =
   st.stats.instructions <- st.stats.instructions + 1;
-  if st.fuel = 0 then error "instruction budget exhausted";
-  if st.fuel > 0 then st.fuel <- st.fuel - 1;
+  (* one branch on the unlimited (-1) path *)
+  if st.fuel >= 0 then begin
+    if st.fuel = 0 then error "instruction budget exhausted";
+    st.fuel <- st.fuel - 1
+  end;
   match st.deadline with
   | None -> ()
   | Some expired ->
@@ -213,26 +239,29 @@ let eval_operand st frame ty (o : Operand.t) =
     | Some v -> v
     | None -> error "undefined local %%%s" name)
 
+(* Sign extension only happens for the three signed ops — paying for it
+   on every add/xor in a hot loop shows up in both engines' profiles. *)
 let eval_binop op ty x y =
   let both_div_guard y =
     if Int64.equal y 0L then error "integer division by zero"
   in
   let xv = as_int x and yv = as_int y in
-  let xs = as_signed x and ys = as_signed y in
   let r =
     match op with
     | Instr.Add -> Int64.add xv yv
     | Instr.Sub -> Int64.sub xv yv
     | Instr.Mul -> Int64.mul xv yv
     | Instr.Sdiv ->
+      let ys = as_signed y in
       both_div_guard ys;
-      Int64.div xs ys
+      Int64.div (as_signed x) ys
     | Instr.Udiv ->
       both_div_guard yv;
       Int64.unsigned_div xv yv
     | Instr.Srem ->
+      let ys = as_signed y in
       both_div_guard ys;
-      Int64.rem xs ys
+      Int64.rem (as_signed x) ys
     | Instr.Urem ->
       both_div_guard yv;
       Int64.unsigned_rem xv yv
@@ -241,7 +270,7 @@ let eval_binop op ty x y =
     | Instr.Xor -> Int64.logxor xv yv
     | Instr.Shl -> Int64.shift_left xv (Int64.to_int yv land 63)
     | Instr.Lshr -> Int64.shift_right_logical xv (Int64.to_int yv land 63)
-    | Instr.Ashr -> Int64.shift_right xs (Int64.to_int yv land 63)
+    | Instr.Ashr -> Int64.shift_right (as_signed x) (Int64.to_int yv land 63)
   in
   VInt (ty, truncate_to_width ty r)
 
@@ -254,6 +283,11 @@ let eval_fbinop op x y =
     | Instr.Fmul -> xv *. yv
     | Instr.Fdiv -> xv /. yv
     | Instr.Frem -> Float.rem xv yv)
+
+(* Comparison results are the two interned i1 values — icmp in a loop
+   header runs once per iteration and needn't allocate. *)
+let vtrue = VInt (Ty.I1, 1L)
+let vfalse = VInt (Ty.I1, 0L)
 
 let eval_icmp pred x y =
   let signed f = f (as_signed x) (as_signed y) in
@@ -271,7 +305,7 @@ let eval_icmp pred x y =
     | Instr.Iugt -> unsigned (fun c z -> c > z)
     | Instr.Iuge -> unsigned (fun c z -> c >= z)
   in
-  VInt (Ty.I1, if b then 1L else 0L)
+  if b then vtrue else vfalse
 
 let eval_fcmp pred x y =
   let xv = as_float x and yv = as_float y in
@@ -286,9 +320,9 @@ let eval_fcmp pred x y =
     | Instr.Ford -> not (Float.is_nan xv || Float.is_nan yv)
     | Instr.Funo -> Float.is_nan xv || Float.is_nan yv
   in
-  VInt (Ty.I1, if b then 1L else 0L)
+  if b then vtrue else vfalse
 
-let eval_cast op (src : Operand.typed) v target_ty =
+let eval_cast op v target_ty =
   match op with
   | Instr.Zext -> VInt (target_ty, as_int v)
   | Instr.Sext ->
@@ -297,9 +331,7 @@ let eval_cast op (src : Operand.typed) v target_ty =
   | Instr.Bitcast -> v
   | Instr.Inttoptr -> VPtr (as_int v)
   | Instr.Ptrtoint -> VInt (target_ty, truncate_to_width target_ty (as_ptr v))
-  | Instr.Sitofp ->
-    ignore src;
-    VFloat (Int64.to_float (as_signed v))
+  | Instr.Sitofp -> VFloat (Int64.to_float (as_signed v))
   | Instr.Fptosi -> VInt (target_ty, Int64.of_float (as_float v))
 
 (* GEP offset computation over the cell-based layout. *)
@@ -331,6 +363,46 @@ let rec gep_offset ty idxs =
     | _ -> (n * Ty.size_in_cells ty) + gep_offset ty rest)
 
 (* ------------------------------------------------------------------ *)
+(* Execution plans                                                      *)
+
+let func_plan_of st (f : Func.t) =
+  match Hashtbl.find_opt st.plans f.Func.name with
+  | Some p -> p
+  | None ->
+    let p = { labels = Func.label_table f; block_plans = Hashtbl.create 16 } in
+    Hashtbl.replace st.plans f.Func.name p;
+    p
+
+let block_plan_of fp (b : Block.t) =
+  match Hashtbl.find_opt fp.block_plans b.Block.label with
+  | Some p -> p
+  | None ->
+    let phis =
+      List.filter_map
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Phi (ty, incoming) ->
+            let by_pred = Hashtbl.create (max 4 (List.length incoming)) in
+            List.iter
+              (fun (v, l) ->
+                if not (Hashtbl.mem by_pred l) then Hashtbl.add by_pred l v)
+              incoming;
+            Some
+              {
+                phi_dst = Option.get i.Instr.id;
+                phi_ty = ty;
+                phi_by_pred = by_pred;
+              }
+          | _ -> None)
+        b.instrs
+    in
+    let p =
+      { plan_phis = Array.of_list phis; plan_body = Block.non_phis b }
+    in
+    Hashtbl.replace fp.block_plans b.Block.label p;
+    p
+
+(* ------------------------------------------------------------------ *)
 (* Execution                                                            *)
 
 let rec exec_function st (f : Func.t) (args : value list) : value =
@@ -356,31 +428,29 @@ and call_external st name args =
 
 and exec_block st f frame ~prev (b : Block.t) : value =
   st.stats.blocks_entered <- st.stats.blocks_entered + 1;
+  let plan = block_plan_of (func_plan_of st f) b in
   (* Phi nodes read their incoming values simultaneously. *)
-  let phi_values =
-    List.filter_map
-      (fun (i : Instr.t) ->
-        match i.Instr.op with
-        | Instr.Phi (ty, incoming) -> (
-          let pred =
-            match prev with
-            | Some l -> l
-            | None -> error "phi node in the entry block"
-          in
-          match List.assoc_opt pred (List.map (fun (v, l) -> (l, v)) incoming) with
-          | Some v ->
-            Some (Option.get i.Instr.id, eval_operand st frame ty v)
-          | None -> error "phi has no entry for predecessor %%%s" pred)
-        | _ -> None)
-      b.instrs
-  in
-  List.iter (fun (id, v) -> Hashtbl.replace frame.env id v) phi_values;
+  let nphis = Array.length plan.plan_phis in
+  if nphis > 0 then begin
+    let pred =
+      match prev with
+      | Some l -> l
+      | None -> error "phi node in the entry block"
+    in
+    let vals = Array.make nphis VVoid in
+    for k = 0 to nphis - 1 do
+      let p = plan.plan_phis.(k) in
+      match Hashtbl.find_opt p.phi_by_pred pred with
+      | Some v -> vals.(k) <- eval_operand st frame p.phi_ty v
+      | None -> error "phi has no entry for predecessor %%%s" pred
+    done;
+    for k = 0 to nphis - 1 do
+      Hashtbl.replace frame.env plan.plan_phis.(k).phi_dst vals.(k)
+    done
+  end;
   List.iter
-    (fun (i : Instr.t) ->
-      match i.Instr.op with
-      | Instr.Phi _ -> ()
-      | op -> exec_instr st frame i.Instr.id op)
-    b.instrs;
+    (fun (i : Instr.t) -> exec_instr st frame i.Instr.id i.Instr.op)
+    plan.plan_body;
   consume_budget st;
   match b.term with
   | Instr.Ret None -> VVoid
@@ -403,7 +473,12 @@ and exec_block st f frame ~prev (b : Block.t) : value =
   | Instr.Unreachable -> error "reached 'unreachable' in @%s" f.Func.name
 
 and branch st f frame ~prev label =
-  exec_block st f frame ~prev:(Some prev) (Func.find_block_exn f label)
+  let b =
+    match Hashtbl.find_opt (func_plan_of st f).labels label with
+    | Some b -> b
+    | None -> Func.find_block_exn f label (* raises, matching the seed *)
+  in
+  exec_block st f frame ~prev:(Some prev) b
 
 and exec_instr st frame id op =
   consume_budget st;
@@ -474,7 +549,7 @@ and exec_instr st frame id op =
       (if cond then eval_operand st frame a.Operand.ty a.Operand.v
        else eval_operand st frame b.Operand.ty b.Operand.v)
   | Instr.Cast (c, src, ty) ->
-    set (eval_cast c src (eval_operand st frame src.Operand.ty src.Operand.v) ty)
+    set (eval_cast c (eval_operand st frame src.Operand.ty src.Operand.v) ty)
   | Instr.Phi _ -> () (* handled on block entry *)
   | Instr.Freeze v -> set (eval_operand st frame v.Operand.ty v.Operand.v)
 

@@ -65,8 +65,32 @@ val run_entry :
   value
 (** Runs the module's entry point with no arguments. *)
 
-(** {1 Helpers reused by constant folding} *)
+(** {1 Helpers reused by constant folding and the bytecode engine}
+
+    {!Bc_exec} shares these evaluators so both engines agree bit for bit
+    on arithmetic, comparisons, casts, GEP layout and error messages. *)
 
 val truncate_to_width : Ty.t -> int64 -> int64
 val sign_extend : Ty.t -> int64 -> int64
 val pp_value : Format.formatter -> value -> unit
+val cell_size : int64
+
+val as_int : value -> int64
+val as_signed : value -> int64
+val as_float : value -> float
+val as_ptr : value -> int64
+val as_bool : value -> bool
+
+val eval_binop : Instr.binop -> Ty.t -> value -> value -> value
+val eval_fbinop : Instr.fbinop -> value -> value -> value
+val eval_icmp : Instr.icmp -> value -> value -> value
+val eval_fcmp : Instr.fcmp -> value -> value -> value
+val eval_cast : Instr.cast -> value -> Ty.t -> value
+
+val gep_offset : Ty.t -> Operand.typed list -> int
+(** Offset in cells; dynamic indices must already be resolved to
+    [Constant.Int] operands. *)
+
+val store_const_into : (int64, value) Hashtbl.t -> int64 -> Ty.t -> Constant.t -> unit
+(** Writes a global initializer into a memory table cell by cell — the
+    exact layout {!create} produces, reused by {!Bc_exec.create}. *)

@@ -10,11 +10,29 @@ type backend_kind =
     fault injector ({!Qsim.Faulty}); its transient faults exercise the
     retry machinery. *)
 
+type engine = [ `Ast | `Bytecode | `Auto ]
+(** Which execution engine interprets the program. [`Ast] walks the
+    tree directly; [`Bytecode] compiles each function once
+    ({!Llvm_ir.Bytecode}) and executes the flat form
+    ({!Llvm_ir.Bc_exec}); [`Auto] (the default) picks bytecode and
+    additionally unlocks the gate-tape fast path in the shot loop. *)
+
+val resolve_engine : engine -> [ `Ast | `Bytecode ]
+val engine_name : [< `Ast | `Bytecode ] -> string
+
+val compiled : Llvm_ir.Ir_module.t -> Llvm_ir.Bytecode.program * float * bool
+(** The compile-once cache, keyed by module identity ([==]): returns
+    the program, the compile wall-clock seconds, and whether it was a
+    cache hit (in which case the time is the original compile's).
+    Thread-safe; shared across shots, retries and Domain workers. *)
+
 type run_result = {
   output : string;  (** recorded-output bitstring, clbit order *)
   results : (int64 * bool) list;  (** every measured result, by address *)
   interp_stats : Llvm_ir.Interp.stats;
   runtime_stats : Runtime.stats;
+  engine_used : string;  (** ["ast"] or ["bytecode"] *)
+  compile_s : float;  (** bytecode compile seconds; 0 on cache hit *)
 }
 
 val declared_qubits : Llvm_ir.Ir_module.t -> int
@@ -27,21 +45,25 @@ val run :
   ?fuel:int ->
   ?deadline:float ->
   ?attempt:int ->
+  ?engine:engine ->
   Llvm_ir.Ir_module.t ->
   run_result
 (** One shot. [deadline] is an absolute [Unix.gettimeofday] instant;
     past it the interpreter aborts with
     {!Llvm_ir.Ir_error.Timeout_error}. [attempt] perturbs only the
     faulty backend's fault stream (retries re-run with the identical
-    quantum seed). Raises {!Runtime.Runtime_error},
-    {!Llvm_ir.Ir_error.Exec_error}, {!Llvm_ir.Ir_error.Timeout_error}
-    or {!Qsim.Sim_error.Backend_fault} on bad programs, expired
-    deadlines and backend faults. *)
+    quantum seed). Both engines are observably identical — same
+    outputs, stats, fuel accounting and error strings. Raises
+    {!Runtime.Runtime_error}, {!Llvm_ir.Ir_error.Exec_error},
+    {!Llvm_ir.Ir_error.Timeout_error} or
+    {!Qsim.Sim_error.Backend_fault} on bad programs, expired deadlines
+    and backend faults. *)
 
 val run_resilient :
   ?policy:Resilience.policy ->
   ?seed:int ->
   ?backend:backend_kind ->
+  ?engine:engine ->
   Llvm_ir.Ir_module.t ->
   (run_result, Qir_error.t) result
 (** One shot under a policy: transient faults are retried with backoff
@@ -59,6 +81,10 @@ type shots_result = {
   batched : bool;  (** histogram came from the batched fast path *)
   batch_fallback : bool;  (** batched path failed mid-run; fell back *)
   pool_fallbacks : int;  (** parallel sweeps degraded to sequential *)
+  engine : string;  (** per-shot engine: ["ast"] or ["bytecode"] *)
+  tape : bool;  (** histogram came from the gate-tape fast path *)
+  compile_s : float;  (** bytecode compile seconds; 0 on cache hit *)
+  analysis_s : float;  (** gate-tape eligibility analysis seconds *)
 }
 
 val run_shots_resilient :
@@ -66,6 +92,7 @@ val run_shots_resilient :
   ?seed:int ->
   ?backend:backend_kind ->
   ?batch:bool ->
+  ?engine:engine ->
   shots:int ->
   Llvm_ir.Ir_module.t ->
   shots_result
@@ -86,13 +113,23 @@ val run_shots_resilient :
     programs on the plain statevector backend; if it fails mid-run the
     loop falls back to per-shot execution ([batch_fallback = true]).
     The faulty backend always executes per shot, so injected faults
-    flow through the runtime's recovery paths. *)
+    flow through the runtime's recovery paths.
+
+    Below the batched tier sits the gate-tape tier ({!Gate_tape}):
+    under [`Auto] with batching allowed, no fuel and no per-shot
+    timeout, on the statevector or stabilizer backend, a proved-static
+    entry point is extracted once and replayed per shot ([tape = true])
+    with bit-identical histograms. The eligibility verdict is cached
+    per module identity ([analysis_s] is 0 on a hit), mirroring the
+    bytecode compile cache. Forcing [`Ast] or [`Bytecode] disables the
+    tape, which differential tests rely on. *)
 
 val run_shots :
   ?seed:int ->
   ?backend:backend_kind ->
   ?fuel:int ->
   ?batch:bool ->
+  ?engine:engine ->
   shots:int ->
   Llvm_ir.Ir_module.t ->
   (string * int) list

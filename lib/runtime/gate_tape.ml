@@ -1,0 +1,303 @@
+(* The gate-tape fast path: when static analysis proves the entry point
+   is a straight-line sequence of quantum operations on constant
+   addresses — no classical control flow, no dynamic allocation, no
+   classical feedback — the program *is* its gate sequence. We extract
+   that sequence once and replay it per shot directly against the
+   backend, skipping instruction dispatch entirely.
+
+   This is the batched sampler's eligibility tier derived from the
+   analyses (Const_addr constant propagation + Lifetime discipline +
+   call-graph reachability) instead of syntax, so it also covers
+   programs the circuit re-parser refuses: mid-circuit resets,
+   measurements feeding later recorded output, proved-but-not-spelled
+   static addresses (the phi_addr.ll shape).
+
+   Soundness contract: [extract] returns [Some tape] only when replaying
+   the tape against a fresh backend instance performs *exactly* the
+   backend call sequence (ensure/apply/measure/reset order included)
+   that per-shot interpretation would, so histograms are bit-identical
+   for the same seeds. Anything the interpreter might fault on — or any
+   construct outside the proven-static core — rejects the tape and falls
+   back to interpretation, which then behaves however it always did. *)
+
+open Llvm_ir
+open Qcircuit
+
+type op =
+  | Gate of Gate.t * int array
+  | Measure of int * int64 (* qubit, result address *)
+  | Reset of int
+  | Record of int64 (* result address, appended to the output key *)
+
+type t = { ops : op array; records : int }
+
+let length tape = Array.length tape.ops
+
+(* Static qubit addresses map 1:1 to simulator qubits below the dynamic
+   range (Runtime.qubit_of_address); cap absurd indices so the tape
+   never commits the backend to an allocation the analysis can't
+   justify. *)
+let max_static_qubit = 4096
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                           *)
+
+exception Not_static
+
+let resolve_const facts (o : Operand.t) : Constant.t option =
+  match o with
+  | Operand.Const c -> Some c
+  | Operand.Local id -> Qir_analysis.Const_addr.const_of facts id
+
+(* Address of a qubit/result pointer operand. Syntactic constants admit
+   only the shapes the interpreter evaluates without trapping at ptr
+   type (null / inttoptr); proved locals also admit integer constants,
+   whose VInt payload flows into the runtime's address resolution. *)
+let addr_of facts (o : Operand.t) : int64 =
+  let syntactic = match o with Operand.Const _ -> true | _ -> false in
+  match resolve_const facts o with
+  | Some Constant.Null -> 0L
+  | Some (Constant.Inttoptr n) -> n
+  | Some (Constant.Int n) when not syntactic -> n
+  | _ -> raise Not_static
+
+let qubit_of facts (o : Operand.t) : int =
+  let addr = addr_of facts o in
+  if
+    Int64.unsigned_compare addr Runtime.dynamic_base < 0
+    && Int64.compare addr (Int64.of_int max_static_qubit) < 0
+  then Int64.to_int addr
+  else raise Not_static
+
+let double_of facts (o : Operand.t) : float =
+  let syntactic = match o with Operand.Const _ -> true | _ -> false in
+  match resolve_const facts o with
+  | Some (Constant.Float f) -> f
+  | Some (Constant.Int n) when not syntactic -> Int64.to_float n
+  | _ -> raise Not_static
+
+(* An argument the runtime ignores (labels, initialize's context
+   pointer) still gets evaluated by the interpreter, so it must be
+   provably evaluable: a non-aggregate constant whose evaluation cannot
+   trap, or a proved-constant local. *)
+let evaluable m facts (a : Operand.typed) =
+  let ok_const (c : Constant.t) ~syntactic =
+    match c with
+    | Constant.Null | Constant.Inttoptr _ | Constant.Float _
+    | Constant.Bool _ | Constant.Undef ->
+      true
+    | Constant.Int _ -> (
+      if not syntactic then true
+      else
+        match a.Operand.ty with
+        | Ty.I1 | Ty.I8 | Ty.I16 | Ty.I32 | Ty.I64 -> true
+        | _ -> false (* truncate_to_width would trap *))
+    | Constant.Global g -> Ir_module.find_global m g <> None
+    | Constant.Str _ | Constant.Arr _ | Constant.Zeroinit -> false
+  in
+  match a.Operand.v with
+  | Operand.Const c -> ok_const c ~syntactic:true
+  | Operand.Local _ -> (
+    match resolve_const facts a.Operand.v with
+    | Some c -> ok_const c ~syntactic:false
+    | None -> false)
+
+(* The gate vocabulary, mirroring Runtime's external table. *)
+let gate_specs : (string * (Gate.t * int * int)) list =
+  let open Names in
+  [
+    (qis "h", (Gate.H, 0, 1));
+    (qis "x", (Gate.X, 0, 1));
+    (qis "y", (Gate.Y, 0, 1));
+    (qis "z", (Gate.Z, 0, 1));
+    (qis "s", (Gate.S, 0, 1));
+    (qis_adj "s", (Gate.Sdg, 0, 1));
+    (qis "t", (Gate.T, 0, 1));
+    (qis_adj "t", (Gate.Tdg, 0, 1));
+    (qis "sx", (Gate.Sx, 0, 1));
+    (qis "rx", (Gate.Rx 0.0, 1, 1));
+    (qis "ry", (Gate.Ry 0.0, 1, 1));
+    (qis "rz", (Gate.Rz 0.0, 1, 1));
+    (qis "cnot", (Gate.Cx, 0, 2));
+    (qis "cz", (Gate.Cz, 0, 2));
+    (qis "cy", (Gate.Cy, 0, 2));
+    (qis "swap", (Gate.Swap, 0, 2));
+    (qis "ccx", (Gate.Ccx, 0, 3));
+  ]
+
+let with_angle g t =
+  match g with
+  | Gate.Rx _ -> Gate.Rx t
+  | Gate.Ry _ -> Gate.Ry t
+  | Gate.Rz _ -> Gate.Rz t
+  | _ -> raise Not_static
+
+(* The straight-line block chain from the entry, or Not_static. *)
+let block_chain (f : Func.t) =
+  let labels = Func.label_table f in
+  let visited = Hashtbl.create 8 in
+  let rec go acc (b : Block.t) =
+    if Hashtbl.mem visited b.Block.label then raise Not_static;
+    Hashtbl.replace visited b.Block.label ();
+    let acc = b :: acc in
+    match b.Block.term with
+    | Instr.Ret _ -> List.rev acc
+    | Instr.Br l -> (
+      match Hashtbl.find_opt labels l with
+      | Some b' -> go acc b'
+      | None -> raise Not_static)
+    | Instr.Cond_br _ | Instr.Switch _ | Instr.Unreachable ->
+      raise Not_static
+  in
+  go [] (Func.entry f)
+
+let extract_call m facts measured emit (callee : string)
+    (args : Operand.typed list) =
+  let open Names in
+  let resolve_result (o : Operand.t) =
+    let addr = addr_of facts o in
+    addr
+  in
+  match List.assoc_opt callee gate_specs with
+  | Some (g, doubles, qubits) ->
+    if List.length args <> doubles + qubits then raise Not_static;
+    let dargs = List.filteri (fun i _ -> i < doubles) args in
+    let qargs = List.filteri (fun i _ -> i >= doubles) args in
+    let g =
+      match dargs with
+      | [] -> g
+      | [ d ] -> with_angle g (double_of facts d.Operand.v)
+      | _ -> raise Not_static
+    in
+    let qs =
+      Array.of_list
+        (List.map (fun (q : Operand.typed) -> qubit_of facts q.Operand.v) qargs)
+    in
+    emit (Gate (g, qs))
+  | None ->
+    if String.equal callee qis_mz then begin
+      match args with
+      | [ q; r ] ->
+        let qubit = qubit_of facts q.Operand.v in
+        let raddr = resolve_result r.Operand.v in
+        Hashtbl.replace measured raddr ();
+        emit (Measure (qubit, raddr))
+      | _ -> raise Not_static
+    end
+    else if String.equal callee qis_reset then begin
+      match args with
+      | [ q ] -> emit (Reset (qubit_of facts q.Operand.v))
+      | _ -> raise Not_static
+    end
+    else if String.equal callee rt_result_record_output then begin
+      match args with
+      | [ r; label ] ->
+        let raddr = resolve_result r.Operand.v in
+        (* record-before-measure faults in the runtime; leave it to the
+           interpreter rather than replicating the failure *)
+        if not (Hashtbl.mem measured raddr) then raise Not_static;
+        if not (evaluable m facts label) then raise Not_static;
+        emit (Record raddr)
+      | _ -> raise Not_static
+    end
+    else if
+      String.equal callee rt_initialize
+      || String.equal callee rt_message
+    then begin
+      if not (List.for_all (evaluable m facts) args) then raise Not_static
+    end
+    else if String.equal callee rt_array_record_output then begin
+      match args with
+      | [ n; label ] ->
+        if not (evaluable m facts n && evaluable m facts label) then
+          raise Not_static
+      | _ -> raise Not_static
+    end
+    else raise Not_static (* incl. m, read_result, result_equal, alloc *)
+
+let extract (m : Ir_module.t) : t option =
+  match Ir_module.entry_point m with
+  | None -> None
+  | Some entry when Func.is_declaration entry || entry.Func.params <> [] ->
+    None
+  | Some entry -> (
+    try
+      (* call-graph reachability: the entry must reach no defined
+         function (every callee is an external the runtime implements) *)
+      let cg = Qir_analysis.Call_graph.build m in
+      if Qir_analysis.Call_graph.callees cg entry.Func.name <> [] then
+        raise Not_static;
+      if Qir_analysis.Call_graph.is_recursive cg entry.Func.name then
+        raise Not_static;
+      (* lifetime discipline: any definite qubit/result misuse would
+         fault at runtime — not a tape's business to reproduce *)
+      let lifetime = Qir_analysis.Lifetime.check_module m in
+      if
+        List.exists
+          (fun (d : Qir_analysis.Diagnostic.t) ->
+            d.Qir_analysis.Diagnostic.severity = Qir_analysis.Diagnostic.Error)
+          lifetime
+      then raise Not_static;
+      let facts = Qir_analysis.Const_addr.analyze entry in
+      let blocks = block_chain entry in
+      let ops = ref [] and nrecords = ref 0 in
+      let measured = Hashtbl.create 16 in
+      let emit op =
+        ops := op :: !ops;
+        match op with Record _ -> incr nrecords | _ -> ()
+      in
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) ->
+              match i.Instr.op with
+              | Instr.Phi _ -> raise Not_static (* no joins on the chain *)
+              | Instr.Call (_, callee, args) ->
+                extract_call m facts measured emit callee args
+              | Instr.Binop (b, _, _, _) when Instr.binop_is_division b ->
+                raise Not_static (* may trap *)
+              | Instr.Load _ | Instr.Store _ | Instr.Gep _ ->
+                raise Not_static (* memory traffic: out of scope *)
+              | Instr.Binop _ | Instr.Fbinop _ | Instr.Icmp _
+              | Instr.Fcmp _ | Instr.Select _ | Instr.Cast _
+              | Instr.Freeze _ | Instr.Alloca _ ->
+                () (* pure; consumed values are proved const or unused *))
+            b.Block.instrs)
+        blocks;
+      Some { ops = Array.of_list (List.rev !ops); records = !nrecords }
+    with Not_static -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                               *)
+
+(* Performs exactly the backend call sequence per-shot interpretation
+   would: ensure-on-demand before every qubit use (mirroring
+   Runtime.qubit_of_address), then the operation, in program order —
+   so the backend's RNG draws line up and outcomes are bit-identical. *)
+let replay (tape : t) (inst : Qsim.Backend.instance) : string =
+  let ensure q = Qsim.Backend.instance_ensure inst (q + 1) in
+  let results = Hashtbl.create 16 in
+  let output = Buffer.create (max tape.records 8) in
+  Array.iter
+    (fun op ->
+      match op with
+      | Gate (g, qs) ->
+        Array.iter ensure qs;
+        Qsim.Backend.instance_apply inst g (Array.to_list qs)
+      | Measure (q, raddr) ->
+        ensure q;
+        let b = Qsim.Backend.instance_measure inst q in
+        Hashtbl.replace results raddr b
+      | Reset q ->
+        ensure q;
+        Qsim.Backend.instance_reset inst q
+      | Record raddr ->
+        let b = Hashtbl.find results raddr in
+        Buffer.add_string output (if b then "1" else "0"))
+    tape.ops;
+  if tape.records > 0 then Buffer.contents output
+  else
+    Hashtbl.fold (fun addr b acc -> (addr, b) :: acc) results []
+    |> List.sort compare
+    |> List.map (fun (_, b) -> if b then "1" else "0")
+    |> String.concat ""

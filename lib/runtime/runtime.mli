@@ -12,6 +12,10 @@
 
 exception Runtime_error of string
 
+val dynamic_base : int64
+(** Addresses below this are static (qubit index = address); dynamic
+    qubit allocations start here. *)
+
 type stats = {
   mutable gate_calls : int;
   mutable measurements : int;

@@ -156,10 +156,66 @@ and a recovered run reproduces the fault-free histogram exactly.
   00: 22
   11: 28
 
-  $ qir-run bell.ll --shots 50 --seed 3 --backend faulty:0.05 --stats
+  $ qir-run bell.ll --shots 50 --seed 3 --backend faulty:0.05 --stats | grep -v '^timings:'
   00: 22
   11: 28
-  completed=50/50 retries=6 batched=false batch-fallback=false pool-fallbacks=0
+  completed=50/50 retries=6 batched=false batch-fallback=false pool-fallbacks=0 engine=bytecode tape=false
+
+Execution engines: the AST interpreter and the compile-once bytecode
+engine are observably identical — forcing either one must reproduce the
+seed histograms byte for byte (per shot and batched).
+
+  $ qir-run bell.ll --shots 50 --seed 3 --no-batch --engine ast
+  00: 22
+  11: 28
+
+  $ qir-run bell.ll --shots 50 --seed 3 --no-batch --engine bytecode
+  00: 22
+  11: 28
+
+  $ qir-run bell.ll --shots 50 --seed 3 --engine ast
+  00: 23
+  11: 27
+
+The default auto engine unlocks the gate-tape fast path where the
+analyses prove the program static; the stabilizer backend is ineligible
+for batching, so the tape is what serves it — with the same histogram
+per-shot interpretation produces.
+
+  $ qir-run bell.ll --shots 50 --seed 3 --backend stabilizer --stats | grep -v '^timings:'
+  00: 27
+  11: 23
+  completed=50/50 retries=0 batched=false batch-fallback=false pool-fallbacks=0 engine=bytecode tape=true
+
+  $ qir-run bell.ll --shots 50 --seed 3 --backend stabilizer --engine ast
+  00: 27
+  11: 23
+
+An unknown engine is rejected by the option parser:
+
+  $ qir-run bell.ll --engine turbo
+  qir-run: option '--engine': unknown engine "turbo" (expected ast, bytecode or
+           auto)
+  Usage: qir-run [OPTION]… INPUT.ll
+  Try 'qir-run --help' for more information.
+  [124]
+
+The --stats wall-clock breakdown is one JSON line with stable keys
+(values vary run to run; the keys are the contract):
+
+  $ qir-run bell.ll --shots 10 --stats | grep '^timings:' | grep -o '"[a-z_]*_s"'
+  "parse_s"
+  "lint_s"
+  "compile_s"
+  "execute_s"
+  "total_s"
+
+  $ qir-run bell.ll --stats | grep '^timings:' | grep -o '"[a-z_]*_s"'
+  "parse_s"
+  "lint_s"
+  "compile_s"
+  "execute_s"
+  "total_s"
 
 With retries disabled, the first fault is fatal (exit 6):
 

@@ -18,4 +18,5 @@ let () =
       ("noise", Test_noise.suite);
       ("commute", Test_commute.suite);
       ("density", Test_density.suite);
+      ("bytecode", Test_bytecode.suite);
     ]
