@@ -527,6 +527,34 @@ let a1 () =
    measured against the seed's naive general-kernel engine. Results are
    also written machine-readably to BENCH_simulator.json. *)
 
+(* E9 and E14 both report into BENCH_simulator.json: each stores its
+   fragment here and rewrites the file with whatever has run so far, so
+   a BENCH_ONLY subset still produces a valid record. The pool fragment
+   is computed at write time, after any domain sweeps have restored the
+   configuration, so the file records the pool the numbers were
+   actually measured with. *)
+let sim_fragments : (string * string) list ref = ref []
+
+let write_sim_json () =
+  let pool =
+    Printf.sprintf
+      {|  "pool": { "domains": %d, "parallel_threshold": %d, "sequential_fallbacks": %d }|}
+      (Qsim.Dpool.domains ())
+      (Qsim.Dpool.threshold ())
+      (Qsim.Dpool.sequential_fallbacks ())
+  in
+  let body =
+    String.concat ",\n" (List.map snd (List.rev !sim_fragments) @ [ pool ])
+  in
+  let oc = open_out "BENCH_simulator.json" in
+  output_string oc (Printf.sprintf "{\n%s\n}\n" body);
+  close_out oc;
+  Harness.row "  wrote BENCH_simulator.json@\n"
+
+let add_sim_fragment name fragment =
+  sim_fragments := (name, fragment) :: List.remove_assoc name !sim_fragments;
+  write_sim_json ()
+
 let measure_all (c : Circuit.t) =
   let b =
     Circuit.Build.create ~num_qubits:c.Circuit.num_qubits
@@ -602,10 +630,9 @@ let e9 () =
     (Harness.ns_to_string (t_batched *. 1e9))
     (t_per_shot /. t_batched);
   (* machine-readable record *)
-  let json =
+  let fragment =
     Printf.sprintf
-      {|{
-  "e9_kernels": {
+      {|  "e9_kernels": {
     "circuit": { "qubits": %d, "gates": %d, "family": "clifford+t" },
     "reference_s": %.6f,
     "specialized_s": %.6f,
@@ -615,7 +642,8 @@ let e9 () =
   },
   "fusion_plan": {
     "ops_in": %d, "steps_out": %d,
-    "fused_1q": %d, "absorbed_1q": %d, "fused_2q": %d,
+    "fused_1q": %d, "absorbed_1q": %d, "fused_2q": %d, "fused_3q": %d,
+    "clusters_emitted": %d, "clustered_gates": %d,
     "identities_dropped": %d
   },
   "e9_batching": {
@@ -624,23 +652,165 @@ let e9 () =
     "per_shot_s": %.6f,
     "batched_s": %.6f,
     "speedup": %.2f
-  },
-  "pool": { "domains": %d, "parallel_threshold": %d }
-}
-|}
+  }|}
       n gates t_ref t_spec t_fused (t_ref /. t_spec) (t_ref /. t_fused)
       fstats.Qsim.Fusion.ops_in fstats.Qsim.Fusion.steps_out
       fstats.Qsim.Fusion.fused_1q fstats.Qsim.Fusion.absorbed_1q
-      fstats.Qsim.Fusion.fused_2q fstats.Qsim.Fusion.identities_dropped nb gb
-      shots t_per_shot t_batched
+      fstats.Qsim.Fusion.fused_2q fstats.Qsim.Fusion.fused_3q
+      fstats.Qsim.Fusion.clusters_emitted fstats.Qsim.Fusion.clustered_gates
+      fstats.Qsim.Fusion.identities_dropped nb gb shots t_per_shot t_batched
       (t_per_shot /. t_batched)
-      (Qsim.Dpool.domains ())
-      (Qsim.Dpool.threshold ())
   in
-  let oc = open_out "BENCH_simulator.json" in
-  output_string oc json;
-  close_out oc;
-  Harness.row "  wrote BENCH_simulator.json@\n"
+  add_sim_fragment "e9" fragment
+
+(* ------------------------------------------------------------------ *)
+(* E14 — cluster fusion and the sharded state: gates/sec and the qubit
+   ceiling. Part 1 sweeps the cluster-width cap k on the E9 circuit —
+   k=2 approximates the old pairwise fusion pass, wider k folds whole
+   Clifford+T runs into one-sweep monomial clusters. Part 2 sweeps the
+   Domain-pool size (honest on a small machine: flat when there is one
+   core), part 3 forces the sharded layout on the same workload, and
+   part 4 runs a 28-qubit GHZ end-to-end through the QIR executor —
+   past the old engine's 26-qubit cap. Fragments land in
+   BENCH_simulator.json next to E9's. *)
+
+let e14 () =
+  Harness.section "E14" "cluster fusion + sharded statevector";
+  let n = 20 and gates = 200 in
+  let c = Generate.random ~seed:77 ~parametric:false ~gates n in
+  let gps t = float_of_int gates /. t in
+  let run_k k =
+    Harness.time_once (fun () ->
+        ignore (Qsim.Fusion.run_circuit ~seed:1 ~k c))
+  in
+  let t_spec =
+    Harness.time_once (fun () ->
+        ignore (Qsim.Statevector.run_circuit ~seed:1 c))
+  in
+  let t_k2 = run_k 2 in
+  let t_ks = List.map (fun k -> (k, run_k k)) [ 3; 4; 5; 6 ] in
+  Harness.row "  %d-qubit, %d-gate Clifford+T circuit (one full run):@\n" n
+    gates;
+  Harness.row "  %-36s %12s %14s %10s@\n" "engine" "time" "gates/sec"
+    "vs k=2";
+  let show name t =
+    Harness.row "  %-36s %12s %14.0f %9.2fx@\n" name
+      (Harness.ns_to_string (t *. 1e9))
+      (gps t) (t_k2 /. t)
+  in
+  show "specialized, unfused" t_spec;
+  show "pairwise fused (k=2)" t_k2;
+  List.iter (fun (k, t) -> show (Printf.sprintf "clustered (k=%d)" k) t) t_ks;
+  let best_k, best_t =
+    List.fold_left
+      (fun (bk, bt) (k, t) -> if t < bt then (k, t) else (bk, bt))
+      (2, t_k2) t_ks
+  in
+  let _, st4 = Qsim.Fusion.plan ~k:4 c in
+  Harness.row
+    "  k=4 plan: %d ops -> %d steps (%d clusters covering %d gates, %d \
+     identities dropped)@\n"
+    st4.Qsim.Fusion.ops_in st4.Qsim.Fusion.steps_out
+    st4.Qsim.Fusion.clusters_emitted st4.Qsim.Fusion.clustered_gates
+    st4.Qsim.Fusion.identities_dropped;
+  (* Domain sweep at the best k: the pool is restored afterwards, so
+     later experiments (and the pool record in the JSON) see the
+     original configuration. *)
+  let saved_domains = Qsim.Dpool.domains () in
+  let dtimes =
+    List.map
+      (fun d ->
+        Qsim.Dpool.set_domains d;
+        (d, run_k best_k))
+      [ 1; 4; 8 ]
+  in
+  Qsim.Dpool.set_domains saved_domains;
+  Harness.row "@\n  domain sweep (k=%d; this machine reports %d core(s)):@\n"
+    best_k
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun (d, t) ->
+      Harness.row "  %4d domain(s) %12s %14.0f gates/sec@\n" d
+        (Harness.ns_to_string (t *. 1e9))
+        (gps t))
+    dtimes;
+  (* Forced sharded layout: 2^18-amplitude shards make the same
+     20-qubit register span 4 shards, exercising the shard-crossing
+     kernels on the identical workload. *)
+  let saved_lb = Qsim.Statevector.max_local_bits () in
+  Qsim.Statevector.set_max_local_bits 18;
+  let t_sharded = run_k best_k in
+  Qsim.Statevector.set_max_local_bits saved_lb;
+  Harness.row
+    "  sharded layout (4 x 2^18-amplitude shards, k=%d): %s  (%.0f \
+     gates/sec, %.2fx flat)@\n"
+    best_k
+    (Harness.ns_to_string (t_sharded *. 1e9))
+    (gps t_sharded) (best_t /. t_sharded);
+  (* 28-qubit GHZ end-to-end through the executor (4 GiB of amplitudes,
+     past the old 26-qubit cap): batched sampling runs the unitary once
+     and draws all shots from the 2-clbit marginal. *)
+  let n28 = 28 and shots = 50 in
+  let b = Circuit.Build.create ~num_qubits:n28 ~num_clbits:2 () in
+  Circuit.Build.gate b Gate.H [ 0 ];
+  for q = 0 to n28 - 2 do
+    Circuit.Build.gate b Gate.Cx [ q; q + 1 ]
+  done;
+  Circuit.Build.measure b 0 0;
+  Circuit.Build.measure b (n28 - 1) 1;
+  let m28 = Qir.Qir_builder.build (Circuit.Build.finish b) in
+  let result = ref None in
+  let t28 =
+    Harness.time_once (fun () ->
+        result := Some (Qruntime.Executor.run_shots ~seed:5 ~batch:true ~shots m28))
+  in
+  let hist = Option.get !result in
+  let completed = List.fold_left (fun acc (_, k) -> acc + k) 0 hist in
+  let ghz_keys_only =
+    List.for_all (fun (key, _) -> key = "00" || key = "11") hist
+  in
+  Harness.row
+    "  28-qubit GHZ end-to-end (%d gates, %d shots, batched): %s   \
+     histogram %s@\n"
+    n28 shots
+    (Harness.ns_to_string (t28 *. 1e9))
+    (String.concat " "
+       (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) hist));
+  let fragment =
+    Printf.sprintf
+      {|  "e14_clusters": {
+    "circuit": { "qubits": %d, "gates": %d, "family": "clifford+t" },
+    "specialized_s": %.6f,
+    "pairwise_k2_s": %.6f,
+    "clustered": { %s },
+    "best_k": %d,
+    "gates_per_sec_best": %.0f,
+    "speedup_best_vs_k2": %.2f,
+    "plan_k4": { "ops_in": %d, "steps_out": %d, "clusters_emitted": %d, "clustered_gates": %d }
+  },
+  "e14_domain_sweep": { "k": %d, "cores": %d, %s },
+  "e14_sharded": { "local_bits": 18, "shards": 4, "time_s": %.6f, "gates_per_sec": %.0f },
+  "e14_qubit_ceiling": {
+    "qubits": %d, "gates": %d, "shots": %d, "batched": true,
+    "time_s": %.6f, "shots_completed": %d, "ghz_histogram_ok": %b
+  }|}
+      n gates t_spec t_k2
+      (String.concat ", "
+         (List.map
+            (fun (k, t) -> Printf.sprintf {|"k%d_s": %.6f|} k t)
+            t_ks))
+      best_k (gps best_t) (t_k2 /. best_t) st4.Qsim.Fusion.ops_in
+      st4.Qsim.Fusion.steps_out st4.Qsim.Fusion.clusters_emitted
+      st4.Qsim.Fusion.clustered_gates best_k
+      (Domain.recommended_domain_count ())
+      (String.concat ", "
+         (List.map
+            (fun (d, t) -> Printf.sprintf {|"domains_%d_s": %.6f|} d t)
+            dtimes))
+      t_sharded (gps t_sharded) n28 n28 shots t28 completed
+      (completed = shots && ghz_keys_only)
+  in
+  add_sim_fragment "e14" fragment
 
 (* ------------------------------------------------------------------ *)
 (* E10 — resilience: recovery overhead vs injected fault rate           *)
@@ -1278,4 +1448,5 @@ let () =
   run "e11" e11;
   run "e12" e12;
   run "e13" e13;
+  run "e14" e14;
   Format.printf "@\nAll benchmarks complete.@\n"

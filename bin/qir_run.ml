@@ -12,8 +12,22 @@
 open Cmdliner
 
 let run input shots seed backend no_batch engine stats timeout shot_timeout
-    retries =
+    retries domains local_bits =
   Cli_common.protect @@ fun () ->
+  Option.iter
+    (fun n ->
+      if n < 1 then
+        Cli_common.die ~code:Qruntime.Qir_error.exit_usage
+          "--domains: need at least one domain";
+      Qsim.Dpool.set_domains n)
+    domains;
+  Option.iter
+    (fun b ->
+      if b < 1 || b > Qsim.Statevector.max_qubits then
+        Cli_common.die ~code:Qruntime.Qir_error.exit_usage
+          "--local-bits: expected 1..%d" Qsim.Statevector.max_qubits;
+      Qsim.Statevector.set_max_local_bits b)
+    local_bits;
   let t0 = Unix.gettimeofday () in
   let m = Cli_common.parse_qir_file input in
   let parse_s = Unix.gettimeofday () -. t0 in
@@ -190,12 +204,25 @@ let retries =
          ~doc:"Retries per shot for transient backend faults (with \
                exponential backoff); 0 fails on the first fault.")
 
+let domains =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker-domain count for the statevector kernels \
+               (overrides QIR_SIM_DOMAINS; default: the runtime's \
+               recommended domain count).")
+
+let local_bits =
+  Arg.(value & opt (some int) None & info [ "local-bits" ] ~docv:"BITS"
+         ~doc:"Statevector shard granularity: each shard holds 2^BITS \
+               amplitudes (overrides QIR_SIM_LOCAL_BITS; default 24). \
+               Registers beyond BITS qubits are split across multiple \
+               contiguous shards.")
+
 let cmd =
   let doc = "execute QIR programs on a simulator-backed runtime" in
   Cmd.v
     (Cmd.info "qir-run" ~doc)
     Term.(
       const run $ input $ shots $ seed $ backend $ no_batch $ engine $ stats
-      $ timeout $ shot_timeout $ retries)
+      $ timeout $ shot_timeout $ retries $ domains $ local_bits)
 
 let () = exit (Cmd.eval cmd)

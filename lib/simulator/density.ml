@@ -46,7 +46,18 @@ let trace st =
 (* Probability of basis state [i]: the diagonal entry. *)
 let probability st i = st.re.((i * dim st) + i)
 
-let probabilities st = Array.init (dim st) (probability st)
+(* Direct fill along the diagonal: one stride-(dim+1) walk instead of a
+   closure call re-deriving the diagonal index per entry. *)
+let probabilities st =
+  let d = dim st in
+  let out = Array.make d 0.0 in
+  let re = st.re in
+  let idx = ref 0 in
+  for i = 0 to d - 1 do
+    Array.unsafe_set out i (Array.unsafe_get re !idx);
+    idx := !idx + d + 1
+  done;
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Unitary application: rho -> U rho U+ where U acts on [qs].

@@ -173,11 +173,11 @@ let chunk_count ~size =
   if size < !par_threshold || !num_domains <= 1 || !spawn_disabled then 1
   else !num_domains
 
-(* Runs [f k lo hi] for each chunk [k] covering [0, size); chunk 0 runs
-   on the calling domain. If worker domains cannot be spawned, the whole
-   range runs sequentially on the caller (counted as a fallback). *)
-let run_indexed ~size f =
-  let chunks = chunk_count ~size in
+(* Runs [f k lo hi] for each of [chunks] chunks covering [0, size);
+   chunk 0 runs on the calling domain. If worker domains cannot be
+   spawned, the whole range runs sequentially on the caller (counted as
+   a fallback). *)
+let dispatch ~chunks ~size f =
   if chunks = 1 then f 0 0 size
   else
     match get_pool () with
@@ -217,7 +217,25 @@ let run_indexed ~size f =
     | None -> ()
     end
 
+let run_indexed ~size f = dispatch ~chunks:(chunk_count ~size) ~size f
+
 let run ~size f = run_indexed ~size (fun _ lo hi -> f lo hi)
+
+(* Shard-grained scheduling: [count] coarse tasks (one per state shard)
+   spread across the pool regardless of the size threshold — each task
+   is a whole kernel sweep over one shard, so even a handful of tasks is
+   worth the fork/join. Tasks must be safe to run concurrently. *)
+let run_tasks ~count f =
+  if count > 0 then begin
+    let chunks =
+      if !num_domains <= 1 || !spawn_disabled || count = 1 then 1
+      else min !num_domains count
+    in
+    dispatch ~chunks ~size:count (fun _ lo hi ->
+        for i = lo to hi - 1 do
+          f i
+        done)
+  end
 
 (* Chunked sum; the combination order is fixed (chunk index order), so
    results are deterministic for a given domain count and threshold. *)

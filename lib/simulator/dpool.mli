@@ -28,6 +28,13 @@ val run_indexed : size:int -> (int -> int -> int -> unit) -> unit
 (** Like {!run} but passes the chunk index first, so callers can write
     per-chunk results into pre-sized arrays. *)
 
+val run_tasks : count:int -> (int -> unit) -> unit
+(** [run_tasks ~count f] runs [f i] for each [i] in [0, count),
+    spreading the tasks across the pool {e regardless} of the size
+    threshold. Meant for shard-grained work where each task is itself a
+    whole kernel sweep (see {!Statevector}); tasks must be safe to run
+    concurrently. *)
+
 val reduce_float : size:int -> (int -> int -> float) -> float
 (** Chunked sum of [f lo hi] partials, combined in chunk order
     (deterministic for a fixed configuration). *)

@@ -1,26 +1,29 @@
 (* Gate fusion: a pre-execution pass that collapses runs of adjacent
    gates into fewer, denser kernels before the statevector engine runs
    them — the QDFO/dataflow lever: the cost of a kernel is a sweep over
-   2^n amplitudes, so applying one fused 2x2 instead of five separate
+   2^n amplitudes, so applying one fused matrix instead of five separate
    gates is a ~5x win on the hot path.
 
-   Two fusion rules, applied greedily in one linear walk:
-   - runs of single-qubit gates on the same qubit multiply into one 2x2
-     matrix;
-   - single-qubit gates adjacent to a two-qubit gate on one of its
-     qubits are absorbed into the 4x4 matrix (before or after), and
-     consecutive two-qubit gates on the same qubit pair multiply into
-     one 4x4.
+   The pass is a cost-aware clustering walk: every gate either joins a
+   pending cluster (a unitary over the union of their qubits, capped at
+   [k] qubits), or flushes the clusters it touches and starts a new one.
+   A merge fires only when the engine-cost model says the merged kernel
+   is no more expensive than the kernels it replaces. The model mirrors
+   the engine's specialized kernels: diagonal cluster matrices cost a
+   fraction of a sweep, monomial (permutation-with-phases) matrices —
+   any run of X/CX/SWAP/CCX/phase gates — cost one sweep regardless of
+   cluster width, and dense matrices pay 2^m multiplies per amplitude.
+   So Clifford+T runs collapse into wide one-sweep clusters, an H still
+   fuses into a neighboring CNOT (the dense 4x4 beats two sweeps), but
+   a dense matrix is never grown past what the replaced gates cost.
 
-   Both rules are cost-aware: the engine has specialized kernels whose
-   sweeps are far cheaper than a general matrix sweep (diagonal ~4x,
-   permutation moves ~memory-bound), so a fusion only fires when the
-   fused kernel is no more expensive than the kernels it replaces —
-   e.g. an H is never folded into a lone CNOT, but T.Rz runs fold into
-   a pending CZ and anything folds into an already-general 4x4.
+   Emission keeps the cheapest encoding for each flushed cluster: a
+   cluster that is still a single source gate is re-emitted as that gate
+   (preserving the engine's specialized kernel dispatch), 1- and
+   2-qubit matrices lower to Mat1/Mat2, anything wider to Cluster.
 
-   Measurements, resets, barriers, classically-conditioned operations
-   and 3-qubit gates are fusion barriers for the qubits they touch (a
+   Measurements, resets, barriers and classically-conditioned
+   operations are fusion barriers for the qubits they touch (a
    conditional gate's applicability is only known at run time). The
    emitted plan preserves operation order per qubit; pending matrices on
    disjoint qubits commute, so flush order between qubits is free. *)
@@ -31,60 +34,56 @@ type step =
   | Mat1 of Complex.t array array * int
   | Mat2 of Complex.t array array * int * int
       (* first qubit = most significant matrix bit, as in apply_2q *)
+  | Cluster of Complex.t array array * int array
+      (* qubits ascending; matrix bit j <-> qs.(j), least significant
+         first, as in Statevector.apply_cluster *)
   | Op of Circuit.op
 
 type stats = {
   ops_in : int;
   steps_out : int;
-  fused_1q : int; (* 1q gates merged into another 1q matrix *)
-  absorbed_1q : int; (* 1q gates folded into a neighboring 4x4 *)
-  fused_2q : int; (* 2q gates merged pairwise *)
+  fused_1q : int; (* 1q gates merged into a 1-qubit cluster *)
+  absorbed_1q : int; (* 1q gates folded into a wider cluster *)
+  fused_2q : int; (* 2q gates merged into a cluster *)
+  fused_3q : int; (* 3q gates merged into a cluster *)
+  clusters_emitted : int; (* Cluster steps (3+ qubits) in the plan *)
+  clustered_gates : int; (* source gates inside those Cluster steps *)
   identities_dropped : int;
 }
 
 (* ------------------------------------------------------------------ *)
 (* Small complex matrix algebra                                         *)
 
+(* Product [a x b], skipping exact zeros of both factors: gate and
+   fused-cluster matrices are mostly zeros, so this runs near
+   O(nnz(a) * row-density(b)) instead of O(n^3) — the difference
+   between a negligible and a dominant planning cost at 32x32+. *)
 let mat_mul a b =
   let n = Array.length a in
   Array.init n (fun i ->
-      Array.init n (fun j ->
-          let acc = ref Complex.zero in
-          for k = 0 to n - 1 do
-            acc := Complex.add !acc (Complex.mul a.(i).(k) b.(k).(j))
-          done;
-          !acc))
-
-(* [m] on the most-significant qubit of the pair: m (x) I. *)
-let kron_hi (m : Complex.t array array) =
-  let z = Complex.zero in
-  [|
-    [| m.(0).(0); z; m.(0).(1); z |];
-    [| z; m.(0).(0); z; m.(0).(1) |];
-    [| m.(1).(0); z; m.(1).(1); z |];
-    [| z; m.(1).(0); z; m.(1).(1) |];
-  |]
-
-(* [m] on the least-significant qubit of the pair: I (x) m. *)
-let kron_lo (m : Complex.t array array) =
-  let z = Complex.zero in
-  [|
-    [| m.(0).(0); m.(0).(1); z; z |];
-    [| m.(1).(0); m.(1).(1); z; z |];
-    [| z; z; m.(0).(0); m.(0).(1) |];
-    [| z; z; m.(1).(0); m.(1).(1) |];
-  |]
+      let row = Array.make n Complex.zero in
+      for k = 0 to n - 1 do
+        let aik = a.(i).(k) in
+        if aik.Complex.re <> 0.0 || aik.Complex.im <> 0.0 then
+          for j = 0 to n - 1 do
+            let bkj = b.(k).(j) in
+            if bkj.Complex.re <> 0.0 || bkj.Complex.im <> 0.0 then
+              row.(j) <- Complex.add row.(j) (Complex.mul aik bkj)
+          done
+      done;
+      row)
 
 (* Reindexes a 4x4 matrix to the basis with its two qubit roles
-   swapped: bit pattern |ab> becomes |ba| (1 <-> 2). *)
+   swapped: bit pattern |ab> becomes |ba> (1 <-> 2). *)
 let swap_roles (u : Complex.t array array) =
   let perm = [| 0; 2; 1; 3 |] in
   Array.init 4 (fun i -> Array.init 4 (fun j -> u.(perm.(i)).(perm.(j))))
 
-let is_identity2 (u : Complex.t array array) =
+let is_identity (u : Complex.t array array) =
+  let n = Array.length u in
   let dev = ref 0.0 in
-  for i = 0 to 1 do
-    for j = 0 to 1 do
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
       let expect = if i = j then Complex.one else Complex.zero in
       dev := Float.max !dev (Complex.norm (Complex.sub u.(i).(j) expect))
     done
@@ -93,9 +92,8 @@ let is_identity2 (u : Complex.t array array) =
 
 (* Structure tests (exact zeros: gate matrices carry them, and products
    of structured matrices preserve them). The engine has cheap kernels
-   for diagonal and permutation-shaped matrices, so fusion must not
-   combine cheap factors into an expensive general 4x4 — a general
-   sweep costs ~4x a diagonal one. *)
+   for diagonal and permutation-shaped matrices, so the cost model must
+   know a cluster's structure, not just its width. *)
 let zero (z : Complex.t) = z.Complex.re = 0.0 && z.Complex.im = 0.0
 
 let is_diag (u : Complex.t array array) =
@@ -109,7 +107,8 @@ let is_diag (u : Complex.t array array) =
   !ok
 
 (* One nonzero per row and per column: a permutation with phases.
-   These gates (X, CX, SWAP, CCX...) have move-only kernels. *)
+   These matrices (any product of X, CX, SWAP, CCX and phase gates)
+   take the engine's constant-work-per-amplitude cluster path. *)
 let is_monomial (u : Complex.t array array) =
   let n = Array.length u in
   let ok = ref true in
@@ -123,111 +122,282 @@ let is_monomial (u : Complex.t array array) =
   done;
   !ok
 
+(* Lifts [u] over qubits [qs] (matrix bit j <-> qs.(j)) to the superset
+   [sup] (ascending), acting as identity on the extra qubits.
+   O(4^|sup|) — cluster widths are small. *)
+let embed (u : Complex.t array array) (qs : int array) (sup : int array) =
+  let pos =
+    Array.map
+      (fun q ->
+        let p = ref (-1) in
+        Array.iteri (fun i s -> if s = q then p := i) sup;
+        assert (!p >= 0);
+        !p)
+      qs
+  in
+  let big = 1 lsl Array.length sup in
+  let inmask = Array.fold_left (fun acc p -> acc lor (1 lsl p)) 0 pos in
+  let outmask = (big - 1) land lnot inmask in
+  let proj x =
+    let s = ref 0 in
+    Array.iteri (fun j p -> s := !s lor (((x lsr p) land 1) lsl j)) pos;
+    !s
+  in
+  Array.init big (fun r ->
+      Array.init big (fun c ->
+          if r land outmask <> c land outmask then Complex.zero
+          else u.(proj r).(proj c)))
+
+(* The 8x8 permutation matrix of a 3-qubit gate in the local basis of
+   [sorted] (ascending, LSB first), given its operand order [ops]. *)
+let mat3_local (g : Gate.t) (ops : int array) (sorted : int array) =
+  let pos =
+    Array.map
+      (fun q ->
+        let p = ref (-1) in
+        Array.iteri (fun i s -> if s = q then p := i) sorted;
+        !p)
+      ops
+  in
+  let u = Array.make_matrix 8 8 Complex.zero in
+  for x = 0 to 7 do
+    let bit j = (x lsr pos.(j)) land 1 in
+    let y =
+      match g with
+      | Gate.Ccx -> if bit 0 = 1 && bit 1 = 1 then x lxor (1 lsl pos.(2)) else x
+      | Gate.Cswap ->
+        if bit 0 = 1 && bit 1 <> bit 2 then
+          x lxor (1 lsl pos.(1)) lxor (1 lsl pos.(2))
+        else x
+      | _ -> assert false
+    in
+    u.(y).(x) <- Complex.one
+  done;
+  u
+
 (* ------------------------------------------------------------------ *)
-(* The fusion walk                                                      *)
+(* Engine-cost model                                                    *)
 
-type pend =
-  | P1 of { mutable m : Complex.t array array; q : int }
-  | P2 of { mutable m : Complex.t array array; qa : int; qb : int }
+(* Costs in units of one light-compute sweep over the amplitude arrays.
+   Standalone gates are priced at their specialized kernel: diagonal
+   d0=1 kernels touch half the amplitudes, CX/SWAP move half, CCX a
+   quarter, controlled-general 4x4s pay the 16-complex-multiply matvec. *)
+let gate_cost (g : Gate.t) =
+  match g with
+  | Gate.I -> 0.0
+  | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg | Gate.P _ -> 0.5
+  | Gate.Cx | Gate.Cy | Gate.Swap -> 0.55
+  | Gate.Cz | Gate.Cp _ | Gate.Crz _ -> 0.35
+  | Gate.Ccx | Gate.Cswap -> 0.3
+  | Gate.Ch | Gate.Crx _ | Gate.Cry _ | Gate.Cu _ -> 1.4
+  | _ -> if Gate.num_qubits g = 1 then 1.0 else 1.4
 
-let plan (c : Circuit.t) : step list * stats =
+(* A pending cluster's cost if flushed as its own kernel, calibrated
+   against the engine's measured sweep costs (in units of one
+   full-array light sweep): diagonal and monomial (cycle-walking)
+   cluster sweeps cost about one sweep regardless of width; a 2-qubit
+   non-monomial matrix lowers to the hardcoded general 4x4 kernel
+   (~1.4); anything wider runs as a CSR matvec whose per-amplitude work
+   is the average row density — gather/scatter staging makes that
+   roughly 0.55 of a sweep per nonzero-per-row on top of a half-sweep
+   of fixed overhead. The effect: Clifford+T runs fold into wide
+   one-sweep clusters, a single H still fuses into its neighborhood,
+   but sparse clusters stop absorbing gates as soon as their rows
+   thicken. *)
+let cluster_cost (u : Complex.t array array) =
+  if is_diag u then 0.7
+  else if is_monomial u then 1.2
+  else begin
+    let n = Array.length u in
+    if n <= 4 then 1.4
+    else begin
+      let nnz = ref 0 in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if not (zero u.(i).(j)) then incr nnz
+        done
+      done;
+      0.5 +. (0.55 *. float_of_int !nnz /. float_of_int n)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The clustering walk                                                  *)
+
+type pend = {
+  mutable m : Complex.t array array;
+  mutable qs : int array; (* ascending; matrix bit j <-> qs.(j) *)
+  mutable gates : int; (* source gates folded in *)
+  mutable src : Circuit.op option; (* the sole source op while gates = 1 *)
+}
+
+let default_k =
+  lazy
+    (match Sys.getenv_opt "QIR_SIM_CLUSTER_K" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v -> max 2 (min 6 v)
+      | None -> 4)
+    | None -> 4)
+
+let sorted_ops qs =
+  let a = Array.of_list qs in
+  Array.sort compare a;
+  a
+
+let distinct_sorted a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) = a.(i + 1) then ok := false
+  done;
+  !ok
+
+let plan ?k (c : Circuit.t) : step list * stats =
+  let k =
+    match k with Some v -> max 2 (min 6 v) | None -> Lazy.force default_k
+  in
   let nq = max c.Circuit.num_qubits 1 in
   let pending : pend option array = Array.make nq None in
   let rev_steps = ref [] in
   let fused_1q = ref 0
   and absorbed_1q = ref 0
   and fused_2q = ref 0
+  and fused_3q = ref 0
+  and clusters_emitted = ref 0
+  and clustered_gates = ref 0
   and identities = ref 0 in
   let emit s = rev_steps := s :: !rev_steps in
-  let flush q =
-    match pending.(q) with
-    | None -> ()
-    | Some (P1 p) ->
-      pending.(p.q) <- None;
-      if is_identity2 p.m then incr identities else emit (Mat1 (p.m, p.q))
-    | Some (P2 p) ->
-      pending.(p.qa) <- None;
-      pending.(p.qb) <- None;
-      emit (Mat2 (p.m, p.qa, p.qb))
+  let lower p =
+    if is_identity p.m then incr identities
+    else
+      match p.src with
+      | Some op -> emit (Op op) (* single gate: keep specialized dispatch *)
+      | None -> (
+        match Array.length p.qs with
+        | 1 -> emit (Mat1 (p.m, p.qs.(0)))
+        | 2 -> emit (Mat2 (p.m, p.qs.(1), p.qs.(0)))
+        | _ ->
+          incr clusters_emitted;
+          clustered_gates := !clustered_gates + p.gates;
+          emit (Cluster (p.m, Array.copy p.qs)))
   in
-  let push_1q m q =
-    match pending.(q) with
-    | Some (P1 p) ->
-      (* one 2x2 sweep instead of two: always a win *)
-      incr fused_1q;
-      p.m <- mat_mul m p.m
-    | Some (P2 p) when (not (is_diag p.m)) || is_diag m ->
-      (* free when the 4x4 is already general; diag*diag stays diag *)
-      incr absorbed_1q;
-      p.m <- mat_mul (if q = p.qa then kron_hi m else kron_lo m) p.m
-    | Some (P2 _) ->
-      (* a general 2x2 would turn a diagonal 4x4 into a general one —
-         a ~4x costlier sweep; keep them separate *)
-      flush q;
-      pending.(q) <- Some (P1 { m; q })
-    | None -> pending.(q) <- Some (P1 { m; q })
+  let flush_p p =
+    Array.iter (fun q -> pending.(q) <- None) p.qs;
+    lower p
   in
-  let push_2q m4 a b =
-    match pending.(a), pending.(b) with
-    | Some (P2 p), _ when (p.qa = a && p.qb = b) || (p.qa = b && p.qb = a) ->
-      (* merging two lifted 4x4s never costs more than two sweeps *)
-      incr fused_2q;
-      let m4 = if p.qa = a then m4 else swap_roles m4 in
-      p.m <- mat_mul m4 p.m
-    | _ ->
-      (* absorb pending 1q factors when profitable, flush the rest *)
-      let m4 = ref m4 in
-      let absorb q hi =
-        match pending.(q) with
-        | Some (P1 p) when (not (is_diag !m4)) || is_diag p.m ->
-          incr absorbed_1q;
-          pending.(q) <- None;
-          m4 := mat_mul !m4 (if hi then kron_hi p.m else kron_lo p.m)
-        | Some _ -> flush q
-        | None -> ()
-      in
-      absorb a true;
-      absorb b false;
-      let p = P2 { m = !m4; qa = a; qb = b } in
-      pending.(a) <- Some p;
-      pending.(b) <- Some p
-  in
+  let flush q = match pending.(q) with None -> () | Some p -> flush_p p in
   let flush_all () =
     for q = 0 to nq - 1 do
       flush q
     done
   in
+  let start op gqs gm =
+    if Array.length gqs <= k then
+      let p = { m = gm; qs = gqs; gates = 1; src = Some op } in
+      Array.iter (fun q -> pending.(q) <- Some p) gqs
+    else emit (Op op)
+  in
+  (* A gate arrives as its local matrix [gm] over sorted qubits [gqs]:
+     merge it with every pending cluster it overlaps when the cost
+     model approves, otherwise flush those clusters and start fresh. *)
+  let handle op g gqs gm =
+    let parts =
+      Array.fold_left
+        (fun acc q ->
+          match pending.(q) with
+          | Some p when not (List.memq p acc) -> p :: acc
+          | _ -> acc)
+        [] gqs
+    in
+    if parts = [] then start op gqs gm
+    else begin
+      let union =
+        let tbl = Hashtbl.create 8 in
+        Array.iter (fun q -> Hashtbl.replace tbl q ()) gqs;
+        List.iter
+          (fun p -> Array.iter (fun q -> Hashtbl.replace tbl q ()) p.qs)
+          parts;
+        let a = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+        Array.sort compare a;
+        a
+      in
+      let merged =
+        if Array.length union > k then None
+        else begin
+          (* the gate applies after the pending clusters; clusters on
+             disjoint qubits commute, so their product order is free *)
+          let mm = ref (embed gm gqs union) in
+          List.iter
+            (fun p ->
+              (* p.qs is a subset of union, so equal lengths mean the
+                 cluster already lives on the union support. *)
+              let pm =
+                if Array.length p.qs = Array.length union then p.m
+                else embed p.m p.qs union
+              in
+              mm := mat_mul !mm pm)
+            parts;
+          let merged_cost = cluster_cost !mm in
+          let parts_cost =
+            List.fold_left
+              (fun acc p ->
+                acc
+                +.
+                match p.src with
+                | Some { Circuit.kind = Circuit.Gate (pg, _); _ } ->
+                  gate_cost pg
+                | _ -> cluster_cost p.m)
+              0.0 parts
+          in
+          if merged_cost <= parts_cost +. gate_cost g +. 1e-9 then Some !mm
+          else None
+        end
+      in
+      match merged with
+      | Some mm ->
+        (match Gate.num_qubits g, Array.length union with
+        | 1, 1 -> incr fused_1q
+        | 1, _ -> incr absorbed_1q
+        | 2, _ -> incr fused_2q
+        | _ -> incr fused_3q);
+        let gates = List.fold_left (fun acc p -> acc + p.gates) 1 parts in
+        let np = { m = mm; qs = union; gates; src = None } in
+        List.iter
+          (fun p -> Array.iter (fun q -> pending.(q) <- None) p.qs)
+          parts;
+        Array.iter (fun q -> pending.(q) <- Some np) union
+      | None ->
+        List.iter flush_p parts;
+        start op gqs gm
+    end
+  in
   List.iter
     (fun (op : Circuit.op) ->
       match op.Circuit.kind, op.Circuit.cond with
-      | Circuit.Gate (g, [ q ]), None when Gate.num_qubits g = 1 ->
-        if not (Gate.is_identity g) then push_1q (Gate.matrix_1q g) q
-      | Circuit.Gate (g, [ a; b ]), None when Gate.num_qubits g = 2 ->
-        let m = Gate.matrix_2q g in
-        if is_monomial m && not (is_diag m) then begin
-          (* permutation-shaped (CX, SWAP, ...): the move-only
-             specialized kernel is far cheaper than any fused 4x4
-             sweep. Merge into a same-pair general 4x4 when one is
-             already pending (free); otherwise pass through. *)
-          match pending.(a) with
-          | Some (P2 p)
-            when ((p.qa = a && p.qb = b) || (p.qa = b && p.qb = a))
-                 && not (is_diag p.m) ->
-            incr fused_2q;
-            let m = if p.qa = a then m else swap_roles m in
-            p.m <- mat_mul m p.m
-          | _ ->
-            flush a;
-            flush b;
-            emit (Op op)
+      | Circuit.Gate (g, qs), None
+        when Gate.num_qubits g = List.length qs
+             && Gate.num_qubits g <= 3
+             && distinct_sorted (sorted_ops qs) ->
+        if not (Gate.is_identity g) then begin
+          let gqs = sorted_ops qs in
+          let gm =
+            match Gate.num_qubits g, qs with
+            | 1, _ -> Gate.matrix_1q g
+            | 2, [ a; b ] ->
+              (* matrix_2q's first operand is the most significant bit;
+                 the local convention is ascending, LSB first *)
+              if a > b then Gate.matrix_2q g
+              else swap_roles (Gate.matrix_2q g)
+            | _, qs -> mat3_local g (Array.of_list qs) gqs
+          in
+          handle op g gqs gm
         end
-        else push_2q m a b
       | Circuit.Barrier [], _ ->
         flush_all ();
         emit (Op op)
       | _ ->
-        (* measure, reset, 3q gates, conditioned ops, barriers: fusion
-           barrier on the touched qubits *)
+        (* measure, reset, conditioned ops, barriers: fusion barrier on
+           the touched qubits *)
         List.iter flush (Circuit.op_qubits op);
         emit (Op op))
     c.Circuit.ops;
@@ -240,6 +410,9 @@ let plan (c : Circuit.t) : step list * stats =
       fused_1q = !fused_1q;
       absorbed_1q = !absorbed_1q;
       fused_2q = !fused_2q;
+      fused_3q = !fused_3q;
+      clusters_emitted = !clusters_emitted;
+      clustered_gates = !clustered_gates;
       identities_dropped = !identities;
     } )
 
@@ -252,6 +425,7 @@ let apply_plan st clbits steps =
       match step with
       | Mat1 (m, q) -> Statevector.apply_1q st m q
       | Mat2 (m, a, b) -> Statevector.apply_2q st m a b
+      | Cluster (m, qs) -> Statevector.apply_cluster st m qs
       | Op op ->
         if Statevector.cond_holds clbits op.Circuit.cond then (
           match op.Circuit.kind with
@@ -265,8 +439,8 @@ let apply_plan st clbits steps =
    Measurement sampling consumes the RNG in the same order, so for a
    fixed seed the classical outcomes match the unfused engine (up to
    knife-edge rounding of branch probabilities). *)
-let run_circuit ?(seed = 1) (c : Circuit.t) =
-  let steps, _stats = plan c in
+let run_circuit ?(seed = 1) ?k (c : Circuit.t) =
+  let steps, _stats = plan ?k c in
   let st = Statevector.create ~seed c.Circuit.num_qubits in
   let clbits = Array.make (max c.Circuit.num_clbits 1) false in
   apply_plan st clbits steps;

@@ -1,37 +1,51 @@
-(** Gate fusion for the statevector engine: collapses runs of adjacent
-    single-qubit gates into one 2x2 matrix, absorbs single-qubit gates
-    into neighboring two-qubit unitaries, and merges consecutive
-    two-qubit gates on the same pair — so the engine sweeps the
-    amplitude arrays far fewer times per circuit.
+(** Gate fusion for the statevector engine: a cost-aware clustering
+    pass that groups adjacent gates sharing qubits into dense unitaries
+    over at most [k] qubits (default 4, [QIR_SIM_CLUSTER_K], clamped to
+    2..6) — so the engine sweeps the amplitude arrays far fewer times
+    per circuit.
 
-    Measurements, resets, barriers, conditioned operations and 3-qubit
-    gates act as fusion barriers on the qubits they touch. *)
+    A merge fires only when the engine-cost model says the merged
+    kernel is no more expensive than the kernels it replaces: diagonal
+    and monomial (permutation-with-phases) cluster matrices are cheap
+    at any width, so Clifford+T runs collapse into wide one-sweep
+    clusters, while dense matrices are never grown past what the
+    replaced gates would have cost.
+
+    Measurements, resets, barriers and conditioned operations act as
+    fusion barriers on the qubits they touch. *)
 
 type step =
   | Mat1 of Complex.t array array * int
   | Mat2 of Complex.t array array * int * int
       (** first qubit = most significant matrix bit, as in
           {!Statevector.apply_2q} *)
+  | Cluster of Complex.t array array * int array
+      (** qubits ascending; matrix bit [j] <-> [qs.(j)], least
+          significant first, as in {!Statevector.apply_cluster} *)
   | Op of Qcircuit.Circuit.op  (** pass-through: not fusable *)
 
 type stats = {
   ops_in : int;
   steps_out : int;
-  fused_1q : int;
-  absorbed_1q : int;
-  fused_2q : int;
+  fused_1q : int;  (** 1q gates merged into a 1-qubit cluster *)
+  absorbed_1q : int;  (** 1q gates folded into a wider cluster *)
+  fused_2q : int;  (** 2q gates merged into a cluster *)
+  fused_3q : int;  (** 3q gates merged into a cluster *)
+  clusters_emitted : int;  (** [Cluster] steps (3+ qubits) in the plan *)
+  clustered_gates : int;  (** source gates inside those [Cluster] steps *)
   identities_dropped : int;
 }
 
-val plan : Qcircuit.Circuit.t -> step list * stats
+val plan : ?k:int -> Qcircuit.Circuit.t -> step list * stats
 (** One linear walk over the circuit; the plan preserves per-qubit
-    operation order. *)
+    operation order. [k] caps the cluster width (clamped to 2..6). *)
 
 val apply_plan : Statevector.t -> bool array -> step list -> unit
 (** Executes a plan against a state, reading/writing classical bits for
     measurements and conditions. *)
 
-val run_circuit : ?seed:int -> Qcircuit.Circuit.t -> Statevector.t * bool array
+val run_circuit :
+  ?seed:int -> ?k:int -> Qcircuit.Circuit.t -> Statevector.t * bool array
 (** Drop-in replacement for {!Statevector.run_circuit} that fuses
     first. RNG consumption order is identical, so classical outcomes
     match the unfused engine for a fixed seed. *)

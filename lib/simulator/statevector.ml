@@ -1,7 +1,10 @@
 (* Dense statevector simulator: the stand-in for PennyLane Lightning in
-   the paper's Ex. 5. Amplitudes are kept in two flat [float array]s
-   (real/imaginary), which OCaml stores unboxed; gate kernels stride over
-   the arrays without allocating.
+   the paper's Ex. 5. Amplitudes are kept in unboxed [float array]
+   shards (real/imaginary separately): registers up to [max_local_bits]
+   qubits live in one flat pair of arrays (the historical layout, and
+   still the fastest), larger ones split into 2^(n - local_bits)
+   contiguous shards that the {!Dpool} Domain pool can own wholesale —
+   which is what lifts the register cap to 30 qubits.
 
    Qubit [q] indexes bit [q] of the basis-state index (qubit 0 is the
    least-significant bit). The simulator supports growing the register
@@ -21,52 +24,140 @@
      2x2 / 4x4 kernel;
    - when the register is large enough, kernels split their index range
      across a reusable Domain pool ({!Dpool});
-   - the seed's full-scan general kernels survive verbatim in
-     {!Reference} as the correctness oracle for tests and the baseline
-     for benchmarks. *)
+   - whole runs of fused gates execute as one pass via the cluster
+     kernel ({!apply_cluster}), with constant-work fast paths for
+     diagonal and permutation-shaped cluster matrices;
+   - the seed's full-scan general kernels survive in {!Reference}
+     (re-addressed for the sharded layout, arithmetic untouched) as the
+     correctness oracle for tests and the baseline for benchmarks. *)
 
 open Qcircuit
 
+let max_qubits = 30
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> default)
+  | None -> default
+
+(* Shard granularity: each shard holds 2^local_bits amplitudes. The
+   default keeps registers up to 24 qubits in a single flat pair of
+   arrays (the fastest layout); larger registers split into
+   2^(n - local_bits) contiguous shards so allocation stays within
+   OCaml's array limits and the Domain pool can own whole shards. *)
+let default_local_bits = 24
+
+let max_local_bits_ref =
+  ref (max 1 (min max_qubits (env_int "QIR_SIM_LOCAL_BITS" default_local_bits)))
+
+let max_local_bits () = !max_local_bits_ref
+
+let set_max_local_bits b =
+  if b < 1 || b > max_qubits then
+    invalid_arg "Statevector.set_max_local_bits: need 1 <= bits <= 30";
+  max_local_bits_ref := b
+
+(* Auditability switch for the [Array.unsafe_get/set] cluster sweeps:
+   when set, every index derived from the bit-insertion enumeration is
+   re-asserted against the array bounds before use. *)
+let checked_access_ref =
+  ref
+    (match Sys.getenv_opt "QIR_SIM_CHECKED" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let checked_access () = !checked_access_ref
+let set_checked_access b = checked_access_ref := b
+
+(* Global basis index [i] lives in shard [i lsr lb] at offset
+   [i land (2^lb - 1)]. A register with [n <= lb] is a single shard and
+   takes the historical flat code paths unchanged. *)
 type t = {
   mutable n : int;
-  mutable re : float array;
-  mutable im : float array;
+  mutable lb : int; (* log2 of the shard size, [min n max_local_bits] *)
+  mutable re : float array array;
+  mutable im : float array array;
   rng : Rng.t;
 }
 
 let create ?(seed = 1) n =
-  if n < 0 || n > 26 then
-    Sim_error.error ~op:"Statevector.create" "0 <= n <= 26 required, got %d" n;
-  let size = 1 lsl n in
-  let re = Array.make size 0.0 and im = Array.make size 0.0 in
-  re.(0) <- 1.0;
-  { n; re; im; rng = Rng.create seed }
+  if n < 0 || n > max_qubits then
+    Sim_error.error ~op:"Statevector.create" "0 <= n <= %d required, got %d"
+      max_qubits n;
+  let lb = min n !max_local_bits_ref in
+  let shards = 1 lsl (n - lb) in
+  let shard_size = 1 lsl lb in
+  let re = Array.init shards (fun _ -> Array.make shard_size 0.0) in
+  let im = Array.init shards (fun _ -> Array.make shard_size 0.0) in
+  re.(0).(0) <- 1.0;
+  { n; lb; re; im; rng = Rng.create seed }
 
 let num_qubits st = st.n
 let dim st = 1 lsl st.n
+let local_bits st = st.lb
+let shard_count st = Array.length st.re
+let sharded st = st.lb < st.n
 
-let amplitude st i = { Complex.re = st.re.(i); im = st.im.(i) }
+let amplitude st i =
+  let lm = (1 lsl st.lb) - 1 in
+  { Complex.re = st.re.(i lsr st.lb).(i land lm);
+    im = st.im.(i lsr st.lb).(i land lm) }
 
-let probability st i = (st.re.(i) *. st.re.(i)) +. (st.im.(i) *. st.im.(i))
+let probability st i =
+  let lm = (1 lsl st.lb) - 1 in
+  let r = st.re.(i lsr st.lb).(i land lm)
+  and m = st.im.(i lsr st.lb).(i land lm) in
+  (r *. r) +. (m *. m)
 
-let probabilities st = Array.init (dim st) (probability st)
+(* Direct fill (no closure per element): this sits on the sampler's
+   path. Beware: materializes all 2^n probabilities. *)
+let probabilities st =
+  let out = Array.make (dim st) 0.0 in
+  let shard_size = 1 lsl st.lb in
+  for s = 0 to shard_count st - 1 do
+    let re = st.re.(s) and im = st.im.(s) in
+    let base = s lsl st.lb in
+    for j = 0 to shard_size - 1 do
+      let r = Array.unsafe_get re j and m = Array.unsafe_get im j in
+      Array.unsafe_set out (base + j) ((r *. r) +. (m *. m))
+    done
+  done;
+  out
 
 let check_qubit st q =
   if q < 0 || q >= st.n then
     Sim_error.error ~op:"Statevector" "qubit %d out of range [0, %d)" q st.n
 
-(* Tensors |0> onto the high end of the register. *)
+(* Tensors |0> onto the high end of the register. While the register
+   fits in one shard this doubles the flat arrays (as before); once it
+   crosses [max_local_bits] growth appends zero shards — no copy of the
+   existing amplitudes at all. *)
 let add_qubit st =
-  if st.n >= 26 then
+  if st.n >= max_qubits then
     Sim_error.error ~op:"Statevector.add_qubit"
-      "register limit of 26 qubits reached";
-  let old_size = dim st in
-  let re = Array.make (old_size * 2) 0.0 and im = Array.make (old_size * 2) 0.0 in
-  Array.blit st.re 0 re 0 old_size;
-  Array.blit st.im 0 im 0 old_size;
-  st.re <- re;
-  st.im <- im;
-  st.n <- st.n + 1
+      "register limit of %d qubits reached" max_qubits;
+  if (not (sharded st)) && st.n < !max_local_bits_ref then begin
+    let old_size = dim st in
+    let re = Array.make (old_size * 2) 0.0
+    and im = Array.make (old_size * 2) 0.0 in
+    Array.blit st.re.(0) 0 re 0 old_size;
+    Array.blit st.im.(0) 0 im 0 old_size;
+    st.re <- [| re |];
+    st.im <- [| im |];
+    st.n <- st.n + 1;
+    st.lb <- st.n
+  end
+  else begin
+    let sc = shard_count st in
+    let shard_size = 1 lsl st.lb in
+    let zeros () = Array.init sc (fun _ -> Array.make shard_size 0.0) in
+    st.re <- Array.append st.re (zeros ());
+    st.im <- Array.append st.im (zeros ());
+    st.n <- st.n + 1
+  end
 
 let ensure_qubits st n =
   while st.n < n do
@@ -91,14 +182,342 @@ let sort3 a b c =
   (a, b, c)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded kernel twins                                                 *)
+
+(* Exact transcriptions of the flat kernels below onto the two-level
+   layout: global index [i] -> shard [i lsr lb], offset [i land lm].
+   The enumeration (and therefore any floating-point evaluation order)
+   is identical to the flat kernels, so results agree bit for bit with
+   the single-shard layout. Gates whose bits all sit below [lb] only
+   ever pair offsets within one shard; gates with a bit at or above
+   [lb] pair amplitudes across two shards — the same arithmetic either
+   way, the layout only changes which array the load hits. *)
+
+let sh_x st q =
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:half (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+        let i1 = i0 lor bit in
+        let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+        let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+        let o0 = i0 land lm and o1 = i1 land lm in
+        let tr = r0.(o0) and ti = m0.(o0) in
+        r0.(o0) <- r1.(o1);
+        m0.(o0) <- m1.(o1);
+        r1.(o1) <- tr;
+        m1.(o1) <- ti
+      done)
+
+let sh_y st q =
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:half (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+        let i1 = i0 lor bit in
+        let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+        let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+        let o0 = i0 land lm and o1 = i1 land lm in
+        let ar = r0.(o0) and ai = m0.(o0) in
+        let br = r1.(o1) and bi = m1.(o1) in
+        r0.(o0) <- bi;
+        m0.(o0) <- -.br;
+        r1.(o1) <- -.ai;
+        m1.(o1) <- ar
+      done)
+
+let sh_diag1 st ~d0re ~d0im ~d1re ~d1im q =
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  if d0re = 1.0 && d0im = 0.0 then
+    Dpool.run ~size:half (fun lo hi ->
+        for k = lo to hi - 1 do
+          let i1 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) lor bit in
+          let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+          let o1 = i1 land lm in
+          let r = r1.(o1) and m = m1.(o1) in
+          r1.(o1) <- (d1re *. r) -. (d1im *. m);
+          m1.(o1) <- (d1re *. m) +. (d1im *. r)
+        done)
+  else
+    Dpool.run ~size:half (fun lo hi ->
+        for k = lo to hi - 1 do
+          let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+          let i1 = i0 lor bit in
+          let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+          let o0 = i0 land lm in
+          let a = r0.(o0) and b = m0.(o0) in
+          r0.(o0) <- (d0re *. a) -. (d0im *. b);
+          m0.(o0) <- (d0re *. b) +. (d0im *. a);
+          let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+          let o1 = i1 land lm in
+          let a = r1.(o1) and b = m1.(o1) in
+          r1.(o1) <- (d1re *. a) -. (d1im *. b);
+          m1.(o1) <- (d1re *. b) +. (d1im *. a)
+        done)
+
+let sh_antidiag1 st ~bre ~bim ~cre ~cim q =
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:half (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+        let i1 = i0 lor bit in
+        let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+        let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+        let o0 = i0 land lm and o1 = i1 land lm in
+        let ar = r0.(o0) and ai = m0.(o0) in
+        let br = r1.(o1) and bi = m1.(o1) in
+        r0.(o0) <- (bre *. br) -. (bim *. bi);
+        m0.(o0) <- (bre *. bi) +. (bim *. br);
+        r1.(o1) <- (cre *. ar) -. (cim *. ai);
+        m1.(o1) <- (cre *. ai) +. (cim *. ar)
+      done)
+
+let sh_real1q st ~u00 ~u01 ~u10 ~u11 q =
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:half (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+        let i1 = i0 lor bit in
+        let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+        let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+        let o0 = i0 land lm and o1 = i1 land lm in
+        let ar = r0.(o0) and ai = m0.(o0) in
+        let br = r1.(o1) and bi = m1.(o1) in
+        r0.(o0) <- (u00 *. ar) +. (u01 *. br);
+        m0.(o0) <- (u00 *. ai) +. (u01 *. bi);
+        r1.(o1) <- (u10 *. ar) +. (u11 *. br);
+        m1.(o1) <- (u10 *. ai) +. (u11 *. bi)
+      done)
+
+let sh_general1q st ~u00re ~u00im ~u01re ~u01im ~u10re ~u10im ~u11re ~u11im q
+    =
+  let bit = 1 lsl q in
+  let half = dim st / 2 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:half (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
+        let i1 = i0 lor bit in
+        let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+        let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+        let o0 = i0 land lm and o1 = i1 land lm in
+        let ar = r0.(o0) and ai = m0.(o0) in
+        let br = r1.(o1) and bi = m1.(o1) in
+        r0.(o0) <-
+          (u00re *. ar) -. (u00im *. ai) +. (u01re *. br) -. (u01im *. bi);
+        m0.(o0) <-
+          (u00re *. ai) +. (u00im *. ar) +. (u01re *. bi) +. (u01im *. br);
+        r1.(o1) <-
+          (u10re *. ar) -. (u10im *. ai) +. (u11re *. br) -. (u11im *. bi);
+        m1.(o1) <-
+          (u10re *. ai) +. (u10im *. ar) +. (u11re *. bi) +. (u11im *. br)
+      done)
+
+let sh_cx st c t =
+  let bc = 1 lsl c and bt = 1 lsl t in
+  let p_lo, p_hi = sort2 c t in
+  let quarter = dim st / 4 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:quarter (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero k p_lo) p_hi in
+        let i0 = i lor bc in
+        let i1 = i0 lor bt in
+        let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+        let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+        let o0 = i0 land lm and o1 = i1 land lm in
+        let tr = r0.(o0) and ti = m0.(o0) in
+        r0.(o0) <- r1.(o1);
+        m0.(o0) <- m1.(o1);
+        r1.(o1) <- tr;
+        m1.(o1) <- ti
+      done)
+
+let sh_cy st c t =
+  let bc = 1 lsl c and bt = 1 lsl t in
+  let p_lo, p_hi = sort2 c t in
+  let quarter = dim st / 4 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:quarter (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero k p_lo) p_hi in
+        let i0 = i lor bc in
+        let i1 = i0 lor bt in
+        let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+        let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+        let o0 = i0 land lm and o1 = i1 land lm in
+        let ar = r0.(o0) and ai = m0.(o0) in
+        let br = r1.(o1) and bi = m1.(o1) in
+        r0.(o0) <- bi;
+        m0.(o0) <- -.br;
+        r1.(o1) <- -.ai;
+        m1.(o1) <- ar
+      done)
+
+let sh_swap st a b =
+  let ba = 1 lsl a and bb = 1 lsl b in
+  let p_lo, p_hi = sort2 a b in
+  let quarter = dim st / 4 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:quarter (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero k p_lo) p_hi in
+        let i0 = i lor ba in
+        let i1 = i lor bb in
+        let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+        let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+        let o0 = i0 land lm and o1 = i1 land lm in
+        let tr = r0.(o0) and ti = m0.(o0) in
+        r0.(o0) <- r1.(o1);
+        m0.(o0) <- m1.(o1);
+        r1.(o1) <- tr;
+        m1.(o1) <- ti
+      done)
+
+let sh_diag2 st (d : Complex.t array) qa qb =
+  let ba = 1 lsl qa and bb = 1 lsl qb in
+  let p_lo, p_hi = sort2 qa qb in
+  let quarter = dim st / 4 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  let one (z : Complex.t) = z.re = 1.0 && z.im = 0.0 in
+  let mul (z : Complex.t) i =
+    let rr = re.(i lsr lb) and mm = im.(i lsr lb) in
+    let o = i land lm in
+    let r = rr.(o) and m = mm.(o) in
+    rr.(o) <- (z.re *. r) -. (z.im *. m);
+    mm.(o) <- (z.re *. m) +. (z.im *. r)
+  in
+  let s0 = one d.(0) and s1 = one d.(1) and s2 = one d.(2) and s3 = one d.(3) in
+  Dpool.run ~size:quarter (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero k p_lo) p_hi in
+        if not s0 then mul d.(0) i;
+        if not s1 then mul d.(1) (i lor bb);
+        if not s2 then mul d.(2) (i lor ba);
+        if not s3 then mul d.(3) (i lor ba lor bb)
+      done)
+
+let sh_general2q st (u : Complex.t array array) qa qb =
+  let ba = 1 lsl qa and bb = 1 lsl qb in
+  let p_lo, p_hi = sort2 qa qb in
+  let quarter = dim st / 4 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:quarter (fun lo hi ->
+      let tmp_re = Array.make 4 0.0 and tmp_im = Array.make 4 0.0 in
+      let idx = Array.make 4 0 in
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero k p_lo) p_hi in
+        idx.(0) <- i;
+        idx.(1) <- i lor bb;
+        idx.(2) <- i lor ba;
+        idx.(3) <- i lor ba lor bb;
+        for row = 0 to 3 do
+          let sr = ref 0.0 and si = ref 0.0 in
+          for col = 0 to 3 do
+            let m = u.(row).(col) in
+            let j = idx.(col) in
+            let vr = re.(j lsr lb).(j land lm)
+            and vi = im.(j lsr lb).(j land lm) in
+            sr := !sr +. ((m.Complex.re *. vr) -. (m.Complex.im *. vi));
+            si := !si +. ((m.Complex.re *. vi) +. (m.Complex.im *. vr))
+          done;
+          tmp_re.(row) <- !sr;
+          tmp_im.(row) <- !si
+        done;
+        for row = 0 to 3 do
+          let j = idx.(row) in
+          re.(j lsr lb).(j land lm) <- tmp_re.(row);
+          im.(j lsr lb).(j land lm) <- tmp_im.(row)
+        done
+      done)
+
+let sh_ccx st c1 c2 tgt =
+  let b1 = 1 lsl c1 and b2 = 1 lsl c2 and bt = 1 lsl tgt in
+  let p0, p1, p2 = sort3 c1 c2 tgt in
+  let eighth = dim st / 8 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:eighth (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero (insert_zero k p0) p1) p2 in
+        let i0 = i lor b1 lor b2 in
+        let i1 = i0 lor bt in
+        let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+        let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+        let o0 = i0 land lm and o1 = i1 land lm in
+        let tr = r0.(o0) and ti = m0.(o0) in
+        r0.(o0) <- r1.(o1);
+        m0.(o0) <- m1.(o1);
+        r1.(o1) <- tr;
+        m1.(o1) <- ti
+      done)
+
+let sh_cswap st c a b =
+  let bc = 1 lsl c and ba = 1 lsl a and bb = 1 lsl b in
+  let p0, p1, p2 = sort3 c a b in
+  let eighth = dim st / 8 in
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let re = st.re and im = st.im in
+  Dpool.run ~size:eighth (fun lo hi ->
+      for k = lo to hi - 1 do
+        let i = insert_zero (insert_zero (insert_zero k p0) p1) p2 in
+        let i0 = i lor bc lor ba in
+        let i1 = i lor bc lor bb in
+        let r0 = re.(i0 lsr lb) and m0 = im.(i0 lsr lb) in
+        let r1 = re.(i1 lsr lb) and m1 = im.(i1 lsr lb) in
+        let o0 = i0 land lm and o1 = i1 land lm in
+        let tr = r0.(o0) and ti = m0.(o0) in
+        r0.(o0) <- r1.(o1);
+        m0.(o0) <- m1.(o1);
+        r1.(o1) <- tr;
+        m1.(o1) <- ti
+      done)
+
+(* ------------------------------------------------------------------ *)
 (* Specialized 1-qubit kernels                                          *)
 
 (* Permutation: X swaps each (i0, i1) pair. *)
 let apply_x st q =
   check_qubit st q;
+  if sharded st then sh_x st q
+  else begin
   let bit = 1 lsl q in
   let half = dim st / 2 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:half (fun lo hi ->
       for k = lo to hi - 1 do
         let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
@@ -109,13 +528,16 @@ let apply_x st q =
         re.(i1) <- tr;
         im.(i1) <- ti
       done)
+  end
 
 (* Y = [[0, -i]; [i, 0]]: a0' = -i*a1, a1' = i*a0. *)
 let apply_y st q =
   check_qubit st q;
+  if sharded st then sh_y st q
+  else begin
   let bit = 1 lsl q in
   let half = dim st / 2 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:half (fun lo hi ->
       for k = lo to hi - 1 do
         let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
@@ -127,14 +549,17 @@ let apply_y st q =
         re.(i1) <- -.ai;
         im.(i1) <- ar
       done)
+  end
 
 (* Diagonal: amp(i0) *= d0, amp(i1) *= d1, no pair shuffle. The common
    d0 = 1 case (Z, S, T, P) touches only the bit-set half. *)
 let apply_diag1 st ~d0re ~d0im ~d1re ~d1im q =
   check_qubit st q;
+  if sharded st then sh_diag1 st ~d0re ~d0im ~d1re ~d1im q
+  else begin
   let bit = 1 lsl q in
   let half = dim st / 2 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   if d0re = 1.0 && d0im = 0.0 then
     Dpool.run ~size:half (fun lo hi ->
         for k = lo to hi - 1 do
@@ -155,14 +580,17 @@ let apply_diag1 st ~d0re ~d0im ~d1re ~d1im q =
           re.(i1) <- (d1re *. r1) -. (d1im *. m1);
           im.(i1) <- (d1re *. m1) +. (d1im *. r1)
         done)
+  end
 
 (* Anti-diagonal [[0, b]; [c, 0]]: a0' = b*a1, a1' = c*a0 (X up to
    phases — e.g. Y, or fused X-conjugated diagonals). *)
 let apply_antidiag1 st ~bre ~bim ~cre ~cim q =
   check_qubit st q;
+  if sharded st then sh_antidiag1 st ~bre ~bim ~cre ~cim q
+  else begin
   let bit = 1 lsl q in
   let half = dim st / 2 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:half (fun lo hi ->
       for k = lo to hi - 1 do
         let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
@@ -174,14 +602,17 @@ let apply_antidiag1 st ~bre ~bim ~cre ~cim q =
         re.(i1) <- (cre *. ar) -. (cim *. ai);
         im.(i1) <- (cre *. ai) +. (cim *. ar)
       done)
+  end
 
 (* Real 2x2 matrix (H, Ry): halves the multiply count of the general
    kernel — real and imaginary parts never mix. *)
 let apply_real1q st ~u00 ~u01 ~u10 ~u11 q =
   check_qubit st q;
+  if sharded st then sh_real1q st ~u00 ~u01 ~u10 ~u11 q
+  else begin
   let bit = 1 lsl q in
   let half = dim st / 2 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:half (fun lo hi ->
       for k = lo to hi - 1 do
         let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
@@ -193,15 +624,19 @@ let apply_real1q st ~u00 ~u01 ~u10 ~u11 q =
         re.(i1) <- (u10 *. ar) +. (u11 *. br);
         im.(i1) <- (u10 *. ai) +. (u11 *. bi)
       done)
+  end
 
 (* General single-qubit unitary on qubit [q]: enumerates only the
    bit-clear half of the index space. *)
 let apply_general1q st ~u00re ~u00im ~u01re ~u01im ~u10re ~u10im ~u11re
     ~u11im q =
   check_qubit st q;
+  if sharded st then
+    sh_general1q st ~u00re ~u00im ~u01re ~u01im ~u10re ~u10im ~u11re ~u11im q
+  else begin
   let bit = 1 lsl q in
   let half = dim st / 2 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:half (fun lo hi ->
       for k = lo to hi - 1 do
         let i0 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) in
@@ -217,6 +652,7 @@ let apply_general1q st ~u00re ~u00im ~u01re ~u01im ~u10re ~u10im ~u11re
         im.(i1) <-
           (u10re *. ai) +. (u10im *. ar) +. (u11re *. bi) +. (u11im *. br)
       done)
+  end
 
 (* Structure dispatch for an arbitrary 2x2 matrix. The zero tests are
    exact: gate matrices carry exact 0.0 entries and matrix products of
@@ -247,10 +683,12 @@ let check_pair st qa qb =
 (* CNOT: for indices with control set, swap the target pair. *)
 let apply_cx st c t =
   check_pair st c t;
+  if sharded st then sh_cx st c t
+  else begin
   let bc = 1 lsl c and bt = 1 lsl t in
   let p_lo, p_hi = sort2 c t in
   let quarter = dim st / 4 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:quarter (fun lo hi ->
       for k = lo to hi - 1 do
         let i = insert_zero (insert_zero k p_lo) p_hi in
@@ -262,13 +700,16 @@ let apply_cx st c t =
         re.(i1) <- tr;
         im.(i1) <- ti
       done)
+  end
 
 let apply_cy st c t =
   check_pair st c t;
+  if sharded st then sh_cy st c t
+  else begin
   let bc = 1 lsl c and bt = 1 lsl t in
   let p_lo, p_hi = sort2 c t in
   let quarter = dim st / 4 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:quarter (fun lo hi ->
       for k = lo to hi - 1 do
         let i = insert_zero (insert_zero k p_lo) p_hi in
@@ -281,13 +722,16 @@ let apply_cy st c t =
         re.(i1) <- -.ai;
         im.(i1) <- ar
       done)
+  end
 
 let apply_swap st a b =
   check_pair st a b;
+  if sharded st then sh_swap st a b
+  else begin
   let ba = 1 lsl a and bb = 1 lsl b in
   let p_lo, p_hi = sort2 a b in
   let quarter = dim st / 4 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:quarter (fun lo hi ->
       for k = lo to hi - 1 do
         let i = insert_zero (insert_zero k p_lo) p_hi in
@@ -299,6 +743,7 @@ let apply_swap st a b =
         re.(i1) <- tr;
         im.(i1) <- ti
       done)
+  end
 
 (* Diagonal 4x4: phase multiply per basis pattern, no pair shuffle.
    [d] is indexed by the 2-bit pattern (bit of qa, bit of qb) with qa
@@ -306,10 +751,12 @@ let apply_swap st a b =
    entries are skipped. *)
 let apply_diag2 st (d : Complex.t array) qa qb =
   check_pair st qa qb;
+  if sharded st then sh_diag2 st d qa qb
+  else begin
   let ba = 1 lsl qa and bb = 1 lsl qb in
   let p_lo, p_hi = sort2 qa qb in
   let quarter = dim st / 4 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   let one (z : Complex.t) = z.re = 1.0 && z.im = 0.0 in
   let mul (z : Complex.t) i =
     let r = re.(i) and m = im.(i) in
@@ -325,16 +772,19 @@ let apply_diag2 st (d : Complex.t array) qa qb =
         if not s2 then mul d.(2) (i lor ba);
         if not s3 then mul d.(3) (i lor ba lor bb)
       done)
+  end
 
 (* General two-qubit unitary on qubits [qa] (most significant in the
    matrix basis) and [qb]: enumerates the quarter of the index space
    with both bits clear. *)
 let apply_general2q st (u : Complex.t array array) qa qb =
   check_pair st qa qb;
+  if sharded st then sh_general2q st u qa qb
+  else begin
   let ba = 1 lsl qa and bb = 1 lsl qb in
   let p_lo, p_hi = sort2 qa qb in
   let quarter = dim st / 4 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:quarter (fun lo hi ->
       (* per-chunk scratch: kernels may run concurrently *)
       let tmp_re = Array.make 4 0.0 and tmp_im = Array.make 4 0.0 in
@@ -361,6 +811,329 @@ let apply_general2q st (u : Complex.t array array) qa qb =
           im.(idx.(row)) <- tmp_im.(row)
         done
       done)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cluster kernel                                                       *)
+
+(* A fused cluster is a 2^m x 2^m unitary over m qubits (m up to
+   {!Fusion}'s clustering bound). One pass over the amplitudes
+   gathers each group's 2^m-amplitude subvector, applies the matrix,
+   and scatters the result — one sweep of memory for a whole run of
+   gates. The matrix is classified once per application: diagonal and
+   monomial (permutation-with-phases) clusters — every Clifford+T run
+   without an H, for example — cost a constant number of multiplies
+   per amplitude regardless of m, and everything else runs as a sparse
+   (CSR) matvec over the matrix's exact nonzeros, so the cost scales
+   with the fused matrix's density rather than its dimension.
+
+   Sub-state bit [j] of the matrix basis corresponds to [qs.(j)]
+   (LSB first — note this is the opposite of {!apply_2q}'s operand
+   order). Group bases are enumerated by composed bit insertion, so
+   every derived index is in bounds by construction; the sweeps use
+   [Array.unsafe_get/set] on that strength, and {!set_checked_access}
+   turns the proof back into runtime assertions. *)
+
+type cluster_kind =
+  | Cl_diag of float array * float array
+  | Cl_monomial of int array array * float array * float array
+      (* permutation as its cycles (each walked in apply order:
+         new[r] = phase[r] * old[perm r], with cycle.(t+1) = perm
+         cycle.(t)), so the sweep moves amplitudes along each cycle
+         holding a single saved pair — no staging buffers. *)
+  | Cl_sparse of int array * int array * float array * float array
+      (* CSR over the exact nonzeros: row offsets (sub+1), column
+         indices, then re/im weights. Fused Clifford+T matrices are
+         mostly zeros (a CX-and-H product has 2-4 nonzeros per 32-wide
+         row), so skipping them is the difference between a 2^m matvec
+         and a near-constant number of multiplies per amplitude. *)
+
+let classify_cluster (u : Complex.t array array) sub =
+  let zero (z : Complex.t) = z.Complex.re = 0.0 && z.Complex.im = 0.0 in
+  let perm = Array.make sub 0 in
+  let monomial =
+    try
+      for r = 0 to sub - 1 do
+        let c = ref (-1) in
+        for j = 0 to sub - 1 do
+          if not (zero u.(r).(j)) then
+            if !c < 0 then c := j else raise Exit
+        done;
+        if !c < 0 then raise Exit;
+        perm.(r) <- !c
+      done;
+      let seen = Array.make sub false in
+      Array.iter
+        (fun c -> if seen.(c) then raise Exit else seen.(c) <- true)
+        perm;
+      true
+    with Exit -> false
+  in
+  if monomial then begin
+    let phr = Array.init sub (fun r -> u.(r).(perm.(r)).Complex.re) in
+    let phi = Array.init sub (fun r -> u.(r).(perm.(r)).Complex.im) in
+    let diag = ref true in
+    Array.iteri (fun r c -> if r <> c then diag := false) perm;
+    if !diag then Cl_diag (phr, phi)
+    else begin
+      let seen = Array.make sub false in
+      let cycles = ref [] in
+      for r0 = 0 to sub - 1 do
+        if not seen.(r0) then begin
+          let cyc = ref [ r0 ] in
+          seen.(r0) <- true;
+          let r = ref perm.(r0) in
+          while !r <> r0 do
+            seen.(!r) <- true;
+            cyc := !r :: !cyc;
+            r := perm.(!r)
+          done;
+          (* reverse so that cycle.(t+1) = perm cycle.(t) *)
+          cycles := Array.of_list (List.rev !cyc) :: !cycles
+        end
+      done;
+      Cl_monomial (Array.of_list (List.rev !cycles), phr, phi)
+    end
+  end
+  else begin
+    let nnz = ref 0 in
+    for r = 0 to sub - 1 do
+      for c = 0 to sub - 1 do
+        if not (zero u.(r).(c)) then incr nnz
+      done
+    done;
+    let rows = Array.make (sub + 1) 0 in
+    let cols = Array.make !nnz 0 in
+    let wre = Array.make !nnz 0.0 and wim = Array.make !nnz 0.0 in
+    let p = ref 0 in
+    for r = 0 to sub - 1 do
+      rows.(r) <- !p;
+      for c = 0 to sub - 1 do
+        if not (zero u.(r).(c)) then begin
+          cols.(!p) <- c;
+          wre.(!p) <- u.(r).(c).Complex.re;
+          wim.(!p) <- u.(r).(c).Complex.im;
+          incr p
+        end
+      done
+    done;
+    rows.(sub) <- !p;
+    Cl_sparse (rows, cols, wre, wim)
+  end
+
+(* One pass over a flat amplitude array for group indices [lo, hi).
+   [ps] = cluster bit positions sorted ascending (for the enumeration),
+   [offs.(x)] = index offset of sub-state [x] relative to a group base. *)
+let cluster_sweep_flat ~checked ~kind ~ps ~offs ~m ~sub are aim lo hi =
+  let size = Array.length are in
+  match kind with
+  | Cl_diag (dre, die) ->
+    for k = lo to hi - 1 do
+      let b = ref k in
+      for j = 0 to m - 1 do
+        b := insert_zero !b (Array.unsafe_get ps j)
+      done;
+      let base = !b in
+      for x = 0 to sub - 1 do
+        let dr = Array.unsafe_get dre x and di = Array.unsafe_get die x in
+        if dr <> 1.0 || di <> 0.0 then begin
+          let i = base lor Array.unsafe_get offs x in
+          if checked then assert (i >= 0 && i < size);
+          let r = Array.unsafe_get are i and q = Array.unsafe_get aim i in
+          Array.unsafe_set are i ((dr *. r) -. (di *. q));
+          Array.unsafe_set aim i ((dr *. q) +. (di *. r))
+        end
+      done
+    done
+  | Cl_monomial (cycles, phr, phi) ->
+    let ncyc = Array.length cycles in
+    for k = lo to hi - 1 do
+      let b = ref k in
+      for j = 0 to m - 1 do
+        b := insert_zero !b (Array.unsafe_get ps j)
+      done;
+      let base = !b in
+      for ci = 0 to ncyc - 1 do
+        let cyc = Array.unsafe_get cycles ci in
+        let len = Array.length cyc in
+        let r0 = Array.unsafe_get cyc 0 in
+        let pr0 = Array.unsafe_get phr r0 and pi0 = Array.unsafe_get phi r0 in
+        if len = 1 then begin
+          (* fixed point: a pure phase; identity phases cost nothing *)
+          if pr0 <> 1.0 || pi0 <> 0.0 then begin
+            let i = base lor Array.unsafe_get offs r0 in
+            if checked then assert (i >= 0 && i < size);
+            let xr = Array.unsafe_get are i and xi = Array.unsafe_get aim i in
+            Array.unsafe_set are i ((pr0 *. xr) -. (pi0 *. xi));
+            Array.unsafe_set aim i ((pr0 *. xi) +. (pi0 *. xr))
+          end
+        end
+        else begin
+          let i0 = base lor Array.unsafe_get offs r0 in
+          if checked then assert (i0 >= 0 && i0 < size);
+          let s0r = Array.unsafe_get are i0 and s0i = Array.unsafe_get aim i0 in
+          for t = 0 to len - 2 do
+            let r = Array.unsafe_get cyc t in
+            let c = Array.unsafe_get cyc (t + 1) in
+            let ic = base lor Array.unsafe_get offs c in
+            if checked then assert (ic >= 0 && ic < size);
+            let xr = Array.unsafe_get are ic and xi = Array.unsafe_get aim ic in
+            let pr = Array.unsafe_get phr r and pi = Array.unsafe_get phi r in
+            let ir = base lor Array.unsafe_get offs r in
+            Array.unsafe_set are ir ((pr *. xr) -. (pi *. xi));
+            Array.unsafe_set aim ir ((pr *. xi) +. (pi *. xr))
+          done;
+          let r = Array.unsafe_get cyc (len - 1) in
+          let pr = Array.unsafe_get phr r and pi = Array.unsafe_get phi r in
+          let ir = base lor Array.unsafe_get offs r in
+          Array.unsafe_set are ir ((pr *. s0r) -. (pi *. s0i));
+          Array.unsafe_set aim ir ((pr *. s0i) +. (pi *. s0r))
+        end
+      done
+    done
+  | Cl_sparse (rows, cols, wre, wim) ->
+    let idx = Array.make sub 0 in
+    let vr = Array.make sub 0.0 and vi = Array.make sub 0.0 in
+    for k = lo to hi - 1 do
+      let b = ref k in
+      for j = 0 to m - 1 do
+        b := insert_zero !b (Array.unsafe_get ps j)
+      done;
+      let base = !b in
+      for x = 0 to sub - 1 do
+        let i = base lor Array.unsafe_get offs x in
+        if checked then assert (i >= 0 && i < size);
+        Array.unsafe_set idx x i;
+        Array.unsafe_set vr x (Array.unsafe_get are i);
+        Array.unsafe_set vi x (Array.unsafe_get aim i)
+      done;
+      for row = 0 to sub - 1 do
+        let sr = ref 0.0 and si = ref 0.0 in
+        for p = Array.unsafe_get rows row to Array.unsafe_get rows (row + 1) - 1
+        do
+          let wr = Array.unsafe_get wre p and wi = Array.unsafe_get wim p in
+          let col = Array.unsafe_get cols p in
+          let xr = Array.unsafe_get vr col and xi = Array.unsafe_get vi col in
+          sr := !sr +. ((wr *. xr) -. (wi *. xi));
+          si := !si +. ((wr *. xi) +. (wi *. xr))
+        done;
+        let i = Array.unsafe_get idx row in
+        Array.unsafe_set are i !sr;
+        Array.unsafe_set aim i !si
+      done
+    done
+
+(* Two-level variant for clusters with a bit at or above the shard
+   boundary: same enumeration, shard-crossing gathers/scatters. *)
+let cluster_sweep_sharded st ~checked ~kind ~ps ~offs ~m ~sub lo hi =
+  let lb = st.lb in
+  let lm = (1 lsl lb) - 1 in
+  let res = st.re and ims = st.im in
+  let ns = Array.length res in
+  let get a i = Array.unsafe_get (Array.unsafe_get a (i lsr lb)) (i land lm) in
+  let set a i v =
+    Array.unsafe_set (Array.unsafe_get a (i lsr lb)) (i land lm) v
+  in
+  let idx = Array.make sub 0 in
+  let vr = Array.make sub 0.0 and vi = Array.make sub 0.0 in
+  for k = lo to hi - 1 do
+    let b = ref k in
+    for j = 0 to m - 1 do
+      b := insert_zero !b (Array.unsafe_get ps j)
+    done;
+    let base = !b in
+    for x = 0 to sub - 1 do
+      let i = base lor Array.unsafe_get offs x in
+      if checked then assert (i >= 0 && i lsr lb < ns);
+      Array.unsafe_set idx x i;
+      Array.unsafe_set vr x (get res i);
+      Array.unsafe_set vi x (get ims i)
+    done;
+    (match kind with
+    | Cl_diag (dre, die) ->
+      for x = 0 to sub - 1 do
+        let dr = Array.unsafe_get dre x and di = Array.unsafe_get die x in
+        if dr <> 1.0 || di <> 0.0 then begin
+          let i = Array.unsafe_get idx x in
+          let r = Array.unsafe_get vr x and q = Array.unsafe_get vi x in
+          set res i ((dr *. r) -. (di *. q));
+          set ims i ((dr *. q) +. (di *. r))
+        end
+      done
+    | Cl_monomial (cycles, phr, phi) ->
+      for ci = 0 to Array.length cycles - 1 do
+        let cyc = Array.unsafe_get cycles ci in
+        let len = Array.length cyc in
+        for t = 0 to len - 1 do
+          let r = Array.unsafe_get cyc t in
+          let c = Array.unsafe_get cyc ((t + 1) mod len) in
+          let xr = Array.unsafe_get vr c and xi = Array.unsafe_get vi c in
+          let pr = Array.unsafe_get phr r and pi = Array.unsafe_get phi r in
+          let i = Array.unsafe_get idx r in
+          set res i ((pr *. xr) -. (pi *. xi));
+          set ims i ((pr *. xi) +. (pi *. xr))
+        done
+      done
+    | Cl_sparse (rows, cols, wre, wim) ->
+      for row = 0 to sub - 1 do
+        let sr = ref 0.0 and si = ref 0.0 in
+        for p = Array.unsafe_get rows row to Array.unsafe_get rows (row + 1) - 1
+        do
+          let wr = Array.unsafe_get wre p and wi = Array.unsafe_get wim p in
+          let col = Array.unsafe_get cols p in
+          let xr = Array.unsafe_get vr col and xi = Array.unsafe_get vi col in
+          sr := !sr +. ((wr *. xr) -. (wi *. xi));
+          si := !si +. ((wr *. xi) +. (wi *. xr))
+        done;
+        let i = Array.unsafe_get idx row in
+        set res i !sr;
+        set ims i !si
+      done)
+  done
+
+let apply_cluster st (u : Complex.t array array) (qs : int array) =
+  let op = "Statevector.apply_cluster" in
+  let m = Array.length qs in
+  if m = 0 then Sim_error.error ~op "empty qubit set";
+  if m > 8 then Sim_error.error ~op "cluster too large: %d qubits" m;
+  Array.iter (check_qubit st) qs;
+  let sub = 1 lsl m in
+  if Array.length u <> sub then
+    Sim_error.error ~op "%d-qubit cluster needs a %dx%d matrix, got %dx%d" m
+      sub sub (Array.length u) (Array.length u);
+  let ps = Array.copy qs in
+  Array.sort compare ps;
+  for j = 0 to m - 2 do
+    if ps.(j) = ps.(j + 1) then Sim_error.error ~op "duplicate qubit %d" ps.(j)
+  done;
+  let offs = Array.make sub 0 in
+  for x = 0 to sub - 1 do
+    let o = ref 0 in
+    for j = 0 to m - 1 do
+      if x land (1 lsl j) <> 0 then o := !o lor (1 lsl qs.(j))
+    done;
+    offs.(x) <- !o
+  done;
+  let kind = classify_cluster u sub in
+  let checked = !checked_access_ref in
+  let groups = dim st lsr m in
+  if not (sharded st) then begin
+    let are = st.re.(0) and aim = st.im.(0) in
+    Dpool.run ~size:groups
+      (cluster_sweep_flat ~checked ~kind ~ps ~offs ~m ~sub are aim)
+  end
+  else if ps.(m - 1) < st.lb then begin
+    (* all cluster bits below the shard boundary: every shard is an
+       independent lb-qubit sub-register — run the flat sweep per
+       shard, one task per shard across the pool *)
+    let lgroups = 1 lsl (st.lb - m) in
+    Dpool.run_tasks ~count:(shard_count st) (fun s ->
+        cluster_sweep_flat ~checked ~kind ~ps ~offs ~m ~sub st.re.(s)
+          st.im.(s) 0 lgroups)
+  end
+  else
+    Dpool.run ~size:groups
+      (cluster_sweep_sharded st ~checked ~kind ~ps ~offs ~m ~sub)
 
 let is_diag4 (u : Complex.t array array) =
   let ok = ref true in
@@ -372,9 +1145,28 @@ let is_diag4 (u : Complex.t array array) =
   done;
   !ok
 
+let is_monomial4 (u : Complex.t array array) =
+  let zero (z : Complex.t) = z.Complex.re = 0.0 && z.Complex.im = 0.0 in
+  let ok = ref true in
+  for i = 0 to 3 do
+    let row = ref 0 and col = ref 0 in
+    for j = 0 to 3 do
+      if not (zero u.(i).(j)) then incr row;
+      if not (zero u.(j).(i)) then incr col
+    done;
+    if !row <> 1 || !col <> 1 then ok := false
+  done;
+  !ok
+
 let apply_mat2 st (u : Complex.t array array) qa qb =
   if is_diag4 u then
     apply_diag2 st [| u.(0).(0); u.(1).(1); u.(2).(2); u.(3).(3) |] qa qb
+  else if is_monomial4 u then
+    (* permutation-with-phases (fused CX/SWAP chains): 4 multiplies per
+       group via the monomial cluster path instead of the 16-complex-
+       multiply general kernel. apply_2q's first operand is the most
+       significant matrix bit; the cluster convention is LSB first. *)
+    apply_cluster st u [| qb; qa |]
   else apply_general2q st u qa qb
 
 (* Compatibility aliases for the historical general-kernel API. *)
@@ -392,10 +1184,12 @@ let apply_ccx st c1 c2 tgt =
   check_qubit st tgt;
   if c1 = c2 || c1 = tgt || c2 = tgt then
     Sim_error.error ~op:"Statevector.apply_ccx" "identical qubits";
+  if sharded st then sh_ccx st c1 c2 tgt
+  else begin
   let b1 = 1 lsl c1 and b2 = 1 lsl c2 and bt = 1 lsl tgt in
   let p0, p1, p2 = sort3 c1 c2 tgt in
   let eighth = dim st / 8 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:eighth (fun lo hi ->
       for k = lo to hi - 1 do
         let i = insert_zero (insert_zero (insert_zero k p0) p1) p2 in
@@ -407,6 +1201,7 @@ let apply_ccx st c1 c2 tgt =
         re.(i1) <- tr;
         im.(i1) <- ti
       done)
+  end
 
 (* Fredkin: swap amplitudes of |..a=1,b=0..> and |..a=0,b=1..> when the
    control is set. *)
@@ -416,10 +1211,12 @@ let apply_cswap st c a b =
   check_qubit st b;
   if c = a || c = b || a = b then
     Sim_error.error ~op:"Statevector.apply_cswap" "identical qubits";
+  if sharded st then sh_cswap st c a b
+  else begin
   let bc = 1 lsl c and ba = 1 lsl a and bb = 1 lsl b in
   let p0, p1, p2 = sort3 c a b in
   let eighth = dim st / 8 in
-  let re = st.re and im = st.im in
+  let re = st.re.(0) and im = st.im.(0) in
   Dpool.run ~size:eighth (fun lo hi ->
       for k = lo to hi - 1 do
         let i = insert_zero (insert_zero (insert_zero k p0) p1) p2 in
@@ -431,6 +1228,7 @@ let apply_cswap st c a b =
         re.(i1) <- tr;
         im.(i1) <- ti
       done)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Gate dispatch                                                        *)
@@ -490,15 +1288,34 @@ let prob_one st q =
   check_qubit st q;
   let bit = 1 lsl q in
   let half = dim st / 2 in
-  let re = st.re and im = st.im in
   let sum =
-    Dpool.reduce_float ~size:half (fun lo hi ->
-        let acc = ref 0.0 in
-        for k = lo to hi - 1 do
-          let i1 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) lor bit in
-          acc := !acc +. (re.(i1) *. re.(i1)) +. (im.(i1) *. im.(i1))
-        done;
-        !acc)
+    if sharded st then begin
+      (* same enumeration and chunking as the flat branch, so the
+         partial sums combine in the identical order: the result is bit
+         for bit the same under either layout *)
+      let lb = st.lb in
+      let lm = (1 lsl lb) - 1 in
+      let re = st.re and im = st.im in
+      Dpool.reduce_float ~size:half (fun lo hi ->
+          let acc = ref 0.0 in
+          for k = lo to hi - 1 do
+            let i1 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) lor bit in
+            let r = re.(i1 lsr lb).(i1 land lm)
+            and m = im.(i1 lsr lb).(i1 land lm) in
+            acc := !acc +. (r *. r) +. (m *. m)
+          done;
+          !acc)
+    end
+    else begin
+      let re = st.re.(0) and im = st.im.(0) in
+      Dpool.reduce_float ~size:half (fun lo hi ->
+          let acc = ref 0.0 in
+          for k = lo to hi - 1 do
+            let i1 = ((k lsr q) lsl (q + 1)) lor (k land (bit - 1)) lor bit in
+            acc := !acc +. (re.(i1) *. re.(i1)) +. (im.(i1) *. im.(i1))
+          done;
+          !acc)
+    end
   in
   Float.min 1.0 (Float.max 0.0 sum)
 
@@ -512,19 +1329,40 @@ let collapse st q outcome prob =
   let size = dim st in
   let prob = if Float.is_nan prob || prob < 1e-300 then 1e-300 else prob in
   let norm = 1.0 /. sqrt prob in
-  let re = st.re and im = st.im in
-  Dpool.run ~size (fun lo hi ->
-      for i = lo to hi - 1 do
-        let is_one = i land bit <> 0 in
-        if is_one = outcome then begin
-          re.(i) <- re.(i) *. norm;
-          im.(i) <- im.(i) *. norm
-        end
-        else begin
-          re.(i) <- 0.0;
-          im.(i) <- 0.0
-        end
-      done)
+  if sharded st then begin
+    let lb = st.lb in
+    let lm = (1 lsl lb) - 1 in
+    let res = st.re and ims = st.im in
+    Dpool.run ~size (fun lo hi ->
+        for i = lo to hi - 1 do
+          let re = res.(i lsr lb) and im = ims.(i lsr lb) in
+          let o = i land lm in
+          let is_one = i land bit <> 0 in
+          if is_one = outcome then begin
+            re.(o) <- re.(o) *. norm;
+            im.(o) <- im.(o) *. norm
+          end
+          else begin
+            re.(o) <- 0.0;
+            im.(o) <- 0.0
+          end
+        done)
+  end
+  else begin
+    let re = st.re.(0) and im = st.im.(0) in
+    Dpool.run ~size (fun lo hi ->
+        for i = lo to hi - 1 do
+          let is_one = i land bit <> 0 in
+          if is_one = outcome then begin
+            re.(i) <- re.(i) *. norm;
+            im.(i) <- im.(i) *. norm
+          end
+          else begin
+            re.(i) <- 0.0;
+            im.(i) <- 0.0
+          end
+        done)
+  end
 
 let measure st q =
   let p1 = prob_one st q in
@@ -578,14 +1416,20 @@ let inner_product a b =
   if a.n <> b.n then
     Sim_error.error ~op:"Statevector.inner_product" "size mismatch: %d <> %d"
       a.n b.n;
+  let la = a.lb and lma = (1 lsl a.lb) - 1 in
+  let lc = b.lb and lmb = (1 lsl b.lb) - 1 in
   let are = a.re and aim = a.im and bre = b.re and bim = b.im in
   let acc_re, acc_im =
     Dpool.reduce_float2 ~size:(dim a) (fun lo hi ->
         let sr = ref 0.0 and si = ref 0.0 in
         for i = lo to hi - 1 do
-          (* conj(a) * b *)
-          sr := !sr +. (are.(i) *. bre.(i)) +. (aim.(i) *. bim.(i));
-          si := !si +. (are.(i) *. bim.(i)) -. (aim.(i) *. bre.(i))
+          (* conj(a) * b; the two states may be sharded differently *)
+          let ar = are.(i lsr la).(i land lma)
+          and ai = aim.(i lsr la).(i land lma) in
+          let br = bre.(i lsr lc).(i land lmb)
+          and bi = bim.(i lsr lc).(i land lmb) in
+          sr := !sr +. (ar *. br) +. (ai *. bi);
+          si := !si +. (ar *. bi) -. (ai *. br)
         done;
         (!sr, !si))
   in
@@ -596,39 +1440,82 @@ let fidelity a b = Complex.norm2 (inner_product a b)
 (* ------------------------------------------------------------------ *)
 (* Reference kernels                                                    *)
 
-(* The seed's naive kernels, unchanged: full 2^n scans, complex matrix
-   multiply for every gate, single-threaded. They are the correctness
-   oracle for the specialized/fused/parallel fast paths and the baseline
-   the benchmarks measure speedups against. *)
+(* The seed's naive kernels: full 2^n scans, complex matrix multiply
+   for every gate, single-threaded. They are the correctness oracle for
+   the specialized/fused/clustered/sharded fast paths and the baseline
+   the benchmarks measure speedups against. The only change from the
+   seed is the two-level [shard.(offset)] addressing (for a flat state
+   the shard index is always 0); every scan, matrix product and update
+   is the seed's, element for element. *)
 module Reference = struct
+  (* plain bounds-checked accessors — oracle code, kept obviously safe
+     rather than fast. Single-shard states (the common oracle case)
+     index the one flat slice directly; only genuinely sharded states
+     pay the two-level address split. *)
+  let[@inline] rget st a i =
+    if st.n <= st.lb then a.(0).(i)
+    else a.(i lsr st.lb).(i land ((1 lsl st.lb) - 1))
+
+  let[@inline] rset st a i v =
+    if st.n <= st.lb then a.(0).(i) <- v
+    else a.(i lsr st.lb).(i land ((1 lsl st.lb) - 1)) <- v
+
   let apply_1q st (u : Complex.t array array) q =
     check_qubit st q;
     let bit = 1 lsl q in
     let size = dim st in
     let u00 = u.(0).(0) and u01 = u.(0).(1) and u10 = u.(1).(0) and u11 = u.(1).(1) in
-    let re = st.re and im = st.im in
-    let i = ref 0 in
-    while !i < size do
-      if !i land bit = 0 then begin
-        let i0 = !i in
-        let i1 = !i lor bit in
-        let a_re = re.(i0) and a_im = im.(i0) in
-        let b_re = re.(i1) and b_im = im.(i1) in
-        re.(i0) <-
-          (u00.Complex.re *. a_re) -. (u00.Complex.im *. a_im)
-          +. (u01.Complex.re *. b_re) -. (u01.Complex.im *. b_im);
-        im.(i0) <-
-          (u00.Complex.re *. a_im) +. (u00.Complex.im *. a_re)
-          +. (u01.Complex.re *. b_im) +. (u01.Complex.im *. b_re);
-        re.(i1) <-
-          (u10.Complex.re *. a_re) -. (u10.Complex.im *. a_im)
-          +. (u11.Complex.re *. b_re) -. (u11.Complex.im *. b_im);
-        im.(i1) <-
-          (u10.Complex.re *. a_im) +. (u10.Complex.im *. a_re)
-          +. (u11.Complex.re *. b_im) +. (u11.Complex.im *. b_re)
-      end;
-      incr i
-    done
+    if st.n <= st.lb then begin
+      (* single shard: the seed's original flat full scan, verbatim *)
+      let re = st.re.(0) and im = st.im.(0) in
+      let i = ref 0 in
+      while !i < size do
+        if !i land bit = 0 then begin
+          let i0 = !i in
+          let i1 = !i lor bit in
+          let a_re = re.(i0) and a_im = im.(i0) in
+          let b_re = re.(i1) and b_im = im.(i1) in
+          re.(i0) <-
+            (u00.Complex.re *. a_re) -. (u00.Complex.im *. a_im)
+            +. (u01.Complex.re *. b_re) -. (u01.Complex.im *. b_im);
+          im.(i0) <-
+            (u00.Complex.re *. a_im) +. (u00.Complex.im *. a_re)
+            +. (u01.Complex.re *. b_im) +. (u01.Complex.im *. b_re);
+          re.(i1) <-
+            (u10.Complex.re *. a_re) -. (u10.Complex.im *. a_im)
+            +. (u11.Complex.re *. b_re) -. (u11.Complex.im *. b_im);
+          im.(i1) <-
+            (u10.Complex.re *. a_im) +. (u10.Complex.im *. a_re)
+            +. (u11.Complex.re *. b_im) +. (u11.Complex.im *. b_re)
+        end;
+        incr i
+      done
+    end
+    else begin
+      let re = st.re and im = st.im in
+      let i = ref 0 in
+      while !i < size do
+        if !i land bit = 0 then begin
+          let i0 = !i in
+          let i1 = !i lor bit in
+          let a_re = rget st re i0 and a_im = rget st im i0 in
+          let b_re = rget st re i1 and b_im = rget st im i1 in
+          rset st re i0
+            ((u00.Complex.re *. a_re) -. (u00.Complex.im *. a_im)
+            +. (u01.Complex.re *. b_re) -. (u01.Complex.im *. b_im));
+          rset st im i0
+            ((u00.Complex.re *. a_im) +. (u00.Complex.im *. a_re)
+            +. (u01.Complex.re *. b_im) +. (u01.Complex.im *. b_re));
+          rset st re i1
+            ((u10.Complex.re *. a_re) -. (u10.Complex.im *. a_im)
+            +. (u11.Complex.re *. b_re) -. (u11.Complex.im *. b_im));
+          rset st im i1
+            ((u10.Complex.re *. a_im) +. (u10.Complex.im *. a_re)
+            +. (u11.Complex.re *. b_im) +. (u11.Complex.im *. b_re))
+        end;
+        incr i
+      done
+    end
 
   let apply_2q st (u : Complex.t array array) qa qb =
     check_qubit st qa;
@@ -637,34 +1524,65 @@ module Reference = struct
       Sim_error.error ~op:"Statevector.apply_2q" "identical qubits";
     let ba = 1 lsl qa and bb = 1 lsl qb in
     let size = dim st in
-    let re = st.re and im = st.im in
     let tmp_re = Array.make 4 0.0 and tmp_im = Array.make 4 0.0 in
     let idx = Array.make 4 0 in
-    let i = ref 0 in
-    while !i < size do
-      if !i land ba = 0 && !i land bb = 0 then begin
-        idx.(0) <- !i;
-        idx.(1) <- !i lor bb;
-        idx.(2) <- !i lor ba;
-        idx.(3) <- !i lor ba lor bb;
-        for k = 0 to 3 do
-          let sr = ref 0.0 and si = ref 0.0 in
-          for l = 0 to 3 do
-            let m = u.(k).(l) in
-            let vr = re.(idx.(l)) and vi = im.(idx.(l)) in
-            sr := !sr +. ((m.Complex.re *. vr) -. (m.Complex.im *. vi));
-            si := !si +. ((m.Complex.re *. vi) +. (m.Complex.im *. vr))
+    if st.n <= st.lb then begin
+      (* single shard: the seed's original flat full scan, verbatim *)
+      let re = st.re.(0) and im = st.im.(0) in
+      let i = ref 0 in
+      while !i < size do
+        if !i land ba = 0 && !i land bb = 0 then begin
+          idx.(0) <- !i;
+          idx.(1) <- !i lor bb;
+          idx.(2) <- !i lor ba;
+          idx.(3) <- !i lor ba lor bb;
+          for k = 0 to 3 do
+            let sr = ref 0.0 and si = ref 0.0 in
+            for l = 0 to 3 do
+              let m = u.(k).(l) in
+              let vr = re.(idx.(l)) and vi = im.(idx.(l)) in
+              sr := !sr +. ((m.Complex.re *. vr) -. (m.Complex.im *. vi));
+              si := !si +. ((m.Complex.re *. vi) +. (m.Complex.im *. vr))
+            done;
+            tmp_re.(k) <- !sr;
+            tmp_im.(k) <- !si
           done;
-          tmp_re.(k) <- !sr;
-          tmp_im.(k) <- !si
-        done;
-        for k = 0 to 3 do
-          re.(idx.(k)) <- tmp_re.(k);
-          im.(idx.(k)) <- tmp_im.(k)
-        done
-      end;
-      incr i
-    done
+          for k = 0 to 3 do
+            re.(idx.(k)) <- tmp_re.(k);
+            im.(idx.(k)) <- tmp_im.(k)
+          done
+        end;
+        incr i
+      done
+    end
+    else begin
+      let re = st.re and im = st.im in
+      let i = ref 0 in
+      while !i < size do
+        if !i land ba = 0 && !i land bb = 0 then begin
+          idx.(0) <- !i;
+          idx.(1) <- !i lor bb;
+          idx.(2) <- !i lor ba;
+          idx.(3) <- !i lor ba lor bb;
+          for k = 0 to 3 do
+            let sr = ref 0.0 and si = ref 0.0 in
+            for l = 0 to 3 do
+              let m = u.(k).(l) in
+              let vr = rget st re idx.(l) and vi = rget st im idx.(l) in
+              sr := !sr +. ((m.Complex.re *. vr) -. (m.Complex.im *. vi));
+              si := !si +. ((m.Complex.re *. vi) +. (m.Complex.im *. vr))
+            done;
+            tmp_re.(k) <- !sr;
+            tmp_im.(k) <- !si
+          done;
+          for k = 0 to 3 do
+            rset st re idx.(k) tmp_re.(k);
+            rset st im idx.(k) tmp_im.(k)
+          done
+        end;
+        incr i
+      done
+    end
 
   let apply_ccx st c1 c2 tgt =
     check_qubit st c1;
@@ -677,11 +1595,11 @@ module Reference = struct
     while !i < size do
       if !i land b1 <> 0 && !i land b2 <> 0 && !i land bt = 0 then begin
         let j = !i lor bt in
-        let tr = re.(!i) and ti = im.(!i) in
-        re.(!i) <- re.(j);
-        im.(!i) <- im.(j);
-        re.(j) <- tr;
-        im.(j) <- ti
+        let tr = rget st re !i and ti = rget st im !i in
+        rset st re !i (rget st re j);
+        rset st im !i (rget st im j);
+        rset st re j tr;
+        rset st im j ti
       end;
       incr i
     done
@@ -697,11 +1615,11 @@ module Reference = struct
     while !i < size do
       if !i land bc <> 0 && !i land ba <> 0 && !i land bb = 0 then begin
         let j = (!i lxor ba) lor bb in
-        let tr = re.(!i) and ti = im.(!i) in
-        re.(!i) <- re.(j);
-        im.(!i) <- im.(j);
-        re.(j) <- tr;
-        im.(j) <- ti
+        let tr = rget st re !i and ti = rget st im !i in
+        rset st re !i (rget st re j);
+        rset st im !i (rget st im j);
+        rset st re j tr;
+        rset st im j ti
       end;
       incr i
     done

@@ -1,26 +1,53 @@
 (** Dense statevector simulator — the stand-in for PennyLane Lightning in
-    the paper's Ex. 5. Exact amplitudes, up to 26 qubits.
+    the paper's Ex. 5. Exact amplitudes, up to 30 qubits.
 
     Qubit [q] indexes bit [q] of the basis-state index (qubit 0 is the
     least significant bit). The register can grow one qubit at a time to
     serve dynamic allocation (Sec. IV-A).
 
-    Gate kernels are specialized by matrix structure (permutation /
-    diagonal / real / general), enumerate only the index subspace they
-    touch (size/2 for 1q gates, size/4 for 2q, size/8 for CCX), and
-    split their ranges across the {!Dpool} Domain pool when the register
-    exceeds the parallel threshold. The seed's naive full-scan kernels
-    are kept in {!Reference} as the correctness oracle and benchmark
-    baseline. *)
+    Registers up to {!max_local_bits} qubits live in one flat pair of
+    re/im arrays; larger ones are sharded into contiguous slices that
+    the {!Dpool} Domain pool can own wholesale. Gate kernels are
+    specialized by matrix structure (permutation / diagonal / real /
+    general), enumerate only the index subspace they touch (size/2 for
+    1q gates, size/4 for 2q, size/8 for CCX), and split their ranges
+    across the pool when the register exceeds the parallel threshold;
+    {!apply_cluster} executes a whole fused gate cluster in one pass.
+    The seed's naive full-scan kernels are kept in {!Reference} as the
+    correctness oracle and benchmark baseline. *)
 
 type t
 
+val max_qubits : int
+(** Hard register cap (30): a 30-qubit state is 16 GiB of amplitudes. *)
+
 val create : ?seed:int -> int -> t
 (** [create n] is |0...0> over [n] qubits. Raises [Invalid_argument]
-    unless [0 <= n <= 26]. [seed] drives measurement sampling. *)
+    unless [0 <= n <= max_qubits]. [seed] drives measurement sampling. *)
 
 val num_qubits : t -> int
 val dim : t -> int
+
+val local_bits : t -> int
+(** log2 of this state's shard size; [n <= local_bits] means a single
+    flat shard. *)
+
+val shard_count : t -> int
+
+val max_local_bits : unit -> int
+val set_max_local_bits : int -> unit
+(** Shard granularity for subsequently created states: each shard holds
+    [2^bits] amplitudes (default 24, or [QIR_SIM_LOCAL_BITS]). Lowering
+    it forces sharding at small sizes — used by tests to exercise the
+    shard-crossing kernels cheaply. Raises [Invalid_argument] unless
+    [1 <= bits <= max_qubits]. *)
+
+val checked_access : unit -> bool
+val set_checked_access : bool -> unit
+(** When set (or [QIR_SIM_CHECKED=1]), the [Array.unsafe_get/set]
+    cluster sweeps re-assert every derived index against the array
+    bounds, turning the enumeration's in-bounds proof back into runtime
+    checks. Off by default. *)
 
 val amplitude : t -> int -> Complex.t
 val probability : t -> int -> float
@@ -45,6 +72,14 @@ val apply_1q : t -> Complex.t array array -> int -> unit
 val apply_2q : t -> Complex.t array array -> int -> int -> unit
 (** Applies an arbitrary 4x4 unitary; the first qubit is the most
     significant bit of the matrix basis. *)
+
+val apply_cluster : t -> Complex.t array array -> int array -> unit
+(** [apply_cluster st u qs] applies the [2^m x 2^m] unitary [u] over
+    the [m] distinct qubits [qs] in one pass over the amplitudes.
+    Matrix basis bit [j] corresponds to [qs.(j)], least significant
+    first (the opposite of {!apply_2q}'s operand convention). Diagonal
+    and monomial (permutation-with-phases) matrices take constant-work
+    fast paths; dense matrices pay the full matvec per group. *)
 
 val prob_one : t -> int -> float
 (** Probability that measuring qubit [q] yields 1 (non-destructive).

@@ -374,6 +374,131 @@ let test_batched_deterministic_permutation () =
   | [ (key, 50) ] -> check Alcotest.string "key" "101" key
   | _ -> Alcotest.fail "expected a deterministic outcome"
 
+(* ------------------------------------------------------------------ *)
+(* 8. Sharded storage and the cluster path: differential properties      *)
+
+(* Temporarily lower the shard granularity so even tiny registers split
+   into multiple shards, exercising the two-level kernels cheaply. *)
+let with_local_bits bits f =
+  let b0 = Sv.max_local_bits () in
+  Sv.set_max_local_bits bits;
+  Fun.protect f ~finally:(fun () -> Sv.set_max_local_bits b0)
+
+(* Cluster-fused execution on a sharded state vs the flat naive
+   reference: same amplitudes (<= 1e-12) and the same classical bits,
+   over random 2..14-qubit circuits and every cluster width. *)
+let prop_cluster_shard_differential =
+  QCheck2.Test.make ~count:40
+    ~name:"cluster-fused sharded engine matches flat reference"
+    QCheck2.Gen.(
+      triple (int_range 0 100000) (int_range 2 14)
+        (pair (int_range 2 6) (int_range 2 4)))
+    (fun (seed, n, (k, lb)) ->
+      let c =
+        Generate.random ~seed ~two_qubit_fraction:0.3
+          ~parametric:(seed mod 2 = 0) ~gates:(5 * n) n
+      in
+      let st_ref, cl_ref = Ref.run_circuit ~seed c in
+      let st_sh, cl_sh =
+        with_local_bits lb (fun () -> Qsim.Fusion.run_circuit ~seed ~k c)
+      in
+      if n > lb && Sv.shard_count st_sh < 2 then
+        QCheck2.Test.fail_report "state did not shard";
+      if cl_sh <> cl_ref then QCheck2.Test.fail_report "clbits diverge";
+      let dev = max_dev st_sh st_ref in
+      if dev > 1e-12 then
+        QCheck2.Test.fail_reportf "amplitude deviation %g" dev;
+      true)
+
+(* Fixed seed => the sampler histogram is bit-identical whether the
+   state is flat or sharded, clustered or not. *)
+let test_histogram_shard_invariant () =
+  let c = measure_all (Generate.random ~seed:19 ~gates:60 ~parametric:true 6) in
+  let flat = Qsim.Sampler.sample ~seed:11 ~shots:500 c in
+  let sharded =
+    with_local_bits 3 (fun () -> Qsim.Sampler.sample ~seed:11 ~shots:500 c)
+  in
+  check bool_t "sharded histogram bit-identical" true (flat = sharded);
+  let sharded_par =
+    with_local_bits 2 (fun () ->
+        with_pool ~domains:4 ~threshold:16 (fun () ->
+            Qsim.Sampler.sample ~seed:11 ~shots:500 c))
+  in
+  check bool_t "sharded+pooled histogram bit-identical" true (flat = sharded_par)
+
+(* Gates whose qubit span exceeds the shard width: every amplitude
+   group straddles shard boundaries. *)
+let test_shard_straddling_gates () =
+  let n = 6 in
+  let st_ref, _ = prep n 91 in
+  let ops =
+    [
+      (Gate.H, [ 5 ]); (Gate.Cx, [ 5; 0 ]); (Gate.Swap, [ 2; 5 ]);
+      (Gate.Ccx, [ 1; 3; 5 ]); (Gate.Cp 0.7, [ 4; 2 ]);
+    ]
+  in
+  let c = Generate.random ~seed:91 ~gates:(6 * n) ~parametric:true n in
+  let st_sh =
+    with_local_bits 2 (fun () ->
+        let st, _ = Ref.run_circuit ~seed:91 c in
+        check bool_t "sharded" true (Sv.shard_count st > 1);
+        List.iter (fun (g, qs) -> Sv.apply st g qs) ops;
+        st)
+  in
+  List.iter (fun (g, qs) -> Ref.apply st_ref g qs) ops;
+  let dev = max_dev st_sh st_ref in
+  if dev > 1e-12 then
+    Alcotest.failf "straddling-gate deviation %g" dev;
+  (* a cluster spanning more qubits than the shard width *)
+  let u =
+    Array.init 8 (fun r ->
+        Array.init 8 (fun c -> if c = 7 - r then Complex.one else Complex.zero))
+  in
+  Sv.apply_cluster st_sh u [| 1; 3; 5 |];
+  List.iter
+    (fun (g, qs) -> Ref.apply st_ref g qs)
+    [ (Gate.X, [ 1 ]); (Gate.X, [ 3 ]); (Gate.X, [ 5 ]) ];
+  let dev = max_dev st_sh st_ref in
+  if dev > 1e-12 then Alcotest.failf "straddling-cluster deviation %g" dev
+
+(* Mid-circuit register growth across the flat->sharded boundary. *)
+let test_add_qubit_across_shard_split () =
+  let build apply_ops st =
+    apply_ops st [ (Gate.H, [ 0 ]); (Gate.Cx, [ 0; 1 ]) ];
+    Sv.ensure_qubits st 5;
+    apply_ops st [ (Gate.Cx, [ 1; 4 ]); (Gate.H, [ 4 ]); (Gate.Cz, [ 0; 4 ]) ]
+  in
+  let st_flat = Sv.create ~seed:3 2 in
+  build (fun st -> List.iter (fun (g, qs) -> Ref.apply st g qs)) st_flat;
+  let st_sh =
+    with_local_bits 3 (fun () ->
+        let st = Sv.create ~seed:3 2 in
+        check int_t "starts flat" 1 (Sv.shard_count st);
+        build (fun st -> List.iter (fun (g, qs) -> Sv.apply st g qs)) st;
+        check bool_t "grew across the split" true (Sv.shard_count st > 1);
+        st)
+  in
+  let dev = max_dev st_sh st_flat in
+  if dev > 1e-12 then Alcotest.failf "growth deviation %g" dev
+
+(* The checked-access mode re-asserts every unsafe index; it must be
+   transparent (and actually run the cluster sweeps). *)
+let test_checked_access_path () =
+  let c = Generate.random ~seed:55 ~gates:80 ~parametric:false 6 in
+  let st_ref, cl_ref = Ref.run_circuit ~seed:55 c in
+  let st_chk, cl_chk =
+    let c0 = Sv.checked_access () in
+    Sv.set_checked_access true;
+    Fun.protect
+      (fun () ->
+        check bool_t "checked mode on" true (Sv.checked_access ());
+        with_local_bits 2 (fun () -> Qsim.Fusion.run_circuit ~seed:55 ~k:5 c))
+      ~finally:(fun () -> Sv.set_checked_access c0)
+  in
+  check bool_t "clbits match" true (cl_chk = cl_ref);
+  let dev = max_dev st_chk st_ref in
+  if dev > 1e-12 then Alcotest.failf "checked-access deviation %g" dev
+
 let suite =
   [
     Alcotest.test_case "specialized kernels vs reference" `Quick
@@ -404,4 +529,12 @@ let suite =
       test_batched_sampler_vs_direct;
     Alcotest.test_case "batched path matches recorded-output order" `Quick
       test_batched_deterministic_permutation;
+    QCheck_alcotest.to_alcotest prop_cluster_shard_differential;
+    Alcotest.test_case "histogram invariant under sharding" `Quick
+      test_histogram_shard_invariant;
+    Alcotest.test_case "shard-straddling gates" `Quick
+      test_shard_straddling_gates;
+    Alcotest.test_case "add_qubit across the shard split" `Quick
+      test_add_qubit_across_shard_split;
+    Alcotest.test_case "checked-access mode" `Quick test_checked_access_path;
   ]
