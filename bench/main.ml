@@ -813,6 +813,256 @@ let e14 () =
   add_sim_fragment "e14" fragment
 
 (* ------------------------------------------------------------------ *)
+(* E15 — the multi-tenant service under mixed hot/cold load             *)
+
+(* Two tenants share one qir-serve core: "hot" resubmits the same
+   physical module (cache-hot after the first job, weight 2), "cold"
+   submits a fresh fuzzed module every time (every job pays parse-free
+   but compile/analysis-cold execution, weight 1). Phase 1 measures the
+   uncontended baseline — submit one job, drain, repeat. Phase 2
+   submits at ~2x the service rate so the queue climbs through the
+   degradation ladder (tier caps, pool throttling, cache-coldest-first
+   shedding), then drains. Recorded per phase: sustained jobs/sec and
+   the p50/p99 end-to-end latency (queue wait + execution) of the hot
+   tenant's completed jobs; for the overloaded phase also the tier mix,
+   shed/rejection counts, and a parity spot-check re-running a sample
+   of service results directly against the Executor at the recorded
+   tier cap (they must match bit for bit). The headline number is the
+   hot-tenant p99 ratio overloaded/uncontended: degradation is graceful
+   if admitted cache-hot work stays within ~2x of its uncontended
+   latency while the service sheds cold load. Written to
+   BENCH_service.json. *)
+
+let e15 () =
+  Harness.section "E15" "multi-tenant service: overload degradation";
+  let open Qservice in
+  let hot_m =
+    Qir.Qir_builder.build
+      (measure_all (Generate.random ~seed:42 ~parametric:false ~gates:80 12))
+  in
+  let cold_m seed =
+    Qir.Qir_builder.build
+      (measure_all
+         (Generate.random ~seed ~parametric:false ~gates:30 (6 + (seed mod 2))))
+  in
+  let shots = 50 in
+  let cold_shots = 10 in
+  let config =
+    {
+      Service.default_config with
+      Service.max_queue = 24;
+      overload_depth = 4;
+      chunk = 16;
+      (* weight 3 of 4 buys the hot tenant 2.25 services/wave against
+         its 2 arrivals, and a pass increment small enough that the
+         stride scheduler serves hot before the wave's cold job — the
+         premium tenant's latency excludes the cold service time *)
+      tenant_weights = [ ("hot", 3) ];
+      sleep = false;
+    }
+  in
+  let percentile p xs =
+    match List.sort compare xs with
+    | [] -> Float.nan
+    | sorted ->
+      let n = List.length sorted in
+      let idx = min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1) in
+      List.nth sorted (max 0 idx)
+  in
+  (* one service run; returns (stats, hot latencies, all results) *)
+  let fresh_run () =
+    let events = ref [] in
+    let svc =
+      Service.create ~config ~emit:(fun ev -> events := ev :: !events) ()
+    in
+    (svc, events)
+  in
+  let results_of events =
+    List.filter_map
+      (function
+        | Service.Result { id; tenant; result; tier; wait_s; run_s } ->
+          Some (id, tenant, result, tier, wait_s, run_s)
+        | _ -> None)
+      (List.rev !events)
+  in
+  let hot_latencies rs =
+    List.filter_map
+      (fun (_, tenant, _, _, wait_s, run_s) ->
+        if tenant = "hot" then Some (wait_s +. run_s) else None)
+      rs
+  in
+  let debug_slowest label rs =
+    if Sys.getenv_opt "BENCH_DEBUG" <> None then begin
+      let hot =
+        List.filter_map
+          (fun (id, tenant, _, tier, w, r) ->
+            if tenant = "hot" then Some (w +. r, id, tier, w, r) else None)
+          rs
+        |> List.sort compare |> List.rev
+      in
+      List.iteri
+        (fun i (lat, id, tier, w, r) ->
+          if i < 5 then
+            Printf.eprintf "  [%s] %s: %.2f ms (wait %.2f + run %.2f, %s)\n"
+              label id (lat *. 1e3) (w *. 1e3) (r *. 1e3)
+              (Qruntime.Executor.tier_name tier))
+        hot
+    end
+  in
+  (* ---- phase 1: uncontended (submit one, drain, repeat) ----------- *)
+  let svc1, ev1 = fresh_run () in
+  (* warm the hot tenant's caches outside the measurement *)
+  Service.submit svc1 ~tenant:"hot" ~shots ~seed:1 hot_m;
+  Service.drain svc1;
+  let jobs1 = 90 in
+  let base_cold = Array.init jobs1 (fun i -> cold_m (300 + i)) in
+  let t_base =
+    Harness.time_once (fun () ->
+        for i = 1 to jobs1 do
+          if i mod 3 = 0 then
+            Service.submit svc1 ~tenant:"cold" ~shots:cold_shots
+              ~seed:(300 + i) base_cold.(i - 1)
+          else Service.submit svc1 ~tenant:"hot" ~shots ~seed:(100 + i) hot_m;
+          Service.drain svc1
+        done)
+  in
+  let rs1 = results_of ev1 in
+  debug_slowest "base" rs1;
+  let base_hot = hot_latencies rs1 in
+  let base_p50 = percentile 0.50 base_hot in
+  let base_p99 = percentile 0.99 base_hot in
+  let base_rate = float_of_int (List.length rs1) /. t_base in
+  Harness.row
+    "  uncontended: %d jobs, %.0f jobs/sec; hot p50 %s, p99 %s@\n"
+    (List.length rs1) base_rate
+    (Harness.ns_to_string (base_p50 *. 1e9))
+    (Harness.ns_to_string (base_p99 *. 1e9));
+  (* ---- phase 2: sustained ~2x overload ---------------------------- *)
+  let svc2, ev2 = fresh_run () in
+  Service.submit svc2 ~tenant:"hot" ~shots ~seed:1 hot_m;
+  Service.drain svc2;
+  (* job id -> (module, seed, shots), for the parity spot-check below *)
+  let submitted : (string, Llvm_ir.Ir_module.t * int * int) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  (* 6 arrivals per wave against 3 services: a sustained 2x overload.
+     The hot tenant submits within its weighted share (weight 2 of 3
+     buys it 2 of each wave's 3 services), so the overload pressure —
+     and therefore the shedding and tier degradation — lands on the
+     cold tenant, which is the service's contract: weighted fair
+     queuing protects the well-behaved tenant's latency.  Cold modules
+     are prebuilt so circuit fuzzing is not billed to queue wait. *)
+  let waves = 50 in
+  let over_cold = Array.init (4 * waves) (fun i -> cold_m (2000 + i)) in
+  let t_over =
+    Harness.time_once (fun () ->
+        for w = 0 to waves - 1 do
+          (* cold arrives first, so once the queue saturates the hot
+             jobs land on a full queue and displace queued cold work —
+             the cache-coldest-first shedding path, on the record *)
+          for i = 0 to 3 do
+            let id = Printf.sprintf "cold-%d-%d" w i in
+            let k = (w * 4) + i in
+            let seed = 2000 + k in
+            let m = over_cold.(k) in
+            Hashtbl.replace submitted id (m, seed, cold_shots);
+            Service.submit svc2 ~tenant:"cold" ~id ~shots:cold_shots ~seed m
+          done;
+          for i = 0 to 1 do
+            let id = Printf.sprintf "hot-%d-%d" w i in
+            let seed = 1000 + (w * 2) + i in
+            Hashtbl.replace submitted id (hot_m, seed, shots);
+            Service.submit svc2 ~tenant:"hot" ~id ~shots ~seed hot_m
+          done;
+          for _ = 1 to 3 do
+            ignore (Service.run_once svc2)
+          done
+        done;
+        Service.drain svc2)
+  in
+  let s2 = Service.stats svc2 in
+  let rs2 = results_of ev2 in
+  debug_slowest "over" rs2;
+  let over_hot = hot_latencies rs2 in
+  let over_p50 = percentile 0.50 over_hot in
+  let over_p99 = percentile 0.99 over_hot in
+  let over_rate = float_of_int s2.Service.completed /. t_over in
+  Harness.row
+    "  2x overload: %d submitted, %d completed (%.0f jobs/sec), %d shed, \
+     %d rejected@\n"
+    s2.Service.submitted s2.Service.completed over_rate s2.Service.shed
+    (s2.Service.rejected - s2.Service.shed);
+  Harness.row
+    "  tiers: %d batched / %d tape / %d per-shot (%d throttled); hot p50 \
+     %s, p99 %s (%.2fx uncontended)@\n"
+    s2.Service.batched_runs s2.Service.tape_runs s2.Service.per_shot_runs
+    s2.Service.throttled_runs
+    (Harness.ns_to_string (over_p50 *. 1e9))
+    (Harness.ns_to_string (over_p99 *. 1e9))
+    (over_p99 /. base_p99);
+  (* ---- parity spot-check: service results == direct Executor ------ *)
+  let divergences = ref 0 and parity_checked = ref 0 in
+  List.iteri
+    (fun i (id, _, r, tier, _, _) ->
+      if
+        i mod 11 = 0
+        && (not r.Qruntime.Executor.degraded)
+        && r.Qruntime.Executor.completed = r.Qruntime.Executor.requested
+      then
+        match Hashtbl.find_opt submitted id with
+        | None -> ()
+        | Some (m, seed, job_shots) ->
+          let direct =
+            Qruntime.Executor.run_shots_resilient
+              ~session:(Qruntime.Executor.Session.create ())
+              ~seed ~max_tier:tier ~shots:job_shots m
+          in
+          incr parity_checked;
+          if direct.Qruntime.Executor.histogram <> r.Qruntime.Executor.histogram
+          then incr divergences)
+    rs2;
+  Harness.row "  parity spot-check: %d sampled, %d divergences@\n"
+    !parity_checked !divergences;
+  let json =
+    Printf.sprintf
+      {|{
+  "e15_service": {
+    "workload": {
+      "hot": { "qubits": 12, "gates": 80, "shots": %d, "weight": 3 },
+      "cold": { "gates": 30, "shots": %d, "weight": 1, "fresh_module_per_job": true },
+      "hot_arrival_fraction": 0.33,
+      "note": "hot submits within its weighted share; cold drives the 2x overload"
+    },
+    "config": { "max_queue": %d, "overload_depth": %d, "chunk": %d },
+    "uncontended": {
+      "jobs": %d, "jobs_per_sec": %.1f,
+      "hot_p50_s": %.6f, "hot_p99_s": %.6f
+    },
+    "overloaded_2x": {
+      "submitted": %d, "completed": %d, "jobs_per_sec": %.1f,
+      "shed": %d, "rejected": %d, "degraded_results": %d,
+      "tiers": { "batched": %d, "tape": %d, "per_shot": %d, "throttled": %d },
+      "hot_p50_s": %.6f, "hot_p99_s": %.6f,
+      "hot_p99_vs_uncontended": %.2f
+    },
+    "parity_spot_check": { "sampled": %d, "divergences": %d }
+  }
+}
+|}
+      shots cold_shots config.Service.max_queue config.Service.overload_depth
+      config.Service.chunk (List.length rs1) base_rate base_p50 base_p99
+      s2.Service.submitted s2.Service.completed over_rate s2.Service.shed
+      (s2.Service.rejected - s2.Service.shed)
+      s2.Service.degraded_results s2.Service.batched_runs s2.Service.tape_runs
+      s2.Service.per_shot_runs s2.Service.throttled_runs over_p50 over_p99
+      (over_p99 /. base_p99) !parity_checked !divergences
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc json;
+  close_out oc;
+  Harness.row "  wrote BENCH_service.json@\n"
+
+(* ------------------------------------------------------------------ *)
 (* E10 — resilience: recovery overhead vs injected fault rate           *)
 
 (* A 16-qubit measurement-terminal circuit runs per shot through the
@@ -1449,4 +1699,5 @@ let () =
   run "e12" e12;
   run "e13" e13;
   run "e14" e14;
+  run "e15" e15;
   Format.printf "@\nAll benchmarks complete.@\n"

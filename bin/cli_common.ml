@@ -4,7 +4,8 @@
    Runtime_error, Sim_error, ...) to a one-line stderr diagnostic and a
    stable exit code:
 
-     parse = 2, verify = 3, exec = 4, timeout = 5, backend = 6, usage = 7
+     parse = 2, verify = 3, exec = 4, timeout = 5, backend = 6,
+     usage = 7, overload = 8 (admission control / quotas / breakers)
 
    User errors never print a raw OCaml backtrace. *)
 

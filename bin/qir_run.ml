@@ -7,12 +7,12 @@
      qir-run program.ll --timeout 10 --shot-timeout 0.5
 
    Exit codes: 0 ok, 2 parse, 3 verify, 4 exec, 5 timeout/degraded,
-   6 backend, 7 usage. *)
+   6 backend, 7 usage, 8 overload (--mem-budget admission rejection). *)
 
 open Cmdliner
 
 let run input shots seed backend no_batch engine stats timeout shot_timeout
-    retries domains local_bits =
+    retries domains local_bits mem_budget =
   Cli_common.protect @@ fun () ->
   Option.iter
     (fun n ->
@@ -31,6 +31,15 @@ let run input shots seed backend no_batch engine stats timeout shot_timeout
   let t0 = Unix.gettimeofday () in
   let m = Cli_common.parse_qir_file input in
   let parse_s = Unix.gettimeofday () -. t0 in
+  (* The service tier's admission check, exposed standalone: reject
+     before allocating the register when the statevector footprint
+     exceeds the budget. Exit 8 (overload), like qir-serve. *)
+  Option.iter
+    (fun budget ->
+      match Qservice.Admission.check ~budget ~backend m with
+      | Ok () -> ()
+      | Error e -> Cli_common.fail_error e)
+    mem_budget;
   (* Wall-clock breakdown under --stats, as one stable-keyed JSON line:
      parse / lint (gate-tape eligibility analysis) / compile (bytecode)
      / execute. Values vary run to run; the keys are the contract. *)
@@ -87,6 +96,25 @@ let run input shots seed backend no_batch engine stats timeout shot_timeout
         r.Qruntime.Executor.retries r.Qruntime.Executor.batched
         r.Qruntime.Executor.batch_fallback r.Qruntime.Executor.pool_fallbacks
         r.Qruntime.Executor.engine r.Qruntime.Executor.tape;
+      (* Machine-readable mirror of the line above, plus the session
+         cache counters — stable keys, like the timings line. *)
+      let c =
+        Qruntime.Executor.Session.cache_stats Qruntime.Executor.Session.default
+      in
+      Printf.printf
+        "stats: {\"completed\": %d, \"requested\": %d, \"retries\": %d, \
+         \"batched\": %b, \"batch_fallback\": %b, \"pool_fallbacks\": %d, \
+         \"engine\": \"%s\", \"tape\": %b, \"compile_cache_hits\": %d, \
+         \"compile_cache_misses\": %d, \"tape_cache_hits\": %d, \
+         \"tape_cache_misses\": %d}\n"
+        r.Qruntime.Executor.completed r.Qruntime.Executor.requested
+        r.Qruntime.Executor.retries r.Qruntime.Executor.batched
+        r.Qruntime.Executor.batch_fallback r.Qruntime.Executor.pool_fallbacks
+        r.Qruntime.Executor.engine r.Qruntime.Executor.tape
+        c.Qruntime.Executor.Session.compile_hits
+        c.Qruntime.Executor.Session.compile_misses
+        c.Qruntime.Executor.Session.tape_hits
+        c.Qruntime.Executor.Session.tape_misses;
       print_timings ~compile_s:r.Qruntime.Executor.compile_s
         ~lint_s:r.Qruntime.Executor.analysis_s
     end;
@@ -217,12 +245,54 @@ let local_bits =
                Registers beyond BITS qubits are split across multiple \
                contiguous shards.")
 
+(* Byte sizes with binary suffixes: "256MiB", "16GiB", "64K", "1048576". *)
+let bytes_conv : int Arg.conv =
+  let parse s =
+    let num, unit_ =
+      let i = ref 0 in
+      while
+        !i < String.length s
+        && (match s.[!i] with '0' .. '9' -> true | _ -> false)
+      do
+        incr i
+      done;
+      (String.sub s 0 !i, String.sub s !i (String.length s - !i))
+    in
+    match
+      ( int_of_string_opt num,
+        match String.lowercase_ascii unit_ with
+        | "" | "b" -> Some 1
+        | "k" | "kib" -> Some 1024
+        | "m" | "mib" -> Some (1024 * 1024)
+        | "g" | "gib" -> Some (1024 * 1024 * 1024)
+        | _ -> None )
+    with
+    | Some n, Some scale when n >= 0 -> Ok (n * scale)
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad size %S (expected e.g. 1048576, 64K, 256MiB, 16GiB)" s))
+  in
+  let print ppf bytes =
+    Format.pp_print_string ppf (Qservice.Admission.bytes_to_string bytes)
+  in
+  Arg.conv (parse, print)
+
+let mem_budget =
+  Arg.(value & opt (some bytes_conv) None & info [ "mem-budget" ] ~docv:"SIZE"
+         ~doc:"Reject the program (exit 8, overload) before execution if \
+               its simulator memory footprint — sized from the entry \
+               point's required_num_qubits attribute at 16 bytes per \
+               statevector amplitude — exceeds SIZE (e.g. 256MiB, 16GiB). \
+               The same admission check qir-serve applies per job.")
+
 let cmd =
   let doc = "execute QIR programs on a simulator-backed runtime" in
   Cmd.v
     (Cmd.info "qir-run" ~doc)
     Term.(
       const run $ input $ shots $ seed $ backend $ no_batch $ engine $ stats
-      $ timeout $ shot_timeout $ retries $ domains $ local_bits)
+      $ timeout $ shot_timeout $ retries $ domains $ local_bits $ mem_budget)
 
 let () = exit (Cmd.eval cmd)

@@ -42,65 +42,137 @@ type run_result = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Compile-once cache, keyed by module *identity* (physical equality):
-   one compilation is reused across shots, fault-injection retries,
-   batches and Domain-pool workers. A mutex guards the tiny shared
-   list; compilation itself is fast (linear in the module). *)
+(* Sessions: the reentrant, handle-based home for everything that used
+   to be module-global mutable state — the compile-once bytecode cache
+   and the gate-tape verdict cache, both keyed by module *identity*
+   (physical equality), plus hit/miss counters the service tier and
+   qir-run --stats read. A long-running daemon creates one session per
+   logical cache domain; callers that never mention sessions share
+   [Session.default], which preserves the historical behaviour exactly.
 
-let compile_cache_limit = 8
-let compile_cache_lock = Mutex.create ()
-
-let compile_cache : (Ir_module.t * Bytecode.program * float) list ref = ref []
-
-let compiled (m : Ir_module.t) : Bytecode.program * float * bool =
-  Mutex.lock compile_cache_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock compile_cache_lock)
-    (fun () ->
-      match
-        List.find_opt (fun (m', _, _) -> m' == m) !compile_cache
-      with
-      | Some (_, prog, dt) -> (prog, dt, true)
-      | None ->
-        let t0 = Unix.gettimeofday () in
-        let prog = Bytecode.compile m in
-        let dt = Unix.gettimeofday () -. t0 in
-        let keep =
-          if List.length !compile_cache >= compile_cache_limit then
-            List.filteri (fun i _ -> i < compile_cache_limit - 1)
-              !compile_cache
-          else !compile_cache
-        in
-        compile_cache := (m, prog, dt) :: keep;
-        (prog, dt, false))
-
-(* The analyses behind tape extraction (call graph, lifetime discipline,
+   One compilation is reused across shots, fault-injection retries,
+   batches and Domain-pool workers. A mutex guards the tiny per-session
+   lists; compilation itself is fast (linear in the module). The
+   analyses behind tape extraction (call graph, lifetime discipline,
    constant-address propagation) cost orders of magnitude more than a
    shot, so the verdict — [Some tape] or proved-ineligible [None] — is
-   cached per module identity exactly like the compiled program. Cached
-   verdicts report 0 analysis time, mirroring [compiled]. *)
-let tape_cache_lock = Mutex.create ()
+   cached exactly like the compiled program; cached verdicts report 0
+   analysis time. *)
 
-let tape_cache : (Ir_module.t * Gate_tape.t option * float) list ref = ref []
+module Session = struct
+  type cache_stats = {
+    compile_hits : int;
+    compile_misses : int;
+    tape_hits : int;
+    tape_misses : int;
+  }
 
-let tape_of (m : Ir_module.t) : Gate_tape.t option * float * bool =
-  Mutex.lock tape_cache_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock tape_cache_lock)
-    (fun () ->
-      match List.find_opt (fun (m', _, _) -> m' == m) !tape_cache with
-      | Some (_, tape, dt) -> (tape, dt, true)
-      | None ->
-        let t0 = Unix.gettimeofday () in
-        let tape = Gate_tape.extract m in
-        let dt = Unix.gettimeofday () -. t0 in
-        let keep =
-          if List.length !tape_cache >= compile_cache_limit then
-            List.filteri (fun i _ -> i < compile_cache_limit - 1) !tape_cache
-          else !tape_cache
-        in
-        tape_cache := (m, tape, dt) :: keep;
-        (tape, dt, false))
+  type t = {
+    lock : Mutex.t;
+    limit : int;
+    mutable compile_cache : (Ir_module.t * Bytecode.program * float) list;
+    mutable tape_cache : (Ir_module.t * Gate_tape.t option * float) list;
+    mutable compile_hits : int;
+    mutable compile_misses : int;
+    mutable tape_hits : int;
+    mutable tape_misses : int;
+  }
+
+  let create ?(cache_limit = 8) () =
+    if cache_limit < 1 then
+      invalid_arg "Executor.Session.create: need a positive cache limit";
+    {
+      lock = Mutex.create ();
+      limit = cache_limit;
+      compile_cache = [];
+      tape_cache = [];
+      compile_hits = 0;
+      compile_misses = 0;
+      tape_hits = 0;
+      tape_misses = 0;
+    }
+
+  (* The process-wide session behind the session-less API. *)
+  let default = create ()
+
+  let locked s f =
+    Mutex.lock s.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+  (* Keep the newest [limit] entries, evicting from the tail. *)
+  let trim limit entries =
+    if List.length entries >= limit then
+      List.filteri (fun i _ -> i < limit - 1) entries
+    else entries
+
+  (* The caches are LRU, not FIFO: a hit moves the entry to the front.
+     Under a service workload — one long-lived hot module interleaved
+     with a stream of run-once cold modules — FIFO insertion order
+     would evict the hot entry every [limit] cold compiles, silently
+     turning the cheapest jobs in the queue into the most expensive
+     ones.  Move-to-front keeps entries ordered by recency so the
+     run-once modules evict each other instead. *)
+  let touch m entries =
+    List.find_opt (fun (m', _, _) -> m' == m) entries
+    |> Option.map (fun hit ->
+           (hit, hit :: List.filter (fun (m', _, _) -> m' != m) entries))
+
+  let compiled s (m : Ir_module.t) : Bytecode.program * float * bool =
+    locked s (fun () ->
+        match touch m s.compile_cache with
+        | Some ((_, prog, dt), reordered) ->
+          s.compile_cache <- reordered;
+          s.compile_hits <- s.compile_hits + 1;
+          (prog, dt, true)
+        | None ->
+          let t0 = Unix.gettimeofday () in
+          let prog = Bytecode.compile m in
+          let dt = Unix.gettimeofday () -. t0 in
+          s.compile_cache <- (m, prog, dt) :: trim s.limit s.compile_cache;
+          s.compile_misses <- s.compile_misses + 1;
+          (prog, dt, false))
+
+  let tape_of s (m : Ir_module.t) : Gate_tape.t option * float * bool =
+    locked s (fun () ->
+        match touch m s.tape_cache with
+        | Some ((_, tape, dt), reordered) ->
+          s.tape_cache <- reordered;
+          s.tape_hits <- s.tape_hits + 1;
+          (tape, dt, true)
+        | None ->
+          let t0 = Unix.gettimeofday () in
+          let tape = Gate_tape.extract m in
+          let dt = Unix.gettimeofday () -. t0 in
+          s.tape_cache <- (m, tape, dt) :: trim s.limit s.tape_cache;
+          s.tape_misses <- s.tape_misses + 1;
+          (tape, dt, false))
+
+  let cache_stats s =
+    locked s (fun () ->
+        {
+          compile_hits = s.compile_hits;
+          compile_misses = s.compile_misses;
+          tape_hits = s.tape_hits;
+          tape_misses = s.tape_misses;
+        })
+
+  (* Is this module warm in either cache? Admission control and the
+     load-shedding policy treat cache-hot jobs as nearly free. *)
+  let is_cached s (m : Ir_module.t) =
+    locked s (fun () ->
+        List.exists (fun (m', _, _) -> m' == m) s.compile_cache
+        || List.exists (fun (m', _, _) -> m' == m) s.tape_cache)
+
+  (* The cached tape verdict, if the analysis already ran — a peek that
+     never triggers the (expensive) analysis itself. *)
+  let cached_tape s (m : Ir_module.t) =
+    locked s (fun () ->
+        match List.find_opt (fun (m', _, _) -> m' == m) s.tape_cache with
+        | Some (_, tape, _) -> tape
+        | None -> None)
+end
+
+let compiled m = Session.compiled Session.default m
 
 let backend_of_kind ?seed ?attempt (kind : backend_kind) n :
     Qsim.Backend.instance =
@@ -118,8 +190,9 @@ let declared_qubits (m : Ir_module.t) =
     | None -> 0)
   | None -> 0
 
-let run ?(seed = 1) ?(backend : backend_kind = `Statevector) ?fuel ?deadline
-    ?attempt ?(engine : engine = `Auto) (m : Ir_module.t) : run_result =
+let run ?(session = Session.default) ?(seed = 1)
+    ?(backend : backend_kind = `Statevector) ?fuel ?deadline ?attempt
+    ?(engine : engine = `Auto) (m : Ir_module.t) : run_result =
   let inst = backend_of_kind ~seed ?attempt backend (declared_qubits m) in
   let rt = Runtime.create inst in
   let deadline = Resilience.Deadline.to_check deadline in
@@ -137,7 +210,7 @@ let run ?(seed = 1) ?(backend : backend_kind = `Statevector) ?fuel ?deadline
       let _ = Interp.run_function st entry [] in
       (Interp.stats st, 0.)
     | `Bytecode ->
-      let prog, compile_s, cached = compiled m in
+      let prog, compile_s, cached = Session.compiled session m in
       let st = Bc_exec.create ?fuel ?deadline ~externals prog in
       let _ = Bc_exec.run_function st entry [] in
       (Bc_exec.stats st, if cached then 0. else compile_s)
@@ -158,7 +231,7 @@ let run ?(seed = 1) ?(backend : backend_kind = `Statevector) ?fuel ?deadline
 (* One shot under a policy: retries transient faults with backoff,
    bounds wall-clock by the shot timeout, and classifies failures into
    the taxonomy. *)
-let run_resilient ?(policy = Resilience.default) ?(seed = 1)
+let run_resilient ?session ?(policy = Resilience.default) ?(seed = 1)
     ?(backend : backend_kind = `Statevector) ?(engine : engine = `Auto)
     (m : Ir_module.t) : (run_result, Qir_error.t) result =
   let rng = Qcircuit.Rng.create (seed lxor 0x5bd1e995) in
@@ -168,8 +241,8 @@ let run_resilient ?(policy = Resilience.default) ?(seed = 1)
   in
   match
     Resilience.with_retries policy rng (fun ~attempt ->
-        run ~seed ~backend ?fuel:policy.Resilience.fuel ?deadline ~attempt
-          ~engine m)
+        run ?session ~seed ~backend ?fuel:policy.Resilience.fuel ?deadline
+          ~attempt ~engine m)
   with
   | Ok (r, _) -> Ok r
   | Error (e, _) -> Error e
@@ -234,6 +307,23 @@ let batched_circuit (m : Ir_module.t) =
     | Some _ | None -> None)
   | Error _ -> None
 
+let batchable m = Option.is_some (batched_circuit m)
+
+(* The execution-tier ladder, fastest first: [`Batched] (fused unitary
+   prefix, one simulation, all shots sampled from the final
+   distribution), [`Tape] (proved-static gate sequence replayed per
+   shot), [`Per_shot] (full interpretation per shot). Capping the tier
+   walks the ladder downward — the service tier degrades under overload
+   by capping cold or contended jobs at [`Tape] or [`Per_shot], which
+   chunk and stream cleanly, instead of letting one monolithic batched
+   run monopolize the scheduler. *)
+type tier = [ `Batched | `Tape | `Per_shot ]
+
+let tier_name : tier -> string = function
+  | `Batched -> "batched"
+  | `Tape -> "tape"
+  | `Per_shot -> "per-shot"
+
 (* ------------------------------------------------------------------ *)
 (* Shot loops                                                           *)
 
@@ -263,9 +353,16 @@ let sorted_histogram tbl =
 
 exception Deadline_hit
 
-let run_shots_resilient ?(policy = Resilience.default) ?(seed = 1)
+let run_shots_resilient ?(session = Session.default)
+    ?(policy = Resilience.default) ?(seed = 1)
     ?(backend : backend_kind = `Statevector) ?(batch = true)
-    ?(engine : engine = `Auto) ~shots (m : Ir_module.t) : shots_result =
+    ?(max_tier : tier = `Batched) ?(engine : engine = `Auto) ~shots
+    (m : Ir_module.t) : shots_result =
+  (* [batch = false] is the historical spelling of capping at the
+     per-shot tier; the effective cap is the lower of the two knobs. *)
+  let max_tier : tier = if batch then max_tier else `Per_shot in
+  let allow_batched = max_tier = `Batched in
+  let allow_tape = match max_tier with `Batched | `Tape -> true | `Per_shot -> false in
   let total_deadline = Resilience.Deadline.after policy.total_timeout in
   let pool_fallbacks0 = Qsim.Dpool.sequential_fallbacks () in
   let retries = ref 0 in
@@ -276,7 +373,7 @@ let run_shots_resilient ?(policy = Resilience.default) ?(seed = 1)
     match resolved with
     | `Ast -> 0.
     | `Bytecode ->
-      let _, dt, cached = compiled m in
+      let _, dt, cached = Session.compiled session m in
       if cached then 0. else dt
   in
   let analysis_s = ref 0. in
@@ -305,7 +402,7 @@ let run_shots_resilient ?(policy = Resilience.default) ?(seed = 1)
     if Resilience.Deadline.expired total_deadline then
       (* already over budget: let the per-shot loop record degradation *)
       `Not_batchable
-    else if batch && shots > 1 && backend = `Statevector then
+    else if allow_batched && shots > 1 && backend = `Statevector then
       match batched_circuit m with
       | None -> `Not_batchable
       | Some c -> (
@@ -328,13 +425,13 @@ let run_shots_resilient ?(policy = Resilience.default) ?(seed = 1)
        that sets them keeps the interpreter in the loop. *)
     let tape_attempt =
       if
-        engine = `Auto && batch && shots > 1
+        engine = `Auto && allow_tape && shots > 1
         && (backend = `Statevector || backend = `Stabilizer)
         && policy.Resilience.fuel = None
         && policy.Resilience.shot_timeout = None
         && not (Resilience.Deadline.expired total_deadline)
       then begin
-        let tape, dt, cache_hit = tape_of m in
+        let tape, dt, cache_hit = Session.tape_of session m in
         analysis_s := (if cache_hit then 0. else dt);
         tape
       end
@@ -385,7 +482,7 @@ let run_shots_resilient ?(policy = Resilience.default) ?(seed = 1)
                ~on_retry:(fun _ ~attempt:_ -> incr retries)
                policy rng
                (fun ~attempt ->
-                 run
+                 run ~session
                    ~seed:(seed + (shot * 7919))
                    ~backend ?fuel:policy.Resilience.fuel
                    ?deadline:shot_deadline ~attempt ~engine m)
@@ -408,13 +505,13 @@ let run_shots_resilient ?(policy = Resilience.default) ?(seed = 1)
 
 (* Back-compatible histogram API: no retries (plain backends never
    fault), no deadlines, identical per-shot seeding. *)
-let run_shots ?(seed = 1) ?(backend : backend_kind = `Statevector) ?fuel
-    ?(batch = true) ?(engine : engine = `Auto) ~shots (m : Ir_module.t) :
-    (string * int) list =
+let run_shots ?session ?(seed = 1) ?(backend : backend_kind = `Statevector)
+    ?fuel ?(batch = true) ?(engine : engine = `Auto) ~shots (m : Ir_module.t)
+    : (string * int) list =
   let policy =
     { Resilience.no_retry with Resilience.fuel = fuel; sleep = false }
   in
-  (run_shots_resilient ~policy ~seed ~backend ~batch ~engine ~shots m)
+  (run_shots_resilient ?session ~policy ~seed ~backend ~batch ~engine ~shots m)
     .histogram
 
 (* Convenience: run a circuit through the full QIR path (build -> execute)

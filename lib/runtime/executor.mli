@@ -20,11 +20,71 @@ type engine = [ `Ast | `Bytecode | `Auto ]
 val resolve_engine : engine -> [ `Ast | `Bytecode ]
 val engine_name : [< `Ast | `Bytecode ] -> string
 
+(** {1 Sessions}
+
+    A session is the reentrant, handle-based home for everything that
+    used to be module-global mutable state: the compile-once bytecode
+    cache and the gate-tape verdict cache, keyed by module identity
+    ([==]), plus hit/miss counters. Every run entry point takes
+    [?session]; callers that omit it share {!Session.default}, which
+    preserves the historical behaviour exactly. A long-running service
+    creates one session per logical cache domain and probes it for
+    cache-hot jobs. All operations are thread-safe. *)
+module Session : sig
+  type t
+
+  type cache_stats = {
+    compile_hits : int;
+    compile_misses : int;
+    tape_hits : int;
+    tape_misses : int;
+  }
+
+  val create : ?cache_limit:int -> unit -> t
+  (** A fresh session with empty caches holding at most [cache_limit]
+      (default 8) modules each. *)
+
+  val default : t
+  (** The process-wide session behind the session-less API. *)
+
+  val compiled : t -> Llvm_ir.Ir_module.t -> Llvm_ir.Bytecode.program * float * bool
+  (** The compile-once cache: the program, the compile wall-clock
+      seconds, and whether it was a cache hit (in which case the time is
+      the original compile's). *)
+
+  val tape_of : t -> Llvm_ir.Ir_module.t -> Gate_tape.t option * float * bool
+  (** The gate-tape verdict cache, shaped like {!compiled}; the verdict
+      is [None] for tape-ineligible modules. *)
+
+  val cache_stats : t -> cache_stats
+
+  val is_cached : t -> Llvm_ir.Ir_module.t -> bool
+  (** Is the module warm in either cache? Admission control and load
+      shedding treat cache-hot jobs as nearly free. *)
+
+  val cached_tape : t -> Llvm_ir.Ir_module.t -> Gate_tape.t option
+  (** The cached tape verdict if the analysis already ran; never
+      triggers the analysis itself. *)
+end
+
 val compiled : Llvm_ir.Ir_module.t -> Llvm_ir.Bytecode.program * float * bool
-(** The compile-once cache, keyed by module identity ([==]): returns
-    the program, the compile wall-clock seconds, and whether it was a
-    cache hit (in which case the time is the original compile's).
-    Thread-safe; shared across shots, retries and Domain workers. *)
+(** [Session.compiled Session.default] — the historical session-less
+    spelling. *)
+
+(** {1 Execution tiers} *)
+
+type tier = [ `Batched | `Tape | `Per_shot ]
+(** The execution-tier ladder, fastest first: fused-prefix batched
+    sampling, proved-static gate-tape replay, full per-shot
+    interpretation. Capping the tier (see {!run_shots_resilient})
+    walks the ladder downward — the service tier degrades under
+    overload by capping jobs at [`Tape] or [`Per_shot]. *)
+
+val tier_name : tier -> string
+
+val batchable : Llvm_ir.Ir_module.t -> bool
+(** Would the batched fast path accept this module (on the plain
+    statevector backend)? A cheap syntactic probe — no simulation. *)
 
 type run_result = {
   output : string;  (** recorded-output bitstring, clbit order *)
@@ -40,6 +100,7 @@ val declared_qubits : Llvm_ir.Ir_module.t -> int
     demand). *)
 
 val run :
+  ?session:Session.t ->
   ?seed:int ->
   ?backend:backend_kind ->
   ?fuel:int ->
@@ -48,7 +109,8 @@ val run :
   ?engine:engine ->
   Llvm_ir.Ir_module.t ->
   run_result
-(** One shot. [deadline] is an absolute [Unix.gettimeofday] instant;
+(** One shot. [deadline] is an absolute {!Resilience.Deadline.now}
+    (monotonic-clock) instant;
     past it the interpreter aborts with
     {!Llvm_ir.Ir_error.Timeout_error}. [attempt] perturbs only the
     faulty backend's fault stream (retries re-run with the identical
@@ -60,6 +122,7 @@ val run :
     and backend faults. *)
 
 val run_resilient :
+  ?session:Session.t ->
   ?policy:Resilience.policy ->
   ?seed:int ->
   ?backend:backend_kind ->
@@ -88,10 +151,12 @@ type shots_result = {
 }
 
 val run_shots_resilient :
+  ?session:Session.t ->
   ?policy:Resilience.policy ->
   ?seed:int ->
   ?backend:backend_kind ->
   ?batch:bool ->
+  ?max_tier:tier ->
   ?engine:engine ->
   shots:int ->
   Llvm_ir.Ir_module.t ->
@@ -122,9 +187,18 @@ val run_shots_resilient :
     with bit-identical histograms. The eligibility verdict is cached
     per module identity ([analysis_s] is 0 on a hit), mirroring the
     bytecode compile cache. Forcing [`Ast] or [`Bytecode] disables the
-    tape, which differential tests rely on. *)
+    tape, which differential tests rely on.
+
+    [max_tier] (default [`Batched]) caps the ladder explicitly:
+    [`Tape] skips the batched sampler but keeps gate-tape replay —
+    per-shot seeding is identical to the per-shot tier, so chunked
+    runs with per-chunk seed offsets merge into bit-identical
+    histograms; [`Per_shot] forces full interpretation.
+    [~batch:false] is the historical spelling of [~max_tier:`Per_shot];
+    the effective cap is the lower of the two. *)
 
 val run_shots :
+  ?session:Session.t ->
   ?seed:int ->
   ?backend:backend_kind ->
   ?fuel:int ->

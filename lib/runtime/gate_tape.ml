@@ -33,6 +33,19 @@ type t = { ops : op array; records : int }
 
 let length tape = Array.length tape.ops
 
+(* Exact register requirement of a proved-static tape: one past the
+   highest qubit index any replayed op touches. The service tier's
+   admission control prefers this over the entry point's declared
+   "required_num_qubits" when a cached tape is available — the proof
+   beats the attribute. *)
+let qubits tape =
+  Array.fold_left
+    (fun acc -> function
+      | Gate (_, qs) -> Array.fold_left (fun a q -> max a (q + 1)) acc qs
+      | Measure (q, _) | Reset q -> max acc (q + 1)
+      | Record _ -> acc)
+    0 tape.ops
+
 (* Static qubit addresses map 1:1 to simulator qubits below the dynamic
    range (Runtime.qubit_of_address); cap absurd indices so the tape
    never commits the backend to an allocation the analysis can't

@@ -21,6 +21,11 @@ type t = { ops : op array; records : int }
 
 val length : t -> int
 
+val qubits : t -> int
+(** One past the highest qubit index the tape touches — the exact
+    register requirement of the proved-static program, used by the
+    service tier's admission control to size statevector footprints. *)
+
 val extract : Llvm_ir.Ir_module.t -> t option
 
 val replay : t -> Qsim.Backend.instance -> string

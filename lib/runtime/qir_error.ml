@@ -5,7 +5,15 @@
    location x message — that the executor's resilience machinery and the
    CLIs consume. The kinds map 1:1 to stable CLI exit codes:
 
-     parse = 2, verify = 3, exec = 4, timeout = 5, backend = 6, usage = 7
+     parse = 2, verify = 3, exec = 4, timeout = 5, backend = 6, usage = 7,
+     overload = 8
+
+   [Overload] covers every admission-control and quota rejection in the
+   service tier: statevector memory footprints over budget, queue-depth
+   budgets, per-tenant quotas, open circuit breakers and load shedding.
+   It is always [Permanent] from the retry policy's point of view — the
+   *caller* may resubmit later, but retrying in place would only add
+   load to an already saturated service.
 
    Severity drives retry decisions: only [Transient] errors (injected
    backend faults) may be retried; everything else is [Permanent]. *)
@@ -18,6 +26,7 @@ type layer =
   | L_backend
   | L_executor
   | L_cli
+  | L_service
 
 type severity = Transient | Permanent
 
@@ -28,6 +37,7 @@ type kind =
   | Timeout
   | Backend_failure
   | Usage
+  | Overload
 
 type t = {
   kind : kind;
@@ -55,6 +65,7 @@ let exit_exec = 4
 let exit_timeout = 5
 let exit_backend = 6
 let exit_usage = 7
+let exit_overload = 8
 
 let exit_code e =
   match e.kind with
@@ -64,6 +75,7 @@ let exit_code e =
   | Timeout -> exit_timeout
   | Backend_failure -> exit_backend
   | Usage -> exit_usage
+  | Overload -> exit_overload
 
 let kind_name = function
   | Parse -> "parse"
@@ -72,6 +84,7 @@ let kind_name = function
   | Timeout -> "timeout"
   | Backend_failure -> "backend"
   | Usage -> "usage"
+  | Overload -> "overload"
 
 let layer_name = function
   | L_parser -> "parser"
@@ -81,6 +94,7 @@ let layer_name = function
   | L_backend -> "backend"
   | L_executor -> "executor"
   | L_cli -> "cli"
+  | L_service -> "service"
 
 let severity_name = function
   | Transient -> "transient"

@@ -12,6 +12,7 @@ type layer =
   | L_backend
   | L_executor
   | L_cli
+  | L_service
 
 type severity = Transient | Permanent
 
@@ -22,6 +23,9 @@ type kind =
   | Timeout  (** exit 5 *)
   | Backend_failure  (** exit 6 *)
   | Usage  (** exit 7 *)
+  | Overload
+      (** exit 8 — admission-control / quota / circuit-breaker rejection
+          from the service tier; the caller may resubmit later. *)
 
 type t = {
   kind : kind;
@@ -63,6 +67,8 @@ val exit_timeout : int  (** 5 *)
 val exit_backend : int  (** 6 *)
 
 val exit_usage : int  (** 7 *)
+
+val exit_overload : int  (** 8 *)
 
 val exit_code : t -> int
 

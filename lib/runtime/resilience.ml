@@ -50,10 +50,16 @@ let backoff_delay policy rng ~attempt =
 (* Absolute wall-clock deadlines                                        *)
 
 module Deadline = struct
-  type t = float option (* absolute epoch seconds; None = unbounded *)
+  type t = float option (* absolute monotonic seconds; None = unbounded *)
 
   let none : t = None
-  let now () = Unix.gettimeofday ()
+
+  (* CLOCK_MONOTONIC (via bechamel's stubs), not Unix.gettimeofday:
+     wall-clock time jumps under NTP adjustment, silently expiring or
+     extending deadlines mid-run. All absolute instants in this module
+     are seconds on this clock — comparable only with [now], never with
+     epoch timestamps. *)
+  let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
   let after (seconds : float option) : t =
     Option.map (fun s -> now () +. s) seconds

@@ -27,10 +27,14 @@ val backoff_delay : policy -> Qcircuit.Rng.t -> attempt:int -> float
 
 module Deadline : sig
   type t = float option
-  (** Absolute epoch seconds; [None] = unbounded. *)
+  (** Absolute seconds on a monotonic clock; [None] = unbounded. *)
 
   val none : t
+
   val now : unit -> float
+  (** The current instant on [CLOCK_MONOTONIC] — immune to NTP
+      wall-clock adjustments. Absolute deadlines are comparable only
+      with this function, never with [Unix.gettimeofday]. *)
 
   val after : float option -> t
   (** [after (Some s)] is a deadline [s] seconds from now. *)

@@ -1,0 +1,75 @@
+(* Admission control: reject a job *before* it touches the simulator
+   when its statevector memory footprint would breach the configured
+   budget. At 30 qubits the sharded statevector is 16 GiB of amplitudes
+   (2^30 x two float64 arrays); a service that discovers that mid-run
+   has already lost — the whole point is to fail fast with a stable
+   taxonomy code ([Overload], exit 8) while the queue is still healthy.
+
+   Footprint sizing: the entry point's "required_num_qubits" attribute
+   is the declared requirement; when the session already holds a
+   proved-static gate tape for the module, the tape's exact register
+   requirement wins (the proof beats the attribute). Stabilizer-backed
+   jobs use the tableau's quadratic footprint, which is negligible at
+   any qubit count this toolchain accepts. Modules that declare nothing
+   (registers grow on demand) are admitted at the minimum footprint —
+   the budget protects against the declared giants, and the dynamic
+   growth path is still bounded by {!Qsim.Statevector.max_qubits}. *)
+
+let bytes_per_amplitude = 16 (* re + im, float64 each *)
+
+(* 2^q amplitudes without overflowing 63-bit ints for absurd declared
+   qubit counts. *)
+let statevector_bytes q =
+  if q >= 58 then max_int else bytes_per_amplitude * (1 lsl max 0 q)
+
+let stabilizer_bytes q =
+  (* (2n+1) generator rows of 2n+1 bits, stored bytewise *)
+  let n = max 1 q in
+  ((2 * n) + 1) * (((2 * n) + 8) / 8)
+
+let inner_backend (backend : Qruntime.Executor.backend_kind) =
+  match backend with
+  | (`Statevector | `Stabilizer) as b -> b
+  | `Faulty spec -> (spec.Qsim.Faulty.inner :> [ `Statevector | `Stabilizer ])
+
+(* The register requirement the footprint is sized from: the declared
+   attribute, upgraded by the exact tape proof when one is cached. *)
+let required_qubits ?tape (m : Llvm_ir.Ir_module.t) =
+  let declared = Qruntime.Executor.declared_qubits m in
+  match tape with
+  | Some t -> max declared (Qruntime.Gate_tape.qubits t)
+  | None -> declared
+
+let footprint_bytes ?tape ~(backend : Qruntime.Executor.backend_kind)
+    (m : Llvm_ir.Ir_module.t) =
+  let q = required_qubits ?tape m in
+  match inner_backend backend with
+  | `Statevector -> statevector_bytes q
+  | `Stabilizer -> stabilizer_bytes q
+
+let pp_bytes ppf bytes =
+  let b = float_of_int bytes in
+  if b < 1024. then Format.fprintf ppf "%d B" bytes
+  else if b < 1024. ** 2. then Format.fprintf ppf "%.1f KiB" (b /. 1024.)
+  else if b < 1024. ** 3. then Format.fprintf ppf "%.1f MiB" (b /. (1024. ** 2.))
+  else Format.fprintf ppf "%.1f GiB" (b /. (1024. ** 3.))
+
+let bytes_to_string bytes = Format.asprintf "%a" pp_bytes bytes
+
+(* [check ~budget ~backend m] admits or rejects the job on memory
+   grounds. [Error] carries an [Overload]-kind taxonomy error (stable
+   exit code 8) so the rejection flows through the same reporting path
+   as every other failure. *)
+let check ?tape ~budget ~(backend : Qruntime.Executor.backend_kind)
+    (m : Llvm_ir.Ir_module.t) : (unit, Qruntime.Qir_error.t) result =
+  let bytes = footprint_bytes ?tape ~backend m in
+  if bytes > budget then
+    Error
+      (Qruntime.Qir_error.make ~kind:Qruntime.Qir_error.Overload
+         ~layer:Qruntime.Qir_error.L_service
+         (Printf.sprintf
+            "admission rejected: %d-qubit statevector footprint %s exceeds \
+             the %s memory budget"
+            (required_qubits ?tape m)
+            (bytes_to_string bytes) (bytes_to_string budget)))
+  else Ok ()

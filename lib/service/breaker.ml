@@ -1,0 +1,67 @@
+(* A per-tenant circuit breaker over the executor's error taxonomy.
+
+   The service counts consecutive backend/exec failures per tenant
+   (retries inside a job do not count — only the job's final verdict).
+   At [threshold] consecutive failures the breaker trips [Open]: the
+   tenant's submissions are rejected fast with an [Overload] taxonomy
+   error instead of burning simulator time on a workload that keeps
+   failing. After [cooldown] seconds the breaker moves to [Half_open]
+   and admits probe jobs; the first success closes it again, the first
+   failure re-opens it for another cooldown.
+
+   Instants live on {!Qruntime.Resilience.Deadline.now}'s monotonic
+   clock, so NTP adjustments can neither pin a breaker open nor snap it
+   shut early. *)
+
+type state =
+  | Closed
+  | Open of float (* instant (Deadline.now clock) at which probing may start *)
+  | Half_open
+
+type t = {
+  threshold : int; (* consecutive failures that trip the breaker *)
+  cooldown : float; (* seconds Open before admitting a probe *)
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable trips : int; (* Closed/Half_open -> Open transitions *)
+}
+
+let create ?(threshold = 5) ?(cooldown = 1.0) () =
+  if threshold < 1 then invalid_arg "Breaker.create: need threshold >= 1";
+  if cooldown < 0.0 then invalid_arg "Breaker.create: need cooldown >= 0";
+  { threshold; cooldown; state = Closed; consecutive_failures = 0; trips = 0 }
+
+(* The observed state, advancing Open -> Half_open once the cooldown
+   elapses. *)
+let state t =
+  (match t.state with
+  | Open until when Qruntime.Resilience.Deadline.now () >= until ->
+    t.state <- Half_open
+  | _ -> ());
+  t.state
+
+let state_name t =
+  match state t with
+  | Closed -> "closed"
+  | Open _ -> "open"
+  | Half_open -> "half-open"
+
+let admit t = match state t with Closed | Half_open -> true | Open _ -> false
+
+let trips t = t.trips
+
+let trip t =
+  t.state <- Open (Qruntime.Resilience.Deadline.now () +. t.cooldown);
+  t.trips <- t.trips + 1
+
+let record_success t =
+  t.consecutive_failures <- 0;
+  t.state <- Closed
+
+let record_failure t =
+  match state t with
+  | Half_open -> trip t (* a failed probe re-opens immediately *)
+  | Closed ->
+    t.consecutive_failures <- t.consecutive_failures + 1;
+    if t.consecutive_failures >= t.threshold then trip t
+  | Open _ -> () (* jobs should not have run while open; ignore *)

@@ -1,0 +1,187 @@
+(* The newline-delimited JSON protocol qir-serve speaks: one request
+   per input line, one event per output line. Both the Unix-socket
+   daemon and the stdin batch mode reuse this module, so a protocol
+   bug cannot diverge between transports.
+
+   Requests:
+     {"op":"submit","tenant":"alice","program":"<QIR text>", ...}
+     {"op":"submit","tenant":"alice","file":"bell.ll", ...}
+       optional: "id", "shots", "seed", "backend" ("statevector" |
+       "stabilizer" | "faulty:<spec>"), "engine" ("auto"|"ast"|
+       "bytecode"), "timeout" (seconds)
+     {"op":"stats"}
+     {"op":"quit"}
+
+   Events (all carry "event"): accepted, rejected, progress, result,
+   failed, stats, error — rejections and failures embed the error
+   taxonomy (kind, layer, exit_code, message), so a protocol client
+   sees exactly the codes the CLIs exit with. *)
+
+open Qruntime
+
+type request =
+  | Submit of {
+      id : string option;
+      tenant : string;
+      program : [ `Inline of string | `File of string ];
+      shots : int;
+      seed : int;
+      backend : Executor.backend_kind;
+      engine : Executor.engine;
+      timeout : float option;
+    }
+  | Stats
+  | Quit
+
+let usage message =
+  Qir_error.make ~kind:Qir_error.Usage ~layer:Qir_error.L_service message
+
+let parse_backend = function
+  | "statevector" -> Ok `Statevector
+  | "stabilizer" -> Ok `Stabilizer
+  | s when String.length s > 7 && String.sub s 0 7 = "faulty:" -> (
+    match Qsim.Faulty.spec_of_string (String.sub s 7 (String.length s - 7)) with
+    | Ok spec -> Ok (`Faulty spec)
+    | Error msg -> Error (usage (Printf.sprintf "bad faulty backend spec: %s" msg)))
+  | s -> Error (usage (Printf.sprintf "unknown backend %S" s))
+
+let parse_engine = function
+  | "auto" -> Ok `Auto
+  | "ast" -> Ok `Ast
+  | "bytecode" -> Ok `Bytecode
+  | s -> Error (usage (Printf.sprintf "unknown engine %S" s))
+
+(* [parse_request line] decodes one protocol line. Errors are
+   [Usage]-kind taxonomy values: a malformed request is the client's
+   bug, reported on the same stable codes as everything else. *)
+let parse_request line : (request, Qir_error.t) result =
+  match Jsonx.parse line with
+  | Error msg -> Error (usage (Printf.sprintf "bad request JSON: %s" msg))
+  | Ok v -> (
+    match Jsonx.mem_str "op" v with
+    | None -> Error (usage "request needs an \"op\" field")
+    | Some "stats" -> Ok Stats
+    | Some "quit" -> Ok Quit
+    | Some "submit" -> (
+      let ( let* ) = Result.bind in
+      let* tenant =
+        match Jsonx.mem_str "tenant" v with
+        | Some t when t <> "" -> Ok t
+        | _ -> Error (usage "submit needs a non-empty \"tenant\" field")
+      in
+      let* program =
+        match (Jsonx.mem_str "program" v, Jsonx.mem_str "file" v) with
+        | Some p, None -> Ok (`Inline p)
+        | None, Some f -> Ok (`File f)
+        | Some _, Some _ ->
+          Error (usage "submit takes \"program\" or \"file\", not both")
+        | None, None ->
+          Error (usage "submit needs a \"program\" or \"file\" field")
+      in
+      let* backend =
+        match Jsonx.mem_str "backend" v with
+        | None -> Ok `Statevector
+        | Some s -> parse_backend s
+      in
+      let* engine =
+        match Jsonx.mem_str "engine" v with
+        | None -> Ok `Auto
+        | Some s -> parse_engine s
+      in
+      Ok
+        (Submit
+           {
+             id = Jsonx.mem_str "id" v;
+             tenant;
+             program;
+             shots = Option.value ~default:1 (Jsonx.mem_int "shots" v);
+             seed = Option.value ~default:1 (Jsonx.mem_int "seed" v);
+             backend;
+             engine;
+             timeout = Jsonx.mem_num "timeout" v;
+           }))
+    | Some op -> Error (usage (Printf.sprintf "unknown op %S" op)))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+
+let error_fields (e : Qir_error.t) =
+  [
+    ("kind", Jsonx.Str (Qir_error.kind_name e.Qir_error.kind));
+    ("layer", Jsonx.Str (Qir_error.layer_name e.Qir_error.layer));
+    ("exit_code", Jsonx.Num (float_of_int (Qir_error.exit_code e)));
+    ("message", Jsonx.Str e.Qir_error.message);
+  ]
+
+let histogram_json hist =
+  Jsonx.Obj (List.map (fun (k, n) -> (k, Jsonx.Num (float_of_int n))) hist)
+
+let event_json (ev : Service.event) =
+  let base event id tenant rest =
+    Jsonx.Obj
+      (("event", Jsonx.Str event)
+      :: ("id", Jsonx.Str id)
+      :: ("tenant", Jsonx.Str tenant)
+      :: rest)
+  in
+  match ev with
+  | Service.Accepted { id; tenant } -> base "accepted" id tenant []
+  | Service.Rejected { id; tenant; error; shed } ->
+    base "rejected" id tenant (("shed", Jsonx.Bool shed) :: error_fields error)
+  | Service.Progress { id; tenant; completed; requested } ->
+    base "progress" id tenant
+      [
+        ("completed", Jsonx.Num (float_of_int completed));
+        ("requested", Jsonx.Num (float_of_int requested));
+      ]
+  | Service.Result { id; tenant; result = r; tier; wait_s; run_s } ->
+    base "result" id tenant
+      [
+        ("tier", Jsonx.Str (Executor.tier_name tier));
+        ("completed", Jsonx.Num (float_of_int r.Executor.completed));
+        ("requested", Jsonx.Num (float_of_int r.Executor.requested));
+        ("degraded", Jsonx.Bool r.Executor.degraded);
+        ("retries", Jsonx.Num (float_of_int r.Executor.retries));
+        ("engine", Jsonx.Str r.Executor.engine);
+        ("tape", Jsonx.Bool r.Executor.tape);
+        ("batched", Jsonx.Bool r.Executor.batched);
+        ("pool_fallbacks", Jsonx.Num (float_of_int r.Executor.pool_fallbacks));
+        ("wait_s", Jsonx.Num wait_s);
+        ("run_s", Jsonx.Num run_s);
+        ("histogram", histogram_json r.Executor.histogram);
+      ]
+  | Service.Failed { id; tenant; error } ->
+    base "failed" id tenant (error_fields error)
+
+let stats_json (s : Service.stats) =
+  let n name v = (name, Jsonx.Num (float_of_int v)) in
+  Jsonx.Obj
+    [
+      ("event", Jsonx.Str "stats");
+      n "submitted" s.Service.submitted;
+      n "accepted" s.Service.accepted;
+      n "rejected" s.Service.rejected;
+      n "shed" s.Service.shed;
+      n "completed" s.Service.completed;
+      n "failed" s.Service.failed;
+      n "degraded_results" s.Service.degraded_results;
+      n "batched_runs" s.Service.batched_runs;
+      n "tape_runs" s.Service.tape_runs;
+      n "per_shot_runs" s.Service.per_shot_runs;
+      n "throttled_runs" s.Service.throttled_runs;
+      n "breaker_trips" s.Service.breaker_trips;
+      n "queue_depth" s.Service.queue_depth;
+      n "compile_cache_hits" s.Service.cache.Executor.Session.compile_hits;
+      n "compile_cache_misses" s.Service.cache.Executor.Session.compile_misses;
+      n "tape_cache_hits" s.Service.cache.Executor.Session.tape_hits;
+      n "tape_cache_misses" s.Service.cache.Executor.Session.tape_misses;
+    ]
+
+(* A protocol-level error (unparsable line, missing field) as an event
+   line of its own, tied to no job. *)
+let error_json (e : Qir_error.t) =
+  Jsonx.Obj (("event", Jsonx.Str "error") :: error_fields e)
+
+let event_line ev = Jsonx.to_string (event_json ev)
+let stats_line s = Jsonx.to_string (stats_json s)
+let error_line e = Jsonx.to_string (error_json e)

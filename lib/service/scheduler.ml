@@ -1,0 +1,131 @@
+(* Weighted fair queuing across tenants, via stride scheduling.
+
+   Each tenant owns a FIFO queue and a virtual-time "pass"; popping a
+   job advances the tenant's pass by 1/weight, and the scheduler always
+   serves the non-empty queue with the smallest pass. Over any window a
+   backlogged tenant with weight w_i therefore receives w_i / sum(w)
+   of the service — weight 2 gets twice the jobs of weight 1 — while an
+   idle tenant accumulates no credit: when its queue refills, its pass
+   is advanced to the current virtual time instead of letting it replay
+   its idle period and starve everyone else.
+
+   Every entry carries a monotonically increasing submission sequence
+   number, which the load-shedding policy uses to evict the *newest*
+   matching job across all tenants ({!drop_last}) — oldest jobs have
+   waited longest and keep their place.
+
+   Not thread-safe by itself; the service serializes access. *)
+
+type 'a tenant_q = {
+  name : string;
+  weight : int;
+  jobs : (int * 'a) Queue.t; (* (sequence, job) *)
+  mutable pass : float; (* virtual time; serve the minimum *)
+  mutable served : int;
+}
+
+type 'a t = {
+  mutable tenants : 'a tenant_q list; (* small, stable order *)
+  mutable vtime : float; (* pass of the most recently served tenant *)
+  mutable seq : int;
+  mutable queued : int;
+}
+
+let create () = { tenants = []; vtime = 0.0; seq = 0; queued = 0 }
+
+let length t = t.queued
+let tenants t = List.map (fun tq -> tq.name) t.tenants
+
+let tenant_queue t ~tenant ~weight =
+  match List.find_opt (fun tq -> tq.name = tenant) t.tenants with
+  | Some tq -> tq
+  | None ->
+    let tq =
+      {
+        name = tenant;
+        weight = max 1 weight;
+        jobs = Queue.create ();
+        pass = t.vtime;
+        served = 0;
+      }
+    in
+    (* append keeps registration order as the deterministic tie-break *)
+    t.tenants <- t.tenants @ [ tq ];
+    tq
+
+let queued_of t tenant =
+  match List.find_opt (fun tq -> tq.name = tenant) t.tenants with
+  | Some tq -> Queue.length tq.jobs
+  | None -> 0
+
+let served_of t tenant =
+  match List.find_opt (fun tq -> tq.name = tenant) t.tenants with
+  | Some tq -> tq.served
+  | None -> 0
+
+(* [push] registers the tenant on first use; [weight] is fixed by that
+   first registration. Returns the job's sequence number. *)
+let push t ~tenant ~weight job =
+  let tq = tenant_queue t ~tenant ~weight in
+  if Queue.is_empty tq.jobs then
+    (* returning from idle: join at the current virtual time, keeping
+       any credit already earned but never claiming the idle period *)
+    tq.pass <- Float.max tq.pass t.vtime;
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Queue.add (seq, job) tq.jobs;
+  t.queued <- t.queued + 1;
+  seq
+
+(* The non-empty queue with the smallest pass; first-registered wins
+   ties. *)
+let next_tenant t =
+  List.fold_left
+    (fun best tq ->
+      if Queue.is_empty tq.jobs then best
+      else
+        match best with
+        | Some b when b.pass <= tq.pass -> best
+        | _ -> Some tq)
+    None t.tenants
+
+let pop t =
+  match next_tenant t with
+  | None -> None
+  | Some tq ->
+    let _, job = Queue.pop tq.jobs in
+    t.queued <- t.queued - 1;
+    t.vtime <- tq.pass;
+    tq.pass <- tq.pass +. (1.0 /. float_of_int tq.weight);
+    tq.served <- tq.served + 1;
+    Some (tq.name, job)
+
+let iter t f =
+  List.iter (fun tq -> Queue.iter (fun (_, job) -> f tq.name job) tq.jobs)
+    t.tenants
+
+(* Remove and return the newest queued job satisfying [pred] (the
+   highest sequence number across all tenants) — the shedding victim. *)
+let drop_last t pred =
+  let victim = ref None in
+  List.iter
+    (fun tq ->
+      Queue.iter
+        (fun (seq, job) ->
+          if pred job then
+            match !victim with
+            | Some (best_seq, _, _) when best_seq >= seq -> ()
+            | _ -> victim := Some (seq, tq, job))
+        tq.jobs)
+    t.tenants;
+  match !victim with
+  | None -> None
+  | Some (seq, tq, job) ->
+    let keep = Queue.create () in
+    Queue.iter
+      (fun (s, j) -> if s <> seq then Queue.add (s, j) keep)
+      tq.jobs;
+    Queue.clear tq.jobs;
+    Queue.transfer keep tq.jobs;
+    t.queued <- t.queued - 1;
+    Some job

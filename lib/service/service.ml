@@ -1,0 +1,544 @@
+(* The multi-tenant QIR execution service: admission control, per-tenant
+   quotas and circuit breakers, weighted fair scheduling, streaming
+   chunked execution and graceful overload degradation, over the
+   session-based {!Qruntime.Executor}.
+
+   The paper's Ex. 5 argues QIR's value is a stable execution boundary
+   many front-ends and backends share; this module is that boundary as
+   a *service contract*. Robustness before raw speed:
+
+   - {b admission control} rejects fast — with the stable [Overload]
+     taxonomy code (exit 8) — when a job's statevector footprint or a
+     queue-depth budget would be breached, instead of letting one
+     30-qubit job OOM the whole process ({!Admission});
+   - {b per-tenant quotas and deadlines}: shot ceilings, queue-depth
+     caps and total wall-clock budgets that include queue wait, reusing
+     {!Qruntime.Resilience.Deadline} (monotonic clock);
+   - {b circuit breakers} per tenant trip on repeated backend/exec
+     failures so a hostile or broken workload stops consuming simulator
+     time ({!Breaker});
+   - {b weighted fair scheduling} across tenants via stride scheduling
+     ({!Scheduler});
+   - {b graceful degradation}: under overload the service walks the
+     executor's tier ladder downward — batched -> tape -> per-shot —
+     with cache-hot jobs (whose compiled module / tape verdict are
+     nearly free) kept on the tape tier, throttles the Domain pool to
+     sequential sweeps, and sheds queued load cache-coldest-first;
+   - {b streaming}: chunked jobs emit progress events between chunks,
+     and a deadline that expires mid-job yields the completed shots as
+     a degraded-but-correct partial result instead of losing them.
+
+   Correctness contract: chunk c covering shots [lo, hi) runs with seed
+   [seed + lo * 7919], the executor's own per-shot seeding formula, so
+   the merged histogram of a chunked job is bit-identical to one direct
+   [Executor.run_shots_resilient] call at the same tier cap — degraded
+   jobs return fewer shots, never different ones.
+
+   The core is deliberately synchronous and deterministic (tests drive
+   [submit]/[run_once] directly); the daemon in bin/qir_serve.ml owns
+   the sockets and threads around it. *)
+
+open Qruntime
+
+type job = {
+  id : string;
+  tenant : string;
+  m : Llvm_ir.Ir_module.t;
+  shots : int;
+  seed : int;
+  backend : Executor.backend_kind;
+  engine : Executor.engine;
+  deadline : Resilience.Deadline.t; (* absolute; includes queue wait *)
+  submitted_at : float; (* Deadline.now instant *)
+}
+
+type config = {
+  mem_budget : int; (* bytes of statevector one job may require *)
+  max_queue : int; (* global queued-job ceiling *)
+  max_tenant_queue : int; (* per-tenant queued-job ceiling *)
+  max_shots : int; (* per-job shot quota *)
+  default_timeout : float option; (* per-job budget when none given *)
+  retries : int; (* transient-fault retries per shot *)
+  breaker_threshold : int; (* consecutive failures that trip *)
+  breaker_cooldown : float; (* seconds open before a probe *)
+  overload_depth : int; (* queue depth where degradation starts *)
+  chunk : int; (* streamed shots per scheduling quantum *)
+  tenant_weights : (string * int) list; (* default weight 1 *)
+  module_cache_limit : int; (* interned program texts *)
+  sleep : bool; (* wait out retry backoff? (off in tests) *)
+}
+
+let default_config =
+  {
+    mem_budget = 1 lsl 34 (* 16 GiB: everything the simulator can hold *);
+    max_queue = 64;
+    max_tenant_queue = 32;
+    max_shots = 1_000_000;
+    default_timeout = None;
+    retries = 3;
+    breaker_threshold = 5;
+    breaker_cooldown = 1.0;
+    overload_depth = 8;
+    chunk = 64;
+    tenant_weights = [];
+    module_cache_limit = 32;
+    sleep = true;
+  }
+
+type event =
+  | Accepted of { id : string; tenant : string }
+  | Rejected of {
+      id : string;
+      tenant : string;
+      error : Qir_error.t;
+      shed : bool; (* true: evicted from the queue under overload *)
+    }
+  | Progress of {
+      id : string;
+      tenant : string;
+      completed : int;
+      requested : int;
+    }
+  | Result of {
+      id : string;
+      tenant : string;
+      result : Executor.shots_result;
+      tier : Executor.tier; (* the cap the job ran under *)
+      wait_s : float; (* queue wait *)
+      run_s : float; (* execution wall clock *)
+    }
+  | Failed of { id : string; tenant : string; error : Qir_error.t }
+
+type stats = {
+  submitted : int;
+  accepted : int;
+  rejected : int; (* admission/quota/breaker rejections, incl. shed *)
+  shed : int; (* of [rejected]: evicted after acceptance *)
+  completed : int;
+  failed : int;
+  degraded_results : int; (* partial histograms due to deadlines *)
+  batched_runs : int;
+  tape_runs : int;
+  per_shot_runs : int;
+  throttled_runs : int; (* ran with the Domain pool throttled *)
+  breaker_trips : int;
+  queue_depth : int;
+  cache : Executor.Session.cache_stats;
+}
+
+type t = {
+  config : config;
+  session : Executor.Session.t;
+  sched : job Scheduler.t;
+  breakers : (string, Breaker.t) Hashtbl.t;
+  modules : (Digest.t, Llvm_ir.Ir_module.t) Hashtbl.t;
+  mutable module_order : Digest.t list; (* newest first, for eviction *)
+  emit : event -> unit;
+  mutable submitted : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable shed : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable degraded_results : int;
+  mutable batched_runs : int;
+  mutable tape_runs : int;
+  mutable per_shot_runs : int;
+  mutable throttled_runs : int;
+}
+
+let create ?(config = default_config) ~emit () =
+  {
+    config;
+    session = Executor.Session.create ~cache_limit:config.module_cache_limit ();
+    sched = Scheduler.create ();
+    breakers = Hashtbl.create 8;
+    modules = Hashtbl.create 32;
+    module_order = [];
+    emit;
+    submitted = 0;
+    accepted = 0;
+    rejected = 0;
+    shed = 0;
+    completed = 0;
+    failed = 0;
+    degraded_results = 0;
+    batched_runs = 0;
+    tape_runs = 0;
+    per_shot_runs = 0;
+    throttled_runs = 0;
+  }
+
+let session t = t.session
+let queue_depth t = Scheduler.length t.sched
+let served_of t tenant = Scheduler.served_of t.sched tenant
+
+let breaker t tenant =
+  match Hashtbl.find_opt t.breakers tenant with
+  | Some b -> b
+  | None ->
+    let b =
+      Breaker.create ~threshold:t.config.breaker_threshold
+        ~cooldown:t.config.breaker_cooldown ()
+    in
+    Hashtbl.add t.breakers tenant b;
+    b
+
+let breaker_state t tenant = Breaker.state_name (breaker t tenant)
+
+let stats t =
+  {
+    submitted = t.submitted;
+    accepted = t.accepted;
+    rejected = t.rejected;
+    shed = t.shed;
+    completed = t.completed;
+    failed = t.failed;
+    degraded_results = t.degraded_results;
+    batched_runs = t.batched_runs;
+    tape_runs = t.tape_runs;
+    per_shot_runs = t.per_shot_runs;
+    throttled_runs = t.throttled_runs;
+    breaker_trips =
+      Hashtbl.fold (fun _ b acc -> acc + Breaker.trips b) t.breakers 0;
+    queue_depth = Scheduler.length t.sched;
+    cache = Executor.Session.cache_stats t.session;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Program interning: identical program text resubmitted by any tenant
+   maps to the *same* Ir_module.t value, so the session's
+   identity-keyed compile/tape caches actually hit across jobs — the
+   compile-once contract at service granularity. Bounded FIFO. *)
+
+let intern t ~source : (Llvm_ir.Ir_module.t, Qir_error.t) result =
+  let key = Digest.string source in
+  match Hashtbl.find_opt t.modules key with
+  | Some m -> Ok m
+  | None -> (
+    match Llvm_ir.Parser.parse_module_result ~source_name:"<job>" source with
+    | Error msg ->
+      Error (Qir_error.make ~kind:Qir_error.Parse ~layer:Qir_error.L_parser msg)
+    | Ok m ->
+      if List.length t.module_order >= t.config.module_cache_limit then begin
+        match List.rev t.module_order with
+        | oldest :: _ ->
+          Hashtbl.remove t.modules oldest;
+          t.module_order <-
+            List.filter (fun k -> k <> oldest) t.module_order
+        | [] -> ()
+      end;
+      Hashtbl.add t.modules key m;
+      t.module_order <- key :: t.module_order;
+      Ok m)
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                            *)
+
+let overload fmt =
+  Format.kasprintf
+    (fun message ->
+      Qir_error.make ~kind:Qir_error.Overload ~layer:Qir_error.L_service
+        message)
+    fmt
+
+let reject ?(shed = false) t ~id ~tenant error =
+  t.rejected <- t.rejected + 1;
+  if shed then t.shed <- t.shed + 1;
+  t.emit (Rejected { id; tenant; error; shed })
+
+let cache_cold t job = not (Executor.Session.is_cached t.session job.m)
+
+let submit t ~tenant ?id ?(shots = 1) ?(seed = 1)
+    ?(backend : Executor.backend_kind = `Statevector)
+    ?(engine : Executor.engine = `Auto) ?timeout (m : Llvm_ir.Ir_module.t) :
+    unit =
+  t.submitted <- t.submitted + 1;
+  let id =
+    match id with Some s -> s | None -> Printf.sprintf "job-%d" t.submitted
+  in
+  let fail e = reject t ~id ~tenant e in
+  if shots < 1 then
+    fail
+      (Qir_error.make ~kind:Qir_error.Usage ~layer:Qir_error.L_service
+         (Printf.sprintf "job %s: need at least one shot" id))
+  else if shots > t.config.max_shots then
+    fail
+      (overload "tenant %s quota: %d shots exceeds the per-job quota of %d"
+         tenant shots t.config.max_shots)
+  else if not (Breaker.admit (breaker t tenant)) then
+    fail
+      (overload
+         "circuit breaker open for tenant %s after repeated failures; \
+          resubmit after the cooldown"
+         tenant)
+  else
+    match
+      Admission.check
+        ?tape:(Executor.Session.cached_tape t.session m)
+        ~budget:t.config.mem_budget ~backend m
+    with
+    | Error e -> fail e
+    | Ok () ->
+      if Scheduler.queued_of t.sched tenant >= t.config.max_tenant_queue then
+        fail
+          (overload "tenant %s quota: %d jobs already queued (limit %d)"
+             tenant
+             (Scheduler.queued_of t.sched tenant)
+             t.config.max_tenant_queue)
+      else begin
+        let job =
+          {
+            id;
+            tenant;
+            m;
+            shots;
+            seed;
+            backend;
+            engine;
+            deadline =
+              Resilience.Deadline.after
+                (match timeout with
+                | Some _ -> timeout
+                | None -> t.config.default_timeout);
+            submitted_at = Resilience.Deadline.now ();
+          }
+        in
+        let admit () =
+          let weight =
+            Option.value ~default:1
+              (List.assoc_opt tenant t.config.tenant_weights)
+          in
+          ignore (Scheduler.push t.sched ~tenant ~weight job);
+          t.accepted <- t.accepted + 1;
+          t.emit (Accepted { id; tenant })
+        in
+        if Scheduler.length t.sched < t.config.max_queue then admit ()
+        else if cache_cold t job then
+          (* Queue full and the newcomer is cold: compiling it would
+             cost the most for the least queue relief — reject it. *)
+          fail
+            (overload
+               "queue full (%d jobs) and job %s is cache-cold; resubmit \
+                later"
+               (Scheduler.length t.sched) id)
+        else begin
+          (* Queue full but the newcomer is cache-hot (nearly free):
+             shed the newest cache-cold queued job to make room. *)
+          match Scheduler.drop_last t.sched (cache_cold t) with
+          | Some victim ->
+            reject ~shed:true t ~id:victim.id ~tenant:victim.tenant
+              (overload
+                 "shed under overload: queue full and job %s is \
+                  cache-cold; displaced by a cache-hot job"
+                 victim.id);
+            admit ()
+          | None ->
+            fail
+              (overload "queue full (%d jobs); resubmit later"
+                 (Scheduler.length t.sched))
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                            *)
+
+type load = Normal | Elevated | Critical
+
+let load_level t =
+  let depth = Scheduler.length t.sched in
+  if depth >= 2 * t.config.overload_depth then Critical
+  else if depth >= t.config.overload_depth then Elevated
+  else Normal
+
+let remaining_of (job : job) =
+  Option.map
+    (fun at -> Float.max 0. (at -. Resilience.Deadline.now ()))
+    job.deadline
+
+let policy_for t rem =
+  {
+    Resilience.default with
+    Resilience.max_retries = t.config.retries;
+    total_timeout = rem;
+    sleep = t.config.sleep;
+  }
+
+let sorted_histogram tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge_histogram tbl hist =
+  List.iter
+    (fun (k, v) ->
+      Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    hist
+
+(* Run one popped job to completion (or degradation), streaming
+   progress. Returns the terminal event after emitting it. *)
+let run_job t (job : job) =
+  let start = Resilience.Deadline.now () in
+  let wait_s = start -. job.submitted_at in
+  let level = load_level t in
+  let hot = Executor.Session.is_cached t.session job.m in
+  (* The degradation ladder. Cache-hot jobs keep the batched tier at
+     every load level: a warm compile+tape cache makes the fused
+     batched run the cheapest possible way to clear a job, so slowing
+     the hot path down would only deepen the queue (this is the same
+     principle as shedding cache-coldest-first). Cold jobs walk the
+     ladder: Elevated caps them at the tape tier — tape and per-shot
+     chunk and stream cleanly, so no cold job monopolizes the
+     scheduler for a whole batched run — and Critical drops them to
+     per-shot interpretation while the Domain pool runs sequentially. *)
+  let cap : Executor.tier =
+    if hot then `Batched
+    else
+      match level with
+      | Normal -> `Batched
+      | Elevated -> `Tape
+      | Critical -> `Per_shot
+  in
+  let throttle = level = Critical in
+  Qsim.Dpool.set_throttle throttle;
+  if throttle then t.throttled_runs <- t.throttled_runs + 1;
+  let chunk_size =
+    match level with
+    | Normal | Elevated -> t.config.chunk
+    | Critical -> max 1 (t.config.chunk / 4)
+  in
+  let pool_fallbacks0 = Qsim.Dpool.sequential_fallbacks () in
+  let finish result tier =
+    (match tier with
+    | `Batched -> t.batched_runs <- t.batched_runs + 1
+    | `Tape -> t.tape_runs <- t.tape_runs + 1
+    | `Per_shot -> t.per_shot_runs <- t.per_shot_runs + 1);
+    if result.Executor.degraded then
+      t.degraded_results <- t.degraded_results + 1;
+    t.completed <- t.completed + 1;
+    Breaker.record_success (breaker t job.tenant);
+    let run_s = Resilience.Deadline.now () -. start in
+    t.emit
+      (Result { id = job.id; tenant = job.tenant; result; tier; wait_s; run_s })
+  in
+  let batchable =
+    job.shots > 1 && job.backend = `Statevector && cap = `Batched
+    && Executor.batchable job.m
+  in
+  try
+    if batchable then begin
+      let r =
+        Executor.run_shots_resilient ~session:t.session
+          ~policy:(policy_for t (remaining_of job))
+          ~seed:job.seed ~backend:job.backend ~engine:job.engine
+          ~shots:job.shots job.m
+      in
+      finish r `Batched
+    end
+    else begin
+      (* Chunked streaming execution. Chunk c covering [lo, hi) runs
+         with seed + lo*7919 — the executor's own per-shot seeding —
+         so the merged histogram is bit-identical to one direct call
+         at the same tier cap. *)
+      let cap = (if cap = `Batched then `Tape else cap : Executor.tier) in
+      let tbl = Hashtbl.create 16 in
+      let completed = ref 0 in
+      let retries = ref 0 in
+      let degraded = ref false in
+      let tape_used = ref false in
+      let engine_used = ref (Executor.engine_name (Executor.resolve_engine job.engine)) in
+      let compile_s = ref 0. in
+      let analysis_s = ref 0. in
+      let lo = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !lo < job.shots do
+        match remaining_of job with
+        | Some r when r <= 0. ->
+          degraded := true;
+          stop := true
+        | rem ->
+          let n = min chunk_size (job.shots - !lo) in
+          let r =
+            Executor.run_shots_resilient ~session:t.session
+              ~policy:(policy_for t rem)
+              ~seed:(job.seed + (!lo * 7919))
+              ~backend:job.backend ~max_tier:cap ~engine:job.engine ~shots:n
+              job.m
+          in
+          merge_histogram tbl r.Executor.histogram;
+          completed := !completed + r.Executor.completed;
+          retries := !retries + r.Executor.retries;
+          tape_used := !tape_used || r.Executor.tape;
+          engine_used := r.Executor.engine;
+          compile_s := !compile_s +. r.Executor.compile_s;
+          analysis_s := !analysis_s +. r.Executor.analysis_s;
+          if r.Executor.degraded then begin
+            degraded := true;
+            stop := true
+          end
+          else begin
+            lo := !lo + n;
+            if !lo < job.shots then
+              t.emit
+                (Progress
+                   {
+                     id = job.id;
+                     tenant = job.tenant;
+                     completed = !completed;
+                     requested = job.shots;
+                   })
+          end
+      done;
+      let result : Executor.shots_result =
+        {
+          histogram = sorted_histogram tbl;
+          completed = !completed;
+          requested = job.shots;
+          degraded = !degraded;
+          retries = !retries;
+          batched = false;
+          batch_fallback = false;
+          pool_fallbacks =
+            Qsim.Dpool.sequential_fallbacks () - pool_fallbacks0;
+          engine = !engine_used;
+          tape = !tape_used;
+          compile_s = !compile_s;
+          analysis_s = !analysis_s;
+        }
+      in
+      finish result (if !tape_used then `Tape else `Per_shot)
+    end
+  with e ->
+    let error = Qir_error.wrap_exn e in
+    t.failed <- t.failed + 1;
+    (match error.Qir_error.kind with
+    | Qir_error.Backend_failure | Qir_error.Exec ->
+      Breaker.record_failure (breaker t job.tenant)
+    | _ -> ());
+    t.emit (Failed { id = job.id; tenant = job.tenant; error })
+
+(* One scheduling quantum: pop the fair-queue head and run it (or shed
+   it if its deadline already expired while queued). [false] when the
+   queue is empty. *)
+let run_once t =
+  match Scheduler.pop t.sched with
+  | None ->
+    Qsim.Dpool.set_throttle false;
+    false
+  | Some (_, job) ->
+    (match job.deadline with
+    | Some at when Resilience.Deadline.now () >= at ->
+      (* expired while queued: taxonomy-coded shed, no simulator time *)
+      reject ~shed:true t ~id:job.id ~tenant:job.tenant
+        (overload
+           "shed under overload: job %s's deadline expired after %.3f s in \
+            the queue"
+           job.id
+           (Resilience.Deadline.now () -. job.submitted_at))
+    | _ -> run_job t job);
+    true
+
+let drain t =
+  while run_once t do
+    ()
+  done;
+  Qsim.Dpool.set_throttle false

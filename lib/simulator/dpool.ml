@@ -60,6 +60,15 @@ let seq_fallback_count = ref 0
 let sequential_fallbacks () = !seq_fallback_count
 let spawn_disabled = ref false
 
+(* Overload throttle: when set, every dispatch runs sequentially on the
+   calling domain without tearing down the pool — the cheap, instantly
+   reversible "parallel -> sequential" rung of the service tier's
+   degradation ladder. Unlike [set_domains 1] this keeps the workers
+   parked, so lifting the throttle costs nothing. *)
+let throttle = ref false
+let set_throttle b = throttle := b
+let throttled () = !throttle
+
 (* Test hook: force Domain.spawn to fail so the sequential-fallback
    path is exercisable without exhausting real OS resources. *)
 let spawn_failure_forced = ref false
@@ -170,7 +179,8 @@ let get_pool () =
 (* Fork/join entry points                                               *)
 
 let chunk_count ~size =
-  if size < !par_threshold || !num_domains <= 1 || !spawn_disabled then 1
+  if size < !par_threshold || !num_domains <= 1 || !spawn_disabled || !throttle
+  then 1
   else !num_domains
 
 (* Runs [f k lo hi] for each of [chunks] chunks covering [0, size);
@@ -228,7 +238,7 @@ let run ~size f = run_indexed ~size (fun _ lo hi -> f lo hi)
 let run_tasks ~count f =
   if count > 0 then begin
     let chunks =
-      if !num_domains <= 1 || !spawn_disabled || count = 1 then 1
+      if !num_domains <= 1 || !spawn_disabled || !throttle || count = 1 then 1
       else min !num_domains count
     in
     dispatch ~chunks ~size:count (fun _ lo hi ->

@@ -55,6 +55,14 @@ val sequential_fallbacks : unit -> int
 (** How many kernel invocations degraded to sequential execution
     because worker domains could not be spawned. *)
 
+val set_throttle : bool -> unit
+(** Overload throttle: while set, every dispatch runs sequentially on
+    the calling domain {e without} tearing down the pool — the cheap,
+    instantly reversible "parallel -> sequential" rung of the service
+    tier's degradation ladder. *)
+
+val throttled : unit -> bool
+
 val force_spawn_failure : bool -> unit
 (** Test hook: make every [Domain.spawn] attempt fail, so the
     sequential-fallback path can be exercised deterministically. Tears

@@ -160,6 +160,7 @@ and a recovered run reproduces the fault-free histogram exactly.
   00: 22
   11: 28
   completed=50/50 retries=6 batched=false batch-fallback=false pool-fallbacks=0 engine=bytecode tape=false
+  stats: {"completed": 50, "requested": 50, "retries": 6, "batched": false, "batch_fallback": false, "pool_fallbacks": 0, "engine": "bytecode", "tape": false, "compile_cache_hits": 56, "compile_cache_misses": 1, "tape_cache_hits": 0, "tape_cache_misses": 0}
 
 Execution engines: the AST interpreter and the compile-once bytecode
 engine are observably identical — forcing either one must reproduce the
@@ -186,6 +187,7 @@ per-shot interpretation produces.
   00: 27
   11: 23
   completed=50/50 retries=0 batched=false batch-fallback=false pool-fallbacks=0 engine=bytecode tape=true
+  stats: {"completed": 50, "requested": 50, "retries": 0, "batched": false, "batch_fallback": false, "pool_fallbacks": 0, "engine": "bytecode", "tape": true, "compile_cache_hits": 0, "compile_cache_misses": 1, "tape_cache_hits": 0, "tape_cache_misses": 1}
 
   $ qir-run bell.ll --shots 50 --seed 3 --backend stabilizer --engine ast
   00: 27
@@ -486,3 +488,60 @@ The machine-readable call-graph dump shares the JSON envelope
 
 
 
+
+Exit 8 is the service tier's overload code. qir-run exposes the same
+admission check qir-serve applies per job: a declared statevector
+footprint over the budget is rejected before execution ever starts.
+
+  $ cat > big.ll <<'LL'
+  > define void @main() #0 {
+  > entry:
+  >   ret void
+  > }
+  > attributes #0 = { "entry_point" "required_num_qubits"="28" }
+  > LL
+  $ qir-run big.ll --mem-budget 1GiB
+  qir-run: overload error (service, permanent): admission rejected: 28-qubit statevector footprint 4.0 GiB exceeds the 1.0 GiB memory budget
+  [8]
+  $ qir-run bell.ll --shots 10 --mem-budget 1KiB > /dev/null
+
+The --stats JSON line mirrors the human-readable counters and adds the
+session cache hit/miss counts (stable keys are the contract):
+
+  $ qir-run bell.ll --shots 10 --stats | grep '^stats:' | grep -o '"[a-z_]*":'
+  "completed":
+  "requested":
+  "retries":
+  "batched":
+  "batch_fallback":
+  "pool_fallbacks":
+  "engine":
+  "tape":
+  "compile_cache_hits":
+  "compile_cache_misses":
+  "tape_cache_hits":
+  "tape_cache_misses":
+
+qir-serve runs the same programs as a multi-tenant service: requests
+are newline-delimited JSON, events come back one per line with the
+taxonomy embedded (an over-budget job is rejected with exit_code 8
+while the in-budget job streams its result).
+
+  $ cat > jobs.ndjson <<'NDJSON'
+  > {"op":"submit","id":"a1","tenant":"alice","file":"bell.ll","shots":40,"seed":7}
+  > {"op":"submit","id":"b1","tenant":"bob","file":"big.ll","shots":10}
+  > {"op":"stats"}
+  > NDJSON
+  $ qir-serve jobs.ndjson --mem-budget 64MiB | sed -E 's/"(wait_s|run_s)": [-0-9.e]+/"\1": _/g'
+  {"event": "accepted", "id": "a1", "tenant": "alice"}
+  {"event": "rejected", "id": "b1", "tenant": "bob", "shed": false, "kind": "overload", "layer": "service", "exit_code": 8, "message": "admission rejected: 28-qubit statevector footprint 4.0 GiB exceeds the 64.0 MiB memory budget"}
+  {"event": "result", "id": "a1", "tenant": "alice", "tier": "batched", "completed": 40, "requested": 40, "degraded": false, "retries": 0, "engine": "bytecode", "tape": false, "batched": true, "pool_fallbacks": 0, "wait_s": _, "run_s": _, "histogram": {"00": 22, "11": 18}}
+  {"event": "stats", "submitted": 2, "accepted": 1, "rejected": 1, "shed": 0, "completed": 1, "failed": 0, "degraded_results": 0, "batched_runs": 1, "tape_runs": 0, "per_shot_runs": 0, "throttled_runs": 0, "breaker_trips": 0, "queue_depth": 0, "compile_cache_hits": 0, "compile_cache_misses": 1, "tape_cache_hits": 0, "tape_cache_misses": 0}
+
+A malformed request is a protocol-level usage error event, not a dead
+daemon; later requests on the same stream still run.
+
+  $ printf '%s\n%s\n' 'not json' '{"op":"submit","tenant":"c","file":"bell.ll","shots":5,"seed":1}' | qir-serve - | sed -E 's/"(wait_s|run_s)": [-0-9.e]+/"\1": _/g'
+  {"event": "error", "kind": "usage", "layer": "service", "exit_code": 7, "message": "bad request JSON: expected 'null' at offset 0"}
+  {"event": "accepted", "id": "job-1", "tenant": "c"}
+  {"event": "result", "id": "job-1", "tenant": "c", "tier": "batched", "completed": 5, "requested": 5, "degraded": false, "retries": 0, "engine": "bytecode", "tape": false, "batched": true, "pool_fallbacks": 0, "wait_s": _, "run_s": _, "histogram": {"00": 2, "11": 3}}

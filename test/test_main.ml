@@ -19,4 +19,5 @@ let () =
       ("commute", Test_commute.suite);
       ("density", Test_density.suite);
       ("bytecode", Test_bytecode.suite);
+      ("service", Test_service.suite);
     ]

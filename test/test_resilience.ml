@@ -155,7 +155,8 @@ let test_generous_deadline_not_degraded () =
 
 let test_interp_deadline_raises_timeout () =
   let m = Llvm_ir.Parser.parse_module spin_src in
-  let deadline = Unix.gettimeofday () +. 0.02 in
+  (* absolute deadlines live on the monotonic clock, not the epoch *)
+  let deadline = Resilience.Deadline.now () +. 0.02 in
   check bool_t "interpreter raises Timeout_error past the deadline" true
     (match Executor.run ~deadline m with
     | exception Llvm_ir.Ir_error.Timeout_error _ -> true

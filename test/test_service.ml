@@ -1,0 +1,501 @@
+(* Tests for the multi-tenant execution service (lib/service): the
+   stride scheduler's weighted fairness, admission control against the
+   memory budget, per-tenant circuit breakers, deadline handling
+   (queue-expiry shedding and mid-run partial results), the graceful
+   degradation ladder, cache-coldest-first load shedding — and the
+   central correctness property: a chunked, degraded service run merges
+   into a histogram *bit-identical* to one direct Executor call at the
+   same tier cap, because chunk [lo, hi) runs with seed + lo*7919, the
+   executor's own per-shot seeding formula. *)
+
+open Qcircuit
+open Qir
+open Qruntime
+open Qservice
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+let hist_t = Alcotest.(list (pair string int))
+
+let bell () = Qir_builder.build (Generate.bell ())
+let ghz n = Qir_builder.build (Generate.ghz n)
+
+(* An entry point that never terminates, for deterministic deadline
+   tests (as in test_resilience.ml). *)
+let spin_src =
+  "define void @main() \"entry_point\" {\nentry:\n  br label %l\nl:\n  br \
+   label %l\n}"
+
+(* A module whose declared register (28 qubits = a 4 GiB statevector)
+   dwarfs any test budget without ever being executed. *)
+let big_src =
+  "define void @main() #0 {\nentry:\n  ret void\n}\nattributes #0 = { \
+   \"entry_point\" \"required_num_qubits\"=\"28\" }"
+
+let parse src = Llvm_ir.Parser.parse_module src
+
+let faulty_gate =
+  `Faulty { Qsim.Faulty.default with Qsim.Faulty.gate_rate = 1.0 }
+
+(* A service wired to an event recorder; tests never sleep out backoff. *)
+let recording ?(config = Service.default_config) () =
+  let events = ref [] in
+  let svc =
+    Service.create
+      ~config:{ config with Service.sleep = false }
+      ~emit:(fun ev -> events := ev :: !events)
+      ()
+  in
+  (svc, fun () -> List.rev !events)
+
+let results events =
+  List.filter_map
+    (function
+      | Service.Result { tenant; result; tier; _ } ->
+        Some (tenant, result, tier)
+      | _ -> None)
+    events
+
+let rejections events =
+  List.filter_map
+    (function
+      | Service.Rejected { id; error; shed; _ } -> Some (id, error, shed)
+      | _ -> None)
+    events
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx                                                                *)
+
+let test_jsonx_roundtrip () =
+  let v =
+    Jsonx.Obj
+      [
+        ("op", Jsonx.Str "submit");
+        ("shots", Jsonx.Num 100.);
+        ("nested", Jsonx.Arr [ Jsonx.Bool true; Jsonx.Null; Jsonx.Num 2.5 ]);
+        ("esc", Jsonx.Str "line\n\"quote\"\tunicode \xc3\xa9");
+      ]
+  in
+  match Jsonx.parse (Jsonx.to_string v) with
+  | Error e -> Alcotest.fail ("round-trip failed: " ^ e)
+  | Ok v' ->
+    check bool_t "round-trips" true (v = v');
+    check (Alcotest.option int_t) "int accessor" (Some 100)
+      (Jsonx.mem_int "shots" v')
+
+let test_jsonx_rejects_garbage () =
+  let bad s =
+    match Jsonx.parse s with Ok _ -> false | Error _ -> true
+  in
+  check bool_t "trailing garbage" true (bad "{\"a\": 1} x");
+  check bool_t "unterminated string" true (bad "\"abc");
+  check bool_t "bare word" true (bad "flse");
+  check bool_t "unicode escape parses" true
+    (Jsonx.parse "\"\\u00e9\"" = Ok (Jsonx.Str "\xc3\xa9"))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                            *)
+
+let test_scheduler_weighted_fairness () =
+  let s = Scheduler.create () in
+  for i = 1 to 12 do
+    ignore (Scheduler.push s ~tenant:"heavy" ~weight:2 i);
+    ignore (Scheduler.push s ~tenant:"light" ~weight:1 i)
+  done;
+  for _ = 1 to 9 do
+    ignore (Scheduler.pop s)
+  done;
+  (* stride scheduling: over 9 pops, weight 2 gets exactly 2/3 *)
+  check int_t "heavy served 6 of 9" 6 (Scheduler.served_of s "heavy");
+  check int_t "light served 3 of 9" 3 (Scheduler.served_of s "light");
+  check int_t "queue accounting" 15 (Scheduler.length s)
+
+let test_scheduler_idle_rejoin () =
+  let s = Scheduler.create () in
+  for i = 1 to 4 do
+    ignore (Scheduler.push s ~tenant:"a" ~weight:1 i)
+  done;
+  for _ = 1 to 4 do
+    ignore (Scheduler.pop s)
+  done;
+  (* b was idle the whole time; on rejoin it must not replay the idle
+     period as credit and starve a *)
+  for i = 1 to 2 do
+    ignore (Scheduler.push s ~tenant:"b" ~weight:1 i);
+    ignore (Scheduler.push s ~tenant:"a" ~weight:1 (10 + i))
+  done;
+  let order =
+    List.init 4 (fun _ ->
+        match Scheduler.pop s with Some (t, _) -> t | None -> "?")
+  in
+  check
+    Alcotest.(list string_t)
+    "fair alternation after rejoin" [ "b"; "a"; "b"; "a" ] order
+
+let test_scheduler_drop_last () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.push s ~tenant:"a" ~weight:1 "a1");
+  ignore (Scheduler.push s ~tenant:"a" ~weight:1 "a2");
+  ignore (Scheduler.push s ~tenant:"b" ~weight:1 "b1");
+  check
+    Alcotest.(option string_t)
+    "newest overall" (Some "b1")
+    (Scheduler.drop_last s (fun _ -> true));
+  check
+    Alcotest.(option string_t)
+    "newest matching" (Some "a2")
+    (Scheduler.drop_last s (fun j -> j.[0] = 'a'));
+  check int_t "two dropped" 1 (Scheduler.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Breaker                                                              *)
+
+let busy_wait seconds =
+  let until = Resilience.Deadline.now () +. seconds in
+  while Resilience.Deadline.now () < until do
+    ignore (Sys.opaque_identity ())
+  done
+
+let test_breaker_lifecycle () =
+  let b = Breaker.create ~threshold:2 ~cooldown:0.02 () in
+  check bool_t "admits when closed" true (Breaker.admit b);
+  Breaker.record_failure b;
+  check bool_t "below threshold still admits" true (Breaker.admit b);
+  Breaker.record_failure b;
+  check bool_t "tripped open" false (Breaker.admit b);
+  check int_t "one trip" 1 (Breaker.trips b);
+  busy_wait 0.025;
+  check string_t "half-open after cooldown" "half-open" (Breaker.state_name b);
+  check bool_t "half-open admits a probe" true (Breaker.admit b);
+  Breaker.record_failure b;
+  check bool_t "failed probe re-opens" false (Breaker.admit b);
+  check int_t "second trip" 2 (Breaker.trips b);
+  busy_wait 0.025;
+  Breaker.record_success b;
+  check string_t "success closes" "closed" (Breaker.state_name b)
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                            *)
+
+let test_admission_memory_budget () =
+  let m = parse big_src in
+  check int_t "declared qubits" 28 (Admission.required_qubits m);
+  (match Admission.check ~budget:(1 lsl 30) ~backend:`Statevector m with
+  | Ok () -> Alcotest.fail "4 GiB statevector admitted under a 1 GiB budget"
+  | Error e ->
+    check int_t "overload exit code" Qir_error.exit_overload
+      (Qir_error.exit_code e));
+  (* the tableau footprint for the same register is a few hundred bytes *)
+  check bool_t "stabilizer backend fits easily" true
+    (Admission.check ~budget:(1 lsl 20) ~backend:`Stabilizer m = Ok ());
+  check bool_t "small statevector fits" true
+    (Admission.check ~budget:1024 ~backend:`Statevector (bell ()) = Ok ())
+
+let test_service_rejects_at_admission () =
+  let svc, events =
+    recording
+      ~config:{ Service.default_config with Service.mem_budget = 1 lsl 20 }
+      ()
+  in
+  Service.submit svc ~tenant:"alice" ~shots:10 (parse big_src);
+  Service.drain svc;
+  match rejections (events ()) with
+  | [ (_, e, shed) ] ->
+    check int_t "exit 8" Qir_error.exit_overload (Qir_error.exit_code e);
+    check bool_t "not a shed" false shed;
+    check int_t "nothing ran" 0 (Service.stats svc).Service.completed
+  | evs -> Alcotest.failf "expected one rejection, saw %d" (List.length evs)
+
+(* ------------------------------------------------------------------ *)
+(* Fair scheduling under contention                                     *)
+
+let test_service_fairness_under_contention () =
+  let svc, events =
+    recording
+      ~config:
+        {
+          Service.default_config with
+          Service.tenant_weights = [ ("heavy", 2); ("light", 1) ];
+        }
+      ()
+  in
+  let m = bell () in
+  for _ = 1 to 9 do
+    Service.submit svc ~tenant:"heavy" ~shots:4 m;
+    Service.submit svc ~tenant:"light" ~shots:4 m
+  done;
+  Service.drain svc;
+  let order = List.map (fun (t, _, _) -> t) (results (events ())) in
+  check int_t "all jobs completed" 18 (List.length order);
+  let first9 = List.filteri (fun i _ -> i < 9) order in
+  check int_t "heavy got 2/3 of the first nine slots" 6
+    (List.length (List.filter (( = ) "heavy") first9));
+  check int_t "heavy vs light served" 9 (Service.served_of svc "heavy")
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker at the service level                                 *)
+
+let test_service_breaker_trips_and_recovers () =
+  let svc, events =
+    recording
+      ~config:
+        {
+          Service.default_config with
+          Service.retries = 0;
+          breaker_threshold = 2;
+          breaker_cooldown = 0.02;
+        }
+      ()
+  in
+  let m = bell () in
+  (* two jobs against an always-faulting backend: both fail, tripping
+     the tenant's breaker *)
+  Service.submit svc ~tenant:"chaos" ~shots:3 ~backend:faulty_gate m;
+  Service.drain svc;
+  Service.submit svc ~tenant:"chaos" ~shots:3 ~backend:faulty_gate m;
+  Service.drain svc;
+  check string_t "breaker open" "open" (Service.breaker_state svc "chaos");
+  (* fast rejection while open — the simulator is never touched *)
+  Service.submit svc ~tenant:"chaos" ~shots:3 m;
+  (match rejections (events ()) with
+  | [ (_, e, _) ] ->
+    check int_t "breaker rejection is exit 8" Qir_error.exit_overload
+      (Qir_error.exit_code e)
+  | evs -> Alcotest.failf "expected one rejection, saw %d" (List.length evs));
+  let s = Service.stats svc in
+  check int_t "two failures recorded" 2 s.Service.failed;
+  check int_t "one trip recorded" 1 s.Service.breaker_trips;
+  (* after the cooldown a half-open probe that succeeds closes it *)
+  busy_wait 0.025;
+  check string_t "half-open probe window" "half-open"
+    (Service.breaker_state svc "chaos");
+  Service.submit svc ~tenant:"chaos" ~shots:3 m;
+  Service.drain svc;
+  check string_t "success closes the breaker" "closed"
+    (Service.breaker_state svc "chaos");
+  check int_t "probe job completed" 1 (Service.stats svc).Service.completed
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                            *)
+
+let test_service_sheds_queue_expired_jobs () =
+  let svc, events = recording () in
+  Service.submit svc ~tenant:"t" ~shots:10 ~timeout:0.0 (bell ());
+  Service.drain svc;
+  match rejections (events ()) with
+  | [ (_, e, shed) ] ->
+    check bool_t "shed, not plain rejection" true shed;
+    check int_t "exit 8" Qir_error.exit_overload (Qir_error.exit_code e);
+    check int_t "no simulator time spent" 0
+      (Service.stats svc).Service.completed
+  | evs -> Alcotest.failf "expected one shed, saw %d" (List.length evs)
+
+let test_service_deadline_yields_partial_result () =
+  let svc, events = recording () in
+  Service.submit svc ~tenant:"t" ~shots:10 ~timeout:0.05 (parse spin_src);
+  Service.drain svc;
+  match results (events ()) with
+  | [ (_, r, _) ] ->
+    check bool_t "degraded partial result" true r.Executor.degraded;
+    check int_t "requested preserved" 10 r.Executor.requested;
+    check bool_t "not all shots completed" true (r.Executor.completed < 10);
+    check int_t "still a success for the breaker" 0
+      (Service.stats svc).Service.failed
+  | evs -> Alcotest.failf "expected one result, saw %d" (List.length evs)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram parity with direct Executor runs                           *)
+
+(* Normal load: the batched fast path, exactly as a direct call. *)
+let test_parity_batched () =
+  let m = bell () in
+  let svc, events = recording () in
+  Service.submit svc ~tenant:"t" ~shots:97 ~seed:5 m;
+  Service.drain svc;
+  let direct =
+    Executor.run_shots_resilient
+      ~session:(Executor.Session.create ())
+      ~seed:5 ~shots:97 m
+  in
+  match results (events ()) with
+  | [ (_, r, tier) ] ->
+    check string_t "ran batched" "batched" (Executor.tier_name tier);
+    check hist_t "histogram identical to direct batched run"
+      direct.Executor.histogram r.Executor.histogram
+  | evs -> Alcotest.failf "expected one result, saw %d" (List.length evs)
+
+(* Elevated load caps at the tape tier and chunks; the merged chunked
+   histogram must equal one direct tape-capped call. *)
+let test_parity_tape_chunked () =
+  let m = bell () in
+  let svc, events =
+    recording
+      ~config:
+        {
+          Service.default_config with
+          Service.overload_depth = 1;
+          chunk = 7;
+        }
+      ()
+  in
+  Service.submit svc ~tenant:"t" ~shots:23 ~seed:11 m;
+  Service.submit svc ~tenant:"filler" ~shots:2 m;
+  Service.drain svc;
+  let direct =
+    Executor.run_shots_resilient
+      ~session:(Executor.Session.create ())
+      ~seed:11 ~max_tier:`Tape ~shots:23 m
+  in
+  check bool_t "direct comparison run used the tape" true
+    direct.Executor.tape;
+  match results (events ()) with
+  | (_, r, tier) :: _ ->
+    check string_t "service capped at tape" "tape" (Executor.tier_name tier);
+    check int_t "all shots completed" 23 r.Executor.completed;
+    check hist_t "chunked tape merge identical to direct run"
+      direct.Executor.histogram r.Executor.histogram
+  | [] -> Alcotest.fail "expected results"
+
+(* Critical load drops cold jobs to per-shot interpretation (and
+   throttles the pool); parity must still be exact. *)
+let test_parity_per_shot_critical () =
+  let m = bell () in
+  let svc, events =
+    recording
+      ~config:
+        {
+          Service.default_config with
+          Service.overload_depth = 1;
+          chunk = 5;
+        }
+      ()
+  in
+  Service.submit svc ~tenant:"t" ~shots:17 ~seed:3 m;
+  Service.submit svc ~tenant:"f1" ~shots:2 m;
+  Service.submit svc ~tenant:"f2" ~shots:2 m;
+  Service.drain svc;
+  check bool_t "throttle released after drain" false (Qsim.Dpool.throttled ());
+  let direct =
+    Executor.run_shots_resilient
+      ~session:(Executor.Session.create ())
+      ~seed:3 ~max_tier:`Per_shot ~shots:17 m
+  in
+  match results (events ()) with
+  | (_, r, tier) :: _ ->
+    check string_t "cold job dropped to per-shot" "per-shot"
+      (Executor.tier_name tier);
+    check hist_t "chunked per-shot merge identical to direct run"
+      direct.Executor.histogram r.Executor.histogram;
+    check bool_t "pool was throttled during the run" true
+      ((Service.stats svc).Service.throttled_runs >= 1)
+  | [] -> Alcotest.fail "expected results"
+
+(* ------------------------------------------------------------------ *)
+(* Load shedding prefers cache-cold jobs                                *)
+
+let test_service_sheds_cache_coldest_first () =
+  let hot = bell () in
+  let cold1 = ghz 3 in
+  let cold2 = ghz 4 in
+  let cold3 = ghz 5 in
+  let svc, events =
+    recording
+      ~config:{ Service.default_config with Service.max_queue = 2 }
+      ()
+  in
+  (* warm the session's caches with [hot] *)
+  Service.submit svc ~tenant:"t" ~id:"warmup" ~shots:4 hot;
+  Service.drain svc;
+  check bool_t "module is cache-hot" true
+    (Executor.Session.is_cached (Service.session svc) hot);
+  (* fill the queue with cold work, then offer a hot job *)
+  Service.submit svc ~tenant:"t" ~id:"cold1" ~shots:4 cold1;
+  Service.submit svc ~tenant:"t" ~id:"cold2" ~shots:4 cold2;
+  Service.submit svc ~tenant:"t" ~id:"hot" ~shots:4 hot;
+  (* the hot job displaced the newest cold job *)
+  (match rejections (events ()) with
+  | [ (id, _, shed) ] ->
+    check string_t "newest cold job was shed" "cold2" id;
+    check bool_t "marked as shed" true shed
+  | evs -> Alcotest.failf "expected one shed, saw %d" (List.length evs));
+  (* a cold newcomer against a full queue is rejected outright *)
+  Service.submit svc ~tenant:"t" ~id:"cold3" ~shots:4 cold3;
+  (match rejections (events ()) with
+  | [ _; (id, e, shed) ] ->
+    check string_t "cold newcomer rejected" "cold3" id;
+    check bool_t "not shed (never accepted)" false shed;
+    check int_t "exit 8" Qir_error.exit_overload (Qir_error.exit_code e)
+  | evs -> Alcotest.failf "expected two rejections, saw %d" (List.length evs));
+  Service.drain svc;
+  let s = Service.stats svc in
+  check int_t "one shed recorded" 1 s.Service.shed;
+  check int_t "warmup + cold1 + hot completed" 3 s.Service.completed
+
+(* ------------------------------------------------------------------ *)
+(* Program interning                                                    *)
+
+let test_intern_shares_modules_across_jobs () =
+  let svc, events = recording () in
+  let src = Llvm_ir.Printer.module_to_string (bell ()) in
+  let m1 =
+    match Service.intern svc ~source:src with
+    | Ok m -> m
+    | Error e -> Alcotest.fail (Qir_error.to_string e)
+  in
+  let m2 =
+    match Service.intern svc ~source:src with
+    | Ok m -> m
+    | Error e -> Alcotest.fail (Qir_error.to_string e)
+  in
+  check bool_t "identical text interns to the same module" true (m1 == m2);
+  Service.submit svc ~tenant:"a" ~shots:8 m1;
+  Service.submit svc ~tenant:"b" ~shots:8 m2;
+  Service.drain svc;
+  check int_t "both ran" 2 (List.length (results (events ())));
+  let c = (Service.stats svc).Service.cache in
+  check bool_t "second job hit the session cache" true
+    (c.Executor.Session.compile_hits >= 1);
+  match Service.intern svc ~source:"not qir at all" with
+  | Ok _ -> Alcotest.fail "garbage interned"
+  | Error e ->
+    check int_t "parse-kind taxonomy error" Qir_error.exit_parse
+      (Qir_error.exit_code e)
+
+let suite =
+  [
+    Alcotest.test_case "jsonx: round-trip" `Quick test_jsonx_roundtrip;
+    Alcotest.test_case "jsonx: rejects garbage" `Quick
+      test_jsonx_rejects_garbage;
+    Alcotest.test_case "scheduler: weighted fairness" `Quick
+      test_scheduler_weighted_fairness;
+    Alcotest.test_case "scheduler: idle tenants rejoin fairly" `Quick
+      test_scheduler_idle_rejoin;
+    Alcotest.test_case "scheduler: drop_last picks the newest match" `Quick
+      test_scheduler_drop_last;
+    Alcotest.test_case "breaker: trip, half-open, reset" `Quick
+      test_breaker_lifecycle;
+    Alcotest.test_case "admission: memory budget" `Quick
+      test_admission_memory_budget;
+    Alcotest.test_case "service: rejects at admission with exit 8" `Quick
+      test_service_rejects_at_admission;
+    Alcotest.test_case "service: weighted fairness under contention" `Quick
+      test_service_fairness_under_contention;
+    Alcotest.test_case "service: breaker trips and recovers" `Quick
+      test_service_breaker_trips_and_recovers;
+    Alcotest.test_case "service: sheds queue-expired jobs" `Quick
+      test_service_sheds_queue_expired_jobs;
+    Alcotest.test_case "service: deadline yields a partial result" `Quick
+      test_service_deadline_yields_partial_result;
+    Alcotest.test_case "service: batched parity with direct run" `Quick
+      test_parity_batched;
+    Alcotest.test_case "service: chunked tape parity with direct run" `Quick
+      test_parity_tape_chunked;
+    Alcotest.test_case "service: per-shot parity under critical load" `Quick
+      test_parity_per_shot_critical;
+    Alcotest.test_case "service: sheds cache-coldest first" `Quick
+      test_service_sheds_cache_coldest_first;
+    Alcotest.test_case "service: interning shares session caches" `Quick
+      test_intern_shares_modules_across_jobs;
+  ]
