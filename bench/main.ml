@@ -1669,6 +1669,129 @@ let e13 () =
   close_out oc;
   Harness.row "  wrote BENCH_interp.json@\n"
 
+(* ------------------------------------------------------------------ *)
+(* E16 — value-semantics quantum optimizer: gate-count reduction and    *)
+(* gate-tape eligibility uplift                                         *)
+
+(* The quantum-opt pass (lib/analysis/qdf_opt.ml) cancels self-inverse
+   pairs, merges rotations, hoists releases and proves dynamic entry
+   points static. Two headline numbers: how many gates it removes, and
+   how many previously tape-ineligible (dynamic-addressing) modules it
+   makes eligible for the gate-tape fast path. Both are measured over a
+   generated corpus with and without injected redundancy (a seeded
+   third of the gates immediately followed by their inverse — the
+   adversarially-friendly case). Written to BENCH_qdfo.json. *)
+
+let with_redundancy ~seed (c : Circuit.t) =
+  let b =
+    Circuit.Build.create ~num_qubits:c.Circuit.num_qubits
+      ~num_clbits:c.Circuit.num_clbits ()
+  in
+  let st = Random.State.make [| seed; 91 |] in
+  List.iter
+    (fun (op : Circuit.op) ->
+      match op.Circuit.kind with
+      | Circuit.Gate (g, qs) ->
+        Circuit.Build.gate b g qs;
+        if Random.State.int st 3 = 0 then
+          Circuit.Build.gate b (Gate.inverse g) qs
+      | Circuit.Measure (q, cl) -> Circuit.Build.measure b q cl
+      | _ -> ())
+    c.Circuit.ops;
+  Circuit.Build.finish b
+
+let e16 () =
+  Harness.section "E16"
+    "quantum optimizer: gate cancellation and static promotion";
+  Harness.row "  %-30s %7s %7s %6s %6s %6s %10s@\n" "module" "before" "after"
+    "red%" "tape0" "tape1" "opt";
+  let eligible m = Qruntime.Gate_tape.extract m <> None in
+  let rows =
+    List.concat_map
+      (fun (n, gates) ->
+        List.concat_map
+          (fun (style, addressing) ->
+            List.map
+              (fun redundant ->
+                let c0 =
+                  measure_all
+                    (Generate.random ~seed:(n * 13) ~parametric:true ~gates n)
+                in
+                let c =
+                  if redundant then with_redundancy ~seed:(n * 13) c0 else c0
+                in
+                let m = Qir.Qir_builder.build ~addressing c in
+                let name =
+                  Printf.sprintf "%dq/%dg %s%s" n gates style
+                    (if redundant then " redundant" else "")
+                in
+                let t =
+                  Harness.time_ns name (fun () ->
+                      ignore (Qir_analysis.Qdf_opt.optimize m))
+                in
+                let m', st = Qir_analysis.Qdf_opt.optimize m in
+                let open Qir_analysis.Qdf_opt in
+                let red =
+                  100.
+                  *. float_of_int (st.s_gates_before - st.s_gates_after)
+                  /. float_of_int (max 1 st.s_gates_before)
+                in
+                let e0 = eligible m and e1 = eligible m' in
+                Harness.row "  %-30s %7d %7d %5.1f%% %6b %6b %10s@\n" name
+                  st.s_gates_before st.s_gates_after red e0 e1
+                  (Harness.ns_to_string t);
+                (name, st, red, e0, e1, t))
+              [ false; true ])
+          [ ("static", `Static); ("dynamic", `Dynamic) ])
+      [ (4, 60); (8, 200); (12, 400) ]
+  in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let open Qir_analysis.Qdf_opt in
+  let gb = total (fun (_, st, _, _, _, _) -> st.s_gates_before) in
+  let ga = total (fun (_, st, _, _, _, _) -> st.s_gates_after) in
+  let t0 = total (fun (_, _, _, e0, _, _) -> if e0 then 1 else 0) in
+  let t1 = total (fun (_, _, _, _, e1, _) -> if e1 then 1 else 0) in
+  Harness.row
+    "  corpus: gates %d -> %d (%.1f%% reduction), tape-eligible %d -> %d@\n" gb
+    ga
+    (100. *. float_of_int (gb - ga) /. float_of_int (max 1 gb))
+    t0 t1;
+  let row_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, st, red, e0, e1, t) ->
+           Printf.sprintf
+             {|      { "module": "%s", "gates_before": %d, "gates_after": %d,
+        "reduction_pct": %.1f, "cancelled": %d, "merged": %d,
+        "releases_hoisted": %d, "promoted": %b,
+        "tape_eligible_before": %b, "tape_eligible_after": %b,
+        "optimize_ns": %.1f }|}
+             name st.s_gates_before st.s_gates_after red st.s_cancelled
+             st.s_merged st.s_hoisted (st.s_promoted > 0) e0 e1 t)
+         rows)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "e16_quantum_optimizer": {
+    "modules": [
+%s
+    ],
+    "corpus": { "gates_before": %d, "gates_after": %d,
+      "reduction_pct": %.1f,
+      "tape_eligible_before": %d, "tape_eligible_after": %d }
+  }
+}
+|}
+      row_json gb ga
+      (100. *. float_of_int (gb - ga) /. float_of_int (max 1 gb))
+      t0 t1
+  in
+  let oc = open_out "BENCH_qdfo.json" in
+  output_string oc json;
+  close_out oc;
+  Harness.row "  wrote BENCH_qdfo.json@\n"
+
 (* BENCH_ONLY=e13 (comma-separated names) restricts the run to a subset of
    experiments — handy for iterating on one benchmark without paying for
    the full suite, and for re-running a single experiment on a quiet
@@ -1700,4 +1823,5 @@ let () =
   run "e13" e13;
   run "e14" e14;
   run "e15" e15;
+  run "e16" e16;
   Format.printf "@\nAll benchmarks complete.@\n"

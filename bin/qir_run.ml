@@ -12,7 +12,7 @@
 open Cmdliner
 
 let run input shots seed backend no_batch engine stats timeout shot_timeout
-    retries domains local_bits mem_budget =
+    retries domains local_bits mem_budget opt_quantum =
   Cli_common.protect @@ fun () ->
   Option.iter
     (fun n ->
@@ -31,6 +31,28 @@ let run input shots seed backend no_batch engine stats timeout shot_timeout
   let t0 = Unix.gettimeofday () in
   let m = Cli_common.parse_qir_file input in
   let parse_s = Unix.gettimeofday () -. t0 in
+  (* Value-semantics quantum optimizer, before admission and execution;
+     the opt: line under --stats reports what it proved and rewrote. *)
+  let m, opt_stats =
+    if opt_quantum then
+      let m', st = Qir_analysis.Qdf_opt.optimize m in
+      (m', Some st)
+    else (m, None)
+  in
+  let print_opt_stats () =
+    Option.iter
+      (fun (st : Qir_analysis.Qdf_opt.stats) ->
+        Printf.printf
+          "opt: {\"gates_before\": %d, \"gates_after\": %d, \
+           \"cancelled\": %d, \"merged\": %d, \"releases_hoisted\": %d, \
+           \"promoted\": %b}\n"
+          st.Qir_analysis.Qdf_opt.s_gates_before
+          st.Qir_analysis.Qdf_opt.s_gates_after
+          st.Qir_analysis.Qdf_opt.s_cancelled st.Qir_analysis.Qdf_opt.s_merged
+          st.Qir_analysis.Qdf_opt.s_hoisted
+          (st.Qir_analysis.Qdf_opt.s_promoted > 0))
+      opt_stats
+  in
   (* The service tier's admission check, exposed standalone: reject
      before allocating the register when the statevector footprint
      exceeds the budget. Exit 8 (overload), like qir-serve. *)
@@ -78,6 +100,7 @@ let run input shots seed backend no_batch engine stats timeout shot_timeout
           i.Llvm_ir.Interp.instructions i.Llvm_ir.Interp.external_calls
           q.Qruntime.Runtime.gate_calls q.Qruntime.Runtime.measurements
           q.Qruntime.Runtime.resets r.Qruntime.Executor.engine_used;
+        print_opt_stats ();
         print_timings ~compile_s:r.Qruntime.Executor.compile_s ~lint_s:0.
       end
   end
@@ -115,6 +138,7 @@ let run input shots seed backend no_batch engine stats timeout shot_timeout
         c.Qruntime.Executor.Session.compile_misses
         c.Qruntime.Executor.Session.tape_hits
         c.Qruntime.Executor.Session.tape_misses;
+      print_opt_stats ();
       print_timings ~compile_s:r.Qruntime.Executor.compile_s
         ~lint_s:r.Qruntime.Executor.analysis_s
     end;
@@ -287,12 +311,21 @@ let mem_budget =
                statevector amplitude — exceeds SIZE (e.g. 256MiB, 16GiB). \
                The same admission check qir-serve applies per job.")
 
+let opt_quantum =
+  Arg.(value & flag & info [ "opt-quantum" ]
+         ~doc:"Run the value-semantics quantum dataflow optimizer before \
+               execution: proof-carrying gate cancellation, rotation \
+               merging, early qubit release and static promotion. \
+               Histograms are bit-identical to the unoptimized program \
+               at a fixed seed.")
+
 let cmd =
   let doc = "execute QIR programs on a simulator-backed runtime" in
   Cmd.v
     (Cmd.info "qir-run" ~doc)
     Term.(
       const run $ input $ shots $ seed $ backend $ no_batch $ engine $ stats
-      $ timeout $ shot_timeout $ retries $ domains $ local_bits $ mem_budget)
+      $ timeout $ shot_timeout $ retries $ domains $ local_bits $ mem_budget
+      $ opt_quantum)
 
 let () = exit (Cmd.eval cmd)

@@ -9,11 +9,12 @@
 
 open Cmdliner
 
-(* Make the analysis layer's pass available to --pass. *)
+(* Make the analysis layer's passes available to --pass. *)
 let () = Qir_analysis.Quantum_dce.register ()
+let () = Qir_analysis.Qdf_opt.register ()
 
-let run input passes lower optimize check addressing emit verify lint werror
-    output =
+let run input passes lower optimize opt_quantum check addressing emit verify
+    lint werror output =
   Cli_common.protect @@ fun () ->
   let m = Cli_common.parse_qir_file input in
   (* 1. individual passes, in order *)
@@ -33,6 +34,8 @@ let run input passes lower optimize check addressing emit verify lint werror
   (* 2. preset pipelines *)
   let m = if optimize then Passes.Pipeline.optimize m else m in
   let m = if lower then Qir.Lowering.lower_module m else m in
+  (* 2b. value-semantics quantum optimizer *)
+  let m = if opt_quantum then fst (Qir_analysis.Qdf_opt.optimize m) else m in
   (* 3. addressing conversion *)
   let m =
     match addressing with
@@ -112,6 +115,12 @@ let optimize =
   Arg.(value & flag & info [ "O"; "optimize" ]
          ~doc:"Run the standard optimization pipeline.")
 
+let opt_quantum =
+  Arg.(value & flag & info [ "opt-quantum" ]
+         ~doc:"Run the value-semantics quantum dataflow optimizer \
+               (cancellation, rotation merging, early release, static \
+               promotion).")
+
 let profile_conv =
   Arg.enum
     [ ("base", Qir.Profile.Base); ("adaptive", Qir.Profile.Adaptive);
@@ -157,7 +166,7 @@ let cmd =
   Cmd.v
     (Cmd.info "qirc" ~doc)
     Term.(
-      const run $ input $ passes $ lower $ optimize $ check $ addressing
-      $ emit $ verify $ lint $ werror $ output)
+      const run $ input $ passes $ lower $ optimize $ opt_quantum $ check
+      $ addressing $ emit $ verify $ lint $ werror $ output)
 
 let () = exit (Cmd.eval cmd)

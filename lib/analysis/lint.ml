@@ -12,6 +12,10 @@
      QP001 error    recursion reachable from the entry point
      QC001 warning  defined function unreachable from the entry point
      QA001 note     dynamic-looking address proved static
+     QO001 note     cancellable self-inverse gate pair (quantum-opt)
+     QO002 note     mergeable rotations (quantum-opt)
+     QO003 note     qubit releasable earlier (quantum-opt)
+     QO004 note     entry provably lowers to static addressing (quantum-opt)
 
    By default the lint is interprocedural: the whole module is checked,
    dataflow rules see callee effect summaries, and the call-graph rules
@@ -41,6 +45,7 @@ let run ?(notes = true) ?(ipo = true) (m : Ir_module.t) : Diagnostic.t list =
       @ Lifetime.check_module ~summaries m
       @ Quantum_dce.findings ~summaries m
       @ (if notes then Const_addr.notes m else [])
+      @ (if notes then Qdf_opt.notes m else [])
     end
     else begin
       (* entry point only, every call opaque: the pre-interprocedural
@@ -55,6 +60,7 @@ let run ?(notes = true) ?(ipo = true) (m : Ir_module.t) : Diagnostic.t list =
       entry
       @ Quantum_dce.findings ~summaries:no_summaries m
       @ (if notes then Const_addr.notes m else [])
+      @ (if notes then Qdf_opt.notes m else [])
     end
 
 let has_errors ds = Diagnostic.errors ds > 0

@@ -1,0 +1,409 @@
+(* Value-semantics view of runtime-call QIR (Ex. 3 of the paper, pushed
+   to the QIRO/QDFO tier): reconstruct the explicit qubit dataflow that
+   the runtime-call style hides. Each qubit operand is resolved to a
+   *wire* — a symbolic identity that is stable across the instructions
+   touching the same qubit — using the syntactic address, [Const_addr]
+   proofs and [Value_track] allocation-site resolution, in that order.
+   Instructions become *events* classified by their effect on the
+   quantum state; the per-block event arrays are the def-use chains an
+   SSA form would make explicit, and the substrate [Qdf_opt] rewrites.
+
+   Everything here is proof-carrying in the sense of the paper's
+   "static by analysis" tier: a wire is only produced when the analysis
+   can name the qubit; anything unresolved becomes a barrier event that
+   blocks every rewrite across it. *)
+
+open Llvm_ir
+module Gate = Qcircuit.Gate
+
+(* ------------------------------------------------------------------ *)
+(* Wires                                                               *)
+
+(* The identity of a qubit as far as the analysis can prove it. [WVal]
+   is the weakest non-barrier form: two uses of the same SSA id denote
+   the same (unknown) qubit within any one execution, so same-id uses
+   are provably equal while everything else may alias it. *)
+type wire =
+  | WStatic of int64  (* inttoptr constant address *)
+  | WAlloc of int  (* qubit_allocate site *)
+  | WElem of int * int64  (* element of a qubit_allocate_array site *)
+  | WParam of int  (* caller-owned qubit parameter *)
+  | WVal of string  (* unresolved, keyed by SSA id *)
+
+let wire_equal (a : wire) (b : wire) = a = b
+
+(* May two wires denote the same qubit? Distinct static addresses are
+   distinct qubits; distinct allocation sites (and distinct constant
+   indices of one array site) are disjoint by construction of the
+   runtime allocator. Everything crossing families — a static address
+   vs a dynamic allocation, parameters, unresolved values — may alias. *)
+let may_alias (a : wire) (b : wire) =
+  if wire_equal a b then true
+  else
+    match a, b with
+    | WStatic _, WStatic _ -> false
+    | (WAlloc _ | WElem _), (WAlloc _ | WElem _) -> false
+    | WStatic n, (WAlloc _ | WElem _) | (WAlloc _ | WElem _), WStatic n ->
+      (* a constant address in the runtime's dynamic range may name any
+         allocation; below it, static and dynamic qubits are disjoint *)
+      n >= 0x2000_0000L
+    | _ -> true
+
+let pp_wire ppf = function
+  | WStatic n -> Format.fprintf ppf "qubit %Ld" n
+  | WAlloc s -> Format.fprintf ppf "qubit of alloc site %d" s
+  | WElem (s, i) -> Format.fprintf ppf "qubit %Ld of array site %d" i s
+  | WParam i -> Format.fprintf ppf "qubit argument %d" i
+  | WVal id -> Format.fprintf ppf "qubit %%%s" id
+
+let wire_to_string w = Format.asprintf "%a" pp_wire w
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+
+(* What an instruction does to the quantum state. [shape] is the gate
+   with dummy angles — enough for commutation, which is angle-blind —
+   while [exact] additionally needs every angle proved constant (the
+   form cancellation and merging require). *)
+type ekind =
+  | EGate of {
+      callee : string;
+      shape : Gate.t;  (* angles replaced by 0.0 when unresolved *)
+      exact : Gate.t option;  (* full identity, angles proved *)
+      wires : wire list;
+    }
+  | EMeasure of wire
+  | EReset of wire
+  | ERelease of wire
+  | ERelease_array of int  (* resolved qubit_allocate_array site *)
+  | EAlloc  (* qubit register growth: allocate / allocate_array *)
+  | EClassical  (* no effect on the qubit register *)
+  | EBarrier  (* unresolved or unknown quantum effect *)
+
+type event = { pos : int; instr : Instr.t; kind : ekind }
+
+type t = {
+  func : Func.t;
+  vt : Value_track.t;
+  facts : Const_addr.facts;
+  events : (string * event array) list;  (* per block, program order *)
+  qubit_alloc_sites : int;  (* qubit allocate/allocate_array sites *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+
+let resolve_qubit vt facts (o : Operand.t) : wire option =
+  let of_const = function
+    | Constant.Null -> Some (WStatic 0L)
+    | Constant.Inttoptr n -> Some (WStatic n)
+    | _ -> None
+  in
+  match o with
+  | Operand.Const c -> of_const c
+  | Operand.Local id -> (
+    match Const_addr.proved_address facts o with
+    | Some c -> of_const c
+    | None -> (
+      match Value_track.qubit_of vt o with
+      | Value_track.Static n -> Some (WStatic n)
+      | Value_track.Alloc s -> Some (WAlloc s)
+      | Value_track.Elem (s, i) -> Some (WElem (s, i))
+      | Value_track.QParam i -> Some (WParam i)
+      | Value_track.QUnknown -> Some (WVal id)))
+
+(* A double argument's value, when syntactically or provably constant. *)
+let resolve_double facts (o : Operand.t) : float option =
+  match o with
+  | Operand.Const (Constant.Float f) -> Some f
+  | Operand.Const (Constant.Int n) -> Some (Int64.to_float n)
+  | Operand.Const _ -> None
+  | Operand.Local id -> (
+    match Const_addr.const_of facts id with
+    | Some (Constant.Float f) -> Some f
+    | Some (Constant.Int n) -> Some (Int64.to_float n)
+    | _ -> None)
+
+(* Calls that observe or retire only classical state (results, arrays'
+   bookkeeping, output records): gates flow past them freely. *)
+let classically_transparent callee =
+  let open Names in
+  String.equal callee rt_array_create_1d
+  || String.equal callee rt_array_get_element_ptr_1d
+  || String.equal callee rt_array_get_size_1d
+  || String.equal callee rt_array_update_reference_count
+  || String.equal callee rt_result_update_reference_count
+  || String.equal callee rt_result_get_one
+  || String.equal callee rt_result_get_zero
+  || String.equal callee rt_result_equal
+  || String.equal callee rt_read_result
+  || String.equal callee rt_result_record_output
+  || String.equal callee rt_array_record_output
+  || String.equal callee rt_initialize
+  || String.equal callee rt_message
+
+let classify_call vt facts (args : Operand.typed list) callee : ekind =
+  let open Names in
+  let wire o =
+    match resolve_qubit vt facts o with Some w -> Some w | None -> None
+  in
+  let one_wire () =
+    match args with
+    | [ a ] -> wire a.Operand.v
+    | _ -> None
+  in
+  if String.equal callee rt_qubit_allocate
+     || String.equal callee rt_qubit_allocate_array
+  then EAlloc
+  else if String.equal callee rt_qubit_release then (
+    match one_wire () with Some w -> ERelease w | None -> EBarrier)
+  else if String.equal callee rt_qubit_release_array then (
+    match args with
+    | [ a ] -> (
+      match Value_track.qarray_of vt a.Operand.v with
+      | Some s -> ERelease_array s
+      | None -> EBarrier)
+    | _ -> EBarrier)
+  else if String.equal callee qis_mz then (
+    match args with
+    | [ q; _r ] -> (
+      match wire q.Operand.v with Some w -> EMeasure w | None -> EBarrier)
+    | _ -> EBarrier)
+  else if String.equal callee qis_m then (
+    match one_wire () with Some w -> EMeasure w | None -> EBarrier)
+  else if String.equal callee qis_reset then (
+    match one_wire () with Some w -> EReset w | None -> EBarrier)
+  else if classically_transparent callee then EClassical
+  else if String.equal callee rt_fail then EBarrier
+  else
+    match Signatures.find callee with
+    | Some s
+      when s.Signatures.ret = Ty.Void
+           && List.length s.Signatures.args = List.length args
+           && List.for_all
+                (fun k ->
+                  match k with
+                  | Signatures.Double_arg | Signatures.Qubit -> true
+                  | _ -> false)
+                s.Signatures.args -> (
+      (* a gate call: doubles first, then qubits *)
+      let kinds = List.combine s.Signatures.args args in
+      let wires =
+        List.filter_map
+          (fun (k, (a : Operand.typed)) ->
+            match k with Signatures.Qubit -> Some (wire a.Operand.v) | _ -> None)
+          kinds
+      in
+      let doubles =
+        List.filter_map
+          (fun (k, (a : Operand.typed)) ->
+            match k with
+            | Signatures.Double_arg -> Some (resolve_double facts a.Operand.v)
+            | _ -> None)
+          kinds
+      in
+      if List.exists Option.is_none wires then EBarrier
+      else
+        let wires = List.map Option.get wires in
+        let shape =
+          Names.gate_of_qis callee (List.map (fun _ -> 0.0) doubles)
+        in
+        let exact =
+          if List.for_all Option.is_some doubles then
+            Names.gate_of_qis callee (List.map Option.get doubles)
+          else None
+        in
+        match shape with
+        | Some shape when Gate.num_qubits shape = List.length wires ->
+          EGate { callee; shape; exact; wires }
+        | _ -> EBarrier)
+    | _ -> EBarrier
+
+let classify vt facts (i : Instr.t) : ekind =
+  match i.Instr.op with
+  | Instr.Call (_, callee, args) ->
+    if Names.is_quantum callee then classify_call vt facts args callee
+    else EBarrier (* defined or foreign callee: unknown effect *)
+  | Instr.Phi _ -> EClassical
+  | _ -> EClassical
+
+(* ------------------------------------------------------------------ *)
+(* View construction                                                   *)
+
+let of_func (f : Func.t) : t =
+  let vt = Value_track.of_func f in
+  let facts = Const_addr.analyze f in
+  let events =
+    List.map
+      (fun (b : Block.t) ->
+        let evs =
+          List.mapi
+            (fun pos i -> { pos; instr = i; kind = classify vt facts i })
+            b.Block.instrs
+        in
+        (b.Block.label, Array.of_list evs))
+      f.Func.blocks
+  in
+  let qubit_alloc_sites =
+    List.length
+      (List.filter
+         (fun (s : Value_track.site) ->
+           match s.Value_track.site_kind with
+           | Value_track.Qubit_site | Value_track.Qubit_array_site -> true
+           | Value_track.Result_array_site -> false)
+         (Value_track.sites vt))
+  in
+  { func = f; vt; facts; events; qubit_alloc_sites }
+
+let block_events t label = List.assoc_opt label t.events
+
+(* ------------------------------------------------------------------ *)
+(* Wire touch sets and commutation                                     *)
+
+(* The set of qubits an event may touch: named wires plus whole array
+   sites (release_array retires every element of its site). [None] means
+   "anything" (allocation, barrier). *)
+type touch = { t_wires : wire list; t_sites : int list }
+
+let touched (k : ekind) : touch option =
+  match k with
+  | EGate { wires; _ } -> Some { t_wires = wires; t_sites = [] }
+  | EMeasure w | EReset w | ERelease w -> Some { t_wires = [ w ]; t_sites = [] }
+  | ERelease_array s -> Some { t_wires = []; t_sites = [ s ] }
+  | EClassical -> Some { t_wires = []; t_sites = [] }
+  | EAlloc | EBarrier -> None
+
+(* May an element of array site [s] be the qubit [w] names? *)
+let site_may_contain s (w : wire) =
+  match w with
+  | WElem (s', _) -> s = s'
+  | WAlloc _ -> false
+  | WStatic n -> n >= 0x2000_0000L (* hardcoded dynamic-range address *)
+  | WParam _ | WVal _ -> true
+
+let wire_hits_touch (w : wire) (t : touch) =
+  List.exists (may_alias w) t.t_wires
+  || List.exists (fun s -> site_may_contain s w) t.t_sites
+
+let event_may_touch (k : ekind) (w : wire) =
+  match touched k with None -> true | Some t -> wire_hits_touch w t
+
+(* Conservative: may the two events touch a common qubit? *)
+let may_interfere (k1 : ekind) (k2 : ekind) =
+  match touched k1, touched k2 with
+  | None, _ | _, None -> true
+  | Some t1, Some t2 ->
+    List.exists (fun w -> wire_hits_touch w t2) t1.t_wires
+    || List.exists (fun s -> List.mem s t2.t_sites) t1.t_sites
+    || List.exists
+         (fun s -> List.exists (fun w -> site_may_contain s w) t2.t_wires)
+         t1.t_sites
+
+(* Tokenize the wires of two gates into small ints when every cross
+   pair is decided (provably equal or provably distinct); [None] when
+   any pair is a "maybe", or a gate uses one wire twice. *)
+let tokenize (w1 : wire list) (w2 : wire list) :
+    (int list * int list) option =
+  let all = w1 @ w2 in
+  let decided =
+    List.for_all
+      (fun a ->
+        List.for_all (fun b -> wire_equal a b || not (may_alias a b)) all)
+      all
+  in
+  if not decided then None
+  else
+    let reps = ref [] in
+    let token w =
+      match
+        List.find_opt (fun (w', _) -> wire_equal w w') !reps
+      with
+      | Some (_, i) -> i
+      | None ->
+        let i = List.length !reps in
+        reps := (w, i) :: !reps;
+        i
+    in
+    let t1 = List.map token w1 and t2 = List.map token w2 in
+    let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+    if distinct t1 && distinct t2 then Some (t1, t2) else None
+
+(* Commutation on tokenized qubits, ported from {!Commute_opt} (which
+   works on circuit ops) to bare gate/operand-list pairs. Conservative:
+   false whenever unsure. *)
+let is_diagonal (g : Gate.t) =
+  match g with
+  | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg | Gate.Rz _ | Gate.P _
+  | Gate.Cz | Gate.Cp _ | Gate.Crz _ | Gate.I ->
+    true
+  | _ -> false
+
+let is_x_axis (g : Gate.t) =
+  match g with
+  | Gate.X | Gate.Rx _ | Gate.Sx | Gate.Sxdg | Gate.I -> true
+  | _ -> false
+
+let commutes_1q_int (g : Gate.t) q (g2 : Gate.t) (qs2 : int list) =
+  if is_diagonal g && is_diagonal g2 then true
+  else
+    match g2, qs2 with
+    | Gate.Cx, [ ctrl; tgt ] ->
+      (is_diagonal g && q = ctrl) || (is_x_axis g && q = tgt)
+    | Gate.Ccx, [ c1; c2; tgt ] ->
+      (is_diagonal g && (q = c1 || q = c2)) || (is_x_axis g && q = tgt)
+    | Gate.Crx _, [ ctrl; _ ]
+    | Gate.Cry _, [ ctrl; _ ]
+    | Gate.Cu _, [ ctrl; _ ] ->
+      is_diagonal g && q = ctrl
+    | _ -> false
+
+let commutes_2q_int (g : Gate.t) qs (g2 : Gate.t) (qs2 : int list) =
+  match g, qs with
+  | Gate.Cx, [ ctrl; tgt ] -> (
+    match g2, qs2 with
+    | Gate.Cx, [ ctrl2; tgt2 ] ->
+      (ctrl = ctrl2 && tgt <> tgt2 && ctrl <> tgt2 && tgt <> ctrl2)
+      || (tgt = tgt2 && ctrl <> ctrl2 && ctrl <> tgt2 && tgt <> ctrl2)
+    | _, _ ->
+      let shared = List.filter (fun q -> List.mem q qs2) qs in
+      shared <> []
+      && List.for_all
+           (fun q ->
+             match Gate.num_qubits g2, qs2 with
+             | 1, [ _ ] ->
+               (is_diagonal g2 && q = ctrl) || (is_x_axis g2 && q = tgt)
+             | _ -> false)
+           shared)
+  | (Gate.Cz | Gate.Cp _), [ _; _ ] -> (
+    match g2, qs2 with
+    | _, [ _ ] -> is_diagonal g2
+    | (Gate.Cz | Gate.Cp _ | Gate.Crz _), _ -> true
+    | _ -> false)
+  | _ -> false
+
+let commutes_int (g : Gate.t) qs (g2 : Gate.t) qs2 =
+  if List.for_all (fun q -> not (List.mem q qs2)) qs then true
+  else
+    match qs with
+    | [ q ] -> commutes_1q_int g q g2 qs2
+    | [ _; _ ] -> commutes_2q_int g qs g2 qs2
+    | _ -> false
+
+(* Does the gate [shape] on [wires] commute past event [k]? *)
+let gate_commutes_past (shape : Gate.t) (wires : wire list) (k : ekind) =
+  match k with
+  | EClassical -> true
+  | EAlloc | EBarrier -> false
+  | EMeasure w | EReset w | ERelease w ->
+    not (List.exists (fun wi -> may_alias wi w) wires)
+  | ERelease_array _ -> not (List.exists (event_may_touch k) wires)
+  | EGate { shape = shape2; wires = wires2; _ } -> (
+    if
+      List.for_all
+        (fun wi -> List.for_all (fun wj -> not (may_alias wi wj)) wires2)
+        wires
+    then true (* provably disjoint supports *)
+    else
+      match tokenize wires wires2 with
+      | Some (t1, t2) -> commutes_int shape t1 shape2 t2
+      | None -> false)

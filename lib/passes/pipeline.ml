@@ -99,4 +99,8 @@ let run_pass name (m : Ir_module.t) =
   | None -> (
     match find_module_pass name with
     | Some p -> fst (p.Pass.mrun m)
-    | None -> invalid_arg ("Pipeline.run_pass: unknown pass " ^ name))
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Pipeline.run_pass: unknown pass %s (registered: %s)"
+           name
+           (String.concat ", " (pass_names ()))))

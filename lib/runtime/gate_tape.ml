@@ -226,6 +226,14 @@ let extract_call m facts measured emit (callee : string)
           raise Not_static
       | _ -> raise Not_static
     end
+    else if
+      String.equal callee rt_qubit_release
+      || String.equal callee rt_qubit_release_array
+    then begin
+      (* the runtime implements both releases as exact no-ops: a tape
+         can skip them outright, provided the operand itself is benign *)
+      if not (List.for_all (evaluable m facts) args) then raise Not_static
+    end
     else raise Not_static (* incl. m, read_result, result_equal, alloc *)
 
 let extract (m : Ir_module.t) : t option =

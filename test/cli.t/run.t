@@ -84,7 +84,7 @@ Round-trip back to OpenQASM:
 Error paths: unknown pass, bad input, unroutable profile check.
 
   $ qirc bell.ll --pass no-such-pass
-  qirc: unknown pass no-such-pass (available: mem2reg, const-fold, sccp, instcombine, cse, dce, simplify-cfg, loop-unroll, inline, quantum-dce)
+  qirc: unknown pass no-such-pass (available: mem2reg, const-fold, sccp, instcombine, cse, dce, simplify-cfg, loop-unroll, inline, quantum-dce, quantum-opt)
   [7]
 
   $ echo "this is not llvm" > bad.ll
@@ -266,7 +266,8 @@ their addressing style.
   0 error(s), 0 warning(s), 0 note(s)
 
   $ qir-lint bell_dyn.ll
-  0 error(s), 0 warning(s), 0 note(s)
+  note: @main %entry [QO004] entry point provably lowers to static addressing (35 dynamic operand(s)/instruction(s) rewritten)
+  0 error(s), 0 warning(s), 1 note(s)
 
 Seeded lifetime bugs (use-after-release, double release, leak,
 read-before-measure, dead gates) are all flagged; errors exit 3.
@@ -368,11 +369,13 @@ warnings (the leak below) to the verify exit code.
   > LL
   $ qirc leaky.ll --lint --emit none
   warning: @main %entry [QL003] qubit allocated at site 0 is never released
-  0 error(s), 1 warning(s), 0 note(s)
+  note: @main %entry [QO004] entry point provably lowers to static addressing (3 dynamic operand(s)/instruction(s) rewritten)
+  0 error(s), 1 warning(s), 1 note(s)
 
   $ qirc leaky.ll --lint --Werror --emit none
   warning: @main %entry [QL003] qubit allocated at site 0 is never released
-  0 error(s), 1 warning(s), 0 note(s)
+  note: @main %entry [QO004] entry point provably lowers to static addressing (3 dynamic operand(s)/instruction(s) rewritten)
+  0 error(s), 1 warning(s), 1 note(s)
   [3]
 
   $ qirc buggy.ll --lint --emit none
@@ -545,3 +548,60 @@ daemon; later requests on the same stream still run.
   {"event": "error", "kind": "usage", "layer": "service", "exit_code": 7, "message": "bad request JSON: expected 'null' at offset 0"}
   {"event": "accepted", "id": "job-1", "tenant": "c"}
   {"event": "result", "id": "job-1", "tenant": "c", "tier": "batched", "completed": 5, "requested": 5, "degraded": false, "retries": 0, "engine": "bytecode", "tape": false, "batched": true, "pool_fallbacks": 0, "wait_s": _, "run_s": _, "histogram": {"00": 2, "11": 3}}
+
+The value-semantics quantum optimizer (--opt-quantum): adjacent
+self-inverse pairs cancel, same-axis rotations merge, and qir-lint
+surfaces every rewrite opportunity as a QO note before anything is
+touched.
+
+  $ cat > redundant.ll <<'LL'
+  > declare void @__quantum__qis__h__body(ptr)
+  > declare void @__quantum__qis__rz__body(double, ptr)
+  > declare void @__quantum__qis__mz__body(ptr, ptr)
+  > declare void @__quantum__rt__result_record_output(ptr, ptr)
+  > define void @main() "entry_point" {
+  > entry:
+  >   call void @__quantum__qis__h__body(ptr null)
+  >   call void @__quantum__qis__h__body(ptr null)
+  >   call void @__quantum__qis__rz__body(double 0.25, ptr inttoptr (i64 1 to ptr))
+  >   call void @__quantum__qis__rz__body(double 0.5, ptr inttoptr (i64 1 to ptr))
+  >   call void @__quantum__qis__mz__body(ptr null, ptr null)
+  >   call void @__quantum__qis__mz__body(ptr inttoptr (i64 1 to ptr), ptr inttoptr (i64 1 to ptr))
+  >   call void @__quantum__rt__result_record_output(ptr null, ptr null)
+  >   call void @__quantum__rt__result_record_output(ptr inttoptr (i64 1 to ptr), ptr null)
+  >   ret void
+  > }
+  > LL
+  $ qir-lint redundant.ll
+  note: @main %entry [QO001] cancellable pair: h then h on qubit 0 cancel
+  note: @main %entry [QO002] mergeable rotations: rz(0.25) then rz(0.5) on qubit 1 -> rz(0.75)
+  0 error(s), 0 warning(s), 2 note(s)
+
+The optimizer removes the cancelled pair and folds the rotations into
+one gate (the two mz calls are the only other qis calls left):
+
+  $ qirc redundant.ll --opt-quantum -o redundant.opt.ll
+  $ grep -c 'call void @__quantum__qis__h__body' redundant.opt.ll
+  0
+  [1]
+  $ grep 'call void @__quantum__qis__rz__body' redundant.opt.ll
+    call void @__quantum__qis__rz__body(double 0.75, ptr inttoptr (i64 1 to ptr))
+
+qir-run reports what the optimizer did in one stable stats line:
+
+  $ qir-run redundant.ll --opt-quantum --shots 20 --seed 5 --stats | grep '^opt:'
+  opt: {"gates_before": 4, "gates_after": 1, "cancelled": 1, "merged": 1, "releases_hoisted": 0, "promoted": false}
+
+Promotion makes the dynamic Bell module tape-eligible without changing
+a single shot: the per-shot histograms are bit-identical.
+
+  $ qir-run bell_dyn.ll --shots 50 --seed 3 --no-batch
+  00: 22
+  11: 28
+
+  $ qir-run bell_dyn.ll --opt-quantum --shots 50 --seed 3 --no-batch
+  00: 22
+  11: 28
+
+  $ qir-run bell_dyn.ll --opt-quantum --shots 20 --seed 5 --stats | grep '^opt:'
+  opt: {"gates_before": 2, "gates_after": 2, "cancelled": 0, "merged": 0, "releases_hoisted": 0, "promoted": true}

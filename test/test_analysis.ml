@@ -135,7 +135,10 @@ entry:
   ret void
 }|})
   in
-  check int_t "no findings" 0 (List.length ds)
+  (* quantum-opt may note the module promotable (QO004); only errors
+     and warnings count against cleanliness *)
+  check int_t "no errors or warnings" 0
+    (Diagnostic.errors ds + Diagnostic.warnings ds)
 
 let test_double_release () =
   let ds =
@@ -184,7 +187,8 @@ entry:
   ret void
 }|})
   in
-  check int_t "no findings after release" 0 (List.length ds')
+  check int_t "no errors or warnings after release" 0
+    (Diagnostic.errors ds' + Diagnostic.warnings ds')
 
 let test_read_before_measure () =
   let ds =
@@ -885,6 +889,232 @@ let test_classify_with_summaries () =
     (Qhybrid.Classify.classify_instr ~summaries (call_to "free_it")
     = Qhybrid.Classify.Quantum)
 
+(* ------------------------------------------------------------------ *)
+(* Value-semantics quantum optimizer (qdf / qdf_opt)                    *)
+
+let () = Qdf_opt.register ()
+
+let opt_prelude =
+  prelude
+  ^ {|
+declare void @__quantum__qis__rz__body(double, ptr)
+declare void @__quantum__qis__cnot__body(ptr, ptr)
+declare i64 @choose()
+|}
+
+let run_opt = Passes.Pipeline.run_pass "quantum-opt"
+
+(* Bit-identical histograms, per-shot sampling: the batched sampler
+   draws in a different order, so exact equality needs ~batch:false. *)
+let same_histogram ?(seed = 11) ?(shots = 64) m m' =
+  Executor.run_shots ~seed ~batch:false ~shots m
+  = Executor.run_shots ~seed ~batch:false ~shots m'
+
+let test_qopt_cancel_across_classical () =
+  let m =
+    parse
+      (opt_prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  %a = add i64 1, 2
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  call void @__quantum__rt__result_record_output(ptr null, ptr null)
+  ret void
+}|})
+  in
+  check bool_t "QO001 noted" true (has_rule "QO001" (Lint.run m));
+  let m' = run_opt m in
+  check int_t "both h removed" 0 (count_calls_to m' Names.(qis "h"));
+  check bool_t "same histogram" true (same_histogram m m')
+
+let test_qopt_merges_rotations () =
+  let m =
+    parse
+      (opt_prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__rz__body(double 0.25, ptr null)
+  call void @__quantum__qis__rz__body(double 0.5, ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  call void @__quantum__rt__result_record_output(ptr null, ptr null)
+  ret void
+}|})
+  in
+  check bool_t "QO002 noted" true (has_rule "QO002" (Lint.run m));
+  let m' = run_opt m in
+  check int_t "one rz left" 1 (count_calls_to m' Names.(qis "rz"));
+  check bool_t "same histogram" true (same_histogram m m')
+
+let test_qopt_merge_to_identity () =
+  let m =
+    parse
+      (opt_prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__rz__body(double 0.5, ptr null)
+  call void @__quantum__qis__rz__body(double -0.5, ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|})
+  in
+  let m' = run_opt m in
+  check int_t "identity pair removed" 0 (count_calls_to m' Names.(qis "rz"))
+
+let test_qopt_merge_across_blocks_refused () =
+  (* the scan is per-block by design: a rotation pair split across a
+     branch is left alone even though the blocks are Br-connected *)
+  let m =
+    parse
+      (opt_prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__rz__body(double 0.25, ptr null)
+  br label %next
+next:
+  call void @__quantum__qis__rz__body(double 0.5, ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}|})
+  in
+  let m' = run_opt m in
+  check int_t "cross-block merge refused" 2 (count_calls_to m' Names.(qis "rz"))
+
+let test_qopt_alias_uncertain_refused () =
+  (* %p is an array element at an unprovable index: it may or may not
+     be the wire the surrounding h gates act on, so neither cancelling
+     the outer pair nor commuting through the middle gate is sound *)
+  let m =
+    parse
+      (opt_prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  %arr = call ptr @__quantum__rt__qubit_allocate_array(i64 2)
+  %p0 = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %arr, i64 0)
+  %i = call i64 @choose()
+  %p = call ptr @__quantum__rt__array_get_element_ptr_1d(ptr %arr, i64 %i)
+  call void @__quantum__qis__h__body(ptr %p0)
+  call void @__quantum__qis__h__body(ptr %p)
+  call void @__quantum__qis__h__body(ptr %p0)
+  call void @__quantum__qis__mz__body(ptr %p0, ptr null)
+  call void @__quantum__rt__qubit_release_array(ptr %arr)
+  ret void
+}|})
+  in
+  let m' = run_opt m in
+  check int_t "alias-uncertain: nothing removed" 3
+    (count_calls_to m' Names.(qis "h"))
+
+let test_qopt_commute_cancel () =
+  (* x on the cnot target commutes with the cnot, so the pair cancels
+     across it *)
+  let m =
+    parse
+      (opt_prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  call void @__quantum__qis__x__body(ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__cnot__body(ptr null, ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__x__body(ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 1 to ptr), ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__rt__result_record_output(ptr null, ptr null)
+  call void @__quantum__rt__result_record_output(ptr inttoptr (i64 1 to ptr), ptr null)
+  ret void
+}|})
+  in
+  let m' = run_opt m in
+  check int_t "x pair cancelled through cnot" 0
+    (count_calls_to m' Names.(qis "x"));
+  check int_t "cnot kept" 1 (count_calls_to m' Names.(qis "cnot"));
+  check bool_t "same histogram" true (same_histogram m m')
+
+let test_qopt_release_hoist () =
+  let m =
+    parse
+      (opt_prelude
+     ^ {|
+define void @main() "entry_point" {
+entry:
+  %a = call ptr @__quantum__rt__qubit_allocate()
+  %b = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(ptr %b)
+  call void @__quantum__qis__x__body(ptr %b)
+  call void @__quantum__qis__mz__body(ptr %b, ptr null)
+  call void @__quantum__rt__qubit_release(ptr %a)
+  call void @__quantum__rt__qubit_release(ptr %b)
+  ret void
+}|})
+  in
+  check bool_t "QO003 noted" true (has_rule "QO003" (Lint.run m));
+  let _, st = Qdf_opt.optimize m in
+  check bool_t "release hoisted" true (st.Qdf_opt.s_hoisted > 0)
+
+let test_qopt_promotion () =
+  let m =
+    Qir_builder.build ~addressing:`Dynamic (Qcircuit.Generate.bell ())
+  in
+  check bool_t "dynamic module is tape-ineligible" true
+    (Gate_tape.extract m = None);
+  check bool_t "QO004 noted" true (has_rule "QO004" (Lint.run m));
+  let m', st = Qdf_opt.optimize m in
+  check bool_t "promotion fired" true (st.Qdf_opt.s_promoted > 0);
+  check bool_t "promoted module is tape-eligible" true
+    (Gate_tape.extract m' <> None);
+  check bool_t "bit-identical histogram" true
+    (same_histogram ~seed:3 ~shots:50 m m')
+
+(* Differential property: on random circuits (with seeded redundancy
+   injected so the rewrites actually fire) the optimizer must preserve
+   the exact per-shot histogram in both addressing styles. *)
+let qopt_module ~addressing ~redundant ~seed n =
+  let open Qcircuit in
+  let c = Generate.random ~seed ~parametric:true ~gates:14 n in
+  let b =
+    Circuit.Build.create ~num_qubits:c.Circuit.num_qubits
+      ~num_clbits:c.Circuit.num_qubits ()
+  in
+  let st = Random.State.make [| seed; 77 |] in
+  List.iter
+    (fun (op : Circuit.op) ->
+      match op.Circuit.kind with
+      | Circuit.Gate (g, qs) ->
+        Circuit.Build.gate b g qs;
+        if redundant && Random.State.int st 3 = 0 then
+          Circuit.Build.gate b (Gate.inverse g) qs
+      | _ -> ())
+    c.Circuit.ops;
+  for q = 0 to c.Circuit.num_qubits - 1 do
+    Circuit.Build.measure b q q
+  done;
+  Qir_builder.build ~addressing (Circuit.Build.finish b)
+
+let qopt_props =
+  let prop (seed, n) =
+    List.for_all
+      (fun addressing ->
+        List.for_all
+          (fun redundant ->
+            let m = qopt_module ~addressing ~redundant ~seed n in
+            let m', _ = Qdf_opt.optimize m in
+            same_histogram ~seed:(1 + (seed mod 1000)) ~shots:48 m m')
+          [ false; true ])
+      [ `Static; `Dynamic ]
+  in
+  [
+    QCheck2.Test.make ~count:30
+      ~name:"quantum-opt: optimized modules are distribution-equivalent"
+      QCheck2.Gen.(pair (int_range 0 100000) (int_range 2 5))
+      prop;
+  ]
+
 let suite =
   [
     Alcotest.test_case "engine: forward join and pruning" `Quick
@@ -950,4 +1180,21 @@ let suite =
       test_adaptive_profile_interprocedural;
     Alcotest.test_case "classify: summaries reveal callee effects" `Quick
       test_classify_with_summaries;
+    Alcotest.test_case "quantum-opt: cancels across classical instr" `Quick
+      test_qopt_cancel_across_classical;
+    Alcotest.test_case "quantum-opt: merges adjacent rotations" `Quick
+      test_qopt_merges_rotations;
+    Alcotest.test_case "quantum-opt: merges to identity" `Quick
+      test_qopt_merge_to_identity;
+    Alcotest.test_case "quantum-opt: refuses merge across blocks" `Quick
+      test_qopt_merge_across_blocks_refused;
+    Alcotest.test_case "quantum-opt: refuses alias-uncertain wires" `Quick
+      test_qopt_alias_uncertain_refused;
+    Alcotest.test_case "quantum-opt: cancels through a commuting gate" `Quick
+      test_qopt_commute_cancel;
+    Alcotest.test_case "quantum-opt: hoists a late release" `Quick
+      test_qopt_release_hoist;
+    Alcotest.test_case "quantum-opt: promotes to static addressing" `Quick
+      test_qopt_promotion;
   ]
+  @ List.map QCheck_alcotest.to_alcotest qopt_props
