@@ -1792,6 +1792,216 @@ let e16 () =
   close_out oc;
   Harness.row "  wrote BENCH_qdfo.json@\n"
 
+(* ------------------------------------------------------------------ *)
+(* E17 — resource certification: cost, early rejection, cost fairness  *)
+
+(* Three questions about the static resource certificates. (1) What
+   does certification cost per instruction, across module sizes and
+   addressing styles? (2) How fast is a certificate-first admission
+   rejection against the legacy route that must compile the gate tape
+   before it learns the true register peak — and what does the
+   session's certificate cache make of the steady-state case? (3) Under
+   mixed cheap/expensive tenants at equal weights, what does pricing
+   the stride by certified cost (gate bound x shots) do to the cheap
+   tenant's latency tail versus job-count fairness? Written
+   machine-readably to BENCH_resources.json. *)
+
+(* Straight-line static gates sweeping the full 28-qubit register on
+   every path, so the certified *lower* bound is 28 — over a 1 GiB
+   budget no execution can fit and admission can reject on the
+   certificate alone. The legacy route has to compile the tape first:
+   nothing is declared, so only the tape reveals the peak. *)
+let tall_src ~gates =
+  let qubits = 28 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "declare void @__quantum__qis__h__body(ptr)\n\
+     declare void @__quantum__qis__x__body(ptr)\n\
+     declare void @__quantum__qis__mz__body(ptr, ptr)\n\n\
+     define void @main() \"entry_point\" {\nentry:\n";
+  for i = 0 to gates - 1 do
+    Printf.bprintf b
+      "  call void @__quantum__qis__%s__body(ptr inttoptr (i64 %d to ptr))\n"
+      (if i mod 2 = 0 then "h" else "x")
+      (i mod qubits)
+  done;
+  for q = 0 to qubits - 1 do
+    Printf.bprintf b
+      "  call void @__quantum__qis__mz__body(ptr inttoptr (i64 %d to ptr), \
+       ptr inttoptr (i64 %d to ptr))\n"
+      q q
+  done;
+  Buffer.add_string b "  ret void\n}\n";
+  Buffer.contents b
+
+let e17 () =
+  Harness.section "E17" "resource certification: cost, rejection, fairness";
+  (* ---- certification cost per instruction ------------------------- *)
+  Harness.row "  %-28s %8s %12s %12s@\n" "module" "instrs" "certify"
+    "per instr";
+  let cert_rows =
+    List.concat_map
+      (fun (n, gates) ->
+        let c =
+          measure_all (Generate.random ~seed:(n * 5) ~parametric:false ~gates n)
+        in
+        List.map
+          (fun (style, addressing) ->
+            let m = Qir.Qir_builder.build ~addressing c in
+            let instrs = Ir_module.size m in
+            let name = Printf.sprintf "%dq/%dg %s" n gates style in
+            let t =
+              Harness.time_ns name (fun () ->
+                  ignore (Qir_analysis.Resource.certify m))
+            in
+            Harness.row "  %-28s %8d %12s %12s@\n" name instrs
+              (Harness.ns_to_string t)
+              (Harness.ns_to_string (t /. float_of_int instrs));
+            (name, instrs, t))
+          [ ("static", `Static); ("dynamic", `Dynamic) ])
+      [ (4, 50); (8, 200); (16, 800) ]
+  in
+  (* ---- early reject vs compile-then-reject ------------------------ *)
+  let budget = 1 lsl 30 (* 1 GiB: fits 26 qubits, not 28 *) in
+  let tall = Parser.parse_module (tall_src ~gates:2000) in
+  let rejected = function Error _ -> () | Ok _ -> assert false in
+  let t_cert =
+    Harness.time_ns "cert-reject" (fun () ->
+        let cert = Qir_analysis.Resource.certify tall in
+        rejected
+          (Qservice.Admission.check ~cert ~budget ~backend:`Statevector tall))
+  in
+  let session = Qruntime.Executor.Session.create () in
+  ignore (Qruntime.Executor.Session.cert_of session tall);
+  let t_cached =
+    Harness.time_ns "cached-reject" (fun () ->
+        let cert, _, _ = Qruntime.Executor.Session.cert_of session tall in
+        rejected
+          (Qservice.Admission.check ~cert ~budget ~backend:`Statevector tall))
+  in
+  let t_tape =
+    Harness.time_ns "tape-reject" (fun () ->
+        let tape = Qruntime.Gate_tape.extract tall in
+        assert (tape <> None);
+        rejected
+          (Qservice.Admission.check ?tape ~budget ~backend:`Statevector tall))
+  in
+  Harness.row
+    "  28q/2000g reject: certificate %s (cached %s), tape compile %s \
+     (%.1fx)@\n"
+    (Harness.ns_to_string t_cert)
+    (Harness.ns_to_string t_cached)
+    (Harness.ns_to_string t_tape)
+    (t_tape /. t_cached);
+  (* ---- cost-fair vs job-fair p99 ---------------------------------- *)
+  let open Qservice in
+  let heavy_m =
+    Qir.Qir_builder.build
+      (measure_all (Generate.random ~seed:17 ~parametric:false ~gates:80 12))
+  in
+  let light_m =
+    Qir.Qir_builder.build
+      (measure_all (Generate.random ~seed:18 ~parametric:false ~gates:10 4))
+  in
+  let percentile p xs =
+    match List.sort compare xs with
+    | [] -> Float.nan
+    | sorted ->
+      let n = List.length sorted in
+      let idx = min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1) in
+      List.nth sorted (max 0 idx)
+  in
+  (* both tenants at equal weight; the heavy tenant's jobs cost ~100x
+     more (80-gate bound x 50 shots vs 10-gate bound x 1 shot), and
+     everything queues before the first service so the scheduler's
+     interleaving is the whole story *)
+  let run_mode cost_fair =
+    let events = ref [] in
+    let config =
+      { Service.default_config with Service.max_queue = 128; sleep = false;
+        cost_fair }
+    in
+    let svc =
+      Service.create ~config ~emit:(fun ev -> events := ev :: !events) ()
+    in
+    (* warm both modules' caches outside the measurement *)
+    Service.submit svc ~tenant:"warm" ~shots:1 ~seed:1 heavy_m;
+    Service.submit svc ~tenant:"warm" ~shots:1 ~seed:1 light_m;
+    Service.drain svc;
+    for w = 0 to 9 do
+      Service.submit svc ~tenant:"heavy" ~shots:50 ~seed:(100 + w) heavy_m;
+      for i = 0 to 3 do
+        Service.submit svc ~tenant:"light" ~shots:1 ~seed:(200 + (4 * w) + i)
+          light_m
+      done
+    done;
+    Service.drain svc;
+    let light =
+      List.filter_map
+        (function
+          | Service.Result { tenant = "light"; wait_s; run_s; _ } ->
+            Some (wait_s +. run_s)
+          | _ -> None)
+        (List.rev !events)
+    in
+    ( percentile 0.5 light,
+      percentile 0.99 light,
+      Service.served_cost_of svc "light",
+      Service.served_cost_of svc "heavy" )
+  in
+  let cf_p50, cf_p99, cf_light_cost, cf_heavy_cost = run_mode true in
+  let jf_p50, jf_p99, _, _ = run_mode false in
+  Harness.row
+    "  light tenant (40 cheap jobs vs 10x50-shot heavy): cost-fair p50 %s \
+     p99 %s, job-fair p50 %s p99 %s (%.1fx)@\n"
+    (Harness.ns_to_string (cf_p50 *. 1e9))
+    (Harness.ns_to_string (cf_p99 *. 1e9))
+    (Harness.ns_to_string (jf_p50 *. 1e9))
+    (Harness.ns_to_string (jf_p99 *. 1e9))
+    (jf_p99 /. cf_p99);
+  let cert_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, instrs, t) ->
+           Printf.sprintf
+             {|      { "module": "%s", "instrs": %d, "certify_ns": %.1f, "ns_per_instr": %.2f }|}
+             name instrs t
+             (t /. float_of_int instrs))
+         cert_rows)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "e17_resources": {
+    "certify": [
+%s
+    ],
+    "rejection_28q_2000g_1gib": {
+      "certificate_ns": %.1f,
+      "certificate_cached_ns": %.1f,
+      "tape_compile_ns": %.1f,
+      "tape_vs_cached": %.1f
+    },
+    "cost_fair_scheduling": {
+      "workload": { "heavy": { "gates": 80, "qubits": 12, "shots": 50, "jobs": 10 },
+        "light": { "gates": 10, "qubits": 4, "shots": 1, "jobs": 40 },
+        "weights": "equal" },
+      "cost_fair": { "light_p50_s": %.6f, "light_p99_s": %.6f,
+        "served_cost": { "light": %.0f, "heavy": %.0f } },
+      "job_fair": { "light_p50_s": %.6f, "light_p99_s": %.6f },
+      "job_fair_p99_vs_cost_fair": %.2f
+    }
+  }
+}
+|}
+      cert_json t_cert t_cached t_tape (t_tape /. t_cached) cf_p50 cf_p99
+      cf_light_cost cf_heavy_cost jf_p50 jf_p99 (jf_p99 /. cf_p99)
+  in
+  let oc = open_out "BENCH_resources.json" in
+  output_string oc json;
+  close_out oc;
+  Harness.row "  wrote BENCH_resources.json@\n"
+
 (* BENCH_ONLY=e13 (comma-separated names) restricts the run to a subset of
    experiments — handy for iterating on one benchmark without paying for
    the full suite, and for re-running a single experiment on a quiet
@@ -1824,4 +2034,5 @@ let () =
   run "e14" e14;
   run "e15" e15;
   run "e16" e16;
+  run "e17" e17;
   Format.printf "@\nAll benchmarks complete.@\n"

@@ -16,6 +16,18 @@
      QP001 error    recursion reachable from the entry point
      QC001 warning  defined function unreachable from the entry point
      QA001 note     dynamic-looking address proved static
+     QR001 e/w      qubit bound exceeds backend cap (--resources)
+     QR002 warning  unbounded-trip loop on the quantum path (--resources)
+     QR003 warning  declared qubit count below proven peak (--resources)
+     QR004 note     T-count exceeds stabilizer eligibility (--resources)
+     QR005 e/w      depth bound exceeds deadline budget (--resources)
+
+   --resources adds the static resource certification: interprocedural
+   symbolic upper/lower bounds on qubits, gates, T-count, depth and
+   shot-loop trips, printed as a certificate (text) or emitted as the
+   schema_version-stamped JSON certificate with diagnostics inline
+   (--format json), plus the QR-series rules against the backend cap
+   and optional deadline budget.
 
    --call-graph dumps the module's call graph (text or, with --format
    json, the schema_version-stamped JSON shape) instead of linting.
@@ -24,7 +36,8 @@
 
 open Cmdliner
 
-let run input format werror notes ipo call_graph =
+let run input format werror notes ipo call_graph resources qubit_cap deadline
+    throughput t_cap =
   Cli_common.protect @@ fun () ->
   let m = Cli_common.parse_qir_file input in
   if call_graph then begin
@@ -34,14 +47,36 @@ let run input format werror notes ipo call_graph =
     | `Json -> Format.printf "%a" Qir_analysis.Call_graph.render_json cg
   end
   else begin
-    let ds = Qir_analysis.Lint.run ~notes ~ipo m in
-    (match format with
-    | `Text -> Format.printf "%a" Qir_analysis.Diagnostic.render_text ds
-    | `Json ->
-      Format.printf "%a"
-        (Qir_analysis.Diagnostic.render_json
-           ~module_name:m.Llvm_ir.Ir_module.source_name)
-        ds);
+    let ropts =
+      if resources then
+        Some
+          {
+            Qir_analysis.Resource_lint.qubit_cap = Some qubit_cap;
+            deadline_s = deadline;
+            throughput;
+            stabilizer_t_cap = t_cap;
+          }
+      else None
+    in
+    let ds = Qir_analysis.Lint.run ~notes ~ipo ?resources:ropts m in
+    (if resources then
+       let cert = Qir_analysis.Resource.certify m in
+       match format with
+       | `Text ->
+         Format.printf "%a" Qir_analysis.Diagnostic.render_text ds;
+         Format.printf "%a" Qir_analysis.Resource.pp_text cert
+       | `Json ->
+         Format.printf "%a"
+           (Qir_analysis.Resource.render_json ~diagnostics:ds)
+           cert
+     else
+       match format with
+       | `Text -> Format.printf "%a" Qir_analysis.Diagnostic.render_text ds
+       | `Json ->
+         Format.printf "%a"
+           (Qir_analysis.Diagnostic.render_json
+              ~module_name:m.Llvm_ir.Ir_module.source_name)
+           ds);
     let failing =
       Qir_analysis.Diagnostic.errors ds > 0
       || (werror && Qir_analysis.Diagnostic.warnings ds > 0)
@@ -77,10 +112,42 @@ let call_graph =
          ~doc:"Print the module's call graph (honors --format) instead \
                of linting.")
 
+let resources =
+  Arg.(value & flag & info [ "resources" ]
+         ~doc:"Certify static resource bounds (qubits, gates, T-count, \
+               depth, shot-loop trips) and check the QR-series rules. \
+               Text output appends the certificate; --format json emits \
+               the versioned certificate with diagnostics inline.")
+
+let qubit_cap =
+  Arg.(value & opt int Qsim.Statevector.max_qubits
+       & info [ "qubit-cap" ] ~docv:"N"
+           ~doc:"Backend register cap checked by QR001 (default: the \
+                 statevector simulator's maximum).")
+
+let deadline =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC"
+         ~doc:"Job deadline budget for QR002/QR005: flags unbounded \
+               shot loops and depth bounds that cannot finish in SEC \
+               seconds at the --throughput gate rate.")
+
+let throughput =
+  Arg.(value & opt (some float) None & info [ "throughput" ] ~docv:"GATES/S"
+         ~doc:"Measured gate throughput used with --deadline to turn \
+               the depth bound into seconds (QR005).")
+
+let t_cap =
+  Arg.(value & opt int 0 & info [ "t-cap" ] ~docv:"N"
+         ~doc:"T/rotation-count ceiling for stabilizer-path eligibility \
+               (QR004). Default 0: any proven non-Clifford gate \
+               disqualifies the tableau backend.")
+
 let cmd =
   let doc = "static analysis diagnostics for QIR programs" in
   Cmd.v
     (Cmd.info "qir-lint" ~doc)
-    Term.(const run $ input $ format $ werror $ notes $ ipo $ call_graph)
+    Term.(
+      const run $ input $ format $ werror $ notes $ ipo $ call_graph
+      $ resources $ qubit_cap $ deadline $ throughput $ t_cap)
 
 let () = exit (Cmd.eval cmd)

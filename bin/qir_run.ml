@@ -32,12 +32,16 @@ let run input shots seed backend no_batch engine stats timeout shot_timeout
   let m = Cli_common.parse_qir_file input in
   let parse_s = Unix.gettimeofday () -. t0 in
   (* Value-semantics quantum optimizer, before admission and execution;
-     the opt: line under --stats reports what it proved and rewrote. *)
-  let m, opt_stats =
-    if opt_quantum then
+     the opt: line under --stats reports what it proved and rewrote.
+     Its wall clock is part of analysis_s in the timings line — every
+     static pass lands in the same bucket. *)
+  let m, opt_stats, opt_s =
+    if opt_quantum then begin
+      let ot0 = Unix.gettimeofday () in
       let m', st = Qir_analysis.Qdf_opt.optimize m in
-      (m', Some st)
-    else (m, None)
+      (m', Some st, Unix.gettimeofday () -. ot0)
+    end
+    else (m, None, 0.)
   in
   let print_opt_stats () =
     Option.iter
@@ -53,25 +57,41 @@ let run input shots seed backend no_batch engine stats timeout shot_timeout
           (st.Qir_analysis.Qdf_opt.s_promoted > 0))
       opt_stats
   in
-  (* The service tier's admission check, exposed standalone: reject
-     before allocating the register when the statevector footprint
-     exceeds the budget. Exit 8 (overload), like qir-serve. *)
+  (* The service tier's admission check, exposed standalone: certify
+     the module's static resource bounds and reject — before compiling
+     anything — when the proven lower bound already breaches the
+     budget, or when the charged footprint (proof over declaration)
+     exceeds it. Exit 8 (overload), like qir-serve. *)
+  let resource_s = ref 0. in
   Option.iter
     (fun budget ->
-      match Qservice.Admission.check ~budget ~backend m with
-      | Ok () -> ()
+      let cert, cert_s, _ =
+        Qruntime.Executor.Session.cert_of Qruntime.Executor.Session.default m
+      in
+      resource_s := cert_s;
+      match Qservice.Admission.check ~cert ~budget ~backend m with
+      | Ok v ->
+        Option.iter
+          (fun note -> Printf.eprintf "qir-run: %s\n%!" note)
+          v.Qservice.Admission.v_qr003
       | Error e -> Cli_common.fail_error e)
     mem_budget;
   (* Wall-clock breakdown under --stats, as one stable-keyed JSON line:
-     parse / lint (gate-tape eligibility analysis) / compile (bytecode)
-     / execute. Values vary run to run; the keys are the contract. *)
-  let print_timings ~compile_s ~lint_s =
+     parse / analysis (every static pass: quantum optimizer plus
+     gate-tape eligibility) / resource (certification for admission) /
+     compile (bytecode) / execute. Values vary run to run; the keys
+     are the contract. *)
+  let print_timings ~compile_s ~analysis_s =
+    let analysis_s = analysis_s +. opt_s in
     let total_s = Unix.gettimeofday () -. t0 in
-    let execute_s = Float.max 0. (total_s -. parse_s -. compile_s -. lint_s) in
+    let execute_s =
+      Float.max 0.
+        (total_s -. parse_s -. analysis_s -. !resource_s -. compile_s)
+    in
     Printf.printf
-      "timings: {\"parse_s\": %.6f, \"lint_s\": %.6f, \"compile_s\": %.6f, \
-       \"execute_s\": %.6f, \"total_s\": %.6f}\n"
-      parse_s lint_s compile_s execute_s total_s
+      "timings: {\"parse_s\": %.6f, \"analysis_s\": %.6f, \"resource_s\": \
+       %.6f, \"compile_s\": %.6f, \"execute_s\": %.6f, \"total_s\": %.6f}\n"
+      parse_s analysis_s !resource_s compile_s execute_s total_s
   in
   let policy =
     {
@@ -101,7 +121,7 @@ let run input shots seed backend no_batch engine stats timeout shot_timeout
           q.Qruntime.Runtime.gate_calls q.Qruntime.Runtime.measurements
           q.Qruntime.Runtime.resets r.Qruntime.Executor.engine_used;
         print_opt_stats ();
-        print_timings ~compile_s:r.Qruntime.Executor.compile_s ~lint_s:0.
+        print_timings ~compile_s:r.Qruntime.Executor.compile_s ~analysis_s:0.
       end
   end
   else begin
@@ -140,7 +160,7 @@ let run input shots seed backend no_batch engine stats timeout shot_timeout
         c.Qruntime.Executor.Session.tape_misses;
       print_opt_stats ();
       print_timings ~compile_s:r.Qruntime.Executor.compile_s
-        ~lint_s:r.Qruntime.Executor.analysis_s
+        ~analysis_s:r.Qruntime.Executor.analysis_s
     end;
     if r.Qruntime.Executor.degraded then begin
       Printf.eprintf
@@ -306,10 +326,13 @@ let bytes_conv : int Arg.conv =
 let mem_budget =
   Arg.(value & opt (some bytes_conv) None & info [ "mem-budget" ] ~docv:"SIZE"
          ~doc:"Reject the program (exit 8, overload) before execution if \
-               its simulator memory footprint — sized from the entry \
-               point's required_num_qubits attribute at 16 bytes per \
-               statevector amplitude — exceeds SIZE (e.g. 256MiB, 16GiB). \
-               The same admission check qir-serve applies per job.")
+               its simulator memory footprint — sized from the static \
+               resource certificate's proven qubit bounds, upgraded over \
+               the entry point's required_num_qubits attribute, at 16 \
+               bytes per statevector amplitude — exceeds SIZE (e.g. \
+               256MiB, 16GiB). A proven lower bound over budget rejects \
+               before anything is compiled. The same admission check \
+               qir-serve applies per job.")
 
 let opt_quantum =
   Arg.(value & flag & info [ "opt-quantum" ]

@@ -14,7 +14,7 @@ let () = Qir_analysis.Quantum_dce.register ()
 let () = Qir_analysis.Qdf_opt.register ()
 
 let run input passes lower optimize opt_quantum check addressing emit verify
-    lint werror output =
+    lint resources werror output =
   Cli_common.protect @@ fun () ->
   let m = Cli_common.parse_qir_file input in
   (* 1. individual passes, in order *)
@@ -72,6 +72,26 @@ let run input passes lower optimize opt_quantum check addressing emit verify
       exit
         (Qruntime.Qir_error.exit_code
            (Qruntime.Qir_error.of_diagnostic (List.hd ds)))
+  end;
+  (* 5b. resource certification: the certificate and the QR-series
+     findings against the simulator's register cap, on stderr so the
+     emitted program on stdout stays clean. Errors (QR001 with a
+     proven bound over the cap) fail like --lint. *)
+  if resources then begin
+    let cert = Qir_analysis.Resource.certify m in
+    let opts =
+      {
+        Qir_analysis.Resource_lint.default_opts with
+        Qir_analysis.Resource_lint.qubit_cap = Some Qsim.Statevector.max_qubits;
+      }
+    in
+    let ds = Qir_analysis.Resource_lint.check ~opts cert in
+    Format.eprintf "%a" Qir_analysis.Resource.pp_text cert;
+    Format.eprintf "%a" Qir_analysis.Diagnostic.render_text ds;
+    if
+      Qir_analysis.Diagnostic.errors ds > 0
+      || (werror && Qir_analysis.Diagnostic.warnings ds > 0)
+    then exit Qruntime.Qir_error.exit_verify
   end;
   (* 6. profile check *)
   (match check with
@@ -153,9 +173,16 @@ let lint =
          ~doc:"Run the qir-lint analyses and fail on error-severity \
                findings.")
 
+let resources =
+  Arg.(value & flag & info [ "resources" ]
+         ~doc:"Certify static resource bounds (qubits, gates, T-count, \
+               depth, shot-loop trips) for the transformed program and \
+               check the QR-series rules against the simulator's \
+               register cap; the certificate and findings go to stderr.")
+
 let werror =
   Arg.(value & flag & info [ "Werror" ]
-         ~doc:"With --lint: treat warnings as errors.")
+         ~doc:"With --lint or --resources: treat warnings as errors.")
 
 let output =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
@@ -167,6 +194,6 @@ let cmd =
     (Cmd.info "qirc" ~doc)
     Term.(
       const run $ input $ passes $ lower $ optimize $ opt_quantum $ check
-      $ addressing $ emit $ verify $ lint $ werror $ output)
+      $ addressing $ emit $ verify $ lint $ resources $ werror $ output)
 
 let () = exit (Cmd.eval cmd)

@@ -6,9 +6,11 @@
 
 type severity = Error | Warning | Note
 
-(* Version of the JSON output shape (diagnostics and --call-graph dump).
-   Bump on any field rename/removal; adding fields is compatible. *)
-let schema_version = 1
+(* Version of the JSON output shape (diagnostics, --call-graph dump and
+   the --resources certificate). Bump on any field rename/removal;
+   adding fields is compatible. Version 2 introduced the resource
+   certificate document and the QR rule series. *)
+let schema_version = 2
 
 type t = {
   rule : string;

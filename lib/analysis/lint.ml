@@ -16,6 +16,11 @@
      QO002 note     mergeable rotations (quantum-opt)
      QO003 note     qubit releasable earlier (quantum-opt)
      QO004 note     entry provably lowers to static addressing (quantum-opt)
+     QR001 e/w      qubit bound exceeds backend cap (--resources)
+     QR002 warning  unbounded-trip loop on the quantum path (--resources)
+     QR003 warning  declared qubit count below proven peak (--resources)
+     QR004 note     T-count exceeds stabilizer eligibility (--resources)
+     QR005 e/w      depth bound exceeds deadline budget (--resources)
 
    By default the lint is interprocedural: the whole module is checked,
    dataflow rules see callee effect summaries, and the call-graph rules
@@ -34,7 +39,17 @@ let verifier_findings (m : Ir_module.t) : Diagnostic.t list =
         ~where:v.Verifier.where "%s" v.Verifier.what)
     (Verifier.check_module m)
 
-let run ?(notes = true) ?(ipo = true) (m : Ir_module.t) : Diagnostic.t list =
+let run ?(notes = true) ?(ipo = true) ?resources (m : Ir_module.t) :
+    Diagnostic.t list =
+  let resource_findings cert_opt =
+    match resources with
+    | None -> []
+    | Some opts ->
+      let cert =
+        match cert_opt with Some c -> c | None -> Resource.certify m
+      in
+      Resource_lint.check ~opts cert
+  in
   match verifier_findings m with
   | _ :: _ as structural -> structural
   | [] ->
@@ -46,6 +61,7 @@ let run ?(notes = true) ?(ipo = true) (m : Ir_module.t) : Diagnostic.t list =
       @ Quantum_dce.findings ~summaries m
       @ (if notes then Const_addr.notes m else [])
       @ (if notes then Qdf_opt.notes m else [])
+      @ resource_findings None
     end
     else begin
       (* entry point only, every call opaque: the pre-interprocedural
@@ -61,6 +77,7 @@ let run ?(notes = true) ?(ipo = true) (m : Ir_module.t) : Diagnostic.t list =
       @ Quantum_dce.findings ~summaries:no_summaries m
       @ (if notes then Const_addr.notes m else [])
       @ (if notes then Qdf_opt.notes m else [])
+      @ resource_findings None
     end
 
 let has_errors ds = Diagnostic.errors ds > 0

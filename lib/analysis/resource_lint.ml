@@ -1,0 +1,105 @@
+(* QR-series lint rules over a resource certificate ({!Resource}): the
+   point where proven bounds meet operational policy. Each rule grades
+   on the *direction* of the proof — a violated lower bound is an error
+   (every execution breaks the limit), a violated upper bound is a
+   warning (some execution might), and an unbounded top is flagged as
+   the honest unknown it is.
+
+     QR001  qubit bound exceeds the backend register cap
+     QR002  unbounded-trip loop on the quantum path (deadline'd jobs
+            cannot be cost-admitted)
+     QR003  declared qubit count below the proven peak
+     QR004  T/rotation count exceeds stabilizer-path eligibility
+     QR005  depth bound exceeds the deadline budget at the measured
+            gate throughput *)
+
+type opts = {
+  qubit_cap : int option;  (* backend register cap (e.g. statevector 30) *)
+  deadline_s : float option;  (* job deadline budget *)
+  throughput : float option;  (* measured gate throughput, gates/sec *)
+  stabilizer_t_cap : int;  (* T-count the stabilizer path tolerates *)
+}
+
+let default_opts =
+  { qubit_cap = None; deadline_s = None; throughput = None; stabilizer_t_cap = 0 }
+
+let check ?(opts = default_opts) (cert : Resource.t) : Diagnostic.t list =
+  let where =
+    Printf.sprintf "@%s" (Option.value ~default:"<module>" cert.Resource.entry)
+  in
+  let ds = ref [] in
+  let emit ~rule ~severity fmt =
+    Format.kasprintf
+      (fun message ->
+        ds :=
+          Diagnostic.make ~rule ~severity ~where "%s" message :: !ds)
+      fmt
+  in
+  (* QR001: register demand vs backend cap *)
+  (match opts.qubit_cap with
+  | Some cap ->
+    let q = cert.Resource.qubits in
+    if q.Resource.lo > cap then
+      emit ~rule:"QR001" ~severity:Diagnostic.Error
+        "proven qubit demand %d exceeds the %d-qubit backend cap" q.Resource.lo
+        cap
+    else (
+      match q.Resource.hi with
+      | Resource.Fin h when h > cap ->
+        emit ~rule:"QR001" ~severity:Diagnostic.Warning
+          "qubit upper bound %d exceeds the %d-qubit backend cap" h cap
+      | Resource.Inf ->
+        emit ~rule:"QR001" ~severity:Diagnostic.Warning
+          "qubit demand is unbounded; the %d-qubit backend cap cannot be \
+           certified"
+          cap
+      | Resource.Fin _ -> ())
+  | None -> ());
+  (* QR002: unbounded shot loops on the quantum path *)
+  List.iter
+    (fun (l : Resource.loop_info) ->
+      if l.Resource.l_quantum && l.Resource.l_trip.Resource.hi = Resource.Inf
+      then
+        emit ~rule:"QR002" ~severity:Diagnostic.Warning
+          "loop %%%s in @%s has an unbounded trip count on the quantum path; \
+           a deadline'd job cannot be admitted with a finite cost bound"
+          l.Resource.l_header l.Resource.l_func)
+    cert.Resource.loops;
+  (* QR003: declared qubit count below the proven peak *)
+  if cert.Resource.declared > 0 && cert.Resource.qubits.Resource.lo > cert.Resource.declared
+  then
+    emit ~rule:"QR003" ~severity:Diagnostic.Warning
+      "declared qubit count %d is below the proven peak %d; admission \
+       control charges the proven bound"
+      cert.Resource.declared cert.Resource.qubits.Resource.lo;
+  (* QR004: stabilizer-path eligibility *)
+  if cert.Resource.t_count.Resource.lo > opts.stabilizer_t_cap then
+    emit ~rule:"QR004" ~severity:Diagnostic.Note
+      "proven T/rotation count %d exceeds stabilizer-path eligibility (cap \
+       %d); only dense backends can serve this module"
+      cert.Resource.t_count.Resource.lo opts.stabilizer_t_cap;
+  (* QR005: depth vs deadline at measured throughput *)
+  (match (opts.deadline_s, opts.throughput) with
+  | Some deadline, Some thr when thr > 0.0 ->
+    let budget_gates = deadline *. thr in
+    let d = cert.Resource.depth in
+    if float_of_int d.Resource.lo > budget_gates then
+      emit ~rule:"QR005" ~severity:Diagnostic.Error
+        "proven depth %d exceeds the deadline budget (%.3gs at %.3g \
+         gates/sec = %.0f layers)"
+        d.Resource.lo deadline thr budget_gates
+    else (
+      match d.Resource.hi with
+      | Resource.Fin h when float_of_int h > budget_gates ->
+        emit ~rule:"QR005" ~severity:Diagnostic.Warning
+          "depth upper bound %d exceeds the deadline budget (%.3gs at %.3g \
+           gates/sec = %.0f layers)"
+          h deadline thr budget_gates
+      | Resource.Inf ->
+        emit ~rule:"QR005" ~severity:Diagnostic.Warning
+          "depth is unbounded; the deadline budget (%.3gs at %.3g gates/sec) \
+           cannot be certified"
+          deadline thr
+      | Resource.Fin _ -> ())
+  | _ -> ());
+  List.rev !ds

@@ -65,6 +65,8 @@ module Session = struct
     compile_misses : int;
     tape_hits : int;
     tape_misses : int;
+    cert_hits : int;
+    cert_misses : int;
   }
 
   type t = {
@@ -72,10 +74,13 @@ module Session = struct
     limit : int;
     mutable compile_cache : (Ir_module.t * Bytecode.program * float) list;
     mutable tape_cache : (Ir_module.t * Gate_tape.t option * float) list;
+    mutable cert_cache : (Ir_module.t * Qir_analysis.Resource.t * float) list;
     mutable compile_hits : int;
     mutable compile_misses : int;
     mutable tape_hits : int;
     mutable tape_misses : int;
+    mutable cert_hits : int;
+    mutable cert_misses : int;
   }
 
   let create ?(cache_limit = 8) () =
@@ -86,10 +91,13 @@ module Session = struct
       limit = cache_limit;
       compile_cache = [];
       tape_cache = [];
+      cert_cache = [];
       compile_hits = 0;
       compile_misses = 0;
       tape_hits = 0;
       tape_misses = 0;
+      cert_hits = 0;
+      cert_misses = 0;
     }
 
   (* The process-wide session behind the session-less API. *)
@@ -147,6 +155,25 @@ module Session = struct
           s.tape_misses <- s.tape_misses + 1;
           (tape, dt, false))
 
+  (* The resource-certificate cache, third sibling of the compile and
+     tape caches: the certificate ({!Qir_analysis.Resource}) is what
+     admission control and the cost-fair scheduler charge, so a hot
+     module is certified once, not per submission. *)
+  let cert_of s (m : Ir_module.t) : Qir_analysis.Resource.t * float * bool =
+    locked s (fun () ->
+        match touch m s.cert_cache with
+        | Some ((_, cert, dt), reordered) ->
+          s.cert_cache <- reordered;
+          s.cert_hits <- s.cert_hits + 1;
+          (cert, dt, true)
+        | None ->
+          let t0 = Unix.gettimeofday () in
+          let cert = Qir_analysis.Resource.certify m in
+          let dt = Unix.gettimeofday () -. t0 in
+          s.cert_cache <- (m, cert, dt) :: trim s.limit s.cert_cache;
+          s.cert_misses <- s.cert_misses + 1;
+          (cert, dt, false))
+
   let cache_stats s =
     locked s (fun () ->
         {
@@ -154,6 +181,8 @@ module Session = struct
           compile_misses = s.compile_misses;
           tape_hits = s.tape_hits;
           tape_misses = s.tape_misses;
+          cert_hits = s.cert_hits;
+          cert_misses = s.cert_misses;
         })
 
   (* Is this module warm in either cache? Admission control and the

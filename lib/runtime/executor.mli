@@ -38,6 +38,8 @@ module Session : sig
     compile_misses : int;
     tape_hits : int;
     tape_misses : int;
+    cert_hits : int;
+    cert_misses : int;
   }
 
   val create : ?cache_limit:int -> unit -> t
@@ -55,6 +57,11 @@ module Session : sig
   val tape_of : t -> Llvm_ir.Ir_module.t -> Gate_tape.t option * float * bool
   (** The gate-tape verdict cache, shaped like {!compiled}; the verdict
       is [None] for tape-ineligible modules. *)
+
+  val cert_of : t -> Llvm_ir.Ir_module.t -> Qir_analysis.Resource.t * float * bool
+  (** The resource-certificate cache, shaped like {!compiled}: the
+      static bounds ({!Qir_analysis.Resource.certify}) that admission
+      control and the cost-fair scheduler charge. *)
 
   val cache_stats : t -> cache_stats
 

@@ -125,7 +125,9 @@ let event_json (ev : Service.event) =
       :: rest)
   in
   match ev with
-  | Service.Accepted { id; tenant } -> base "accepted" id tenant []
+  | Service.Accepted { id; tenant; note } ->
+    base "accepted" id tenant
+      (match note with None -> [] | Some s -> [ ("note", Jsonx.Str s) ])
   | Service.Rejected { id; tenant; error; shed } ->
     base "rejected" id tenant (("shed", Jsonx.Bool shed) :: error_fields error)
   | Service.Progress { id; tenant; completed; requested } ->
@@ -175,6 +177,8 @@ let stats_json (s : Service.stats) =
       n "compile_cache_misses" s.Service.cache.Executor.Session.compile_misses;
       n "tape_cache_hits" s.Service.cache.Executor.Session.tape_hits;
       n "tape_cache_misses" s.Service.cache.Executor.Session.tape_misses;
+      n "cert_cache_hits" s.Service.cache.Executor.Session.cert_hits;
+      n "cert_cache_misses" s.Service.cache.Executor.Session.cert_misses;
     ]
 
 (* A protocol-level error (unparsable line, missing field) as an event

@@ -1,13 +1,18 @@
 (* Weighted fair queuing across tenants, via stride scheduling.
 
    Each tenant owns a FIFO queue and a virtual-time "pass"; popping a
-   job advances the tenant's pass by 1/weight, and the scheduler always
-   serves the non-empty queue with the smallest pass. Over any window a
-   backlogged tenant with weight w_i therefore receives w_i / sum(w)
-   of the service — weight 2 gets twice the jobs of weight 1 — while an
-   idle tenant accumulates no credit: when its queue refills, its pass
-   is advanced to the current virtual time instead of letting it replay
-   its idle period and starve everyone else.
+   job advances the tenant's pass by cost/weight, and the scheduler
+   always serves the non-empty queue with the smallest pass. Over any
+   window a backlogged tenant with weight w_i therefore receives
+   w_i / sum(w) of the *served cost* — not of the job count: a job's
+   [cost] (by default 1.0, in practice the certified gate-bound ×
+   shot-bound from {!Qir_analysis.Resource}) is the stride numerator,
+   so WFQ is cost-fair rather than job-fair and a tenant of thousand-
+   gate circuits cannot monopolize the executor against a tenant of
+   three-gate ones by submitting equally often. An idle tenant
+   accumulates no credit: when its queue refills, its pass is advanced
+   to the current virtual time instead of letting it replay its idle
+   period and starve everyone else.
 
    Every entry carries a monotonically increasing submission sequence
    number, which the load-shedding policy uses to evict the *newest*
@@ -19,9 +24,10 @@
 type 'a tenant_q = {
   name : string;
   weight : int;
-  jobs : (int * 'a) Queue.t; (* (sequence, job) *)
+  jobs : (int * float * 'a) Queue.t; (* (sequence, cost, job) *)
   mutable pass : float; (* virtual time; serve the minimum *)
   mutable served : int;
+  mutable served_cost : float; (* total cost popped *)
 }
 
 type 'a t = {
@@ -47,6 +53,7 @@ let tenant_queue t ~tenant ~weight =
         jobs = Queue.create ();
         pass = t.vtime;
         served = 0;
+        served_cost = 0.0;
       }
     in
     (* append keeps registration order as the deterministic tie-break *)
@@ -63,9 +70,17 @@ let served_of t tenant =
   | Some tq -> tq.served
   | None -> 0
 
+let served_cost_of t tenant =
+  match List.find_opt (fun tq -> tq.name = tenant) t.tenants with
+  | Some tq -> tq.served_cost
+  | None -> 0.0
+
 (* [push] registers the tenant on first use; [weight] is fixed by that
-   first registration. Returns the job's sequence number. *)
-let push t ~tenant ~weight job =
+   first registration. [cost] (default 1.0, clamped positive) is the
+   certified cost charged against the tenant's stride when the job is
+   later popped. Returns the job's sequence number. *)
+let push ?(cost = 1.0) t ~tenant ~weight job =
+  let cost = if Float.is_nan cost || cost <= 0.0 then 1.0 else cost in
   let tq = tenant_queue t ~tenant ~weight in
   if Queue.is_empty tq.jobs then
     (* returning from idle: join at the current virtual time, keeping
@@ -73,7 +88,7 @@ let push t ~tenant ~weight job =
     tq.pass <- Float.max tq.pass t.vtime;
   let seq = t.seq in
   t.seq <- seq + 1;
-  Queue.add (seq, job) tq.jobs;
+  Queue.add (seq, cost, job) tq.jobs;
   t.queued <- t.queued + 1;
   seq
 
@@ -93,15 +108,16 @@ let pop t =
   match next_tenant t with
   | None -> None
   | Some tq ->
-    let _, job = Queue.pop tq.jobs in
+    let _, cost, job = Queue.pop tq.jobs in
     t.queued <- t.queued - 1;
     t.vtime <- tq.pass;
-    tq.pass <- tq.pass +. (1.0 /. float_of_int tq.weight);
+    tq.pass <- tq.pass +. (cost /. float_of_int tq.weight);
     tq.served <- tq.served + 1;
+    tq.served_cost <- tq.served_cost +. cost;
     Some (tq.name, job)
 
 let iter t f =
-  List.iter (fun tq -> Queue.iter (fun (_, job) -> f tq.name job) tq.jobs)
+  List.iter (fun tq -> Queue.iter (fun (_, _, job) -> f tq.name job) tq.jobs)
     t.tenants
 
 (* Remove and return the newest queued job satisfying [pred] (the
@@ -111,7 +127,7 @@ let drop_last t pred =
   List.iter
     (fun tq ->
       Queue.iter
-        (fun (seq, job) ->
+        (fun (seq, _, job) ->
           if pred job then
             match !victim with
             | Some (best_seq, _, _) when best_seq >= seq -> ()
@@ -123,7 +139,7 @@ let drop_last t pred =
   | Some (seq, tq, job) ->
     let keep = Queue.create () in
     Queue.iter
-      (fun (s, j) -> if s <> seq then Queue.add (s, j) keep)
+      (fun (s, c, j) -> if s <> seq then Queue.add (s, c, j) keep)
       tq.jobs;
     Queue.clear tq.jobs;
     Queue.transfer keep tq.jobs;

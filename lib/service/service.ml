@@ -50,6 +50,7 @@ type job = {
   engine : Executor.engine;
   deadline : Resilience.Deadline.t; (* absolute; includes queue wait *)
   submitted_at : float; (* Deadline.now instant *)
+  bytes : int; (* certified footprint charged against the tenant *)
 }
 
 type config = {
@@ -66,6 +67,7 @@ type config = {
   tenant_weights : (string * int) list; (* default weight 1 *)
   module_cache_limit : int; (* interned program texts *)
   sleep : bool; (* wait out retry backoff? (off in tests) *)
+  cost_fair : bool; (* stride by certified cost, not job count *)
 }
 
 let default_config =
@@ -83,10 +85,11 @@ let default_config =
     tenant_weights = [];
     module_cache_limit = 32;
     sleep = true;
+    cost_fair = true;
   }
 
 type event =
-  | Accepted of { id : string; tenant : string }
+  | Accepted of { id : string; tenant : string; note : string option }
   | Rejected of {
       id : string;
       tenant : string;
@@ -131,6 +134,7 @@ type t = {
   session : Executor.Session.t;
   sched : job Scheduler.t;
   breakers : (string, Breaker.t) Hashtbl.t;
+  inflight : (string, int) Hashtbl.t; (* tenant -> certified bytes queued+running *)
   modules : (Digest.t, Llvm_ir.Ir_module.t) Hashtbl.t;
   mutable module_order : Digest.t list; (* newest first, for eviction *)
   emit : event -> unit;
@@ -153,6 +157,7 @@ let create ?(config = default_config) ~emit () =
     session = Executor.Session.create ~cache_limit:config.module_cache_limit ();
     sched = Scheduler.create ();
     breakers = Hashtbl.create 8;
+    inflight = Hashtbl.create 8;
     modules = Hashtbl.create 32;
     module_order = [];
     emit;
@@ -172,6 +177,21 @@ let create ?(config = default_config) ~emit () =
 let session t = t.session
 let queue_depth t = Scheduler.length t.sched
 let served_of t tenant = Scheduler.served_of t.sched tenant
+let served_cost_of t tenant = Scheduler.served_cost_of t.sched tenant
+
+(* Per-tenant in-flight certified footprint: charged at acceptance,
+   released when the job leaves the system (result, failure or shed).
+   Admission sums this against the budget so a tenant cannot queue ten
+   near-budget jobs and rely on serialization to hide the aggregate. *)
+let inflight_bytes t tenant =
+  Option.value ~default:0 (Hashtbl.find_opt t.inflight tenant)
+
+let charge t tenant bytes =
+  Hashtbl.replace t.inflight tenant (inflight_bytes t tenant + bytes)
+
+let release t (job : job) =
+  Hashtbl.replace t.inflight job.tenant
+    (max 0 (inflight_bytes t job.tenant - job.bytes))
 
 let breaker t tenant =
   match Hashtbl.find_opt t.breakers tenant with
@@ -272,73 +292,96 @@ let submit t ~tenant ?id ?(shots = 1) ?(seed = 1)
          "circuit breaker open for tenant %s after repeated failures; \
           resubmit after the cooldown"
          tenant)
-  else
+  else begin
+    (* Certify once — the session cache makes resubmissions of the same
+       interned module free — and let admission size the footprint from
+       the strongest proof available (certificate, cached tape,
+       declaration). A proven lower bound over budget rejects here,
+       before any compilation. *)
+    let cert, _, _ = Executor.Session.cert_of t.session m in
     match
       Admission.check
         ?tape:(Executor.Session.cached_tape t.session m)
-        ~budget:t.config.mem_budget ~backend m
+        ~cert ~budget:t.config.mem_budget ~backend m
     with
     | Error e -> fail e
-    | Ok () ->
-      if Scheduler.queued_of t.sched tenant >= t.config.max_tenant_queue then
-        fail
-          (overload "tenant %s quota: %d jobs already queued (limit %d)"
-             tenant
-             (Scheduler.queued_of t.sched tenant)
-             t.config.max_tenant_queue)
-      else begin
-        let job =
-          {
-            id;
-            tenant;
-            m;
-            shots;
-            seed;
-            backend;
-            engine;
-            deadline =
-              Resilience.Deadline.after
-                (match timeout with
-                | Some _ -> timeout
-                | None -> t.config.default_timeout);
-            submitted_at = Resilience.Deadline.now ();
-          }
-        in
-        let admit () =
-          let weight =
-            Option.value ~default:1
-              (List.assoc_opt tenant t.config.tenant_weights)
-          in
-          ignore (Scheduler.push t.sched ~tenant ~weight job);
-          t.accepted <- t.accepted + 1;
-          t.emit (Accepted { id; tenant })
-        in
-        if Scheduler.length t.sched < t.config.max_queue then admit ()
-        else if cache_cold t job then
-          (* Queue full and the newcomer is cold: compiling it would
-             cost the most for the least queue relief — reject it. *)
+    | Ok v -> (
+      match
+        Admission.check_tenant ~budget:t.config.mem_budget ~tenant
+          ~inflight_bytes:(inflight_bytes t tenant)
+          ~bytes:v.Admission.v_bytes
+      with
+      | Error e -> fail e
+      | Ok () ->
+        if Scheduler.queued_of t.sched tenant >= t.config.max_tenant_queue
+        then
           fail
-            (overload
-               "queue full (%d jobs) and job %s is cache-cold; resubmit \
-                later"
-               (Scheduler.length t.sched) id)
+            (overload "tenant %s quota: %d jobs already queued (limit %d)"
+               tenant
+               (Scheduler.queued_of t.sched tenant)
+               t.config.max_tenant_queue)
         else begin
-          (* Queue full but the newcomer is cache-hot (nearly free):
-             shed the newest cache-cold queued job to make room. *)
-          match Scheduler.drop_last t.sched (cache_cold t) with
-          | Some victim ->
-            reject ~shed:true t ~id:victim.id ~tenant:victim.tenant
-              (overload
-                 "shed under overload: queue full and job %s is \
-                  cache-cold; displaced by a cache-hot job"
-                 victim.id);
-            admit ()
-          | None ->
+          let job =
+            {
+              id;
+              tenant;
+              m;
+              shots;
+              seed;
+              backend;
+              engine;
+              deadline =
+                Resilience.Deadline.after
+                  (match timeout with
+                  | Some _ -> timeout
+                  | None -> t.config.default_timeout);
+              submitted_at = Resilience.Deadline.now ();
+              bytes = v.Admission.v_bytes;
+            }
+          in
+          let admit () =
+            let weight =
+              Option.value ~default:1
+                (List.assoc_opt tenant t.config.tenant_weights)
+            in
+            let cost =
+              if t.config.cost_fair then
+                Qir_analysis.Resource.cost_weight cert ~shots
+              else 1.0
+            in
+            ignore (Scheduler.push ~cost t.sched ~tenant ~weight job);
+            charge t tenant job.bytes;
+            t.accepted <- t.accepted + 1;
+            t.emit (Accepted { id; tenant; note = v.Admission.v_qr003 })
+          in
+          if Scheduler.length t.sched < t.config.max_queue then admit ()
+          else if cache_cold t job then
+            (* Queue full and the newcomer is cold: compiling it would
+               cost the most for the least queue relief — reject it. *)
             fail
-              (overload "queue full (%d jobs); resubmit later"
-                 (Scheduler.length t.sched))
-        end
-      end
+              (overload
+                 "queue full (%d jobs) and job %s is cache-cold; resubmit \
+                  later"
+                 (Scheduler.length t.sched) id)
+          else begin
+            (* Queue full but the newcomer is cache-hot (nearly free):
+               shed the newest cache-cold queued job to make room. *)
+            match Scheduler.drop_last t.sched (cache_cold t) with
+            | Some victim ->
+              release t victim;
+              reject ~shed:true t ~id:victim.id ~tenant:victim.tenant
+                (overload
+                   "shed under overload: queue full and job %s is \
+                    cache-cold; displaced by a cache-hot job"
+                   victim.id);
+              admit ()
+            | None ->
+              fail
+                (overload "queue full (%d jobs); resubmit later"
+                   (Scheduler.length t.sched))
+          end
+        end)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                            *)
@@ -408,6 +451,7 @@ let run_job t (job : job) =
   in
   let pool_fallbacks0 = Qsim.Dpool.sequential_fallbacks () in
   let finish result tier =
+    release t job;
     (match tier with
     | `Batched -> t.batched_runs <- t.batched_runs + 1
     | `Tape -> t.tape_runs <- t.tape_runs + 1
@@ -508,6 +552,7 @@ let run_job t (job : job) =
       finish result (if !tape_used then `Tape else `Per_shot)
     end
   with e ->
+    release t job;
     let error = Qir_error.wrap_exn e in
     t.failed <- t.failed + 1;
     (match error.Qir_error.kind with
@@ -528,6 +573,7 @@ let run_once t =
     (match job.deadline with
     | Some at when Resilience.Deadline.now () >= at ->
       (* expired while queued: taxonomy-coded shed, no simulator time *)
+      release t job;
       reject ~shed:true t ~id:job.id ~tenant:job.tenant
         (overload
            "shed under overload: job %s's deadline expired after %.3f s in \

@@ -207,14 +207,16 @@ The --stats wall-clock breakdown is one JSON line with stable keys
 
   $ qir-run bell.ll --shots 10 --stats | grep '^timings:' | grep -o '"[a-z_]*_s"'
   "parse_s"
-  "lint_s"
+  "analysis_s"
+  "resource_s"
   "compile_s"
   "execute_s"
   "total_s"
 
   $ qir-run bell.ll --stats | grep '^timings:' | grep -o '"[a-z_]*_s"'
   "parse_s"
-  "lint_s"
+  "analysis_s"
+  "resource_s"
   "compile_s"
   "execute_s"
   "total_s"
@@ -304,7 +306,7 @@ The same report as machine-readable JSON:
 
   $ qir-lint buggy.ll --format json
   {
-    "schema_version": 1,
+    "schema_version": 2,
     "module":"buggy.ll",
     "diagnostics": [
       {"rule":"QL001","severity":"error","module":"buggy.ll","where":"@main %entry","message":"@__quantum__qis__x__body uses a released qubit (qubit allocated at site 0)"},
@@ -476,7 +478,7 @@ The machine-readable call-graph dump shares the JSON envelope
 
   $ qir-lint ../../examples/recursive_bad.ll --call-graph --format json
   {
-    "schema_version": 1,
+    "schema_version": 2,
     "module": "../../examples/recursive_bad.ll",
     "entry": "main",
     "functions": [
@@ -486,15 +488,78 @@ The machine-readable call-graph dump shares the JSON envelope
     "sccs": [["loop"],["main"]]
   }
 
+Static resource certification (--resources): interprocedural symbolic
+upper and lower bounds on qubits, gates, T-count, circuit depth and
+shot-loop trip counts, checked by the QR-series rules. The bell
+program is fully static, so every bound is exact:
 
+  $ qir-lint bell.ll --resources
+  0 error(s), 0 warning(s), 0 note(s)
+  resource certificate: bell.ll (schema 2)
+    entry: main  declared qubits: 2
+    qubits:   2
+    gates:    2
+    t-count:  0
+    measures: 2
+    depth:    3
+    loops: none
 
+A counted loop over a dynamic qubit address: the trip count is proven
+(the analysis runs mem2reg and constant folding on a shadow of the
+module, never mutating the original), so the gate bound follows — but
+the register demand is honestly unbounded, which QR001 flags against
+the backend cap. --format json emits the versioned certificate with
+the diagnostics inline:
 
+  $ qir-lint forloop.ll --resources --format json
+  {
+    "schema_version": 2,
+    "certificate": {
+      "module": "forloop.ll",
+      "entry": "main",
+      "declared_qubits": 0,
+      "opaque": false,
+      "bounds": {
+        "qubits": {"lo": 0, "hi": null},
+        "gates": {"lo": 10, "hi": 11},
+        "t_count": {"lo": 0, "hi": 0},
+        "measures": {"lo": 0, "hi": 0},
+        "depth": {"lo": 1, "hi": 11}
+      },
+      "loops": [
+        {"function": "main", "header": "for.header", "trip": {"lo": 10, "hi": 10}, "quantum": true}
+      ],
+      "functions": [
+        {"name": "main", "opaque": false, "gates": {"lo": 10, "hi": 11}, "t_count": {"lo": 0, "hi": 0}, "measures": {"lo": 0, "hi": 0}, "depth": {"lo": 1, "hi": 11}, "q_grow": {"lo": 0, "hi": 0}, "q_need": {"lo": 0, "hi": null}}
+      ]
+    },
+    "diagnostics": [
+      {"rule": "QR001", "severity": "warning", "where": "@main", "message": "qubit demand is unbounded; the 30-qubit backend cap cannot be certified"}
+    ]
+  }
+
+qirc certifies the *transformed* program (on stderr, so the emitted
+output stays clean): lowering unrolls the loop to static addresses and
+the certificate tightens to exact bounds — ten parallel wires, depth 1:
+
+  $ qirc forloop.ll --lower --resources --emit none
+  resource certificate: forloop.ll (schema 2)
+    entry: main  declared qubits: 0
+    qubits:   10
+    gates:    10
+    t-count:  0
+    measures: 0
+    depth:    1
+    loops: none
+  0 error(s), 0 warning(s), 0 note(s)
 
 
 
 Exit 8 is the service tier's overload code. qir-run exposes the same
-admission check qir-serve applies per job: a declared statevector
-footprint over the budget is rejected before execution ever starts.
+admission check qir-serve applies per job, now sized from the resource
+certificate: the declared register is a proven *lower* bound (the
+runtime allocates it up front), so a footprint over the budget is
+rejected before anything is compiled.
 
   $ cat > big.ll <<'LL'
   > define void @main() #0 {
@@ -504,9 +569,29 @@ footprint over the budget is rejected before execution ever starts.
   > attributes #0 = { "entry_point" "required_num_qubits"="28" }
   > LL
   $ qir-run big.ll --mem-budget 1GiB
-  qir-run: overload error (service, permanent): admission rejected: 28-qubit statevector footprint 4.0 GiB exceeds the 1.0 GiB memory budget
+  qir-run: overload error (service, permanent): admission rejected before compile: proven 28-qubit lower bound needs 4.0 GiB, over the 1.0 GiB memory budget
   [8]
   $ qir-run bell.ll --shots 10 --mem-budget 1KiB > /dev/null
+
+A declaration below the proven peak is never trusted: admission
+charges the certified bound and surfaces the discrepancy as a QR003
+note — and rejects on the proven bound even when the declared one
+would have fit.
+
+  $ cat > underdeclared.ll <<'LL'
+  > declare void @__quantum__qis__h__body(ptr)
+  > define void @main() #0 {
+  > entry:
+  >   call void @__quantum__qis__h__body(ptr inttoptr (i64 2 to ptr))
+  >   ret void
+  > }
+  > attributes #0 = { "entry_point" "required_num_qubits"="1" }
+  > LL
+  $ qir-run underdeclared.ll --mem-budget 1KiB
+  qir-run: QR003: declared qubit count 1 is below the certified peak 3; charging the proven bound
+  $ qir-run underdeclared.ll --mem-budget 64
+  qir-run: overload error (service, permanent): admission rejected before compile: proven 3-qubit lower bound needs 128 B, over the 64 B memory budget
+  [8]
 
 The --stats JSON line mirrors the human-readable counters and adds the
 session cache hit/miss counts (stable keys are the contract):
@@ -537,9 +622,9 @@ while the in-budget job streams its result).
   > NDJSON
   $ qir-serve jobs.ndjson --mem-budget 64MiB | sed -E 's/"(wait_s|run_s)": [-0-9.e]+/"\1": _/g'
   {"event": "accepted", "id": "a1", "tenant": "alice"}
-  {"event": "rejected", "id": "b1", "tenant": "bob", "shed": false, "kind": "overload", "layer": "service", "exit_code": 8, "message": "admission rejected: 28-qubit statevector footprint 4.0 GiB exceeds the 64.0 MiB memory budget"}
+  {"event": "rejected", "id": "b1", "tenant": "bob", "shed": false, "kind": "overload", "layer": "service", "exit_code": 8, "message": "admission rejected before compile: proven 28-qubit lower bound needs 4.0 GiB, over the 64.0 MiB memory budget"}
   {"event": "result", "id": "a1", "tenant": "alice", "tier": "batched", "completed": 40, "requested": 40, "degraded": false, "retries": 0, "engine": "bytecode", "tape": false, "batched": true, "pool_fallbacks": 0, "wait_s": _, "run_s": _, "histogram": {"00": 22, "11": 18}}
-  {"event": "stats", "submitted": 2, "accepted": 1, "rejected": 1, "shed": 0, "completed": 1, "failed": 0, "degraded_results": 0, "batched_runs": 1, "tape_runs": 0, "per_shot_runs": 0, "throttled_runs": 0, "breaker_trips": 0, "queue_depth": 0, "compile_cache_hits": 0, "compile_cache_misses": 1, "tape_cache_hits": 0, "tape_cache_misses": 0}
+  {"event": "stats", "submitted": 2, "accepted": 1, "rejected": 1, "shed": 0, "completed": 1, "failed": 0, "degraded_results": 0, "batched_runs": 1, "tape_runs": 0, "per_shot_runs": 0, "throttled_runs": 0, "breaker_trips": 0, "queue_depth": 0, "compile_cache_hits": 0, "compile_cache_misses": 1, "tape_cache_hits": 0, "tape_cache_misses": 0, "cert_cache_hits": 0, "cert_cache_misses": 2}
 
 A malformed request is a protocol-level usage error event, not a dead
 daemon; later requests on the same stream still run.

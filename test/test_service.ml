@@ -134,6 +134,70 @@ let test_scheduler_idle_rejoin () =
     Alcotest.(list string_t)
     "fair alternation after rejoin" [ "b"; "a"; "b"; "a" ] order
 
+(* Cost-weighted strides: at equal weight, fair shares are of served
+   *cost*, not job count — a tenant of cost-3 jobs clears a hundred of
+   them in the time a tenant of cost-300 jobs clears one. *)
+let test_scheduler_cost_weighted_fairness () =
+  let s = Scheduler.create () in
+  for i = 1 to 200 do
+    ignore (Scheduler.push s ~cost:3.0 ~tenant:"cheap" ~weight:1 i)
+  done;
+  for i = 1 to 10 do
+    ignore (Scheduler.push s ~cost:300.0 ~tenant:"pricey" ~weight:1 i)
+  done;
+  for _ = 1 to 101 do
+    ignore (Scheduler.pop s)
+  done;
+  check int_t "cheap cleared 100 jobs" 100 (Scheduler.served_of s "cheap");
+  check int_t "pricey cleared 1 job" 1 (Scheduler.served_of s "pricey");
+  (* ...and the *cost* each received is balanced to within one stride *)
+  check bool_t "served cost balanced" true
+    (Float.abs
+       (Scheduler.served_cost_of s "cheap"
+       -. Scheduler.served_cost_of s "pricey")
+    <= 300.0)
+
+(* Weight still scales the cost share: weight 2 earns twice the served
+   cost of weight 1 over any backlogged window. *)
+let test_scheduler_cost_respects_weights () =
+  let s = Scheduler.create () in
+  for i = 1 to 30 do
+    ignore (Scheduler.push s ~cost:10.0 ~tenant:"heavy" ~weight:2 i);
+    ignore (Scheduler.push s ~cost:10.0 ~tenant:"light" ~weight:1 i)
+  done;
+  for _ = 1 to 9 do
+    ignore (Scheduler.pop s)
+  done;
+  check int_t "heavy got 2/3 of equal-cost pops" 6
+    (Scheduler.served_of s "heavy");
+  check bool_t "served cost ratio is 2:1" true
+    (Scheduler.served_cost_of s "heavy"
+    = 2.0 *. Scheduler.served_cost_of s "light")
+
+(* An idle tenant rejoining under cost strides joins at the current
+   virtual time — it cannot replay its idle period as credit even when
+   the busy tenant has been charged heavy costs meanwhile. *)
+let test_scheduler_cost_idle_rejoin () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.push s ~cost:10.0 ~tenant:"b" ~weight:1 0);
+  for i = 1 to 20 do
+    ignore (Scheduler.push s ~cost:10.0 ~tenant:"a" ~weight:1 i)
+  done;
+  (* b clears its one job and goes idle; a keeps being served *)
+  for _ = 1 to 15 do
+    ignore (Scheduler.pop s)
+  done;
+  for i = 1 to 3 do
+    ignore (Scheduler.push s ~cost:10.0 ~tenant:"b" ~weight:1 (100 + i))
+  done;
+  let order =
+    List.init 6 (fun _ ->
+        match Scheduler.pop s with Some (t, _) -> t | None -> "?")
+  in
+  check string_t "rejoiner is served promptly" "b" (List.hd order);
+  check int_t "fair half of the window, no replayed credit" 3
+    (List.length (List.filter (( = ) "b") order))
+
 let test_scheduler_drop_last () =
   let s = Scheduler.create () in
   ignore (Scheduler.push s ~tenant:"a" ~weight:1 "a1");
@@ -148,6 +212,30 @@ let test_scheduler_drop_last () =
     "newest matching" (Some "a2")
     (Scheduler.drop_last s (fun j -> j.[0] = 'a'));
   check int_t "two dropped" 1 (Scheduler.length s)
+
+(* Shedding under cost strides: a dropped job's cost is never charged —
+   only cleared jobs advance a tenant's pass and served cost, so the
+   survivors rejoin the stride sequence exactly where they left it. *)
+let test_scheduler_drop_last_cost () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.push s ~cost:5.0 ~tenant:"a" ~weight:1 "a1");
+  ignore (Scheduler.push s ~cost:500.0 ~tenant:"a" ~weight:1 "a2");
+  ignore (Scheduler.push s ~cost:5.0 ~tenant:"b" ~weight:1 "b1");
+  check
+    Alcotest.(option string_t)
+    "newest matching a job shed" (Some "a2")
+    (Scheduler.drop_last s (fun j -> j.[0] = 'a'));
+  let order =
+    List.init 2 (fun _ ->
+        match Scheduler.pop s with
+        | Some (t, j) -> t ^ ":" ^ j
+        | None -> "?")
+  in
+  check
+    Alcotest.(list string_t)
+    "stride order unaffected by the shed cost" [ "a:a1"; "b:b1" ] order;
+  check bool_t "served cost excludes the shed job" true
+    (Scheduler.served_cost_of s "a" = 5.0)
 
 (* ------------------------------------------------------------------ *)
 (* Breaker                                                              *)
@@ -183,15 +271,102 @@ let test_admission_memory_budget () =
   let m = parse big_src in
   check int_t "declared qubits" 28 (Admission.required_qubits m);
   (match Admission.check ~budget:(1 lsl 30) ~backend:`Statevector m with
-  | Ok () -> Alcotest.fail "4 GiB statevector admitted under a 1 GiB budget"
+  | Ok _ -> Alcotest.fail "4 GiB statevector admitted under a 1 GiB budget"
   | Error e ->
     check int_t "overload exit code" Qir_error.exit_overload
       (Qir_error.exit_code e));
   (* the tableau footprint for the same register is a few hundred bytes *)
   check bool_t "stabilizer backend fits easily" true
-    (Admission.check ~budget:(1 lsl 20) ~backend:`Stabilizer m = Ok ());
+    (Result.is_ok (Admission.check ~budget:(1 lsl 20) ~backend:`Stabilizer m));
   check bool_t "small statevector fits" true
-    (Admission.check ~budget:1024 ~backend:`Statevector (bell ()) = Ok ())
+    (Result.is_ok (Admission.check ~budget:1024 ~backend:`Statevector (bell ())))
+
+(* Satellite fix: a proof that shows a higher peak than the declaration
+   must win — admission charges max(declared, proven) and surfaces the
+   discrepancy as a QR003 note. *)
+let underdeclared_src =
+  "%Qubit = type opaque\n\
+   declare void @__quantum__qis__h__body(%Qubit*)\n\
+   define void @main() #0 {\n\
+   entry:\n\
+  \  call void @__quantum__qis__h__body(%Qubit* inttoptr (i64 2 to %Qubit*))\n\
+  \  ret void\n\
+   }\n\
+   attributes #0 = { \"entry_point\" \"required_num_qubits\"=\"1\" }"
+
+let test_admission_proof_beats_declaration () =
+  let m = parse underdeclared_src in
+  let cert = Qir_analysis.Resource.certify m in
+  let v = Admission.evaluate ~cert ~backend:`Statevector m in
+  check int_t "charged the proven peak, not the declared 1" 3
+    v.Admission.v_qubits;
+  (match v.Admission.v_qr003 with
+  | Some note ->
+    check bool_t "note names QR003" true
+      (String.length note >= 5 && String.sub note 0 5 = "QR003")
+  | None -> Alcotest.fail "expected a QR003 note");
+  (* the service surfaces the note on the Accepted event *)
+  let svc, events = recording () in
+  Service.submit svc ~tenant:"t" ~shots:2 m;
+  let note =
+    List.find_map
+      (function Service.Accepted { note; _ } -> note | _ -> None)
+      (events ())
+  in
+  check bool_t "Accepted event carries the QR003 note" true (note <> None)
+
+(* A module whose *lower* bound is proven huge: a gate on static qubit
+   index 27 forces a 28-qubit register on every path, so admission can
+   reject before anything is compiled. *)
+let provably_big_src =
+  "%Qubit = type opaque\n\
+   declare void @__quantum__qis__h__body(%Qubit*)\n\
+   define void @main() #0 {\n\
+   entry:\n\
+  \  call void @__quantum__qis__h__body(%Qubit* inttoptr (i64 27 to \
+   %Qubit*))\n\
+  \  ret void\n\
+   }\n\
+   attributes #0 = { \"entry_point\" \"required_num_qubits\"=\"0\" }"
+
+let test_admission_lower_bound_rejects_before_compile () =
+  let m = parse provably_big_src in
+  let cert = Qir_analysis.Resource.certify m in
+  check int_t "proven lower bound" 28 (Qir_analysis.Resource.qubits_lower cert);
+  match Admission.check ~cert ~budget:(1 lsl 30) ~backend:`Statevector m with
+  | Ok _ -> Alcotest.fail "proven 4 GiB lower bound admitted under 1 GiB"
+  | Error e ->
+    check int_t "exit 8" Qir_error.exit_overload (Qir_error.exit_code e);
+    check bool_t "rejection happened before compile" true
+      (let msg = e.Qir_error.message in
+       let needle = "before compile" in
+       let n = String.length needle and l = String.length msg in
+       let rec scan i =
+         i + n <= l && (String.sub msg i n = needle || scan (i + 1))
+       in
+       scan 0)
+
+(* Per-tenant accounting: two 4 GiB jobs fit a 5 GiB budget one at a
+   time, but not together in flight. *)
+let test_admission_tenant_inflight_accounting () =
+  let svc, events =
+    recording
+      ~config:{ Service.default_config with Service.mem_budget = 5 * (1 lsl 30) }
+      ()
+  in
+  let m = parse big_src in
+  Service.submit svc ~tenant:"greedy" ~id:"first" ~shots:1 m;
+  Service.submit svc ~tenant:"greedy" ~id:"second" ~shots:1 m;
+  (* no drain: the 28-qubit jobs must never actually execute *)
+  check int_t "first accepted" 1 (Service.stats svc).Service.accepted;
+  (match rejections (events ()) with
+  | [ (id, e, shed) ] ->
+    check string_t "second rejected" "second" id;
+    check bool_t "not a shed" false shed;
+    check int_t "exit 8" Qir_error.exit_overload (Qir_error.exit_code e)
+  | evs -> Alcotest.failf "expected one rejection, saw %d" (List.length evs));
+  check bool_t "in-flight bytes charged" true
+    (Service.inflight_bytes svc "greedy" >= 1 lsl 32)
 
 let test_service_rejects_at_admission () =
   let svc, events =
@@ -233,6 +408,37 @@ let test_service_fairness_under_contention () =
   check int_t "heavy got 2/3 of the first nine slots" 6
     (List.length (List.filter (( = ) "heavy") first9));
   check int_t "heavy vs light served" 9 (Service.served_of svc "heavy")
+
+(* Heterogeneous certified costs at equal weight: the cheap tenant's
+   1-shot jobs clear while a single 50-shot job of the same circuit is
+   charged 50x the stride, so cost-fair WFQ drains the cheap backlog
+   early. [cost_fair = false] restores job-count alternation. *)
+let test_service_cost_fair_scheduling () =
+  let m = bell () in
+  let run cost_fair =
+    let svc, events =
+      recording
+        ~config:{ Service.default_config with Service.cost_fair }
+        ()
+    in
+    for _ = 1 to 6 do
+      Service.submit svc ~tenant:"cheap" ~shots:1 m;
+      Service.submit svc ~tenant:"pricey" ~shots:50 m
+    done;
+    Service.drain svc;
+    (svc, List.map (fun (t, _, _) -> t) (results (events ())))
+  in
+  let svc, order = run true in
+  check int_t "all completed" 12 (List.length order);
+  let first7 = List.filteri (fun i _ -> i < 7) order in
+  check int_t "cost-fair: cheap backlog drains while one pricey job runs" 6
+    (List.length (List.filter (( = ) "cheap") first7));
+  check bool_t "pricey was charged more served cost" true
+    (Service.served_cost_of svc "pricey" > Service.served_cost_of svc "cheap");
+  let _, order2 = run false in
+  let first6 = List.filteri (fun i _ -> i < 6) order2 in
+  check int_t "job-fair: strict alternation" 3
+    (List.length (List.filter (( = ) "cheap") first6))
 
 (* ------------------------------------------------------------------ *)
 (* Circuit breaker at the service level                                 *)
@@ -474,14 +680,30 @@ let suite =
       test_scheduler_idle_rejoin;
     Alcotest.test_case "scheduler: drop_last picks the newest match" `Quick
       test_scheduler_drop_last;
+    Alcotest.test_case "scheduler: cost-weighted fairness" `Quick
+      test_scheduler_cost_weighted_fairness;
+    Alcotest.test_case "scheduler: cost strides respect weights" `Quick
+      test_scheduler_cost_respects_weights;
+    Alcotest.test_case "scheduler: idle rejoin under cost strides" `Quick
+      test_scheduler_cost_idle_rejoin;
+    Alcotest.test_case "scheduler: drop_last never charges shed cost" `Quick
+      test_scheduler_drop_last_cost;
     Alcotest.test_case "breaker: trip, half-open, reset" `Quick
       test_breaker_lifecycle;
     Alcotest.test_case "admission: memory budget" `Quick
       test_admission_memory_budget;
+    Alcotest.test_case "admission: proof beats declaration (QR003)" `Quick
+      test_admission_proof_beats_declaration;
+    Alcotest.test_case "admission: lower bound rejects before compile" `Quick
+      test_admission_lower_bound_rejects_before_compile;
+    Alcotest.test_case "admission: per-tenant in-flight accounting" `Quick
+      test_admission_tenant_inflight_accounting;
     Alcotest.test_case "service: rejects at admission with exit 8" `Quick
       test_service_rejects_at_admission;
     Alcotest.test_case "service: weighted fairness under contention" `Quick
       test_service_fairness_under_contention;
+    Alcotest.test_case "service: cost-fair scheduling across tenants" `Quick
+      test_service_cost_fair_scheduling;
     Alcotest.test_case "service: breaker trips and recovers" `Quick
       test_service_breaker_trips_and_recovers;
     Alcotest.test_case "service: sheds queue-expired jobs" `Quick
