@@ -538,8 +538,9 @@ let sim_fragments : (string * string) list ref = ref []
 let write_sim_json () =
   let pool =
     Printf.sprintf
-      {|  "pool": { "domains": %d, "parallel_threshold": %d, "sequential_fallbacks": %d }|}
+      {|  "pool": { "domains": %d, "cores": %d, "parallel_threshold": %d, "sequential_fallbacks": %d }|}
       (Qsim.Dpool.domains ())
+      (Domain.recommended_domain_count ())
       (Qsim.Dpool.threshold ())
       (Qsim.Dpool.sequential_fallbacks ())
   in
@@ -715,25 +716,38 @@ let e14 () =
     st4.Qsim.Fusion.identities_dropped;
   (* Domain sweep at the best k: the pool is restored afterwards, so
      later experiments (and the pool record in the JSON) see the
-     original configuration. *)
+     original configuration. Domain counts above the detected core
+     count are skipped with a reason on the record — a 4-domain time
+     measured on one core says nothing about 4-domain scaling, and an
+     unflagged flat sweep reads as a parallelism failure. *)
+  let cores = Domain.recommended_domain_count () in
   let saved_domains = Qsim.Dpool.domains () in
-  let dtimes =
-    List.map
-      (fun d ->
-        Qsim.Dpool.set_domains d;
-        (d, run_k best_k))
-      [ 1; 4; 8 ]
+  let dtimes, dskipped =
+    List.fold_left
+      (fun (ts, sk) d ->
+        if d > cores then (ts, d :: sk)
+        else begin
+          Qsim.Dpool.set_domains d;
+          ((d, run_k best_k) :: ts, sk)
+        end)
+      ([], []) [ 1; 4; 8 ]
   in
+  let dtimes = List.rev dtimes and dskipped = List.rev dskipped in
   Qsim.Dpool.set_domains saved_domains;
   Harness.row "@\n  domain sweep (k=%d; this machine reports %d core(s)):@\n"
-    best_k
-    (Domain.recommended_domain_count ());
+    best_k cores;
   List.iter
     (fun (d, t) ->
       Harness.row "  %4d domain(s) %12s %14.0f gates/sec@\n" d
         (Harness.ns_to_string (t *. 1e9))
         (gps t))
     dtimes;
+  List.iter
+    (fun d ->
+      Harness.row "  %4d domain(s)      skipped: exceeds the %d detected \
+                   core(s)@\n"
+        d cores)
+    dskipped;
   (* Forced sharded layout: 2^18-amplitude shards make the same
      20-qubit register span 4 shards, exercising the shard-crossing
      kernels on the identical workload. *)
@@ -801,16 +815,146 @@ let e14 () =
             t_ks))
       best_k (gps best_t) (t_k2 /. best_t) st4.Qsim.Fusion.ops_in
       st4.Qsim.Fusion.steps_out st4.Qsim.Fusion.clusters_emitted
-      st4.Qsim.Fusion.clustered_gates best_k
-      (Domain.recommended_domain_count ())
+      st4.Qsim.Fusion.clustered_gates best_k cores
       (String.concat ", "
          (List.map
             (fun (d, t) -> Printf.sprintf {|"domains_%d_s": %.6f|} d t)
-            dtimes))
+            dtimes
+         @ List.map
+             (fun d ->
+               Printf.sprintf
+                 {|"domains_%d_skipped": "exceeds the %d detected core(s)"|}
+                 d cores)
+             dskipped))
       t_sharded (gps t_sharded) n28 n28 shots t28 completed
       (completed = shots && ghz_keys_only)
   in
   add_sim_fragment "e14" fragment
+
+(* ------------------------------------------------------------------ *)
+(* E18 — Bigarray storage + stride-aware shard exchange, measured
+   against the float-array engine it replaced. The workloads are E14's:
+   the 20-qubit/200-gate clustered sweep and the 28-qubit GHZ
+   end-to-end run. The float-array storage no longer exists in-tree,
+   so the baselines are the numbers the pre-migration revision
+   committed to BENCH_simulator.json on this machine: 1446 gates/sec
+   best-k clustered, 105.412402 s for the GHZ run. *)
+
+let e18 () =
+  Harness.section "E18" "Bigarray storage + stride-aware shard exchange";
+  let baseline_gps = 1446.0 in
+  let baseline_ghz_s = 105.412402 in
+  let n = 20 and gates = 200 in
+  let c = Generate.random ~seed:77 ~parametric:false ~gates n in
+  let gps t = float_of_int gates /. t in
+  (* best of two timed runs per k: single-shot timings on this sweep
+     swing ~10% with ambient load, and the per-k minimum is the
+     stable figure (labeled as such in the JSON) *)
+  let samples_per_k = 3 in
+  let run_k k =
+    let best = ref infinity in
+    for _ = 1 to samples_per_k do
+      let t =
+        Harness.time_once (fun () ->
+            ignore (Qsim.Fusion.run_circuit ~seed:1 ~k c))
+      in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  (* one unmeasured run so the sweep sees warm allocator state *)
+  ignore (Qsim.Fusion.run_circuit ~seed:1 ~k:4 c);
+  let t_ks = List.map (fun k -> (k, run_k k)) [ 3; 4; 5; 6 ] in
+  let best_k, best_t =
+    match t_ks with
+    | first :: rest ->
+      List.fold_left
+        (fun (bk, bt) (k, t) -> if t < bt then (k, t) else (bk, bt))
+        first rest
+    | [] -> assert false
+  in
+  Harness.row "  %d-qubit, %d-gate clustered sweep on Bigarray slices:@\n" n
+    gates;
+  List.iter
+    (fun (k, t) ->
+      Harness.row "  clustered (k=%d) %12s %14.0f gates/sec@\n" k
+        (Harness.ns_to_string (t *. 1e9))
+        (gps t))
+    t_ks;
+  Harness.row
+    "  best (k=%d): %.0f gates/sec vs %.0f recorded by the float-array \
+     engine — %.2fx@\n"
+    best_k (gps best_t) baseline_gps
+    (gps best_t /. baseline_gps);
+  (* stride-aware exchange under a forced sharded layout: 2^18-amplitude
+     shards make the register span 4 shards, so every gate on qubits
+     18/19 runs the cross-shard permutation path *)
+  let saved_lb = Qsim.Statevector.max_local_bits () in
+  Qsim.Statevector.set_max_local_bits 18;
+  let t_sharded = run_k best_k in
+  Qsim.Statevector.set_max_local_bits saved_lb;
+  Harness.row
+    "  sharded (4 x 2^18 amplitudes, stride-aware exchange): %s  (%.0f \
+     gates/sec, %.2fx flat)@\n"
+    (Harness.ns_to_string (t_sharded *. 1e9))
+    (gps t_sharded) (best_t /. t_sharded);
+  (* the 28-qubit GHZ end-to-end run the old storage needed 105 s for *)
+  let n28 = 28 and shots = 50 in
+  let b = Circuit.Build.create ~num_qubits:n28 ~num_clbits:2 () in
+  Circuit.Build.gate b Gate.H [ 0 ];
+  for q = 0 to n28 - 2 do
+    Circuit.Build.gate b Gate.Cx [ q; q + 1 ]
+  done;
+  Circuit.Build.measure b 0 0;
+  Circuit.Build.measure b (n28 - 1) 1;
+  let m28 = Qir.Qir_builder.build (Circuit.Build.finish b) in
+  let result = ref None in
+  let t28 =
+    Harness.time_once (fun () ->
+        result :=
+          Some (Qruntime.Executor.run_shots ~seed:5 ~batch:true ~shots m28))
+  in
+  let hist = Option.get !result in
+  let completed = List.fold_left (fun acc (_, k) -> acc + k) 0 hist in
+  let ghz_keys_only =
+    List.for_all (fun (key, _) -> key = "00" || key = "11") hist
+  in
+  Harness.row
+    "  28-qubit GHZ end-to-end: %s vs %.1f s recorded — %.2fx@\n"
+    (Harness.ns_to_string (t28 *. 1e9))
+    baseline_ghz_s (baseline_ghz_s /. t28);
+  let fragment =
+    Printf.sprintf
+      {|  "e18_bigarray": {
+    "storage": "bigarray-float64-c-layout",
+    "exchange": "stride-aware",
+    "circuit": { "qubits": %d, "gates": %d, "family": "clifford+t" },
+    "timing": "best_of_%d_per_k",
+    "clustered": { %s },
+    "best_k": %d,
+    "gates_per_sec_best": %.0f,
+    "baseline_float_array_gates_per_sec": %.0f,
+    "speedup_vs_float_array": %.2f,
+    "sharded": { "local_bits": 18, "shards": 4, "time_s": %.6f, "gates_per_sec": %.0f },
+    "ghz28": {
+      "qubits": %d, "shots": %d, "batched": true,
+      "time_s": %.6f, "shots_completed": %d, "ghz_histogram_ok": %b,
+      "baseline_float_array_s": %.6f, "speedup_vs_float_array": %.2f
+    }
+  }|}
+      n gates samples_per_k
+      (String.concat ", "
+         (List.map
+            (fun (k, t) -> Printf.sprintf {|"k%d_s": %.6f|} k t)
+            t_ks))
+      best_k (gps best_t) baseline_gps
+      (gps best_t /. baseline_gps)
+      t_sharded (gps t_sharded) n28 shots t28 completed
+      (completed = shots && ghz_keys_only)
+      baseline_ghz_s
+      (baseline_ghz_s /. t28)
+  in
+  add_sim_fragment "e18" fragment
 
 (* ------------------------------------------------------------------ *)
 (* E15 — the multi-tenant service under mixed hot/cold load             *)
@@ -1023,6 +1167,41 @@ let e15 () =
     rs2;
   Harness.row "  parity spot-check: %d sampled, %d divergences@\n"
     !parity_checked !divergences;
+  (* ---- phase 3: multi-executor drain ------------------------------ *)
+  (* The same uncontended hot workload drained by one loop and by four
+     Domain drain loops claiming from the shared scheduler. On a
+     single-core machine the result is honestly flat — the record
+     carries the detected core count so the reader can tell scaling
+     headroom from a parallelism failure. *)
+  let cores = Domain.recommended_domain_count () in
+  let exec_rounds = 4 and exec_batch = 20 in
+  let run_exec executors =
+    let svc, _ = fresh_run () in
+    Service.submit svc ~tenant:"hot" ~shots ~seed:1 hot_m;
+    Service.drain svc;
+    let t =
+      Harness.time_once (fun () ->
+          for r = 0 to exec_rounds - 1 do
+            for i = 0 to exec_batch - 1 do
+              Service.submit svc ~tenant:"hot"
+                ~id:(Printf.sprintf "x%d-%d" r i)
+                ~shots
+                ~seed:(7000 + (r * exec_batch) + i)
+                hot_m
+            done;
+            Service.drain_parallel ~executors svc
+          done)
+    in
+    (* exclude the warm-up job from the rate *)
+    float_of_int ((Service.stats svc).Service.completed - 1) /. t
+  in
+  let exec_jobs = exec_rounds * exec_batch in
+  let jps_1 = run_exec 1 in
+  let jps_4 = run_exec 4 in
+  Harness.row
+    "  multi-executor drain (%d jobs, %d core(s)): 1 executor %.0f \
+     jobs/sec, 4 executors %.0f jobs/sec (%.2fx)@\n"
+    exec_jobs cores jps_1 jps_4 (jps_4 /. jps_1);
   let json =
     Printf.sprintf
       {|{
@@ -1045,7 +1224,14 @@ let e15 () =
       "hot_p50_s": %.6f, "hot_p99_s": %.6f,
       "hot_p99_vs_uncontended": %.2f
     },
-    "parity_spot_check": { "sampled": %d, "divergences": %d }
+    "parity_spot_check": { "sampled": %d, "divergences": %d },
+    "multi_executor": {
+      "cores": %d, "jobs": %d,
+      "executors_1_jobs_per_sec": %.1f,
+      "executors_4_jobs_per_sec": %.1f,
+      "scaling_x": %.2f,
+      "note": "executor Domains share the detected cores; scaling above 1.0 requires cores > 1"
+    }
   }
 }
 |}
@@ -1055,7 +1241,8 @@ let e15 () =
       (s2.Service.rejected - s2.Service.shed)
       s2.Service.degraded_results s2.Service.batched_runs s2.Service.tape_runs
       s2.Service.per_shot_runs s2.Service.throttled_runs over_p50 over_p99
-      (over_p99 /. base_p99) !parity_checked !divergences
+      (over_p99 /. base_p99) !parity_checked !divergences cores exec_jobs
+      jps_1 jps_4 (jps_4 /. jps_1)
   in
   let oc = open_out "BENCH_service.json" in
   output_string oc json;
@@ -2035,4 +2222,5 @@ let () =
   run "e15" e15;
   run "e16" e16;
   run "e17" e17;
+  run "e18" e18;
   Format.printf "@\nAll benchmarks complete.@\n"

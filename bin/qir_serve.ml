@@ -13,9 +13,9 @@
      the cram tests drive this mode.
 
    - --socket PATH: a Unix-domain-socket daemon. Each connection gets
-     a reader thread; one executor thread drains the shared queue and
-     events route back to the connection that submitted the job. Runs
-     until killed.
+     a reader thread; --executors N Domains drain the shared queue
+     concurrently (the service core is Domain-safe) and events route
+     back to the connection that submitted the job. Runs until killed.
 
    Exit codes: 0 ok, 7 usage. Per-job failures never kill the daemon —
    they are events on the wire carrying the taxonomy (rejections are
@@ -80,7 +80,7 @@ let handle_line service ~out ~route line =
 (* ------------------------------------------------------------------ *)
 (* Batch mode                                                           *)
 
-let run_batch config input =
+let run_batch config ~executors input =
   let out = { write = (fun line -> print_string line; print_newline ()) } in
   let service =
     Qservice.Service.create ~config
@@ -111,14 +111,16 @@ let run_batch config input =
      if not (String.equal input "-") then In_channel.close ic;
      raise e);
   if not (String.equal input "-") then In_channel.close ic;
-  Qservice.Service.drain service;
+  Qservice.Service.drain_parallel ~executors service;
   if !want_stats then
     out.write (Qservice.Protocol.stats_line (Qservice.Service.stats service))
 
 (* ------------------------------------------------------------------ *)
 (* Socket daemon                                                        *)
 
-let run_socket config path =
+let run_socket config ~executors path =
+  (* The service core is internally Domain-safe; this lock only guards
+     the daemon's own routing table. *)
   let lock = Mutex.create () in
   let locked f =
     Mutex.lock lock;
@@ -131,7 +133,8 @@ let run_socket config path =
   let next_id = ref 0 in
   let dead = { write = (fun _ -> ()) } in
   let sink_of id =
-    Option.value ~default:dead (Hashtbl.find_opt routes id)
+    locked (fun () ->
+        Option.value ~default:dead (Hashtbl.find_opt routes id))
   in
   let emit ev =
     let deliver id line =
@@ -145,21 +148,21 @@ let run_socket config path =
       deliver id line
     | Qservice.Service.Rejected { id; _ } ->
       deliver id line;
-      Hashtbl.remove routes id
+      locked (fun () -> Hashtbl.remove routes id)
     | Qservice.Service.Result { id; _ } | Qservice.Service.Failed { id; _ } ->
       deliver id line;
-      Hashtbl.remove routes id
+      locked (fun () -> Hashtbl.remove routes id)
   in
   let service = Qservice.Service.create ~config ~emit () in
-  (* one executor thread drains the shared queue *)
-  let _executor =
-    Thread.create
-      (fun () ->
-        while true do
-          let ran = locked (fun () -> Qservice.Service.run_once service) in
-          if not ran then Thread.delay 0.01
-        done)
-      ()
+  (* one drain loop per executor Domain, all claiming from the shared
+     fair queue; idle loops back off so an empty daemon costs nothing *)
+  let _executors =
+    Array.init executors (fun _ ->
+        Domain.spawn (fun () ->
+            while true do
+              if not (Qservice.Service.run_once service) then
+                Thread.delay 0.01
+            done))
   in
   let serve_conn fd =
     let ic = Unix.in_channel_of_descr fd in
@@ -178,17 +181,16 @@ let run_socket config path =
                 flush oc));
       }
     in
-    (* called from handle_line, which always runs under [locked] — so
-       no locking here (same-thread relock raises Sys_error EDEADLK) *)
     let route ~requested =
-      incr next_id;
-      let id =
-        match requested with
-        | Some id -> Printf.sprintf "%s#%d" id !next_id
-        | None -> Printf.sprintf "job-%d" !next_id
-      in
-      Hashtbl.replace routes id out;
-      Some id
+      locked (fun () ->
+          incr next_id;
+          let id =
+            match requested with
+            | Some id -> Printf.sprintf "%s#%d" id !next_id
+            | None -> Printf.sprintf "job-%d" !next_id
+          in
+          Hashtbl.replace routes id out;
+          Some id)
     in
     let quit = ref false in
     (try
@@ -196,14 +198,11 @@ let run_socket config path =
          match In_channel.input_line ic with
          | None -> quit := true
          | Some line -> (
-           match
-             locked (fun () -> handle_line service ~out ~route line)
-           with
+           match handle_line service ~out ~route line with
            | `Quit -> quit := true
            | `Stats ->
              out.write
-               (Qservice.Protocol.stats_line
-                  (locked (fun () -> Qservice.Service.stats service)))
+               (Qservice.Protocol.stats_line (Qservice.Service.stats service))
            | `Continue -> ())
        done
      with Sys_error _ | Unix.Unix_error _ | End_of_file -> ());
@@ -271,11 +270,23 @@ let weight_conv : (string * int) Arg.conv =
 
 let serve input socket mem_budget max_queue max_tenant_queue max_shots timeout
     retries breaker_threshold breaker_cooldown overload_depth chunk weights
-    no_sleep =
+    no_sleep executors domains local_bits =
   Cli_common.protect @@ fun () ->
   if max_queue < 1 then usage_die "--max-queue: need at least 1";
   if overload_depth < 1 then usage_die "--overload-depth: need at least 1";
   if chunk < 1 then usage_die "--chunk: need at least 1";
+  if executors < 1 then usage_die "--executors: need at least 1";
+  Option.iter
+    (fun n ->
+      if n < 1 then usage_die "--domains: need at least one domain";
+      Qsim.Dpool.set_domains n)
+    domains;
+  Option.iter
+    (fun b ->
+      if b < 1 || b > Qsim.Statevector.max_qubits then
+        usage_die "--local-bits: expected 1..%d" Qsim.Statevector.max_qubits;
+      Qsim.Statevector.set_max_local_bits b)
+    local_bits;
   let config =
     {
       Qservice.Service.default_config with
@@ -294,8 +305,8 @@ let serve input socket mem_budget max_queue max_tenant_queue max_shots timeout
     }
   in
   match socket with
-  | Some path -> run_socket config path
-  | None -> run_batch config input
+  | Some path -> run_socket config ~executors path
+  | None -> run_batch config ~executors input
 
 let input =
   Arg.(value & pos 0 string "-" & info [] ~docv:"REQUESTS.ndjson"
@@ -371,6 +382,23 @@ let no_sleep =
          ~doc:"Do not actually wait out retry backoff delays (test \
                harnesses only).")
 
+let executors =
+  Arg.(value & opt int 1 & info [ "executors" ] ~docv:"N"
+         ~doc:"Drain loops (Domains) executing jobs concurrently against \
+               the shared session. Per-job results are seed-determined, \
+               so N > 1 changes throughput and event interleaving, never \
+               histograms.")
+
+let domains =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Domains for the simulator kernel pool (default: \
+               QIR_SIM_DOMAINS or the detected core count).")
+
+let local_bits =
+  Arg.(value & opt (some int) None & info [ "local-bits" ] ~docv:"BITS"
+         ~doc:"Statevector shard granularity: each shard holds 2^BITS \
+               amplitudes (default: QIR_SIM_LOCAL_BITS or 24).")
+
 let cmd =
   let doc = "serve QIR programs to concurrent tenants over a job queue" in
   Cmd.v
@@ -378,6 +406,7 @@ let cmd =
     Term.(
       const serve $ input $ socket $ mem_budget $ max_queue $ max_tenant_queue
       $ max_shots $ timeout $ retries $ breaker_threshold $ breaker_cooldown
-      $ overload_depth $ chunk $ weights $ no_sleep)
+      $ overload_depth $ chunk $ weights $ no_sleep $ executors $ domains
+      $ local_bits)
 
 let () = exit (Cmd.eval cmd)

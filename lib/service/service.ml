@@ -34,9 +34,15 @@
    [Executor.run_shots_resilient] call at the same tier cap — degraded
    jobs return fewer shots, never different ones.
 
-   The core is deliberately synchronous and deterministic (tests drive
-   [submit]/[run_once] directly); the daemon in bin/qir_serve.ml owns
-   the sockets and threads around it. *)
+   The core is deterministic and Domain-safe: every piece of mutable
+   service state (scheduler, breakers, in-flight accounting, counters,
+   event emission) is guarded by one internal mutex, while simulator
+   execution runs outside it — so [drain_parallel ~executors:n] can run
+   one drain loop per Domain against the shared reentrant
+   {!Executor.Session}, and per-job results stay bit-identical to a
+   single-threaded [drain] because seeding is per-job, not per-loop.
+   Tests drive [submit]/[run_once] directly; the daemon in
+   bin/qir_serve.ml owns the sockets and threads around it. *)
 
 open Qruntime
 
@@ -131,6 +137,7 @@ type stats = {
 
 type t = {
   config : config;
+  lock : Mutex.t; (* guards every mutable field below and [emit] *)
   session : Executor.Session.t;
   sched : job Scheduler.t;
   breakers : (string, Breaker.t) Hashtbl.t;
@@ -154,6 +161,7 @@ type t = {
 let create ?(config = default_config) ~emit () =
   {
     config;
+    lock = Mutex.create ();
     session = Executor.Session.create ~cache_limit:config.module_cache_limit ();
     sched = Scheduler.create ();
     breakers = Hashtbl.create 8;
@@ -174,8 +182,16 @@ let create ?(config = default_config) ~emit () =
     throttled_runs = 0;
   }
 
+(* Domain-safety: one mutex serializes access to the scheduler, the
+   breaker/in-flight tables, the stats counters and [emit]; simulator
+   execution itself always runs with the lock released, so concurrent
+   drain loops only contend on bookkeeping. *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let session t = t.session
-let queue_depth t = Scheduler.length t.sched
+let queue_depth t = locked t (fun () -> Scheduler.length t.sched)
 let served_of t tenant = Scheduler.served_of t.sched tenant
 let served_cost_of t tenant = Scheduler.served_cost_of t.sched tenant
 
@@ -207,6 +223,7 @@ let breaker t tenant =
 let breaker_state t tenant = Breaker.state_name (breaker t tenant)
 
 let stats t =
+  locked t @@ fun () ->
   {
     submitted = t.submitted;
     accepted = t.accepted;
@@ -232,6 +249,7 @@ let stats t =
    compile-once contract at service granularity. Bounded FIFO. *)
 
 let intern t ~source : (Llvm_ir.Ir_module.t, Qir_error.t) result =
+  locked t @@ fun () ->
   let key = Digest.string source in
   match Hashtbl.find_opt t.modules key with
   | Some m -> Ok m
@@ -273,6 +291,7 @@ let submit t ~tenant ?id ?(shots = 1) ?(seed = 1)
     ?(backend : Executor.backend_kind = `Statevector)
     ?(engine : Executor.engine = `Auto) ?timeout (m : Llvm_ir.Ir_module.t) :
     unit =
+  locked t @@ fun () ->
   t.submitted <- t.submitted + 1;
   let id =
     match id with Some s -> s | None -> Printf.sprintf "job-%d" t.submitted
@@ -418,11 +437,13 @@ let merge_histogram tbl hist =
     hist
 
 (* Run one popped job to completion (or degradation), streaming
-   progress. Returns the terminal event after emitting it. *)
+   progress. Bookkeeping and event emission take the service lock;
+   the executor calls themselves run with the lock released, so other
+   drain loops keep claiming and running jobs concurrently. *)
 let run_job t (job : job) =
   let start = Resilience.Deadline.now () in
   let wait_s = start -. job.submitted_at in
-  let level = load_level t in
+  let level = locked t (fun () -> load_level t) in
   let hot = Executor.Session.is_cached t.session job.m in
   (* The degradation ladder. Cache-hot jobs keep the batched tier at
      every load level: a warm compile+tape cache makes the fused
@@ -443,7 +464,7 @@ let run_job t (job : job) =
   in
   let throttle = level = Critical in
   Qsim.Dpool.set_throttle throttle;
-  if throttle then t.throttled_runs <- t.throttled_runs + 1;
+  if throttle then locked t (fun () -> t.throttled_runs <- t.throttled_runs + 1);
   let chunk_size =
     match level with
     | Normal | Elevated -> t.config.chunk
@@ -451,6 +472,8 @@ let run_job t (job : job) =
   in
   let pool_fallbacks0 = Qsim.Dpool.sequential_fallbacks () in
   let finish result tier =
+    let run_s = Resilience.Deadline.now () -. start in
+    locked t @@ fun () ->
     release t job;
     (match tier with
     | `Batched -> t.batched_runs <- t.batched_runs + 1
@@ -460,7 +483,6 @@ let run_job t (job : job) =
       t.degraded_results <- t.degraded_results + 1;
     t.completed <- t.completed + 1;
     Breaker.record_success (breaker t job.tenant);
-    let run_s = Resilience.Deadline.now () -. start in
     t.emit
       (Result { id = job.id; tenant = job.tenant; result; tier; wait_s; run_s })
   in
@@ -522,14 +544,15 @@ let run_job t (job : job) =
           else begin
             lo := !lo + n;
             if !lo < job.shots then
-              t.emit
-                (Progress
-                   {
-                     id = job.id;
-                     tenant = job.tenant;
-                     completed = !completed;
-                     requested = job.shots;
-                   })
+              locked t (fun () ->
+                  t.emit
+                    (Progress
+                       {
+                         id = job.id;
+                         tenant = job.tenant;
+                         completed = !completed;
+                         requested = job.shots;
+                       }))
           end
       done;
       let result : Executor.shots_result =
@@ -552,34 +575,42 @@ let run_job t (job : job) =
       finish result (if !tape_used then `Tape else `Per_shot)
     end
   with e ->
-    release t job;
     let error = Qir_error.wrap_exn e in
-    t.failed <- t.failed + 1;
-    (match error.Qir_error.kind with
-    | Qir_error.Backend_failure | Qir_error.Exec ->
-      Breaker.record_failure (breaker t job.tenant)
-    | _ -> ());
-    t.emit (Failed { id = job.id; tenant = job.tenant; error })
+    locked t (fun () ->
+        release t job;
+        t.failed <- t.failed + 1;
+        (match error.Qir_error.kind with
+        | Qir_error.Backend_failure | Qir_error.Exec ->
+          Breaker.record_failure (breaker t job.tenant)
+        | _ -> ());
+        t.emit (Failed { id = job.id; tenant = job.tenant; error }))
 
-(* One scheduling quantum: pop the fair-queue head and run it (or shed
-   it if its deadline already expired while queued). [false] when the
-   queue is empty. *)
+(* One scheduling quantum: claim the fair-queue head under the lock,
+   then run it with the lock released (or shed it if its deadline
+   already expired while queued). [false] when the queue is empty. *)
 let run_once t =
-  match Scheduler.pop t.sched with
-  | None ->
-    Qsim.Dpool.set_throttle false;
-    false
-  | Some (_, job) ->
+  let claimed =
+    locked t (fun () ->
+        match Scheduler.pop t.sched with
+        | None ->
+          Qsim.Dpool.set_throttle false;
+          None
+        | Some (_, job) -> Some job)
+  in
+  match claimed with
+  | None -> false
+  | Some job ->
     (match job.deadline with
     | Some at when Resilience.Deadline.now () >= at ->
       (* expired while queued: taxonomy-coded shed, no simulator time *)
-      release t job;
-      reject ~shed:true t ~id:job.id ~tenant:job.tenant
-        (overload
-           "shed under overload: job %s's deadline expired after %.3f s in \
-            the queue"
-           job.id
-           (Resilience.Deadline.now () -. job.submitted_at))
+      locked t (fun () ->
+          release t job;
+          reject ~shed:true t ~id:job.id ~tenant:job.tenant
+            (overload
+               "shed under overload: job %s's deadline expired after %.3f s \
+                in the queue"
+               job.id
+               (Resilience.Deadline.now () -. job.submitted_at)))
     | _ -> run_job t job);
     true
 
@@ -588,3 +619,26 @@ let drain t =
     ()
   done;
   Qsim.Dpool.set_throttle false
+
+(* One drain loop per Domain. Each loop claims jobs from the shared
+   stride scheduler under the service lock and executes them against
+   the shared reentrant session with the lock released. Per-job
+   histograms are bit-identical to a single-threaded [drain] — seeding
+   is per-job — but cross-job scheduling order (and therefore
+   load-level transitions) depends on claim interleaving, exactly as
+   it would with real concurrent tenants. *)
+let drain_parallel ?(executors = 1) t =
+  if executors < 1 then
+    invalid_arg "Service.drain_parallel: need at least one executor";
+  if executors = 1 then drain t
+  else begin
+    let loop () =
+      while run_once t do
+        ()
+      done
+    in
+    let workers = Array.init (executors - 1) (fun _ -> Domain.spawn loop) in
+    loop ();
+    Array.iter Domain.join workers;
+    Qsim.Dpool.set_throttle false
+  end

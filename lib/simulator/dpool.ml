@@ -183,49 +183,69 @@ let chunk_count ~size =
   then 1
   else !num_domains
 
+(* The pool has one owner at a time: each worker holds a single
+   [pending] slot, so two domains dispatching concurrently would race
+   on it. The service tier runs one drain loop per Domain, and several
+   of those can hit statevector kernels at once — the loser of
+   [Mutex.try_lock] runs the SAME chunk decomposition inline on its own
+   domain instead of blocking on the pool. The chunk boundaries (and
+   therefore every chunk-ordered reduction) are identical either way,
+   so results do not depend on which domain won the pool. *)
+let owner = Mutex.create ()
+
+let run_chunks_inline ~chunks ~size f =
+  let per = (size + chunks - 1) / chunks in
+  for k = 0 to chunks - 1 do
+    let lo = min size (k * per) and hi = min size ((k + 1) * per) in
+    if lo < hi then f k lo hi
+  done
+
 (* Runs [f k lo hi] for each of [chunks] chunks covering [0, size);
    chunk 0 runs on the calling domain. If worker domains cannot be
    spawned, the whole range runs sequentially on the caller (counted as
    a fallback). *)
 let dispatch ~chunks ~size f =
   if chunks = 1 then f 0 0 size
+  else if not (Mutex.try_lock owner) then run_chunks_inline ~chunks ~size f
   else
     match get_pool () with
     | exception _ ->
       spawn_disabled := true;
       incr seq_fallback_count;
+      Mutex.unlock owner;
       f 0 0 size
     | p ->
-    begin
-    let per = (size + chunks - 1) / chunks in
-    (* chunks 1..n-1 go to workers, chunk 0 stays on the caller *)
-    for k = 1 to chunks - 1 do
-      let lo = min size (k * per) and hi = min size ((k + 1) * per) in
-      let w = p.workers.(k - 1) in
-      Mutex.lock w.mutex;
-      w.pending <- Some { f = f k; lo; hi };
-      w.busy <- true;
-      Condition.broadcast w.cond;
-      Mutex.unlock w.mutex
-    done;
-    f 0 0 (min size per);
-    let first_error = ref None in
-    for k = 1 to chunks - 1 do
-      let w = p.workers.(k - 1) in
-      Mutex.lock w.mutex;
-      while w.busy do
-        Condition.wait w.cond w.mutex
-      done;
-      Mutex.unlock w.mutex;
-      (match w.error, !first_error with
-      | Some e, None -> first_error := Some e
-      | _ -> ());
-      w.error <- None
-    done;
-    match !first_error with
-    | Some e -> raise e
-    | None -> ()
-    end
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock owner)
+        (fun () ->
+          let per = (size + chunks - 1) / chunks in
+          (* chunks 1..n-1 go to workers, chunk 0 stays on the caller *)
+          for k = 1 to chunks - 1 do
+            let lo = min size (k * per) and hi = min size ((k + 1) * per) in
+            let w = p.workers.(k - 1) in
+            Mutex.lock w.mutex;
+            w.pending <- Some { f = f k; lo; hi };
+            w.busy <- true;
+            Condition.broadcast w.cond;
+            Mutex.unlock w.mutex
+          done;
+          f 0 0 (min size per);
+          let first_error = ref None in
+          for k = 1 to chunks - 1 do
+            let w = p.workers.(k - 1) in
+            Mutex.lock w.mutex;
+            while w.busy do
+              Condition.wait w.cond w.mutex
+            done;
+            Mutex.unlock w.mutex;
+            (match w.error, !first_error with
+            | Some e, None -> first_error := Some e
+            | _ -> ());
+            w.error <- None
+          done;
+          match !first_error with
+          | Some e -> raise e
+          | None -> ())
 
 let run_indexed ~size f = dispatch ~chunks:(chunk_count ~size) ~size f
 

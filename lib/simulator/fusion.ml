@@ -60,18 +60,32 @@ type stats = {
    between a negligible and a dominant planning cost at 32x32+. *)
 let mat_mul a b =
   let n = Array.length a in
+  (* Accumulate each row in unboxed float arrays and box once per
+     entry: [Complex.add]/[Complex.mul] in the inner loop allocate two
+     boxed values per nonzero product, and at 64x64 the planner runs
+     enough products that the allocation churn dominates planning
+     time. The additions happen in the same k-ascending order as the
+     boxed walk, so the resulting matrices are bit-identical. *)
+  let rr = Array.make n 0.0 and ri = Array.make n 0.0 in
   Array.init n (fun i ->
-      let row = Array.make n Complex.zero in
+      Array.fill rr 0 n 0.0;
+      Array.fill ri 0 n 0.0;
       for k = 0 to n - 1 do
         let aik = a.(i).(k) in
-        if aik.Complex.re <> 0.0 || aik.Complex.im <> 0.0 then
+        let ar = aik.Complex.re and ai = aik.Complex.im in
+        if ar <> 0.0 || ai <> 0.0 then
           for j = 0 to n - 1 do
-            let bkj = b.(k).(j) in
-            if bkj.Complex.re <> 0.0 || bkj.Complex.im <> 0.0 then
-              row.(j) <- Complex.add row.(j) (Complex.mul aik bkj)
+            let bkj = Array.unsafe_get (Array.unsafe_get b k) j in
+            let br = bkj.Complex.re and bi = bkj.Complex.im in
+            if br <> 0.0 || bi <> 0.0 then begin
+              Array.unsafe_set rr j
+                (Array.unsafe_get rr j +. ((ar *. br) -. (ai *. bi)));
+              Array.unsafe_set ri j
+                (Array.unsafe_get ri j +. ((ar *. bi) +. (ai *. br)))
+            end
           done
       done;
-      row)
+      Array.init n (fun j -> { Complex.re = rr.(j); im = ri.(j) }))
 
 (* Reindexes a 4x4 matrix to the basis with its two qubit roles
    swapped: bit pattern |ab> becomes |ba> (1 <-> 2). *)
@@ -81,14 +95,19 @@ let swap_roles (u : Complex.t array array) =
 
 let is_identity (u : Complex.t array array) =
   let n = Array.length u in
-  let dev = ref 0.0 in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let expect = if i = j then Complex.one else Complex.zero in
-      dev := Float.max !dev (Complex.norm (Complex.sub u.(i).(j) expect))
-    done
-  done;
-  !dev < 1e-14
+  (* max-deviation < t iff no entry deviates by >= t, so bail on the
+     first offender: almost every matrix the planner probes is not an
+     identity, and the planner probes one per flush. *)
+  try
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let expect = if i = j then Complex.one else Complex.zero in
+        if Complex.norm (Complex.sub u.(i).(j) expect) >= 1e-14 then
+          raise Exit
+      done
+    done;
+    true
+  with Exit -> false
 
 (* Structure tests (exact zeros: gate matrices carry them, and products
    of structured matrices preserve them). The engine has cheap kernels
@@ -98,29 +117,33 @@ let zero (z : Complex.t) = z.Complex.re = 0.0 && z.Complex.im = 0.0
 
 let is_diag (u : Complex.t array array) =
   let n = Array.length u in
-  let ok = ref true in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      if i <> j && not (zero u.(i).(j)) then ok := false
-    done
-  done;
-  !ok
+  try
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && not (zero u.(i).(j)) then raise Exit
+      done
+    done;
+    true
+  with Exit -> false
 
 (* One nonzero per row and per column: a permutation with phases.
    These matrices (any product of X, CX, SWAP, CCX and phase gates)
    take the engine's constant-work-per-amplitude cluster path. *)
 let is_monomial (u : Complex.t array array) =
   let n = Array.length u in
-  let ok = ref true in
-  for i = 0 to n - 1 do
-    let row = ref 0 and col = ref 0 in
-    for j = 0 to n - 1 do
-      if not (zero u.(i).(j)) then incr row;
-      if not (zero u.(j).(i)) then incr col
+  (* Bail as soon as a row or column count leaves 1: the expensive
+     rejections (2-sparse cluster candidates) fail on the first row. *)
+  try
+    for i = 0 to n - 1 do
+      let row = ref 0 and col = ref 0 in
+      for j = 0 to n - 1 do
+        if not (zero u.(i).(j)) then incr row;
+        if not (zero u.(j).(i)) then incr col
+      done;
+      if !row <> 1 || !col <> 1 then raise Exit
     done;
-    if !row <> 1 || !col <> 1 then ok := false
-  done;
-  !ok
+    true
+  with Exit -> false
 
 (* Lifts [u] over qubits [qs] (matrix bit j <-> qs.(j)) to the superset
    [sup] (ascending), acting as identity on the extra qubits.
@@ -143,10 +166,16 @@ let embed (u : Complex.t array array) (qs : int array) (sup : int array) =
     Array.iteri (fun j p -> s := !s lor (((x lsr p) land 1) lsl j)) pos;
     !s
   in
+  (* [proj] is pure in [x]: tabulating it once turns the 4^|sup| fill
+     into table lookups instead of recomputing the bit scatter for
+     every (row, column) pair. *)
+  let projtab = Array.init big proj in
   Array.init big (fun r ->
+      let ur = u.(Array.unsafe_get projtab r) in
+      let rmask = r land outmask in
       Array.init big (fun c ->
-          if r land outmask <> c land outmask then Complex.zero
-          else u.(proj r).(proj c)))
+          if rmask <> c land outmask then Complex.zero
+          else ur.(Array.unsafe_get projtab c)))
 
 (* The 8x8 permutation matrix of a 3-qubit gate in the local basis of
    [sorted] (ascending, LSB first), given its operand order [ops]. *)

@@ -44,8 +44,8 @@ val set_max_local_bits : int -> unit
 
 val checked_access : unit -> bool
 val set_checked_access : bool -> unit
-(** When set (or [QIR_SIM_CHECKED=1]), the [Array.unsafe_get/set]
-    cluster sweeps re-assert every derived index against the array
+(** When set (or [QIR_SIM_CHECKED=1]), the [Bigarray.Array1.unsafe_get/set]
+    kernel sweeps re-assert every derived index against the slice
     bounds, turning the enumeration's in-bounds proof back into runtime
     checks. Off by default. *)
 

@@ -634,6 +634,31 @@ daemon; later requests on the same stream still run.
   {"event": "accepted", "id": "job-1", "tenant": "c"}
   {"event": "result", "id": "job-1", "tenant": "c", "tier": "batched", "completed": 5, "requested": 5, "degraded": false, "retries": 0, "engine": "bytecode", "tape": false, "batched": true, "pool_fallbacks": 0, "wait_s": _, "run_s": _, "histogram": {"00": 2, "11": 3}}
 
+Degenerate pool, shard and executor knobs are usage errors (exit 7),
+rejected before any Domain is spawned:
+
+  $ qir-run bell.ll --domains 0
+  qir-run: --domains: need at least one domain
+  [7]
+  $ qir-run bell.ll --local-bits=-1
+  qir-run: --local-bits: expected 1..30
+  [7]
+  $ qir-serve jobs.ndjson --executors 0
+  qir-serve: --executors: need at least 1
+  [7]
+  $ qir-serve jobs.ndjson --domains 0
+  qir-serve: --domains: need at least one domain
+  [7]
+  $ qir-serve jobs.ndjson --local-bits=-3
+  qir-serve: --local-bits: expected 1..30
+  [7]
+
+Extra drain loops change throughput, never results: the same batch
+under --executors 2 yields the same histogram, seed-determined.
+
+  $ qir-serve jobs.ndjson --mem-budget 64MiB --executors 2 | grep '"event": "result"' | sed -E 's/"(wait_s|run_s)": [-0-9.e]+/"\1": _/g'
+  {"event": "result", "id": "a1", "tenant": "alice", "tier": "batched", "completed": 40, "requested": 40, "degraded": false, "retries": 0, "engine": "bytecode", "tape": false, "batched": true, "pool_fallbacks": 0, "wait_s": _, "run_s": _, "histogram": {"00": 22, "11": 18}}
+
 The value-semantics quantum optimizer (--opt-quantum): adjacent
 self-inverse pairs cancel, same-axis rotations merge, and qir-lint
 surfaces every rewrite opportunity as a QO note before anything is

@@ -1,12 +1,16 @@
-(* Shard/cluster differential smoke: the sharded storage layout and the
-   cluster-fusion pass must be observably invisible. 100 fuzzed
-   circuits (random and feedback workloads, parametric and Clifford)
-   execute per shot under five engine configurations with identical
-   seeds — specialized-flat, reference-flat, cluster-fused flat,
-   cluster-fused sharded and specialized sharded — and every histogram
-   must match bit for bit. A capstone case allocates a 28-qubit sharded
-   register end to end (create, in-shard and cross-shard gates,
-   measurement, teardown) and checks the ceiling itself rejects 31.
+(* Shard/cluster differential smoke: the Bigarray-backed storage
+   layout, its sharding and the cluster-fusion pass must be observably
+   invisible. 100 fuzzed circuits (random and feedback workloads,
+   parametric and Clifford) execute per shot under seven engine
+   configurations with identical seeds — specialized-flat,
+   reference-flat, cluster-fused flat, cluster-fused sharded,
+   specialized sharded, reference sharded (the two-level slice
+   addressing of the oracle itself) and specialized sharded with
+   checked accesses (every unsafe Bigarray index re-asserted against
+   the slice bounds) — and every histogram must match bit for bit. A
+   capstone case allocates a 28-qubit sharded register end to end
+   (create, in-shard and cross-shard gates, measurement, teardown) and
+   checks the ceiling itself rejects 31.
 
    Used by CI as the sharding gate:
      dune exec test/smoke/shard_smoke.exe *)
@@ -45,6 +49,11 @@ let with_local_bits bits f =
   let b0 = Sv.max_local_bits () in
   Sv.set_max_local_bits bits;
   Fun.protect f ~finally:(fun () -> Sv.set_max_local_bits b0)
+
+let with_checked_access f =
+  let c0 = Sv.checked_access () in
+  Sv.set_checked_access true;
+  Fun.protect f ~finally:(fun () -> Sv.set_checked_access c0)
 
 (* Per-shot histogram over clbit strings: works for every workload,
    including feedback circuits the batched sampler rejects, and
@@ -93,6 +102,13 @@ let fuzzed_corpus () =
                 histogram (Qsim.Fusion.run_circuit ~k) c seed) );
           ( "specialized-sharded",
             with_local_bits lb (fun () -> histogram Sv.run_circuit c seed) );
+          ( "reference-sharded",
+            with_local_bits lb (fun () ->
+                histogram Sv.Reference.run_circuit c seed) );
+          ( "checked-sharded",
+            with_checked_access (fun () ->
+                with_local_bits lb (fun () ->
+                    histogram Sv.run_circuit c seed)) );
         ]
       in
       List.iter
@@ -135,7 +151,7 @@ let () =
   fuzzed_corpus ();
   ceiling ();
   Printf.printf
-    "shard smoke: %d fuzzed circuits x %d shots x 5 configurations + \
+    "shard smoke: %d fuzzed circuits x %d shots x 7 configurations + \
      28-qubit ceiling, %d divergences\n"
     circuits shots !failures;
   if !failures > 0 then exit 1

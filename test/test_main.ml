@@ -19,5 +19,6 @@ let () =
       ("commute", Test_commute.suite);
       ("density", Test_density.suite);
       ("bytecode", Test_bytecode.suite);
+      ("storage", Test_storage.suite);
       ("service", Test_service.suite);
     ]

@@ -669,6 +669,46 @@ let test_intern_shares_modules_across_jobs () =
     check int_t "parse-kind taxonomy error" Qir_error.exit_parse
       (Qir_error.exit_code e)
 
+(* N concurrent drain loops vs 1: the loops claim jobs from the shared
+   stride scheduler in a nondeterministic order, but seeding is
+   per-job, so every job's histogram must be bit-identical either
+   way. The kernel pool is pinned to one domain so the executor
+   Domains are the only concurrency under test. *)
+let test_multi_executor_parity () =
+  let saved_domains = Qsim.Dpool.domains () in
+  Qsim.Dpool.set_domains 1;
+  Fun.protect ~finally:(fun () -> Qsim.Dpool.set_domains saved_domains)
+  @@ fun () ->
+  let jobs =
+    List.init 10 (fun i ->
+        (Printf.sprintf "j%d" i, ghz (2 + (i mod 3)), 31 + i))
+  in
+  let run executors =
+    let svc, events = recording () in
+    List.iter
+      (fun (id, m, seed) ->
+        Service.submit svc ~tenant:"t" ~id ~shots:16 ~seed m)
+      jobs;
+    Service.drain_parallel ~executors svc;
+    List.filter_map
+      (function
+        | Service.Result { id; result; _ } ->
+          Some (id, result.Executor.histogram, result.Executor.completed)
+        | _ -> None)
+      (events ())
+    |> List.sort compare
+  in
+  let single = run 1 in
+  let multi = run 4 in
+  check int_t "all jobs completed under 4 executors" (List.length jobs)
+    (List.length multi);
+  List.iter2
+    (fun (ida, ha, ca) (idb, hb, cb) ->
+      check string_t "same job order after sort" ida idb;
+      check int_t (Printf.sprintf "job %s: completed shots" ida) ca cb;
+      check hist_t (Printf.sprintf "job %s: histogram parity" ida) ha hb)
+    single multi
+
 let suite =
   [
     Alcotest.test_case "jsonx: round-trip" `Quick test_jsonx_roundtrip;
@@ -720,4 +760,6 @@ let suite =
       test_service_sheds_cache_coldest_first;
     Alcotest.test_case "service: interning shares session caches" `Quick
       test_intern_shares_modules_across_jobs;
+    Alcotest.test_case "service: multi-executor drain parity" `Quick
+      test_multi_executor_parity;
   ]
